@@ -1,0 +1,210 @@
+//! Numerically stable binomial machinery.
+//!
+//! The dimensioning formulas of the paper involve binomial coefficients with
+//! `n` in the tens of thousands (Figure 6(b) sweeps up to `n = 15 000`), far
+//! beyond what direct factorial evaluation can represent. Everything here is
+//! computed in log space.
+
+/// Natural log of `n!`, via a table for small `n` and Stirling's series for
+/// large `n` (absolute error below `1e-10` for all `n`).
+///
+/// # Example
+///
+/// ```
+/// let ln120 = anomaly_analytic::ln_factorial(5);
+/// assert!((ln120 - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE_SIZE: usize = 257;
+    // Lazily built exact table for n < 257.
+    fn table() -> &'static [f64; 257] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[f64; 257]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0.0f64; 257];
+            let mut acc = 0.0f64;
+            for i in 1..257usize {
+                acc += (i as f64).ln();
+                t[i] = acc;
+            }
+            t
+        })
+    }
+    if (n as usize) < TABLE_SIZE {
+        return table()[n as usize];
+    }
+    // Stirling's series: ln n! = n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³) + 1/(1260 n^5)
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x.powi(3))
+        + 1.0 / (1260.0 * x.powi(5))
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `-inf` when `k > n` (the coefficient is zero).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability mass `P{X = k}` for `X ~ Binomial(n, p)`.
+///
+/// Computed in log space; exact at the boundary probabilities `p ∈ {0, 1}`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0,1]`.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    // ln(1-p) computed as ln_1p(-p) for accuracy at small p.
+    let ln_p = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p();
+    ln_p.exp()
+}
+
+/// Cumulative probability `P{X ≤ k}` for `X ~ Binomial(n, p)`.
+///
+/// Sums the pmf from the smaller tail for accuracy, clamping to `[0,1]`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0,1]`.
+///
+/// # Example
+///
+/// ```
+/// // A fair coin flipped twice: P{heads ≤ 1} = 3/4.
+/// let c = anomaly_analytic::binomial_cdf(2, 1, 0.5);
+/// assert!((c - 0.75).abs() < 1e-12);
+/// ```
+pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    if k >= n {
+        return 1.0;
+    }
+    let mean = n as f64 * p;
+    if (k as f64) < mean {
+        // Lower tail: sum directly.
+        let mut acc = 0.0;
+        for i in 0..=k {
+            acc += binomial_pmf(n, i, p);
+        }
+        acc.min(1.0)
+    } else {
+        // Upper tail complement for accuracy near 1.
+        let mut acc = 0.0;
+        for i in (k + 1)..=n {
+            acc += binomial_pmf(n, i, p);
+        }
+        (1.0 - acc).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factorial_small_values_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(4) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn factorial_stirling_matches_table_at_crossover() {
+        // Value computed by summation vs Stirling at n = 300.
+        let direct: f64 = (1..=300u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(300) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn choose_small_values() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 5).exp() - 252.0).abs() < 1e-7);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_degenerate_probabilities() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 9, 1.0), 0.0);
+        assert_eq!(binomial_pmf(4, 9, 0.5), 0.0);
+    }
+
+    #[test]
+    fn pmf_known_value() {
+        // Binomial(4, 0.5) at 2 = 6/16.
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((binomial_cdf(2, 1, 0.5) - 0.75).abs() < 1e-12);
+        assert_eq!(binomial_cdf(5, 5, 0.3), 1.0);
+        assert_eq!(binomial_cdf(5, 9, 0.3), 1.0);
+    }
+
+    #[test]
+    fn cdf_large_n_is_finite_and_monotone() {
+        let n = 15_000;
+        let p = 0.0144; // q for r = 0.03, d = 2
+        let mut prev = 0.0;
+        for k in [0u64, 10, 50, 100, 200, 400, 15_000] {
+            let c = binomial_cdf(n, k, p);
+            assert!(c.is_finite());
+            assert!(c >= prev - 1e-12, "cdf must be monotone");
+            prev = c;
+        }
+        assert!((binomial_cdf(n, 15_000, p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0,1]")]
+    fn pmf_rejects_bad_probability() {
+        binomial_pmf(3, 1, 1.5);
+    }
+
+    proptest! {
+        /// pmf sums to 1 over the support.
+        #[test]
+        fn pmf_sums_to_one(n in 0u64..60, p in 0.0..=1.0f64) {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        /// cdf equals the pmf prefix sum.
+        #[test]
+        fn cdf_is_prefix_sum(n in 1u64..50, p in 0.01..0.99f64, k in 0u64..50) {
+            let k = k.min(n);
+            let prefix: f64 = (0..=k).map(|i| binomial_pmf(n, i, p)).sum();
+            prop_assert!((binomial_cdf(n, k, p) - prefix).abs() < 1e-9);
+        }
+
+        /// cdf is monotone in k.
+        #[test]
+        fn cdf_monotone(n in 1u64..40, p in 0.0..=1.0f64) {
+            let mut prev = 0.0;
+            for k in 0..=n {
+                let c = binomial_cdf(n, k, p);
+                prop_assert!(c + 1e-12 >= prev);
+                prev = c;
+            }
+        }
+    }
+}

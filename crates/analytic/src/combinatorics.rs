@@ -1,0 +1,151 @@
+//! Partition-counting combinatorics.
+//!
+//! Section V of the paper observes that the naive approach — enumerating all
+//! admissible anomaly partitions — is impractical because the number of
+//! partitions of an `n`-set grows like the Bell numbers
+//! `B_n = Σ_t S(n, t)` where `S(n, t)` are Stirling numbers of the second
+//! kind. These functions quantify that blow-up (and are used by the
+//! benchmark harness to report the search-space size the local conditions
+//! avoid).
+
+/// Stirling number of the second kind `S(n, t)`: the number of ways to
+/// partition an `n`-set into `t` non-empty blocks.
+///
+/// Returns `None` on `u128` overflow (first occurs around `n ≈ 27` for
+/// central `t`... comfortably beyond anything enumerable anyway).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(anomaly_analytic::stirling2(4, 2), Some(7));
+/// assert_eq!(anomaly_analytic::stirling2(5, 5), Some(1));
+/// assert_eq!(anomaly_analytic::stirling2(5, 0), Some(0));
+/// ```
+pub fn stirling2(n: u32, t: u32) -> Option<u128> {
+    if t > n {
+        return Some(0);
+    }
+    if n == 0 {
+        return Some(1); // S(0,0) = 1
+    }
+    if t == 0 {
+        return Some(0);
+    }
+    let table = stirling2_table(n)?;
+    Some(table[n as usize][t as usize])
+}
+
+/// Full triangle of Stirling numbers `S(i, j)` for `0 ≤ j ≤ i ≤ n`.
+///
+/// Row `i` has `i + 1` entries. Returns `None` on `u128` overflow.
+pub fn stirling2_table(n: u32) -> Option<Vec<Vec<u128>>> {
+    let n = n as usize;
+    let mut table: Vec<Vec<u128>> = Vec::with_capacity(n + 1);
+    table.push(vec![1]); // S(0,0) = 1
+    for i in 1..=n {
+        let mut row = vec![0u128; i + 1];
+        for j in 1..=i {
+            let keep = (j as u128).checked_mul(table[i - 1].get(j).copied().unwrap_or(0))?;
+            let add = table[i - 1].get(j - 1).copied().unwrap_or(0);
+            row[j] = keep.checked_add(add)?;
+        }
+        table.push(row);
+    }
+    Some(table)
+}
+
+/// Bell number `B_n`: total number of partitions of an `n`-set.
+///
+/// Returns `None` on `u128` overflow (first overflow beyond `n = 49`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(anomaly_analytic::bell_number(5), Some(52));
+/// assert_eq!(anomaly_analytic::bell_number(10), Some(115_975));
+/// ```
+pub fn bell_number(n: u32) -> Option<u128> {
+    bell_numbers(n).map(|v| v[n as usize])
+}
+
+/// All Bell numbers `B_0 ..= B_n` via the Bell triangle.
+///
+/// Returns `None` on `u128` overflow.
+pub fn bell_numbers(n: u32) -> Option<Vec<u128>> {
+    let n = n as usize;
+    let mut bells = Vec::with_capacity(n + 1);
+    bells.push(1u128); // B_0
+    let mut row = vec![1u128];
+    for _ in 1..=n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("row is never empty"));
+        for &v in &row {
+            let last = *next.last().expect("next never empty");
+            next.push(last.checked_add(v)?);
+        }
+        // The first element of row i equals B_i (it is the last element of
+        // row i-1 by construction of the Bell triangle).
+        bells.push(next[0]);
+        row = next;
+    }
+    Some(bells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stirling_known_values() {
+        assert_eq!(stirling2(0, 0), Some(1));
+        assert_eq!(stirling2(1, 1), Some(1));
+        assert_eq!(stirling2(4, 2), Some(7));
+        assert_eq!(stirling2(5, 3), Some(25));
+        assert_eq!(stirling2(6, 3), Some(90));
+        assert_eq!(stirling2(10, 5), Some(42_525));
+        assert_eq!(stirling2(3, 7), Some(0));
+    }
+
+    #[test]
+    fn bell_known_values() {
+        let b = bell_numbers(12).unwrap();
+        assert_eq!(&b[..8], &[1, 1, 2, 5, 15, 52, 203, 877]);
+        assert_eq!(b[10], 115_975);
+        assert_eq!(b[12], 4_213_597);
+    }
+
+    #[test]
+    fn bell_large_does_not_overflow_within_u128() {
+        assert!(bell_number(40).is_some());
+    }
+
+    #[test]
+    fn table_rows_have_expected_shapes() {
+        let t = stirling2_table(5).unwrap();
+        assert_eq!(t.len(), 6);
+        for (i, row) in t.iter().enumerate() {
+            assert_eq!(row.len(), i + 1);
+        }
+    }
+
+    proptest! {
+        /// Bell numbers are the row sums of the Stirling triangle.
+        #[test]
+        fn bell_is_stirling_row_sum(n in 0u32..15) {
+            let bell = bell_number(n).unwrap();
+            let sum: u128 = (0..=n).map(|t| stirling2(n, t).unwrap()).sum();
+            prop_assert_eq!(bell, sum);
+        }
+
+        /// Recurrence S(n,t) = t·S(n−1,t) + S(n−1,t−1).
+        #[test]
+        fn stirling_recurrence(n in 2u32..15, t in 1u32..15) {
+            prop_assume!(t <= n);
+            let lhs = stirling2(n, t).unwrap();
+            let rhs = t as u128 * stirling2(n - 1, t).unwrap()
+                + stirling2(n - 1, t - 1).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

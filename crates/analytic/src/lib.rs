@@ -1,0 +1,40 @@
+//! Analytic toolbox for dimensioning the anomaly-characterization parameters.
+//!
+//! Section VII-A of the DSN 2014 paper tunes the consistency-impact radius
+//! `r` and the density threshold `τ` so that the probability of more than `τ`
+//! *independent* errors hitting devices within `2r` of each other is
+//! negligible. This crate implements the exact probability models behind
+//! Figure 6(a) and Figure 6(b):
+//!
+//! * [`binomial`] — numerically stable (log-space) binomial coefficients,
+//!   pmf and cdf;
+//! * [`vicinity`] — the probability `q` that a uniformly placed device falls
+//!   in the vicinity `V = {x : ‖x − p(j)‖ ≤ 2r}` of a device `j`, with and
+//!   without boundary correction;
+//! * [`dimensioning`] — `P{N_r(j) ≤ m}` (Fig. 6a) and `P{F_r(j) ≤ τ}`
+//!   (Fig. 6b), plus parameter solvers;
+//! * [`combinatorics`] — Stirling numbers of the second kind and Bell numbers
+//!   (the partition-count explosion that motivates the local conditions of
+//!   Section V);
+//! * [`stats`] — summary statistics used by the simulation harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod combinatorics;
+pub mod dimensioning;
+pub mod poisson;
+pub mod stats;
+pub mod vicinity;
+
+pub use binomial::{binomial_cdf, binomial_pmf, ln_choose, ln_factorial};
+pub use combinatorics::{bell_number, bell_numbers, stirling2, stirling2_table};
+pub use dimensioning::{
+    prob_false_dense_at_most_with_q,
+    prob_false_dense_at_most, prob_false_dense_exceeds, prob_vicinity_at_most, solve_tau,
+    DimensioningError,
+};
+pub use poisson::{le_cam_bound, poisson_cdf, poisson_pmf, prob_false_dense_exceeds_poisson};
+pub use stats::{mean_and_ci95, Histogram, OnlineStats};
+pub use vicinity::{vicinity_probability, vicinity_probability_bulk};

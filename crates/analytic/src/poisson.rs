@@ -1,0 +1,134 @@
+//! Poisson approximations for the dimensioning models.
+//!
+//! At scale (`n` in the tens of thousands, `q·b` tiny) the thinned binomial
+//! `F_r(j) ~ Binomial(n−1, q·b)` is numerically a Poisson with mean
+//! `λ = (n−1)·q·b`. The Poisson form gives closed-view intuition (the
+//! false-dense probability depends on the *product* `n·q·b` only) and an
+//! O(τ) evaluation for interactive dimensioning dashboards. Le Cam's
+//! inequality bounds the approximation error by `2·n·(q·b)²`, which this
+//! module also exposes so callers can check the substitution is safe.
+
+/// `P{X = k}` for `X ~ Poisson(λ)`, computed in log space.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative and finite"
+    );
+    if lambda == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let ln_p = k as f64 * lambda.ln() - lambda - crate::binomial::ln_factorial(k);
+    ln_p.exp()
+}
+
+/// `P{X ≤ k}` for `X ~ Poisson(λ)`.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// // Mean 0.72 (the paper's n = 10000 operating point): P{X <= 3} ≈ 0.9936.
+/// let p = anomaly_analytic::poisson_cdf(0.72, 3);
+/// assert!((p - 0.9936).abs() < 1e-3);
+/// ```
+pub fn poisson_cdf(lambda: f64, k: u64) -> f64 {
+    (0..=k).map(|i| poisson_pmf(lambda, i)).sum::<f64>().min(1.0)
+}
+
+/// Poisson approximation of the false-dense probability
+/// `P{F_r(j) > τ} ≈ 1 − PoissonCDF((n−1)·q·b, τ)`.
+///
+/// # Panics
+///
+/// Panics if `q` or `b` is not a probability.
+pub fn prob_false_dense_exceeds_poisson(n: u64, q: f64, b: f64, tau: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    assert!((0.0..=1.0).contains(&b), "b must be a probability");
+    let lambda = (n.saturating_sub(1)) as f64 * q * b;
+    1.0 - poisson_cdf(lambda, tau)
+}
+
+/// Le Cam bound on the total-variation distance between
+/// `Binomial(n−1, q·b)` and its Poisson approximation: `2·(n−1)·(q·b)²`.
+pub fn le_cam_bound(n: u64, q: f64, b: f64) -> f64 {
+    let p = q * b;
+    2.0 * (n.saturating_sub(1)) as f64 * p * p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimensioning::prob_false_dense_at_most_with_q;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pmf_known_values() {
+        // Poisson(1): P{0} = e^-1.
+        assert!((poisson_pmf(1.0, 0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((poisson_pmf(2.0, 2) - 2.0 * (-2.0f64).exp()).abs() < 1e-12);
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for k in 0..20 {
+            let c = poisson_cdf(3.5, k);
+            assert!(c >= prev && c <= 1.0);
+            prev = c;
+        }
+        assert!(poisson_cdf(3.5, 50) > 0.999999);
+    }
+
+    #[test]
+    fn matches_binomial_at_paper_scale() {
+        // n = 10000, q = 0.0144, b = 0.005: Le Cam bound ~1e-4.
+        let (n, q, b) = (10_000u64, 0.0144, 0.005);
+        for tau in 1..6 {
+            let exact = 1.0 - prob_false_dense_at_most_with_q(n, q, b, tau).unwrap();
+            let approx = prob_false_dense_exceeds_poisson(n, q, b, tau);
+            assert!(
+                (exact - approx).abs() <= le_cam_bound(n, q, b),
+                "tau {tau}: exact {exact} vs poisson {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn le_cam_bound_is_tiny_at_operating_point() {
+        assert!(le_cam_bound(15_000, 0.0144, 0.005) < 2e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_negative_lambda() {
+        poisson_pmf(-1.0, 0);
+    }
+
+    proptest! {
+        /// pmf sums to ~1 over a wide support.
+        #[test]
+        fn pmf_sums_to_one(lambda in 0.0..20.0f64) {
+            let total: f64 = (0..200).map(|k| poisson_pmf(lambda, k)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        /// The Poisson approximation respects the Le Cam bound against the
+        /// exact binomial everywhere in the dimensioning regime.
+        #[test]
+        fn le_cam_holds(n in 100u64..5000, q in 0.001..0.05f64, b in 0.001..0.02f64,
+                        tau in 0u64..6) {
+            let exact = 1.0 - prob_false_dense_at_most_with_q(n, q, b, tau).unwrap();
+            let approx = prob_false_dense_exceeds_poisson(n, q, b, tau);
+            prop_assert!((exact - approx).abs() <= le_cam_bound(n, q, b) + 1e-12);
+        }
+    }
+}

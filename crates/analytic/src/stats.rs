@@ -1,0 +1,362 @@
+//! Summary statistics for the simulation harness.
+//!
+//! The evaluation section reports averages over ~10 000 randomized settings
+//! (Tables II/III) and ratio curves over parameter sweeps (Figures 7–9).
+//! [`OnlineStats`] accumulates mean/variance in one pass (Welford),
+//! [`Histogram`] bins observations, and [`mean_and_ci95`] reports a normal
+//! 95% confidence interval.
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use anomaly_analytic::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`; 0 when fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Mean and half-width of a normal-approximation 95% confidence interval.
+///
+/// Returns `(mean, half_width)`; the half-width is 0 for fewer than two
+/// samples.
+pub fn mean_and_ci95(stats: &OnlineStats) -> (f64, f64) {
+    if stats.count() < 2 {
+        return (stats.mean(), 0.0);
+    }
+    let half = 1.96 * stats.sample_stddev() / (stats.count() as f64).sqrt();
+    (stats.mean(), half)
+}
+
+/// Fixed-range histogram with equal-width bins.
+///
+/// # Example
+///
+/// ```
+/// use anomaly_analytic::Histogram;
+/// let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+/// h.push(0.1);
+/// h.push(0.9);
+/// h.push(2.0); // clamped into the last bin
+/// assert_eq!(h.counts(), &[1, 0, 0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// Returns `None` if `bins == 0`, bounds are not finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Adds an observation, clamping values outside the range into the edge
+    /// bins (NaN is ignored).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let bin = ((t * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[bin] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of (non-NaN) observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// Empirical cdf evaluated at the upper edge of each bin.
+    pub fn cdf(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / total
+            })
+            .collect()
+    }
+}
+
+/// Percentile (0–100) of a slice via linear interpolation; `None` when empty
+/// or `p` is out of range.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_known_values() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.population_variance(), 4.0);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroish() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        let (m, ci) = mean_and_ci95(&s);
+        assert_eq!((m, ci), (0.0, 0.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.5, 9.0, -2.0];
+        let ys = [0.5, 0.5, 8.0];
+        let mut a: OnlineStats = xs.into_iter().collect();
+        let b: OnlineStats = ys.into_iter().collect();
+        a.merge(&b);
+        let all: OnlineStats = xs.into_iter().chain(ys).collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_bins_and_cdf() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for x in [0.05, 0.3, 0.3, 0.8, 1.5, -0.2] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 0, 2]);
+        assert_eq!(h.total(), 6);
+        let cdf = h.cdf();
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+        assert!((cdf[1] - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.bin_lo(2), 0.5);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 0.0, 4).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn histogram_ignores_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.push(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn percentile_known_values() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&v, 101.0), None);
+    }
+
+    proptest! {
+        /// Welford mean matches the naive mean.
+        #[test]
+        fn mean_matches_naive(xs in proptest::collection::vec(-1e3..1e3f64, 1..100)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6);
+        }
+
+        /// Merging any split of the data gives the same result.
+        #[test]
+        fn merge_any_split(xs in proptest::collection::vec(-100.0..100.0f64, 2..60),
+                           split in 0usize..60) {
+            let split = split.min(xs.len());
+            let mut a: OnlineStats = xs[..split].iter().copied().collect();
+            let b: OnlineStats = xs[split..].iter().copied().collect();
+            a.merge(&b);
+            let whole: OnlineStats = xs.iter().copied().collect();
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+            prop_assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+        }
+
+        /// Histogram total counts every non-NaN sample.
+        #[test]
+        fn histogram_counts_everything(xs in proptest::collection::vec(-2.0..3.0f64, 0..50)) {
+            let mut h = Histogram::new(0.0, 1.0, 7).unwrap();
+            for &x in &xs { h.push(x); }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Probability that a uniformly placed device falls in another's vicinity.
+//!
+//! The vicinity of device `j` is `V = {x ∈ E : ‖x − p(j)‖ ≤ 2r}` (Section
+//! VII-A), i.e. a hypercube of side `4r` centred at `p(j)` intersected with
+//! the unit cube. With devices placed i.i.d. uniformly, the probability `q_j`
+//! that another device lands in `V` is the volume of that intersection.
+
+/// Bulk (interior) approximation of the vicinity probability: `(4r)^d`.
+///
+/// Exact when the whole vicinity box lies inside `E`, i.e. when `p(j)` is at
+/// least `2r` away from every face. This is the value the paper uses (e.g.
+/// `q = 0.0144` for `r = 0.03`, `d = 2`).
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1/4)` or `d == 0`.
+///
+/// # Example
+///
+/// ```
+/// let q = anomaly_analytic::vicinity_probability_bulk(0.03, 2);
+/// assert!((q - 0.0144).abs() < 1e-12);
+/// ```
+pub fn vicinity_probability_bulk(r: f64, d: usize) -> f64 {
+    assert!(d > 0, "dimension must be positive");
+    assert!(
+        r.is_finite() && (0.0..0.25).contains(&r),
+        "radius must lie in [0, 1/4)"
+    );
+    (4.0 * r).powi(d as i32)
+}
+
+/// Boundary-corrected vicinity probability: the *expected* volume of
+/// `V ∩ [0,1]^d` when `p(j)` is itself uniform on `[0,1]^d`.
+///
+/// Per dimension the expected overlap length of `[x − 2r, x + 2r] ∩ [0,1]`
+/// for `x ~ U[0,1]` and half-width `w = 2r ≤ 1/2` is `2w − w²`; coordinates
+/// are independent, so the expected volume is `(4r − 4r²)^d`.
+///
+/// Always at most the bulk value, converging to it as `r → 0`.
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1/4)` or `d == 0`.
+pub fn vicinity_probability(r: f64, d: usize) -> f64 {
+    assert!(d > 0, "dimension must be positive");
+    assert!(
+        r.is_finite() && (0.0..0.25).contains(&r),
+        "radius must lie in [0, 1/4)"
+    );
+    let w = 2.0 * r;
+    (2.0 * w - w * w).powi(d as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_value_for_r_003_d2() {
+        assert!((vicinity_probability_bulk(0.03, 2) - 0.0144).abs() < 1e-15);
+    }
+
+    #[test]
+    fn corrected_below_bulk() {
+        for &r in &[0.01, 0.03, 0.1, 0.2] {
+            assert!(vicinity_probability(r, 2) < vicinity_probability_bulk(r, 2));
+        }
+    }
+
+    #[test]
+    fn zero_radius_gives_zero() {
+        assert_eq!(vicinity_probability_bulk(0.0, 2), 0.0);
+        assert_eq!(vicinity_probability(0.0, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must lie in")]
+    fn bulk_rejects_large_radius() {
+        vicinity_probability_bulk(0.25, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn rejects_zero_dimension() {
+        vicinity_probability(0.1, 0);
+    }
+
+    /// Monte-Carlo check of the boundary-corrected formula in 2D.
+    #[test]
+    fn corrected_matches_monte_carlo() {
+        // Deterministic low-discrepancy-ish sampling: regular grid of centres
+        // and a regular grid of probes.
+        let r = 0.1;
+        let w = 2.0 * r;
+        let steps = 200;
+        let mut total = 0.0;
+        for i in 0..steps {
+            let x = (i as f64 + 0.5) / steps as f64;
+            let len = (x + w).min(1.0) - (x - w).max(0.0);
+            total += len;
+        }
+        let expected_1d = total / steps as f64;
+        let formula_1d = 2.0 * w - w * w;
+        assert!((expected_1d - formula_1d).abs() < 1e-3);
+        assert!((vicinity_probability(r, 2) - formula_1d * formula_1d).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Both probabilities are valid probabilities and ordered.
+        #[test]
+        fn probabilities_valid(r in 0.0..0.249f64, d in 1usize..5) {
+            let bulk = vicinity_probability_bulk(r, d);
+            let corr = vicinity_probability(r, d);
+            prop_assert!((0.0..=1.0).contains(&bulk));
+            prop_assert!((0.0..=1.0).contains(&corr));
+            prop_assert!(corr <= bulk + 1e-15);
+        }
+
+        /// Monotone in r.
+        #[test]
+        fn monotone_in_radius(r1 in 0.0..0.2f64, dr in 0.0..0.04f64, d in 1usize..4) {
+            let r2 = r1 + dr;
+            prop_assert!(vicinity_probability_bulk(r1, d) <= vicinity_probability_bulk(r2, d) + 1e-15);
+            prop_assert!(vicinity_probability(r1, d) <= vicinity_probability(r2, d) + 1e-15);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Related-work baselines the paper argues against (Section II).
+//!
+//! * [`TessellationClassifier`] — the FixMe-style approach of reference [1]
+//!   (Anceaume et al., OPODIS 2012): the QoS space is tessellated into fixed
+//!   buckets and an anomaly is massive when its bucket holds more than `τ`
+//!   abnormal devices. The paper's critique: *"tessellating the space with
+//!   large buckets sizes tends to identify each possible anomaly as a
+//!   massive one, while considering small buckets sizes reduces drastically
+//!   the probability of having a large number of devices in a single
+//!   bucket, giving rise to the triggering of false alarms."* The
+//!   comparison harness quantifies exactly that trade-off.
+//! * [`KMeansClassifier`] — the centralized clustering of reference [15]
+//!   (Zhao et al., ICAC 2009): a management node runs k-means over all
+//!   abnormal trajectories and calls a cluster massive when it exceeds `τ`.
+//!   Accurate when `k` matches the true anomaly count but requires global
+//!   knowledge and a full clustering pass per snapshot — the scalability
+//!   impediment Section II points out.
+//!
+//! Both implement [`Classifier`] so the [`comparison`] harness can score
+//! them against `anomaly-core`'s local algorithms on identical scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+mod kmeans;
+mod tessellation;
+
+pub use comparison::{compare_on_scenario, ComparisonReport, MethodScore};
+pub use kmeans::KMeansClassifier;
+pub use tessellation::TessellationClassifier;
+
+use anomaly_core::AnomalyClass;
+use anomaly_qos::{DeviceId, StatePair};
+
+/// A massive/isolated classifier over one snapshot interval.
+///
+/// Baselines never output [`AnomalyClass::Unresolved`] — their models have
+/// no notion of undecidability, which is precisely one of the paper's
+/// contributions.
+pub trait Classifier {
+    /// Classifies each of `abnormal` given the two snapshots.
+    fn classify(&self, pair: &StatePair, abnormal: &[DeviceId])
+        -> Vec<(DeviceId, AnomalyClass)>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+}

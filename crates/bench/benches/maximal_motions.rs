@@ -1,0 +1,62 @@
+//! Benchmarks Algorithm 2 (sliding-window maximal-motion enumeration)
+//! against the exponential brute-force reference, and its scaling on
+//! clustered populations.
+
+use anomaly_core::{maximal_motions, maximal_motions_brute, DeviceSet, TrajectoryTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Clustered 1-service population: `n` devices spread over `clusters`
+/// co-moving groups plus background noise.
+fn clustered_table(n: usize, clusters: usize, seed: u64) -> TrajectoryTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<(u32, f64, f64)> = (0..n)
+        .map(|i| {
+            let c = rng.gen_range(0..clusters) as f64 / clusters as f64;
+            let jitter = rng.gen_range(0.0..0.04);
+            let before = (c + jitter).min(1.0);
+            let after = (c * 0.7 + jitter).min(1.0);
+            (i as u32, before, after)
+        })
+        .collect();
+    TrajectoryTable::from_pairs_1d(&rows)
+}
+
+fn bench_fast_vs_brute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_motions/fast_vs_brute");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    let table = clustered_table(10, 2, 42);
+    let universe: DeviceSet = table.device_set();
+    group.bench_function("sliding_window_n10", |b| {
+        b.iter(|| {
+            let mut ops = Default::default();
+            black_box(maximal_motions(&table, &universe, 0.1, &mut ops))
+        })
+    });
+    group.bench_function("brute_force_n10", |b| {
+        b.iter(|| black_box(maximal_motions_brute(&table, &universe, 0.1)))
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_motions/scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [50usize, 100, 200] {
+        let table = clustered_table(n, 8, 7);
+        let universe = table.device_set();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ops = Default::default();
+                black_box(maximal_motions(&table, &universe, 0.06, &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_vs_brute, bench_scaling);
+criterion_main!(benches);

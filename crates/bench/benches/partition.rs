@@ -1,0 +1,54 @@
+//! Benchmarks Algorithm 1 (anomaly-partition construction) and the
+//! exhaustive enumeration it replaces (Section V's Bell-number blow-up).
+
+use anomaly_core::observer::enumerate_anomaly_partitions;
+use anomaly_core::partition::build_partition_greedy;
+use anomaly_core::{Params, TrajectoryTable};
+use anomaly_qos::DeviceId;
+use anomaly_simulator::{ScenarioConfig, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // Algorithm 1 on a realistic simulated A_k (~95 devices).
+    let config = ScenarioConfig::paper_defaults(303);
+    let mut sim = Simulation::new(config).expect("valid scenario");
+    let outcome = sim.step();
+    let abnormal: Vec<DeviceId> = outcome.abnormal().iter().collect();
+    let table = TrajectoryTable::from_state_pair(&outcome.pair, &abnormal);
+    let params = outcome.config.params;
+    group.bench_function("algorithm1_simulated_ak", |b| {
+        b.iter(|| black_box(build_partition_greedy(&table, &params)))
+    });
+
+    // Exhaustive enumeration on a small Figure-3-like chain (what the
+    // local conditions save us from at scale).
+    let chain = TrajectoryTable::from_pairs_1d(&[
+        (1, 0.10, 0.10),
+        (2, 0.14, 0.14),
+        (3, 0.16, 0.16),
+        (4, 0.18, 0.18),
+        (5, 0.22, 0.22),
+        (6, 0.26, 0.26),
+        (7, 0.30, 0.30),
+        (8, 0.34, 0.34),
+    ]);
+    let small_params = Params::new(0.05, 3).unwrap();
+    group.bench_function("exhaustive_enumeration_n8", |b| {
+        b.iter(|| {
+            black_box(enumerate_anomaly_partitions(
+                &chain,
+                &small_params,
+                1_000_000,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Baseline comparison: tessellation / k-means vs the local algorithms.
+fn main() {
+    anomaly_bench::experiments::baselines(anomaly_bench::repro_steps());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6(a) of the paper. See `anomaly-bench` docs.
+fn main() {
+    anomaly_bench::experiments::fig6a();
+}

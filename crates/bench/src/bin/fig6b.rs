@@ -1,0 +1,4 @@
+//! Regenerates Figure 6(b) of the paper.
+fn main() {
+    anomaly_bench::experiments::fig6b();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7: |U_k|/|A_k| vs A and G, R3 enforced.
+fn main() {
+    anomaly_bench::experiments::fig7(anomaly_bench::repro_steps());
+}

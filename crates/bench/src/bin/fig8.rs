@@ -1,0 +1,4 @@
+//! Regenerates Figure 8: missed detections vs A and G, R3 not enforced.
+fn main() {
+    anomaly_bench::experiments::fig8(anomaly_bench::repro_steps());
+}

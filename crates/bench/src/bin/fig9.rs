@@ -1,0 +1,4 @@
+//! Regenerates Figure 9: |U_k|/|A_k| vs A and G, R3 not enforced.
+fn main() {
+    anomaly_bench::experiments::fig9(anomaly_bench::repro_steps());
+}

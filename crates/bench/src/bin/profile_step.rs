@@ -1,0 +1,31 @@
+//! Ad-hoc profiling helper: times build/quick/full characterization on
+//! consecutive heavy steps (A = 60, all-massive) to guard against
+//! neighbourhood blow-ups over long runs.
+use anomaly_core::{Analyzer, TrajectoryTable};
+use anomaly_qos::DeviceId;
+use anomaly_simulator::{ScenarioConfig, Simulation};
+use std::time::Instant;
+
+fn main() {
+    let config = ScenarioConfig::paper_defaults(2014)
+        .with_errors_per_step(60)
+        .with_isolated_prob(0.0);
+    let mut sim = Simulation::new(config).unwrap();
+    for step in 0..12 {
+        let outcome = sim.step();
+        let abnormal: Vec<DeviceId> = outcome.abnormal().iter().collect();
+        let t0 = Instant::now();
+        let table = TrajectoryTable::from_state_pair(&outcome.pair, &abnormal);
+        let analyzer = Analyzer::new(&table, outcome.config.params);
+        let t1 = Instant::now();
+        let full = analyzer.classify_all_full();
+        let t2 = Instant::now();
+        println!(
+            "step {step}: |A_k|={} build={:?} full={:?}",
+            abnormal.len(),
+            t1 - t0,
+            t2 - t1
+        );
+        let _ = full;
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (and Table II, which shares the runs).
+fn main() {
+    anomaly_bench::experiments::table2_and_3(anomaly_bench::repro_steps());
+}

@@ -1,0 +1,681 @@
+//! Local characterization (Algorithms 3–5; Theorems 5–7; Corollary 8).
+//!
+//! [`Analyzer`] precomputes, for every abnormal device, the family of
+//! maximal r-consistent motions it belongs to (Algorithm 2) and then decides
+//! per device:
+//!
+//! * [`Analyzer::characterize`] — Algorithm 3: Theorem 5 (no dense motion ⇒
+//!   isolated), Theorem 6 (a dense motion inside `J_k(j)` ⇒ massive), else
+//!   tentatively unresolved. Cheap, misses ~0.4% of massive devices.
+//! * [`Analyzer::characterize_full`] — Algorithms 4–5: additionally runs the
+//!   necessary-and-sufficient condition of Theorem 7, searching collections
+//!   of pairwise-disjoint dense motions of the `L_k(j)` devices; the verdict
+//!   is exact (massive via Theorem 7, or unresolved via Corollary 8).
+//!
+//! The [`Cost`] attached to every verdict exposes the operation counts
+//! reported in Table III of the paper.
+
+use crate::families::Families;
+use crate::maximal::{maximal_motions_involving_bounded, MotionOps};
+use crate::motion::extends_consistently;
+use crate::params::Params;
+use crate::set::DeviceSet;
+use crate::table::TrajectoryTable;
+use anomaly_qos::DeviceId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The three possible verdicts for an abnormal device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyClass {
+    /// Certainly impacted by an isolated anomaly (`j ∈ I_k`).
+    Isolated,
+    /// Certainly impacted by a massive anomaly (`j ∈ M_k`).
+    Massive,
+    /// Unresolved configuration: both readings admissible (`j ∈ U_k`).
+    Unresolved,
+}
+
+impl fmt::Display for AnomalyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AnomalyClass::Isolated => "isolated",
+            AnomalyClass::Massive => "massive",
+            AnomalyClass::Unresolved => "unresolved",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which result of the paper produced the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Theorem 5: `W̄_k(j) = ∅ ⇔ j ∈ I_k`.
+    Theorem5,
+    /// Theorem 6: a dense motion within `J_k(j)` (sufficient for `M_k`).
+    Theorem6,
+    /// Theorem 7: the NSC for `M_k` (collection search succeeded for all).
+    Theorem7,
+    /// Corollary 8: a witness collection proves `j ∈ U_k`.
+    Corollary8,
+    /// Algorithm 3's fast path labelled the device unresolved without
+    /// running the full NSC — may misclassify ~0.4% of massive devices.
+    Algorithm3,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::Theorem5 => "Theorem 5",
+            Rule::Theorem6 => "Theorem 6",
+            Rule::Theorem7 => "Theorem 7",
+            Rule::Corollary8 => "Corollary 8",
+            Rule::Algorithm3 => "Algorithm 3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operation counts behind one verdict (Table III's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// `|M(j)|` — maximal motions the device belongs to (Table III, col. 1).
+    pub maximal_motions: usize,
+    /// `|W̄_k(j)|` — maximal dense motions (Table III, col. 2).
+    pub dense_motions: usize,
+    /// Collections of disjoint dense motions tested by the Theorem 7 /
+    /// Corollary 8 search (Table III, cols. 3–4). Zero when the search was
+    /// not needed.
+    pub collections_tested: u64,
+    /// Sliding-window placements performed on behalf of this device.
+    pub window_moves: u64,
+}
+
+/// Result of the collection search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchOutcome {
+    /// Every collection satisfied relation (4) or (5): the device is massive.
+    Exhausted,
+    /// A witness collection violated both relations: unresolved.
+    Violated,
+    /// The budget ran out before a conclusion: conservatively unresolved.
+    BudgetSpent,
+}
+
+/// A verdict with its provenance and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Characterization {
+    class: AnomalyClass,
+    rule: Rule,
+    cost: Cost,
+}
+
+impl Characterization {
+    /// The verdict.
+    pub fn class(&self) -> AnomalyClass {
+        self.class
+    }
+
+    /// The theorem/corollary that produced it.
+    pub fn rule(&self) -> Rule {
+        self.rule
+    }
+
+    /// Operation counters.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+}
+
+/// Default bound on the number of collections the Theorem 7 search visits
+/// per device before giving up and reporting the device unresolved.
+///
+/// The collection space is exponential in the number of disjoint escape
+/// motions around the device; a pathological superposition of many
+/// anomalies could otherwise stall a monitoring round indefinitely. Giving
+/// up is *conservative*: an unresolved verdict never asserts something
+/// false (the device defers and re-samples, per Section VII-C).
+pub const DEFAULT_COLLECTION_BUDGET: u64 = 2_000_000;
+
+/// Largest base motion whose dense sub-motions are enumerated by the
+/// Theorem 7 search; beyond this the verdict degrades conservatively (the
+/// subset count is `2^|M|`).
+pub const MAX_BASE_MOTION_FOR_SUBSETS: usize = 16;
+
+/// Default budget on sliding-window placements per device when
+/// precomputing maximal motions. Pathological configurations (hundreds of
+/// devices inside a few windows) have exponentially many maximal motions;
+/// devices whose enumeration exceeds this budget are conservatively
+/// reported unresolved instead of stalling the monitoring round.
+pub const DEFAULT_ENUMERATION_BUDGET: u64 = 500_000;
+
+/// Per-population characterization engine.
+///
+/// Precomputes `M(j)` and `W̄_k(j)` for every device of the table (each
+/// computation is local to the device's `2r`-neighbourhood) and answers
+/// per-device queries. See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Analyzer<'t> {
+    table: &'t TrajectoryTable,
+    params: Params,
+    /// All maximal motions containing each device.
+    motions: HashMap<DeviceId, Vec<DeviceSet>>,
+    /// The dense (`> τ`) subset of `motions`.
+    wbar: HashMap<DeviceId, Vec<DeviceSet>>,
+    /// Window moves spent per device during precomputation.
+    precompute_moves: HashMap<DeviceId, u64>,
+    /// Devices whose motion enumeration exceeded the budget; their verdict
+    /// degrades conservatively to unresolved.
+    overflowed: std::collections::BTreeSet<DeviceId>,
+    /// Bound on collections visited per NSC search.
+    collection_budget: u64,
+}
+
+impl<'t> Analyzer<'t> {
+    /// Builds the engine over all devices of `table` (conceptually `A_k`).
+    ///
+    /// Devices whose neighbourhood is so pathological that enumerating its
+    /// maximal motions exceeds [`DEFAULT_ENUMERATION_BUDGET`] window moves
+    /// are recorded as overflowed and later reported unresolved (a
+    /// conservative, never-wrong verdict) instead of stalling.
+    pub fn new(table: &'t TrajectoryTable, params: Params) -> Self {
+        Analyzer::with_enumeration_budget(table, params, DEFAULT_ENUMERATION_BUDGET)
+    }
+
+    /// Sets the bound on collections visited per Theorem 7 search; when the
+    /// budget is exhausted the device is conservatively reported
+    /// unresolved (with `Rule::Corollary8` provenance).
+    pub fn with_collection_budget(mut self, budget: u64) -> Self {
+        self.collection_budget = budget.max(1);
+        self
+    }
+
+    /// Rebuilds the engine with a custom per-device enumeration budget
+    /// (window moves). Devices exceeding it are reported unresolved.
+    pub fn with_enumeration_budget(
+        table: &'t TrajectoryTable,
+        params: Params,
+        max_window_moves: u64,
+    ) -> Self {
+        let window = params.window();
+        let mut motions = HashMap::with_capacity(table.len());
+        let mut wbar = HashMap::with_capacity(table.len());
+        let mut precompute_moves = HashMap::with_capacity(table.len());
+        let mut overflowed = std::collections::BTreeSet::new();
+        for &j in table.ids() {
+            let mut ops = MotionOps::default();
+            let m = maximal_motions_involving_bounded(table, j, window, &mut ops, max_window_moves);
+            let m = match m {
+                Some(m) => m,
+                None => {
+                    overflowed.insert(j);
+                    Vec::new()
+                }
+            };
+            let dense: Vec<DeviceSet> = m
+                .iter()
+                .filter(|s| params.is_dense(s.len()))
+                .cloned()
+                .collect();
+            motions.insert(j, m);
+            wbar.insert(j, dense);
+            precompute_moves.insert(j, ops.window_moves);
+        }
+        Analyzer {
+            table,
+            params,
+            motions,
+            wbar,
+            precompute_moves,
+            overflowed,
+            collection_budget: DEFAULT_COLLECTION_BUDGET,
+        }
+    }
+
+    /// Devices whose enumeration overflowed (conservatively unresolved).
+    pub fn overflowed_devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.overflowed.iter().copied()
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The table under analysis.
+    pub fn table(&self) -> &TrajectoryTable {
+        self.table
+    }
+
+    /// `M(j)`: all maximal motions containing `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn motions_of(&self, j: DeviceId) -> &[DeviceSet] {
+        &self.motions[&j]
+    }
+
+    /// `W̄_k(j)`: maximal τ-dense motions containing `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn wbar_of(&self, j: DeviceId) -> &[DeviceSet] {
+        &self.wbar[&j]
+    }
+
+    /// The Section V families of `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn families_of(&self, j: DeviceId) -> Families {
+        Families::build(j, &self.wbar[&j], |id| {
+            self.wbar.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+        })
+    }
+
+    /// Algorithm 3: Theorem 5 / Theorem 6 / tentative unresolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn characterize(&self, j: DeviceId) -> Characterization {
+        let mut cost = Cost {
+            maximal_motions: self.motions[&j].len(),
+            dense_motions: self.wbar[&j].len(),
+            collections_tested: 0,
+            window_moves: self.precompute_moves[&j],
+        };
+        // Enumeration overflow: the neighbourhood was too pathological to
+        // analyze within budget — conservatively unresolved.
+        if self.overflowed.contains(&j) {
+            return Characterization {
+                class: AnomalyClass::Unresolved,
+                rule: Rule::Algorithm3,
+                cost,
+            };
+        }
+        // Theorem 5: no dense motion at all.
+        if self.wbar[&j].is_empty() {
+            return Characterization {
+                class: AnomalyClass::Isolated,
+                rule: Rule::Theorem5,
+                cost,
+            };
+        }
+        let families = self.families_of(j);
+        // If any neighbour consulted by the families overflowed its own
+        // enumeration, its escape motions are unknown — degrade to
+        // unresolved rather than decide from incomplete data.
+        if !self.overflowed.is_empty()
+            && families.d_set.iter().any(|m| self.overflowed.contains(&m))
+        {
+            return Characterization {
+                class: AnomalyClass::Unresolved,
+                rule: Rule::Algorithm3,
+                cost,
+            };
+        }
+        // Theorem 6 via Algorithm 3 line 17: a maximal dense motion whose
+        // intersection with J_k(j) is itself dense. (That intersection is a
+        // motion — subset of one — and contains j.)
+        let tau = self.params.tau();
+        if self
+            .wbar[&j]
+            .iter()
+            .any(|m| m.intersection_len(&families.j_set) > tau)
+        {
+            return Characterization {
+                class: AnomalyClass::Massive,
+                rule: Rule::Theorem6,
+                cost,
+            };
+        }
+        cost.collections_tested = 0;
+        Characterization {
+            class: AnomalyClass::Unresolved,
+            rule: Rule::Algorithm3,
+            cost,
+        }
+    }
+
+    /// Algorithm 3 + Algorithms 4–5: exact verdict via the Theorem 7 NSC
+    /// when the fast path is inconclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn characterize_full(&self, j: DeviceId) -> Characterization {
+        let quick = self.characterize(j);
+        if quick.rule != Rule::Algorithm3 {
+            return quick;
+        }
+        // Overflowed neighbourhoods stay conservatively unresolved; the
+        // NSC cannot run on incomplete motion families.
+        if self.overflowed.contains(&j) {
+            return quick;
+        }
+        let families = self.families_of(j);
+        if !self.overflowed.is_empty()
+            && families.d_set.iter().any(|m| self.overflowed.contains(&m))
+        {
+            return quick;
+        }
+        let (massive, tested) = self.nsc_massive(j, &families);
+        let mut cost = quick.cost;
+        cost.collections_tested = tested;
+        if massive {
+            Characterization {
+                class: AnomalyClass::Massive,
+                rule: Rule::Theorem7,
+                cost,
+            }
+        } else {
+            Characterization {
+                class: AnomalyClass::Unresolved,
+                rule: Rule::Corollary8,
+                cost,
+            }
+        }
+    }
+
+    /// Characterizes every device with the fast path (Algorithm 3).
+    pub fn classify_all(&self) -> Vec<(DeviceId, Characterization)> {
+        self.table
+            .ids()
+            .iter()
+            .map(|&j| (j, self.characterize(j)))
+            .collect()
+    }
+
+    /// Characterizes every device exactly (with the Theorem 7 NSC).
+    pub fn classify_all_full(&self) -> Vec<(DeviceId, Characterization)> {
+        self.table
+            .ids()
+            .iter()
+            .map(|&j| (j, self.characterize_full(j)))
+            .collect()
+    }
+
+    /// Theorem 7 search: returns `(j ∈ M_k, collections tested)`.
+    ///
+    /// The candidate pool is `{B ∈ W_k(ℓ) | ℓ ∈ L_k(j), j ∉ B}` — **all**
+    /// τ-dense motions of the escape devices, not only maximal ones: a
+    /// non-maximal sub-motion can be pairwise disjoint from another block
+    /// where its maximal extension is not, and such shrunken blocks are
+    /// exactly how a valid partition keeps `j` sparse. Every such `B` is a
+    /// dense subset of some `M' ∈ W̄_k(ℓ)`; when `j ∈ M'`, `B ∪ {j} ⊆ M'`
+    /// is consistent, so relation (5) holds and `B` can never witness a
+    /// violation — those are pruned. The search enumerates every collection
+    /// `C` of pairwise-disjoint pool sets (including the empty one) and
+    /// checks
+    ///
+    /// * relation (4): some `A ∈ W_k(j)` avoids `∪C` — by subset-closure of
+    ///   consistency this holds iff `|M \ ∪C| > τ` for some `M ∈ W̄_k(j)`
+    ///   (then `A = M \ ∪C` is a dense motion containing `j`);
+    /// * relation (5): some `B ∈ C` extends with `j` into a dense motion —
+    ///   pruned at pool construction as argued above.
+    ///
+    /// `j ∈ M_k` iff every collection satisfies (4) or (5); the first
+    /// violating collection is a Corollary 8 witness for `j ∈ U_k` and stops
+    /// the search. When the pool or the collection count exceeds the
+    /// budget, the verdict degrades conservatively to "not provably
+    /// massive" (unresolved).
+    fn nsc_massive(&self, j: DeviceId, families: &Families) -> (bool, u64) {
+        // Deduplicated base motions: maximal dense motions of the escape
+        // devices, avoiding j.
+        let mut bases: Vec<DeviceSet> = Vec::new();
+        for member in &families.l_set {
+            for motion in &self.wbar[&member] {
+                if !motion.contains(j) && !bases.contains(motion) {
+                    bases.push(motion.clone());
+                }
+            }
+        }
+        // Expand each base into its useful dense sub-motions.
+        let tau = self.params.tau();
+        let window = self.params.window();
+        let mut pool: std::collections::BTreeSet<DeviceSet> = std::collections::BTreeSet::new();
+        let mut overflow = false;
+        for base in &bases {
+            let ids: Vec<DeviceId> = base.iter().collect();
+            if ids.len() > MAX_BASE_MOTION_FOR_SUBSETS {
+                overflow = true;
+                continue;
+            }
+            for mask in 1u32..(1 << ids.len()) {
+                if (mask.count_ones() as usize) <= tau {
+                    continue; // not dense
+                }
+                let candidate: DeviceSet = (0..ids.len())
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| ids[i])
+                    .collect();
+                // Must contain an escape device and must not absorb j
+                // (relation (5) would otherwise hold trivially).
+                if candidate.is_disjoint(&families.l_set) {
+                    continue;
+                }
+                if extends_consistently(self.table, &candidate, j, window) {
+                    continue;
+                }
+                pool.insert(candidate);
+                if pool.len() as u64 > self.collection_budget {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+        let pool: Vec<DeviceSet> = pool.into_iter().collect();
+        let mut tested = 0u64;
+        let mut chosen: Vec<usize> = Vec::new();
+        let outcome = self.search_collections(j, families, &pool, 0, &mut chosen, &mut tested);
+        // Budget/size overflow means the violation search was incomplete:
+        // conservatively not provably massive.
+        let massive = outcome == SearchOutcome::Exhausted && !overflow;
+        (massive, tested)
+    }
+
+    /// Depth-first enumeration of disjoint collections.
+    fn search_collections(
+        &self,
+        j: DeviceId,
+        families: &Families,
+        pool: &[DeviceSet],
+        start: usize,
+        chosen: &mut Vec<usize>,
+        tested: &mut u64,
+    ) -> SearchOutcome {
+        *tested += 1;
+        if *tested > self.collection_budget {
+            return SearchOutcome::BudgetSpent;
+        }
+        if self.collection_violates(j, families, pool, chosen) {
+            return SearchOutcome::Violated;
+        }
+        for i in start..pool.len() {
+            if chosen.iter().all(|&c| pool[c].is_disjoint(&pool[i])) {
+                chosen.push(i);
+                let sub = self.search_collections(j, families, pool, i + 1, chosen, tested);
+                chosen.pop();
+                if sub != SearchOutcome::Exhausted {
+                    return sub;
+                }
+            }
+        }
+        SearchOutcome::Exhausted
+    }
+
+    /// True when the collection satisfies **neither** relation (4) nor (5).
+    fn collection_violates(
+        &self,
+        j: DeviceId,
+        families: &Families,
+        pool: &[DeviceSet],
+        chosen: &[usize],
+    ) -> bool {
+        let window = self.params.window();
+        let tau = self.params.tau();
+        // Relation (5): some chosen dense motion absorbs j consistently.
+        for &c in chosen {
+            if extends_consistently(self.table, &pool[c], j, window) {
+                return false;
+            }
+        }
+        // Relation (4): some maximal dense motion of j survives the removal
+        // of the chosen sets with more than τ members.
+        for m in &families.dense {
+            let mut survivors = m.len();
+            for &c in chosen {
+                survivors -= m.intersection_len(&pool[c]);
+            }
+            if survivors > tau {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(tau: usize) -> Params {
+        Params::new(0.05, tau).unwrap()
+    }
+
+    /// Five co-movers and a loner (window 0.1).
+    fn simple_table() -> TrajectoryTable {
+        TrajectoryTable::from_pairs_1d(&[
+            (0, 0.10, 0.50),
+            (1, 0.11, 0.51),
+            (2, 0.12, 0.52),
+            (3, 0.13, 0.53),
+            (4, 0.14, 0.54),
+            (5, 0.80, 0.20),
+        ])
+    }
+
+    #[test]
+    fn loner_is_isolated_by_theorem_5() {
+        let t = simple_table();
+        let a = Analyzer::new(&t, params(3));
+        let c = a.characterize(DeviceId(5));
+        assert_eq!(c.class(), AnomalyClass::Isolated);
+        assert_eq!(c.rule(), Rule::Theorem5);
+        assert_eq!(c.cost().maximal_motions, 1);
+        assert_eq!(c.cost().dense_motions, 0);
+    }
+
+    #[test]
+    fn group_is_massive_by_theorem_6() {
+        let t = simple_table();
+        let a = Analyzer::new(&t, params(3));
+        for id in 0..5 {
+            let c = a.characterize(DeviceId(id));
+            assert_eq!(c.class(), AnomalyClass::Massive, "device {id}");
+            assert_eq!(c.rule(), Rule::Theorem6);
+        }
+    }
+
+    #[test]
+    fn full_agrees_with_quick_on_clear_cases() {
+        let t = simple_table();
+        let a = Analyzer::new(&t, params(3));
+        for &j in t.ids() {
+            assert_eq!(a.characterize(j).class(), a.characterize_full(j).class());
+        }
+    }
+
+    #[test]
+    fn sparse_group_is_isolated() {
+        // Three co-movers with τ = 3: the motion is sparse.
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (0, 0.10, 0.50),
+            (1, 0.11, 0.51),
+            (2, 0.12, 0.52),
+        ]);
+        let a = Analyzer::new(&t, params(3));
+        for &j in t.ids() {
+            assert_eq!(a.characterize(j).class(), AnomalyClass::Isolated);
+        }
+    }
+
+    #[test]
+    fn figure_3_shape_is_unresolved_at_the_edges() {
+        // Five devices, maximal motions {1,2,3,4} and {2,3,4,5}, τ = 3:
+        // devices 1 and 5 are unresolved, 2–4 massive (see figures.rs for
+        // the full treatment).
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (1, 0.10, 0.10),
+            (2, 0.14, 0.14),
+            (3, 0.16, 0.16),
+            (4, 0.18, 0.18),
+            (5, 0.22, 0.22),
+        ]);
+        let a = Analyzer::new(&t, params(3));
+        let c1 = a.characterize_full(DeviceId(1));
+        assert_eq!(c1.class(), AnomalyClass::Unresolved);
+        assert_eq!(c1.rule(), Rule::Corollary8);
+        assert!(c1.cost().collections_tested >= 1);
+        let c3 = a.characterize_full(DeviceId(3));
+        assert_eq!(c3.class(), AnomalyClass::Massive);
+    }
+
+    #[test]
+    fn classify_all_reports_every_device() {
+        let t = simple_table();
+        let a = Analyzer::new(&t, params(3));
+        assert_eq!(a.classify_all().len(), 6);
+        assert_eq!(a.classify_all_full().len(), 6);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AnomalyClass::Massive.to_string(), "massive");
+        assert_eq!(Rule::Corollary8.to_string(), "Corollary 8");
+    }
+
+    #[test]
+    fn enumeration_overflow_degrades_to_unresolved() {
+        // A starving budget: everything overflows, nothing stalls, and
+        // every verdict is the conservative Unresolved.
+        let t = simple_table();
+        let a = Analyzer::with_enumeration_budget(&t, params(3), 1);
+        assert_eq!(a.overflowed_devices().count(), t.len());
+        for &j in t.ids() {
+            let quick = a.characterize(j);
+            assert_eq!(quick.class(), AnomalyClass::Unresolved);
+            assert_eq!(quick.rule(), Rule::Algorithm3);
+            let full = a.characterize_full(j);
+            assert_eq!(full.class(), AnomalyClass::Unresolved);
+        }
+    }
+
+    #[test]
+    fn generous_budget_matches_unbounded() {
+        let t = simple_table();
+        let bounded = Analyzer::with_enumeration_budget(&t, params(3), 1_000_000);
+        let unbounded = Analyzer::new(&t, params(3));
+        assert_eq!(bounded.overflowed_devices().count(), 0);
+        for &j in t.ids() {
+            assert_eq!(
+                bounded.characterize_full(j).class(),
+                unbounded.characterize_full(j).class()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_enumeration_signals_truncation() {
+        use crate::maximal::{maximal_motions_bounded, MotionOps};
+        let t = simple_table();
+        let mut ops = MotionOps::default();
+        let out = maximal_motions_bounded(&t, &t.device_set(), 0.1, &mut ops, 1);
+        assert!(out.is_none());
+        assert!(ops.truncated);
+    }
+}

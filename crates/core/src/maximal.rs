@@ -1,0 +1,450 @@
+//! Enumeration of maximal r-consistent motions (Algorithm 2 of the paper).
+//!
+//! A set has an r-consistent motion iff its L∞ diameter in the concatenated
+//! `2d`-space is at most `2r`, i.e. iff it fits in an axis-aligned hypercube
+//! of side `2r`. The maximal motions are therefore the maximal subsets
+//! coverable by such a box. Algorithm 2 slides, dimension by dimension, a
+//! window of width `2r` anchored at each distinct point coordinate — the
+//! paper's two sliding windows `W_{k−1}` and `W_k` are the first `d` and the
+//! last `d` axes of this recursion — and keeps the maximal candidate sets.
+//!
+//! Correctness: a maximal motion `B` is recovered by anchoring the window in
+//! every axis at `B`'s minimum coordinate; the candidate then equals the set
+//! of all points inside the resulting box, which is a consistent motion
+//! containing `B`, hence equals `B` by maximality. Conversely, every
+//! candidate is a consistent motion (it fits a `2r`-box) and subsumption
+//! filtering keeps only maximal ones. Property tests validate this against
+//! [`maximal_motions_brute`], an exponential subset-enumeration reference.
+
+use crate::motion::{extends_consistently, is_consistent_motion, CONSISTENCY_EPS};
+use crate::set::DeviceSet;
+use crate::table::TrajectoryTable;
+use anomaly_qos::DeviceId;
+
+/// Operation counters for the enumeration (feeds Table III of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MotionOps {
+    /// Sliding-window placements examined across all axes.
+    pub window_moves: u64,
+    /// Candidate sets that reached the maximality filter.
+    pub candidates: u64,
+    /// True when a bounded enumeration hit its budget and returned a
+    /// truncated (incomplete) family.
+    pub truncated: bool,
+}
+
+/// All maximal r-consistent motions among `candidates`.
+///
+/// `window` is the box side `2r`. Singletons count: an isolated point forms
+/// a maximal motion of size 1. Results are sorted for determinism.
+///
+/// # Panics
+///
+/// Panics if a candidate id is not in the table.
+pub fn maximal_motions(
+    table: &TrajectoryTable,
+    candidates: &DeviceSet,
+    window: f64,
+    ops: &mut MotionOps,
+) -> Vec<DeviceSet> {
+    maximal_motions_bounded(table, candidates, window, ops, u64::MAX)
+        .expect("unlimited budget cannot truncate")
+}
+
+/// [`maximal_motions`] with a budget on sliding-window placements.
+///
+/// Pathological configurations (hundreds of devices crammed inside a few
+/// windows) can have exponentially many maximal motions — no exact
+/// algorithm escapes that. Bounding the enumeration keeps monitoring
+/// rounds total: on budget exhaustion the function returns `None`
+/// (and sets [`MotionOps::truncated`]) so the caller can degrade
+/// conservatively instead of stalling.
+pub fn maximal_motions_bounded(
+    table: &TrajectoryTable,
+    candidates: &DeviceSet,
+    window: f64,
+    ops: &mut MotionOps,
+    max_window_moves: u64,
+) -> Option<Vec<DeviceSet>> {
+    if candidates.is_empty() {
+        return Some(Vec::new());
+    }
+    let axes = 2 * table.dim();
+    let ids: Vec<DeviceId> = candidates.iter().collect();
+    let mut out: Vec<DeviceSet> = Vec::new();
+    recurse(table, axes, 0, ids, window, &mut out, ops, max_window_moves);
+    if ops.truncated {
+        return None;
+    }
+    out.sort_unstable();
+    Some(out)
+}
+
+/// All maximal r-consistent motions **containing `j`**, enumerated over
+/// `j`'s own neighbourhood only — this is the locally computable family
+/// `M(j)` built by Algorithm 2 (any motion containing `j` lives within
+/// motion distance `2r` of `j`, so restricting to the neighbourhood is
+/// exact, and a `j`-containing set maximal there is maximal globally).
+///
+/// # Panics
+///
+/// Panics if `j` is not in the table.
+pub fn maximal_motions_involving(
+    table: &TrajectoryTable,
+    j: DeviceId,
+    window: f64,
+    ops: &mut MotionOps,
+) -> Vec<DeviceSet> {
+    maximal_motions_involving_bounded(table, j, window, ops, u64::MAX)
+        .expect("unlimited budget cannot truncate")
+}
+
+/// [`maximal_motions_involving`] with an enumeration budget; `None` on
+/// exhaustion (see [`maximal_motions_bounded`]).
+pub fn maximal_motions_involving_bounded(
+    table: &TrajectoryTable,
+    j: DeviceId,
+    window: f64,
+    ops: &mut MotionOps,
+    max_window_moves: u64,
+) -> Option<Vec<DeviceSet>> {
+    let mut neighborhood: DeviceSet = table.neighborhood(j, window).into_iter().collect();
+    neighborhood.insert(j);
+    maximal_motions_bounded(table, &neighborhood, window, ops, max_window_moves).map(|sets| {
+        sets.into_iter().filter(|m| m.contains(j)).collect()
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    table: &TrajectoryTable,
+    axes: usize,
+    axis: usize,
+    candidates: Vec<DeviceId>,
+    window: f64,
+    out: &mut Vec<DeviceSet>,
+    ops: &mut MotionOps,
+    max_window_moves: u64,
+) {
+    if candidates.is_empty() || ops.truncated {
+        return;
+    }
+    if axis == axes {
+        ops.candidates += 1;
+        insert_maximal(out, candidates.into_iter().collect());
+        return;
+    }
+    // Sort candidates by their coordinate along this axis.
+    let mut vals: Vec<(f64, DeviceId)> = candidates
+        .into_iter()
+        .map(|id| (table.concatenated(id)[axis], id))
+        .collect();
+    vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("coordinates are finite").then(a.1.cmp(&b.1)));
+
+    let mut prev: Option<Vec<DeviceId>> = None;
+    for i in 0..vals.len() {
+        // Anchor the window at each *distinct* coordinate.
+        if i > 0 && vals[i].0 == vals[i - 1].0 {
+            continue;
+        }
+        let lo = vals[i].0;
+        let hi = lo + window + CONSISTENCY_EPS;
+        ops.window_moves += 1;
+        if ops.window_moves > max_window_moves {
+            ops.truncated = true;
+            return;
+        }
+        let subset: Vec<DeviceId> = vals[i..]
+            .iter()
+            .take_while(|(c, _)| *c <= hi)
+            .map(|(_, id)| *id)
+            .collect();
+        // Identical window content as the previous anchor: same sub-tree.
+        if prev.as_ref() == Some(&subset) {
+            continue;
+        }
+        // A window whose content is a strict subset of the previous one's
+        // (nothing new entered on the right) can only produce non-maximal
+        // candidates along this axis; it is still recursed because deeper
+        // axes may break the inclusion... except when the previous window
+        // covers it entirely — then every deeper refinement of this window
+        // is a refinement of the previous one too, and subsumption filtering
+        // would discard it. Detect that cheap case: same last element.
+        if let Some(p) = &prev {
+            if subset.len() < p.len() && p.last() == subset.last() {
+                prev = Some(subset);
+                continue;
+            }
+        }
+        prev = Some(subset.clone());
+        recurse(table, axes, axis + 1, subset, window, out, ops, max_window_moves);
+    }
+}
+
+/// Inserts `cand` keeping `out` an antichain under inclusion.
+fn insert_maximal(out: &mut Vec<DeviceSet>, cand: DeviceSet) {
+    if out.iter().any(|existing| cand.is_subset(existing)) {
+        return;
+    }
+    out.retain(|existing| !existing.is_subset(&cand));
+    out.push(cand);
+}
+
+/// Exponential reference implementation: enumerates every subset of
+/// `candidates` (so `|candidates|` must stay small), keeps consistent
+/// motions, and filters to maximal ones *within `candidates`*.
+///
+/// Exists to property-test [`maximal_motions`]; also used by the benchmark
+/// harness to show the sliding-window algorithm's advantage.
+///
+/// # Panics
+///
+/// Panics if `candidates` holds more than 20 devices, or an id is missing
+/// from the table.
+pub fn maximal_motions_brute(
+    table: &TrajectoryTable,
+    candidates: &DeviceSet,
+    window: f64,
+) -> Vec<DeviceSet> {
+    let ids: Vec<DeviceId> = candidates.iter().collect();
+    let n = ids.len();
+    assert!(n <= 20, "brute-force enumeration is capped at 20 devices");
+    let mut consistent: Vec<DeviceSet> = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let set: DeviceSet = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| ids[i]).collect();
+        if is_consistent_motion(table, &set, window) {
+            consistent.push(set);
+        }
+    }
+    let mut maximal: Vec<DeviceSet> = Vec::new();
+    'outer: for set in &consistent {
+        // Maximal iff no candidate outside extends it consistently.
+        for &id in &ids {
+            if !set.contains(id) && extends_consistently(table, set, id, window) {
+                continue 'outer;
+            }
+        }
+        maximal.push(set.clone());
+    }
+    maximal.sort_unstable();
+    maximal.dedup();
+    maximal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ops() -> MotionOps {
+        MotionOps::default()
+    }
+
+    #[test]
+    fn single_point_is_a_maximal_motion() {
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.5, 0.5)]);
+        let m = maximal_motions(&t, &t.device_set(), 0.1, &mut ops());
+        assert_eq!(m, vec![DeviceSet::from([0])]);
+    }
+
+    #[test]
+    fn two_overlapping_maximal_sets() {
+        // The Figure 1 shape in motion form: 1..4 consistent, 1,2,3,5,6
+        // consistent, but 4 with 5 or 6 is not.
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (1, 0.10, 0.10),
+            (2, 0.12, 0.12),
+            (3, 0.14, 0.14),
+            (4, 0.05, 0.05),
+            (5, 0.155, 0.155),
+            (6, 0.165, 0.165),
+        ]);
+        let m = maximal_motions(&t, &t.device_set(), 0.1, &mut ops());
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&DeviceSet::from([1, 2, 3, 4])));
+        assert!(m.contains(&DeviceSet::from([1, 2, 3, 5, 6])));
+    }
+
+    #[test]
+    fn separated_clusters_are_separate_motions() {
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (0, 0.1, 0.1),
+            (1, 0.12, 0.12),
+            (2, 0.8, 0.8),
+            (3, 0.82, 0.82),
+        ]);
+        let m = maximal_motions(&t, &t.device_set(), 0.1, &mut ops());
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&DeviceSet::from([0, 1])));
+        assert!(m.contains(&DeviceSet::from([2, 3])));
+    }
+
+    #[test]
+    fn motion_requires_consistency_at_both_times() {
+        // Close before, far after: no common motion.
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.1, 0.1), (1, 0.12, 0.9)]);
+        let m = maximal_motions(&t, &t.device_set(), 0.1, &mut ops());
+        assert_eq!(m.len(), 2, "each point is its own maximal motion");
+    }
+
+    #[test]
+    fn involving_filters_to_j() {
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (0, 0.10, 0.10),
+            (1, 0.15, 0.15),
+            (2, 0.22, 0.22),
+            (3, 0.80, 0.80),
+        ]);
+        let m = maximal_motions_involving(&t, DeviceId(1), 0.1, &mut ops());
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&DeviceSet::from([0, 1])));
+        assert!(m.contains(&DeviceSet::from([1, 2])));
+        // Device 3 is alone.
+        let m3 = maximal_motions_involving(&t, DeviceId(3), 0.1, &mut ops());
+        assert_eq!(m3, vec![DeviceSet::from([3])]);
+    }
+
+    #[test]
+    fn exact_boundary_2r_is_included() {
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.1, 0.1), (1, 0.2, 0.2)]);
+        let m = maximal_motions(&t, &t.device_set(), 0.1, &mut ops());
+        assert_eq!(m, vec![DeviceSet::from([0, 1])]);
+    }
+
+    #[test]
+    fn duplicate_positions_group_together() {
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (0, 0.3, 0.3),
+            (1, 0.3, 0.3),
+            (2, 0.3, 0.3),
+        ]);
+        let m = maximal_motions(&t, &t.device_set(), 0.05, &mut ops());
+        assert_eq!(m, vec![DeviceSet::from([0, 1, 2])]);
+    }
+
+    #[test]
+    fn two_dimensional_services() {
+        // d = 2 -> concatenated space has 4 axes. Two groups moving
+        // together, split on the *second* service only.
+        let t = TrajectoryTable::from_concatenated(
+            2,
+            vec![
+                (DeviceId(0), vec![0.1, 0.1, 0.5, 0.5]),
+                (DeviceId(1), vec![0.1, 0.12, 0.5, 0.52]),
+                (DeviceId(2), vec![0.1, 0.4, 0.5, 0.8]),
+            ],
+        );
+        let m = maximal_motions(&t, &t.device_set(), 0.1, &mut ops());
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&DeviceSet::from([0, 1])));
+        assert!(m.contains(&DeviceSet::from([2])));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_figure_like_config() {
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (1, 0.10, 0.10),
+            (2, 0.14, 0.14),
+            (3, 0.16, 0.16),
+            (4, 0.18, 0.18),
+            (5, 0.22, 0.22),
+        ]);
+        let fast = maximal_motions(&t, &t.device_set(), 0.1, &mut ops());
+        let brute = maximal_motions_brute(&t, &t.device_set(), 0.1);
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn ops_are_counted() {
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.1, 0.1), (1, 0.5, 0.5)]);
+        let mut counter = ops();
+        maximal_motions(&t, &t.device_set(), 0.1, &mut counter);
+        assert!(counter.window_moves > 0);
+        assert!(counter.candidates > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The sliding-window enumeration agrees with brute force on random
+        /// 1-service configurations.
+        #[test]
+        fn matches_brute_force_1d(
+            rows in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..11),
+            window in 0.02..0.3f64,
+        ) {
+            let rows: Vec<(u32, f64, f64)> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (b, a))| (i as u32, b, a))
+                .collect();
+            let t = TrajectoryTable::from_pairs_1d(&rows);
+            let fast = maximal_motions(&t, &t.device_set(), window, &mut MotionOps::default());
+            let brute = maximal_motions_brute(&t, &t.device_set(), window);
+            prop_assert_eq!(fast, brute);
+        }
+
+        /// Same in a 2-service space (4 concatenated axes).
+        #[test]
+        fn matches_brute_force_2d(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..1.0f64, 4), 1..9),
+            window in 0.05..0.4f64,
+        ) {
+            let rows: Vec<(DeviceId, Vec<f64>)> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (DeviceId(i as u32), r))
+                .collect();
+            let t = TrajectoryTable::from_concatenated(2, rows);
+            let fast = maximal_motions(&t, &t.device_set(), window, &mut MotionOps::default());
+            let brute = maximal_motions_brute(&t, &t.device_set(), window);
+            prop_assert_eq!(fast, brute);
+        }
+
+        /// Clustered points (the regime the paper operates in): many near-
+        /// coincident trajectories stress the window dedup logic.
+        #[test]
+        fn matches_brute_force_clustered(
+            seeds in proptest::collection::vec((0.0..0.2f64, 0.0..0.2f64, 0u8..3), 1..11),
+        ) {
+            let rows: Vec<(u32, f64, f64)> = seeds
+                .into_iter()
+                .enumerate()
+                .map(|(i, (b, a, c))| {
+                    // Three coarse cluster anchors.
+                    let base = 0.3 * c as f64;
+                    (i as u32, base + b, base + a)
+                })
+                .collect();
+            let t = TrajectoryTable::from_pairs_1d(&rows);
+            let fast = maximal_motions(&t, &t.device_set(), 0.1, &mut MotionOps::default());
+            let brute = maximal_motions_brute(&t, &t.device_set(), 0.1);
+            prop_assert_eq!(fast, brute);
+        }
+
+        /// `maximal_motions_involving` returns exactly the j-containing
+        /// maximal motions of the full enumeration.
+        #[test]
+        fn involving_matches_global_filter(
+            rows in proptest::collection::vec((0.0..0.5f64, 0.0..0.5f64), 2..10),
+        ) {
+            let rows: Vec<(u32, f64, f64)> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (b, a))| (i as u32, b, a))
+                .collect();
+            let t = TrajectoryTable::from_pairs_1d(&rows);
+            let all = maximal_motions(&t, &t.device_set(), 0.1, &mut MotionOps::default());
+            for &id in t.ids() {
+                let local = maximal_motions_involving(&t, id, 0.1, &mut MotionOps::default());
+                let expected: Vec<DeviceSet> = all
+                    .iter()
+                    .filter(|m| m.contains(id))
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(local, expected);
+            }
+        }
+    }
+}

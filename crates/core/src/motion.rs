@@ -1,0 +1,162 @@
+//! Consistency predicates (Definitions 1–4 of the paper).
+//!
+//! A subset `B` is *r-consistent at time t* when all pairwise uniform
+//! distances at `t` are at most `2r`; it has an *r-consistent motion* in
+//! `[k−1, k]` when it is r-consistent at both times, which over the
+//! [`TrajectoryTable`]'s concatenated coordinates is a single L∞-diameter
+//! check. Floating-point comparisons use a small relative slack so that
+//! configurations placed exactly `2r` apart (as in the paper's figures) are
+//! classified stably.
+
+use crate::set::DeviceSet;
+use crate::table::TrajectoryTable;
+
+/// Absolute slack applied to all `≤ 2r` comparisons.
+///
+/// Coordinates live in `[0,1]`, so an absolute epsilon is appropriate; it
+/// tolerates the rounding of a handful of f64 operations without ever
+/// conflating distinct configurations at realistic radii.
+pub const CONSISTENCY_EPS: f64 = 1e-9;
+
+/// L∞ diameter of `set` in the concatenated `2d`-space: the largest motion
+/// distance between any two members. Empty and singleton sets have diameter
+/// zero.
+///
+/// # Panics
+///
+/// Panics if a member of `set` is not in the table.
+pub fn motion_diameter(table: &TrajectoryTable, set: &DeviceSet) -> f64 {
+    let ids = set.as_slice();
+    let mut diameter = 0.0f64;
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            diameter = diameter.max(table.motion_distance(a, b));
+        }
+    }
+    diameter
+}
+
+/// True when `set` has an r-consistent motion in `[k−1, k]` (Definition 3):
+/// pairwise distances at both times are at most `2r` (up to
+/// [`CONSISTENCY_EPS`]).
+///
+/// # Panics
+///
+/// Panics if a member of `set` is not in the table.
+pub fn is_consistent_motion(table: &TrajectoryTable, set: &DeviceSet, window: f64) -> bool {
+    let ids = set.as_slice();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if table.motion_distance(a, b) > window + CONSISTENCY_EPS {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// True when `set ∪ {extra}` has an r-consistent motion, checked
+/// incrementally assuming `set` itself is already consistent.
+///
+/// # Panics
+///
+/// Panics if a device is not in the table.
+pub fn extends_consistently(
+    table: &TrajectoryTable,
+    set: &DeviceSet,
+    extra: anomaly_qos::DeviceId,
+    window: f64,
+) -> bool {
+    set.iter()
+        .all(|m| table.motion_distance(m, extra) <= window + CONSISTENCY_EPS)
+}
+
+/// True when `set` has a *maximal* r-consistent motion within `universe`
+/// (Definition 3): it is a consistent motion and no device of
+/// `universe \ set` extends it consistently.
+///
+/// # Panics
+///
+/// Panics if a device is not in the table.
+pub fn is_maximal_motion(
+    table: &TrajectoryTable,
+    set: &DeviceSet,
+    universe: &DeviceSet,
+    window: f64,
+) -> bool {
+    if !is_consistent_motion(table, set, window) {
+        return false;
+    }
+    universe
+        .iter()
+        .filter(|id| !set.contains(*id))
+        .all(|id| !extends_consistently(table, set, id, window))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TrajectoryTable {
+        // 1-D QoS; window 2r = 0.1 in the tests below.
+        TrajectoryTable::from_pairs_1d(&[
+            (0, 0.10, 0.50),
+            (1, 0.15, 0.55),
+            (2, 0.20, 0.60),
+            (3, 0.40, 0.60), // far before
+            (4, 0.15, 0.90), // far after
+        ])
+    }
+
+    #[test]
+    fn diameter_of_small_sets() {
+        let t = table();
+        assert_eq!(motion_diameter(&t, &DeviceSet::new()), 0.0);
+        assert_eq!(motion_diameter(&t, &DeviceSet::from([0])), 0.0);
+        assert!((motion_diameter(&t, &DeviceSet::from([0, 2])) - 0.1).abs() < 1e-12);
+        assert!((motion_diameter(&t, &DeviceSet::from([0, 3])) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_requires_both_times() {
+        let t = table();
+        assert!(is_consistent_motion(&t, &DeviceSet::from([0, 1, 2]), 0.1));
+        // Device 3 is close after but 0.3 away before.
+        assert!(!is_consistent_motion(&t, &DeviceSet::from([0, 3]), 0.1));
+        // Device 4 is close before but 0.4 away after.
+        assert!(!is_consistent_motion(&t, &DeviceSet::from([0, 4]), 0.1));
+    }
+
+    #[test]
+    fn exact_window_boundary_is_consistent() {
+        let t = table();
+        // Devices 0 and 2 are exactly 0.1 apart at both times.
+        assert!(is_consistent_motion(&t, &DeviceSet::from([0, 2]), 0.1));
+    }
+
+    #[test]
+    fn extends_consistently_matches_full_check() {
+        let t = table();
+        let base = DeviceSet::from([0, 1]);
+        assert!(extends_consistently(&t, &base, anomaly_qos::DeviceId(2), 0.1));
+        assert!(!extends_consistently(&t, &base, anomaly_qos::DeviceId(3), 0.1));
+    }
+
+    #[test]
+    fn maximality_within_universe() {
+        let t = table();
+        let universe = t.device_set();
+        // {0,1,2} cannot be extended by 3 or 4.
+        assert!(is_maximal_motion(&t, &DeviceSet::from([0, 1, 2]), &universe, 0.1));
+        // {0,1} extends by 2.
+        assert!(!is_maximal_motion(&t, &DeviceSet::from([0, 1]), &universe, 0.1));
+        // An inconsistent set is never maximal.
+        assert!(!is_maximal_motion(&t, &DeviceSet::from([0, 3]), &universe, 0.1));
+    }
+
+    #[test]
+    fn empty_set_is_consistent() {
+        let t = table();
+        assert!(is_consistent_motion(&t, &DeviceSet::new(), 0.1));
+    }
+}

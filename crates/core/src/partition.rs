@@ -1,0 +1,409 @@
+//! Anomaly partitions (Definition 6, Algorithm 1, Lemma 2).
+//!
+//! An *anomaly partition* `P_k` splits the abnormal devices `A_k` into
+//! disjoint r-consistent motions `B_1, …, B_ℓ` under two conditions:
+//!
+//! * **C1** — no subset of the union of sparse blocks (`|B_i| ≤ τ`) forms a
+//!   τ-dense motion. Since consistency is closed under subsets, this is
+//!   equivalent to: every maximal motion within that union has size `≤ τ`.
+//! * **C2** — no subset of the sparse union merges with a dense block into a
+//!   motion; by the same closure it suffices that **no single sparse-union
+//!   device** extends a dense block consistently.
+//!
+//! [`build_partition`] implements Algorithm 1: repeatedly pick a remaining
+//! device and peel off a maximal motion (within the remaining devices)
+//! containing it. Lemma 2 proves every such run yields a valid anomaly
+//! partition, and that partitions are not unique in general — both facts are
+//! tested here and in `figures.rs`.
+
+use crate::maximal::{maximal_motions, maximal_motions_involving, MotionOps};
+use crate::motion::{extends_consistently, is_consistent_motion};
+use crate::params::Params;
+use crate::set::DeviceSet;
+use crate::table::TrajectoryTable;
+use anomaly_qos::DeviceId;
+use std::error::Error;
+use std::fmt;
+
+/// A partition of the abnormal devices into anomalies (Definition 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyPartition {
+    blocks: Vec<DeviceSet>,
+}
+
+/// Violations of Definition 6 reported by [`AnomalyPartition::validate`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// A block is empty.
+    EmptyBlock,
+    /// Two blocks share a device.
+    Overlap {
+        /// A device present in two blocks.
+        device: DeviceId,
+    },
+    /// The blocks do not cover the expected device set.
+    Coverage,
+    /// A block is not an r-consistent motion.
+    InconsistentBlock {
+        /// Index of the offending block.
+        index: usize,
+    },
+    /// Condition C1 fails: a dense motion hides inside the sparse union.
+    C1Violated {
+        /// A dense motion found within the union of sparse blocks.
+        witness: DeviceSet,
+    },
+    /// Condition C2 fails: a sparse-union device extends a dense block.
+    C2Violated {
+        /// The offending device.
+        device: DeviceId,
+        /// Index of the dense block it extends.
+        block: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::EmptyBlock => write!(f, "partition contains an empty block"),
+            PartitionError::Overlap { device } => {
+                write!(f, "device {device} belongs to two blocks")
+            }
+            PartitionError::Coverage => write!(f, "blocks do not cover the abnormal device set"),
+            PartitionError::InconsistentBlock { index } => {
+                write!(f, "block {index} is not an r-consistent motion")
+            }
+            PartitionError::C1Violated { witness } => {
+                write!(f, "condition C1 violated by dense motion {witness}")
+            }
+            PartitionError::C2Violated { device, block } => {
+                write!(f, "condition C2 violated: {device} extends dense block {block}")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+impl AnomalyPartition {
+    /// Wraps blocks without validation (use [`AnomalyPartition::validate`]).
+    pub fn from_blocks(blocks: Vec<DeviceSet>) -> Self {
+        AnomalyPartition { blocks }
+    }
+
+    /// The blocks (anomalies) of the partition.
+    pub fn blocks(&self) -> &[DeviceSet] {
+        &self.blocks
+    }
+
+    /// Number of anomalies.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the partition has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block `P_k(j)` containing `j`, if any.
+    pub fn block_of(&self, j: DeviceId) -> Option<&DeviceSet> {
+        self.blocks.iter().find(|b| b.contains(j))
+    }
+
+    /// True when `j`'s block is a massive anomaly (`|P_k(j)| > τ`).
+    ///
+    /// Returns `None` if `j` is not covered.
+    pub fn is_massive(&self, j: DeviceId, params: &Params) -> Option<bool> {
+        self.block_of(j).map(|b| params.is_dense(b.len()))
+    }
+
+    /// Devices in massive anomalies (`M_{P_k}` of Definition 7).
+    pub fn massive_devices(&self, params: &Params) -> DeviceSet {
+        self.blocks
+            .iter()
+            .filter(|b| params.is_dense(b.len()))
+            .flat_map(|b| b.iter())
+            .collect()
+    }
+
+    /// Devices in isolated anomalies (`I_{P_k}` of Definition 7).
+    pub fn isolated_devices(&self, params: &Params) -> DeviceSet {
+        self.blocks
+            .iter()
+            .filter(|b| !params.is_dense(b.len()))
+            .flat_map(|b| b.iter())
+            .collect()
+    }
+
+    /// Checks Definition 6 against `table` (whose device set must equal the
+    /// partition's coverage).
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a [`PartitionError`].
+    pub fn validate(&self, table: &TrajectoryTable, params: &Params) -> Result<(), PartitionError> {
+        let window = params.window();
+        // Structure: non-empty, disjoint, covering.
+        let mut seen = DeviceSet::new();
+        for block in &self.blocks {
+            if block.is_empty() {
+                return Err(PartitionError::EmptyBlock);
+            }
+            for id in block {
+                if !seen.insert(id) {
+                    return Err(PartitionError::Overlap { device: id });
+                }
+            }
+        }
+        if seen != table.device_set() {
+            return Err(PartitionError::Coverage);
+        }
+        // Every block is an r-consistent motion.
+        for (index, block) in self.blocks.iter().enumerate() {
+            if !is_consistent_motion(table, block, window) {
+                return Err(PartitionError::InconsistentBlock { index });
+            }
+        }
+        // C1: no dense motion within the union of sparse blocks.
+        let sparse_union: DeviceSet = self
+            .blocks
+            .iter()
+            .filter(|b| !params.is_dense(b.len()))
+            .flat_map(|b| b.iter())
+            .collect();
+        if !sparse_union.is_empty() {
+            let mut ops = MotionOps::default();
+            for motion in maximal_motions(table, &sparse_union, window, &mut ops) {
+                if params.is_dense(motion.len()) {
+                    return Err(PartitionError::C1Violated { witness: motion });
+                }
+            }
+        }
+        // C2: no sparse-union device extends a dense block.
+        for (index, block) in self.blocks.iter().enumerate() {
+            if params.is_dense(block.len()) {
+                for device in &sparse_union {
+                    if extends_consistently(table, block, device, window) {
+                        return Err(PartitionError::C2Violated { device, block: index });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AnomalyPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builds an anomaly partition with Algorithm 1: while devices remain, take
+/// the smallest remaining id and peel off a maximal r-consistent motion
+/// (within the remaining devices) containing it.
+///
+/// `pick` selects which of the available maximal motions to peel when
+/// several exist — Lemma 2's non-uniqueness lever. The returned partition is
+/// always valid (Lemma 2); `debug_assert`s enforce this in test builds.
+pub fn build_partition(
+    table: &TrajectoryTable,
+    params: &Params,
+    mut pick: impl FnMut(&[DeviceSet]) -> usize,
+) -> AnomalyPartition {
+    let window = params.window();
+    let mut remaining = table.device_set();
+    let mut blocks = Vec::new();
+    let mut ops = MotionOps::default();
+    while let Some(j) = remaining.as_slice().first().copied() {
+        let restricted = table.restricted_to(&remaining);
+        let motions = maximal_motions_involving(&restricted, j, window, &mut ops);
+        debug_assert!(!motions.is_empty(), "a device always has its singleton motion");
+        let choice = pick(&motions).min(motions.len() - 1);
+        let block = motions[choice].clone();
+        remaining = remaining.difference(&block);
+        blocks.push(block);
+    }
+    let partition = AnomalyPartition { blocks };
+    debug_assert!(
+        partition.validate(table, params).is_ok(),
+        "Algorithm 1 must produce a valid anomaly partition (Lemma 2)"
+    );
+    partition
+}
+
+/// [`build_partition`] picking the largest available motion (deterministic).
+pub fn build_partition_greedy(table: &TrajectoryTable, params: &Params) -> AnomalyPartition {
+    build_partition(table, params, |motions| {
+        motions
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.len())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(0.05, 3).unwrap()
+    }
+
+    /// Five co-moving devices plus one loner.
+    fn simple_table() -> TrajectoryTable {
+        TrajectoryTable::from_pairs_1d(&[
+            (0, 0.10, 0.50),
+            (1, 0.11, 0.51),
+            (2, 0.12, 0.52),
+            (3, 0.13, 0.53),
+            (4, 0.14, 0.54),
+            (5, 0.80, 0.20),
+        ])
+    }
+
+    #[test]
+    fn greedy_partition_peels_the_group_then_the_loner() {
+        let t = simple_table();
+        let p = build_partition_greedy(&t, &params());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.block_of(DeviceId(0)), Some(&DeviceSet::from([0, 1, 2, 3, 4])));
+        assert_eq!(p.block_of(DeviceId(5)), Some(&DeviceSet::from([5])));
+        assert!(p.validate(&t, &params()).is_ok());
+    }
+
+    #[test]
+    fn massive_and_isolated_devices() {
+        let t = simple_table();
+        let p = build_partition_greedy(&t, &params());
+        let pr = params();
+        assert_eq!(p.is_massive(DeviceId(0), &pr), Some(true));
+        assert_eq!(p.is_massive(DeviceId(5), &pr), Some(false));
+        assert_eq!(p.is_massive(DeviceId(9), &pr), None);
+        assert_eq!(p.massive_devices(&pr), DeviceSet::from([0, 1, 2, 3, 4]));
+        assert_eq!(p.isolated_devices(&pr), DeviceSet::from([5]));
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let t = simple_table();
+        let p = AnomalyPartition::from_blocks(vec![
+            DeviceSet::from([0, 1, 2, 3, 4]),
+            DeviceSet::from([4, 5]),
+        ]);
+        assert!(matches!(
+            p.validate(&t, &params()),
+            Err(PartitionError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_coverage() {
+        let t = simple_table();
+        let p = AnomalyPartition::from_blocks(vec![DeviceSet::from([0, 1, 2, 3, 4])]);
+        assert_eq!(p.validate(&t, &params()), Err(PartitionError::Coverage));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_block() {
+        let t = simple_table();
+        let p = AnomalyPartition::from_blocks(vec![
+            DeviceSet::from([0, 1, 2, 3, 5]),
+            DeviceSet::from([4]),
+        ]);
+        assert!(matches!(
+            p.validate(&t, &params()),
+            Err(PartitionError::InconsistentBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_c1_violation() {
+        // Splitting the dense group into sparse fragments hides a dense
+        // motion inside the sparse union.
+        let t = simple_table();
+        let p = AnomalyPartition::from_blocks(vec![
+            DeviceSet::from([0, 1]),
+            DeviceSet::from([2, 3, 4]),
+            DeviceSet::from([5]),
+        ]);
+        assert!(matches!(
+            p.validate(&t, &params()),
+            Err(PartitionError::C1Violated { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_c2_violation() {
+        // A dense block of 4 whose fifth co-mover is left sparse.
+        let t = simple_table();
+        let pr = Params::new(0.05, 3).unwrap();
+        let p = AnomalyPartition::from_blocks(vec![
+            DeviceSet::from([0, 1, 2, 3]),
+            DeviceSet::from([4]),
+            DeviceSet::from([5]),
+        ]);
+        assert!(matches!(
+            p.validate(&t, &pr),
+            Err(PartitionError::C2Violated { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty_block() {
+        let t = simple_table();
+        let p = AnomalyPartition::from_blocks(vec![
+            DeviceSet::new(),
+            t.device_set(),
+        ]);
+        assert_eq!(p.validate(&t, &params()), Err(PartitionError::EmptyBlock));
+    }
+
+    #[test]
+    fn pick_argument_changes_the_partition() {
+        // Device 1 belongs to two maximal motions, {1,2,3,4} and {1,3,4,5};
+        // picking different ones at device 1's turn yields different
+        // partitions (Lemma 2 non-uniqueness).
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (1, 0.14, 0.14),
+            (2, 0.10, 0.10),
+            (3, 0.16, 0.16),
+            (4, 0.18, 0.18),
+            (5, 0.22, 0.22),
+        ]);
+        let pr = Params::new(0.05, 3).unwrap();
+        let first = build_partition(&t, &pr, |_| 0);
+        let last = build_partition(&t, &pr, |m| m.len() - 1);
+        assert!(first.validate(&t, &pr).is_ok());
+        assert!(last.validate(&t, &pr).is_ok());
+        // Device 2 travels with device 1 in one partition, alone in the other.
+        let b_first = first.block_of(DeviceId(2)).unwrap().clone();
+        let b_last = last.block_of(DeviceId(2)).unwrap().clone();
+        assert_ne!(b_first, b_last, "Lemma 2: partitions are not unique");
+    }
+
+    #[test]
+    fn empty_table_gives_empty_partition() {
+        let t = TrajectoryTable::from_pairs_1d(&[]);
+        let p = build_partition_greedy(&t, &params());
+        assert!(p.is_empty());
+        assert!(p.validate(&t, &params()).is_ok());
+    }
+
+    #[test]
+    fn display_formats_blocks() {
+        let p = AnomalyPartition::from_blocks(vec![DeviceSet::from([1, 2]), DeviceSet::from([3])]);
+        assert_eq!(p.to_string(), "{{d1, d2}, {d3}}");
+    }
+}

@@ -1,0 +1,231 @@
+use crate::set::DeviceSet;
+use anomaly_qos::{DeviceId, StatePair};
+use std::collections::HashMap;
+
+/// Trajectories of the abnormal devices, in the concatenated `2d`-space.
+///
+/// Definition 3 makes a set `B` an *r-consistent motion* when it is
+/// r-consistent at both `k−1` and `k`; under the uniform norm this is
+/// equivalent to `B` having L∞ diameter at most `2r` in the `2d`-dimensional
+/// space obtained by concatenating each device's position at `k−1` with its
+/// position at `k`. The table stores exactly these concatenated coordinates
+/// for the devices under analysis (typically `A_k`, the flagged devices).
+///
+/// # Example
+///
+/// ```
+/// use anomaly_core::TrajectoryTable;
+/// use anomaly_qos::{DeviceId, QosSpace, Snapshot, StatePair};
+///
+/// let space = QosSpace::new(2)?;
+/// let before = Snapshot::from_rows(&space, vec![vec![0.1, 0.2], vec![0.15, 0.2]])?;
+/// let after  = Snapshot::from_rows(&space, vec![vec![0.6, 0.7], vec![0.65, 0.7]])?;
+/// let pair = StatePair::new(before, after)?;
+/// let table = TrajectoryTable::from_state_pair(&pair, &[DeviceId(0), DeviceId(1)]);
+/// assert_eq!(table.len(), 2);
+/// assert!((table.motion_distance(DeviceId(0), DeviceId(1)) - 0.05).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryTable {
+    /// Space dimension `d` (the concatenated space has `2d` axes).
+    dim: usize,
+    ids: Vec<DeviceId>,
+    coords: HashMap<DeviceId, Vec<f64>>,
+}
+
+impl TrajectoryTable {
+    /// Builds a table for `devices` from a pair of snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any device id is out of bounds for the pair.
+    pub fn from_state_pair(pair: &StatePair, devices: &[DeviceId]) -> Self {
+        let dim = pair.dim();
+        let mut ids = devices.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let coords = ids
+            .iter()
+            .map(|&id| (id, pair.trajectory(id).concatenated()))
+            .collect();
+        TrajectoryTable { dim, ids, coords }
+    }
+
+    /// Builds a table directly from concatenated coordinates
+    /// (`2*dim` values per device: position at `k−1`, then at `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row length differs from `2*dim` or ids repeat.
+    pub fn from_concatenated(dim: usize, rows: Vec<(DeviceId, Vec<f64>)>) -> Self {
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut coords = HashMap::with_capacity(rows.len());
+        for (id, row) in rows {
+            assert_eq!(row.len(), 2 * dim, "row must hold 2*dim coordinates");
+            let clash = coords.insert(id, row);
+            assert!(clash.is_none(), "duplicate device id {id}");
+            ids.push(id);
+        }
+        ids.sort_unstable();
+        TrajectoryTable { dim, ids, coords }
+    }
+
+    /// Convenience for 1-service systems: rows of `(id, before, after)`,
+    /// matching the paper's figures (QoS at `k` as a function of QoS at
+    /// `k−1`).
+    pub fn from_pairs_1d(rows: &[(u32, f64, f64)]) -> Self {
+        TrajectoryTable::from_concatenated(
+            1,
+            rows.iter()
+                .map(|&(id, b, a)| (DeviceId(id), vec![b, a]))
+                .collect(),
+        )
+    }
+
+    /// Space dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of devices in the table.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sorted device ids.
+    pub fn ids(&self) -> &[DeviceId] {
+        &self.ids
+    }
+
+    /// All devices as a [`DeviceSet`].
+    pub fn device_set(&self) -> DeviceSet {
+        self.ids.iter().copied().collect()
+    }
+
+    /// True if the table holds `id`.
+    pub fn contains(&self, id: DeviceId) -> bool {
+        self.coords.contains_key(&id)
+    }
+
+    /// Concatenated coordinates of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the table.
+    pub fn concatenated(&self, id: DeviceId) -> &[f64] {
+        &self.coords[&id]
+    }
+
+    /// Motion distance between two devices: the L∞ distance of their
+    /// concatenated coordinates (= max of the distances at the two times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not in the table.
+    pub fn motion_distance(&self, a: DeviceId, b: DeviceId) -> f64 {
+        let ca = self.concatenated(a);
+        let cb = self.concatenated(b);
+        ca.iter()
+            .zip(cb)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Devices of the table (other than `j`) within motion distance `2r` of
+    /// `j` — the candidate set `N(j)` of Algorithm 2, restricted to `A_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn neighborhood(&self, j: DeviceId, window: f64) -> Vec<DeviceId> {
+        assert!(self.contains(j), "device {j} not in table");
+        self.ids
+            .iter()
+            .copied()
+            .filter(|&o| o != j && self.motion_distance(j, o) <= window)
+            .collect()
+    }
+
+    /// Restricts the table to `keep`, dropping all other devices.
+    pub fn restricted_to(&self, keep: &DeviceSet) -> TrajectoryTable {
+        let ids: Vec<DeviceId> = self.ids.iter().copied().filter(|id| keep.contains(*id)).collect();
+        let coords = ids
+            .iter()
+            .map(|id| (*id, self.coords[id].clone()))
+            .collect();
+        TrajectoryTable {
+            dim: self.dim,
+            ids,
+            coords,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_1d_builds_concatenated_rows() {
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.1, 0.5), (1, 0.2, 0.6)]);
+        assert_eq!(t.dim(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.concatenated(DeviceId(0)), &[0.1, 0.5]);
+        assert!((t.motion_distance(DeviceId(0), DeviceId(1)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighborhood_excludes_self_and_far_devices() {
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (0, 0.10, 0.50),
+            (1, 0.12, 0.52),
+            (2, 0.30, 0.52), // close after, far before
+            (3, 0.12, 0.90), // close before, far after
+        ]);
+        assert_eq!(t.neighborhood(DeviceId(0), 0.06), vec![DeviceId(1)]);
+    }
+
+    #[test]
+    fn restriction_keeps_requested_devices() {
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.1, 0.1), (1, 0.2, 0.2), (2, 0.3, 0.3)]);
+        let r = t.restricted_to(&DeviceSet::from([0, 2]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(DeviceId(0)));
+        assert!(!r.contains(DeviceId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device id")]
+    fn rejects_duplicate_ids() {
+        TrajectoryTable::from_concatenated(
+            1,
+            vec![(DeviceId(0), vec![0.1, 0.2]), (DeviceId(0), vec![0.3, 0.4])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2*dim")]
+    fn rejects_wrong_row_width() {
+        TrajectoryTable::from_concatenated(2, vec![(DeviceId(0), vec![0.1, 0.2])]);
+    }
+
+    #[test]
+    fn ids_are_sorted_and_deduped() {
+        use anomaly_qos::{QosSpace, Snapshot};
+        let space = QosSpace::new(1).unwrap();
+        let before = Snapshot::from_rows(&space, vec![vec![0.1], vec![0.2], vec![0.3]]).unwrap();
+        let after = Snapshot::from_rows(&space, vec![vec![0.1], vec![0.2], vec![0.3]]).unwrap();
+        let pair = StatePair::new(before, after).unwrap();
+        let t = TrajectoryTable::from_state_pair(
+            &pair,
+            &[DeviceId(2), DeviceId(0), DeviceId(2)],
+        );
+        assert_eq!(t.ids(), &[DeviceId(0), DeviceId(2)]);
+    }
+}

@@ -1,0 +1,175 @@
+use crate::{Detector, Verdict};
+
+/// Two-sided CUSUM change detector (Page, *Continuous Inspection Schemes*,
+/// Biometrika 1954 — ref [10] of the paper).
+///
+/// Accumulates deviations of the observations from a reference mean in both
+/// directions, with a drift allowance `kappa` that absorbs in-control noise;
+/// an alarm fires when either cumulative sum exceeds the decision threshold
+/// `h`. The reference mean is learned online from in-control data.
+///
+/// CUSUM detects *small persistent* shifts much sooner than σ-band
+/// detectors, at the price of needing its two tuning constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CusumDetector {
+    kappa: f64,
+    h: f64,
+    mean: f64,
+    pos: f64,
+    neg: f64,
+    seen: u64,
+}
+
+const WARMUP: u64 = 5;
+/// Learning rate for the in-control reference mean. Kept small so a slow
+/// drift cannot out-run the cumulative sums before they reach the threshold.
+const MEAN_ALPHA: f64 = 0.05;
+
+impl CusumDetector {
+    /// Creates a detector with drift allowance `kappa ≥ 0` (typically half
+    /// the smallest shift worth detecting) and decision threshold `h > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa < 0` or `h <= 0`.
+    pub fn new(kappa: f64, h: f64) -> Self {
+        assert!(kappa >= 0.0, "kappa must be non-negative");
+        assert!(h > 0.0, "decision threshold h must be positive");
+        CusumDetector {
+            kappa,
+            h,
+            mean: 0.0,
+            pos: 0.0,
+            neg: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Current positive and negative cumulative sums.
+    pub fn sums(&self) -> (f64, f64) {
+        (self.pos, self.neg)
+    }
+}
+
+impl Detector for CusumDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        if self.seen == 0 {
+            self.mean = value;
+            self.seen = 1;
+            return Verdict::new(false, 0.0, None);
+        }
+        let deviation = value - self.mean;
+        self.pos = (self.pos + deviation - self.kappa).max(0.0);
+        self.neg = (self.neg - deviation - self.kappa).max(0.0);
+        let score = self.pos.max(self.neg) / self.h;
+        let anomalous = self.seen > WARMUP && (self.pos > self.h || self.neg > self.h);
+        if anomalous {
+            // Restart the sums after an alarm (standard CUSUM practice) and
+            // re-anchor the reference to the new regime.
+            self.pos = 0.0;
+            self.neg = 0.0;
+            self.mean = value;
+        } else {
+            self.mean += MEAN_ALPHA * deviation;
+        }
+        self.seen += 1;
+        Verdict::new(anomalous, score, Some(self.mean))
+    }
+
+    fn reset(&mut self) {
+        self.mean = 0.0;
+        self.pos = 0.0;
+        self.neg = 0.0;
+        self.seen = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "cusum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{level_shift, wiggle};
+
+    #[test]
+    fn stable_signal_never_alarms() {
+        let mut det = CusumDetector::new(0.02, 0.3);
+        for &v in &wiggle(300, 0.8, 0.005) {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn downward_shift_is_caught() {
+        let mut det = CusumDetector::new(0.02, 0.3);
+        let signal = level_shift(60, 30, 0.9, 0.5);
+        let mut first_alarm = None;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() && first_alarm.is_none() {
+                first_alarm = Some(i);
+            }
+        }
+        let at = first_alarm.expect("shift must be detected");
+        assert!(at >= 30 && at <= 35, "alarm at {at}");
+    }
+
+    #[test]
+    fn upward_shift_is_caught_too() {
+        let mut det = CusumDetector::new(0.02, 0.3);
+        let signal = level_shift(60, 30, 0.4, 0.95);
+        assert!(signal.iter().any(|&v| det.observe(v).is_anomalous()));
+    }
+
+    #[test]
+    fn small_persistent_drift_eventually_alarms() {
+        // Shift of 0.08 per observation budgeted against kappa = 0.02: the
+        // positive sum grows by ~0.06 per step and crosses h = 0.3 in ~5 steps.
+        let mut det = CusumDetector::new(0.02, 0.3);
+        for _ in 0..20 {
+            det.observe(0.5);
+        }
+        let mut alarmed = false;
+        for _ in 0..10 {
+            if det.observe(0.58).is_anomalous() {
+                alarmed = true;
+                break;
+            }
+        }
+        assert!(alarmed, "persistent small shift must eventually alarm");
+    }
+
+    #[test]
+    fn sums_restart_after_alarm() {
+        let mut det = CusumDetector::new(0.02, 0.3);
+        let signal = level_shift(40, 20, 0.9, 0.2);
+        for &v in &signal {
+            det.observe(v);
+        }
+        let (pos, neg) = det.sums();
+        // After the alarm and re-anchoring, the sums stay small on the new level.
+        assert!(pos < 0.3 && neg < 0.3);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = CusumDetector::new(0.02, 0.3);
+        det.observe(0.9);
+        det.observe(0.1);
+        det.reset();
+        assert_eq!(det, CusumDetector::new(0.02, 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn rejects_negative_kappa() {
+        CusumDetector::new(-0.1, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "decision threshold")]
+    fn rejects_non_positive_h() {
+        CusumDetector::new(0.1, 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+use crate::{Detector, Verdict};
+
+/// Majority-vote ensemble of heterogeneous detectors over one series.
+///
+/// Different error-detection functions have different blind spots: σ-band
+/// detectors miss slow drifts, CUSUM-style detectors need tuned references,
+/// forecasters absorb trends. An ensemble votes: the observation is flagged
+/// when at least `quorum` member detectors flag it, trading detection delay
+/// for a much lower false-alarm rate — the practical choice for `a_k(j)` on
+/// noisy home-gateway links where every false flag costs an operator
+/// interaction.
+///
+/// # Example
+///
+/// ```
+/// use anomaly_detectors::{Detector, EnsembleDetector, EwmaDetector,
+///     CusumDetector, PageHinkleyDetector};
+///
+/// let mut det = EnsembleDetector::new(
+///     vec![
+///         Box::new(EwmaDetector::new(0.3, 4.0)) as Box<dyn Detector>,
+///         Box::new(CusumDetector::new(0.02, 0.3)),
+///         Box::new(PageHinkleyDetector::new(0.01, 0.3)),
+///     ],
+///     2,
+/// );
+/// for _ in 0..60 {
+///     assert!(!det.observe(0.9).is_anomalous());
+/// }
+/// // A collapse convinces at least two members.
+/// let mut fired = false;
+/// for _ in 0..5 {
+///     fired |= det.observe(0.2).is_anomalous();
+/// }
+/// assert!(fired);
+/// ```
+pub struct EnsembleDetector {
+    members: Vec<Box<dyn Detector>>,
+    quorum: usize,
+}
+
+impl std::fmt::Debug for EnsembleDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleDetector")
+            .field("quorum", &self.quorum)
+            .field(
+                "members",
+                &self.members.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl EnsembleDetector {
+    /// Creates an ensemble requiring `quorum` member votes to flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `quorum` is zero or exceeds the
+    /// member count.
+    pub fn new(members: Vec<Box<dyn Detector>>, quorum: usize) -> Self {
+        assert!(!members.is_empty(), "an ensemble needs at least one member");
+        assert!(
+            quorum >= 1 && quorum <= members.len(),
+            "quorum must lie in [1, member count]"
+        );
+        EnsembleDetector { members, quorum }
+    }
+
+    /// Number of member detectors.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The configured quorum.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+}
+
+impl Detector for EnsembleDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        let mut votes = 0usize;
+        let mut score_sum = 0.0;
+        for member in &mut self.members {
+            let v = member.observe(value);
+            if v.is_anomalous() {
+                votes += 1;
+            }
+            score_sum += v.score();
+        }
+        Verdict::new(
+            votes >= self.quorum,
+            score_sum / self.members.len() as f64,
+            None,
+        )
+    }
+
+    fn reset(&mut self) {
+        for member in &mut self.members {
+            member.reset();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{level_shift, wiggle};
+    use crate::{CusumDetector, EwmaDetector, PageHinkleyDetector, ThresholdDetector};
+
+    fn standard_ensemble(quorum: usize) -> EnsembleDetector {
+        EnsembleDetector::new(
+            vec![
+                Box::new(EwmaDetector::new(0.3, 4.0)) as Box<dyn Detector>,
+                Box::new(CusumDetector::new(0.02, 0.3)),
+                Box::new(PageHinkleyDetector::new(0.01, 0.3)),
+            ],
+            quorum,
+        )
+    }
+
+    #[test]
+    fn quiet_signal_stays_quiet() {
+        let mut det = standard_ensemble(2);
+        for &v in &wiggle(300, 0.85, 0.004) {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn level_shift_reaches_quorum() {
+        let mut det = standard_ensemble(2);
+        let signal = level_shift(80, 50, 0.9, 0.3);
+        let mut fired_at = None;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        let at = fired_at.expect("the shift must reach quorum");
+        assert!((50..55).contains(&at), "fired at {at}");
+    }
+
+    #[test]
+    fn quorum_one_is_a_union_quorum_all_an_intersection() {
+        // A jumpy-but-bounded signal that trips the threshold member only:
+        // union fires, intersection does not.
+        let make = |quorum| {
+            EnsembleDetector::new(
+                vec![
+                    Box::new(ThresholdDetector::with_delta(0.01)) as Box<dyn Detector>,
+                    Box::new(EwmaDetector::new(0.3, 50.0)),
+                ],
+                quorum,
+            )
+        };
+        let signal = wiggle(100, 0.8, 0.02);
+        let count = |mut det: EnsembleDetector| {
+            signal
+                .iter()
+                .filter(|&&v| det.observe(v).is_anomalous())
+                .count()
+        };
+        assert!(count(make(1)) > 10);
+        assert_eq!(count(make(2)), 0);
+    }
+
+    #[test]
+    fn reset_propagates_to_members() {
+        let mut det = standard_ensemble(1);
+        for _ in 0..30 {
+            det.observe(0.9);
+        }
+        det.reset();
+        // After reset, a very different level is a fresh baseline.
+        assert!(!det.observe(0.2).is_anomalous());
+    }
+
+    #[test]
+    fn accessors() {
+        let det = standard_ensemble(2);
+        assert_eq!(det.len(), 3);
+        assert_eq!(det.quorum(), 2);
+        assert!(!det.is_empty());
+        assert_eq!(det.name(), "ensemble");
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn rejects_oversized_quorum() {
+        standard_ensemble(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn rejects_empty_ensemble() {
+        EnsembleDetector::new(Vec::new(), 1);
+    }
+}

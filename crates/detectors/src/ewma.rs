@@ -1,0 +1,158 @@
+use crate::{Detector, Verdict};
+
+/// Exponentially weighted moving average detector with a residual σ-band.
+///
+/// Tracks the level of the series with an EWMA and the scale of the
+/// residuals with an EWMA of squared residuals; an observation is flagged
+/// when its residual exceeds `k_sigma` estimated standard deviations. This
+/// is the classical EWMA control chart adapted to streaming QoS.
+///
+/// A short warm-up period (5 samples) suppresses alarms while the estimates
+/// are meaningless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwmaDetector {
+    alpha: f64,
+    k_sigma: f64,
+    level: f64,
+    variance: f64,
+    seen: u64,
+}
+
+/// Minimum residual scale, so a perfectly flat warm-up cannot make every
+/// subsequent fluctuation infinitely significant.
+const MIN_STDDEV: f64 = 1e-3;
+const WARMUP: u64 = 5;
+
+impl EwmaDetector {
+    /// Creates a detector with smoothing factor `alpha ∈ (0, 1]` and gate
+    /// width `k_sigma > 0` (in standard deviations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ (0,1]` or `k_sigma <= 0`.
+    pub fn new(alpha: f64, k_sigma: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must lie in (0, 1]"
+        );
+        assert!(k_sigma > 0.0, "k_sigma must be positive");
+        EwmaDetector {
+            alpha,
+            k_sigma,
+            level: 0.0,
+            variance: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Current level estimate (the forecast for the next observation).
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl Detector for EwmaDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        if self.seen == 0 {
+            self.level = value;
+            self.variance = 0.0;
+            self.seen = 1;
+            return Verdict::new(false, 0.0, None);
+        }
+        let forecast = self.level;
+        let residual = value - forecast;
+        let stddev = self.variance.sqrt().max(MIN_STDDEV);
+        let score = residual.abs() / stddev;
+        let anomalous = self.seen > WARMUP && score > self.k_sigma;
+        // Update estimates only with (apparently) normal data, so a level
+        // shift keeps being flagged until the caller resets or the shift is
+        // absorbed deliberately. For QoS snapshots, one flag per interval is
+        // exactly what feeds A_k; we still absorb slowly to avoid ringing.
+        let absorb = if anomalous { self.alpha * 0.5 } else { self.alpha };
+        self.level += absorb * residual;
+        self.variance =
+            (1.0 - self.alpha) * (self.variance + self.alpha * residual * residual);
+        self.seen += 1;
+        Verdict::new(anomalous, score, Some(forecast))
+    }
+
+    fn reset(&mut self) {
+        self.level = 0.0;
+        self.variance = 0.0;
+        self.seen = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{level_shift, wiggle};
+
+    #[test]
+    fn quiet_signal_raises_no_alarm() {
+        let mut det = EwmaDetector::new(0.3, 4.0);
+        for &v in &wiggle(200, 0.9, 0.002) {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn level_shift_is_detected() {
+        let mut det = EwmaDetector::new(0.3, 4.0);
+        let signal = level_shift(60, 40, 0.9, 0.2);
+        let mut flagged = false;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() {
+                assert!(i >= 40, "false alarm at {i}");
+                flagged = true;
+            }
+        }
+        assert!(flagged, "the level shift must be flagged");
+    }
+
+    #[test]
+    fn forecast_tracks_level() {
+        let mut det = EwmaDetector::new(0.5, 4.0);
+        for _ in 0..20 {
+            det.observe(0.8);
+        }
+        assert!((det.level() - 0.8).abs() < 1e-6);
+        let v = det.observe(0.8);
+        assert!((v.forecast().unwrap() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = EwmaDetector::new(0.3, 4.0);
+        for _ in 0..10 {
+            det.observe(0.9);
+        }
+        det.reset();
+        assert_eq!(det, EwmaDetector::new(0.3, 4.0));
+    }
+
+    #[test]
+    fn warmup_suppresses_early_alarms() {
+        let mut det = EwmaDetector::new(0.3, 1.0);
+        // Wild data during warm-up: no alarms for the first samples.
+        for &v in &[0.1, 0.9, 0.1, 0.9, 0.1] {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        EwmaDetector::new(0.0, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_sigma")]
+    fn rejects_non_positive_gate() {
+        EwmaDetector::new(0.5, 0.0);
+    }
+}

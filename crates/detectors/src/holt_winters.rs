@@ -1,0 +1,165 @@
+use crate::{Detector, Verdict};
+
+/// Holt's double exponential smoothing with a forecast-error gate.
+///
+/// Maintains a level and a trend estimate (Holt [6], Winters [12] — the
+/// forecasting methods the paper cites for `a_k(j)`); the one-step-ahead
+/// forecast is `level + trend` and an observation is flagged when its
+/// forecast error exceeds `k_sigma` estimated deviations of recent errors.
+///
+/// Handles drifting QoS (e.g. slow congestion build-up) without alarming,
+/// unlike a pure EWMA, while still catching discontinuities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoltWintersDetector {
+    alpha: f64,
+    beta: f64,
+    k_sigma: f64,
+    level: f64,
+    trend: f64,
+    err_var: f64,
+    seen: u64,
+}
+
+const MIN_STDDEV: f64 = 1e-3;
+const WARMUP: u64 = 8;
+/// Smoothing factor for the forecast-error variance.
+const GAMMA: f64 = 0.1;
+
+impl HoltWintersDetector {
+    /// Creates a detector with level smoothing `alpha ∈ (0,1]`, trend
+    /// smoothing `beta ∈ (0,1]`, and gate width `k_sigma > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a smoothing factor is outside `(0,1]` or `k_sigma <= 0`.
+    pub fn new(alpha: f64, beta: f64, k_sigma: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must lie in (0, 1]");
+        assert!(k_sigma > 0.0, "k_sigma must be positive");
+        HoltWintersDetector {
+            alpha,
+            beta,
+            k_sigma,
+            level: 0.0,
+            trend: 0.0,
+            err_var: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// One-step-ahead forecast given the current state.
+    pub fn forecast_next(&self) -> f64 {
+        self.level + self.trend
+    }
+}
+
+impl Detector for HoltWintersDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        match self.seen {
+            0 => {
+                self.level = value;
+                self.trend = 0.0;
+                self.seen = 1;
+                return Verdict::new(false, 0.0, None);
+            }
+            1 => {
+                self.trend = value - self.level;
+                self.level = value;
+                self.seen = 2;
+                return Verdict::new(false, 0.0, None);
+            }
+            _ => {}
+        }
+        let forecast = self.forecast_next();
+        let error = value - forecast;
+        let stddev = self.err_var.sqrt().max(MIN_STDDEV);
+        let score = error.abs() / stddev;
+        let anomalous = self.seen > WARMUP && score > self.k_sigma;
+
+        let prev_level = self.level;
+        self.level = self.alpha * value + (1.0 - self.alpha) * forecast;
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.err_var = (1.0 - GAMMA) * self.err_var + GAMMA * error * error;
+        self.seen += 1;
+        Verdict::new(anomalous, score, Some(forecast))
+    }
+
+    fn reset(&mut self) {
+        self.level = 0.0;
+        self.trend = 0.0;
+        self.err_var = 0.0;
+        self.seen = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "holt-winters"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{level_shift, ramp, wiggle};
+
+    #[test]
+    fn tolerates_linear_trend() {
+        let mut det = HoltWintersDetector::new(0.5, 0.3, 4.0);
+        for &v in &ramp(100, 0.2, 0.8) {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn detects_level_shift() {
+        let mut det = HoltWintersDetector::new(0.5, 0.2, 4.0);
+        let signal = level_shift(60, 45, 0.9, 0.3);
+        let mut flagged = false;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() {
+                assert!(i >= 45, "false alarm at {i}");
+                flagged = true;
+            }
+        }
+        assert!(flagged);
+    }
+
+    #[test]
+    fn quiet_noisy_signal_is_tolerated() {
+        let mut det = HoltWintersDetector::new(0.4, 0.1, 6.0);
+        let mut alarms = 0;
+        for &v in &wiggle(300, 0.7, 0.01) {
+            if det.observe(v).is_anomalous() {
+                alarms += 1;
+            }
+        }
+        // Periodic wiggle is predictable enough to stay mostly quiet.
+        assert!(alarms <= 3, "too many alarms: {alarms}");
+    }
+
+    #[test]
+    fn forecast_extrapolates_trend() {
+        let mut det = HoltWintersDetector::new(0.8, 0.8, 4.0);
+        for &v in &ramp(50, 0.0, 0.49) {
+            det.observe(v);
+        }
+        // Slope is 0.01 per step; the forecast should continue it.
+        let next = det.forecast_next();
+        assert!((next - 0.50).abs() < 0.01, "forecast {next}");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = HoltWintersDetector::new(0.5, 0.2, 4.0);
+        for _ in 0..10 {
+            det.observe(0.9);
+        }
+        det.reset();
+        assert_eq!(det, HoltWintersDetector::new(0.5, 0.2, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        HoltWintersDetector::new(0.5, 1.5, 4.0);
+    }
+}

@@ -1,0 +1,181 @@
+use crate::{Detector, Verdict};
+
+/// Scalar constant-velocity Kalman filter with an innovation gate
+/// (Kalman 1960 — ref [7]; the filter the related work [15] installs at both
+/// monitored and management nodes).
+///
+/// State is `(level, slope)`; the filter predicts the next observation and
+/// flags it when the normalized innovation `|y − ŷ| / √S` exceeds `k_sigma`
+/// (`S` = innovation variance). Anomalous observations update the filter
+/// with an inflated measurement noise so a one-off glitch does not drag the
+/// state away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanDetector {
+    /// Process noise intensity (per step, on the slope).
+    q: f64,
+    /// Measurement noise variance.
+    r: f64,
+    k_sigma: f64,
+    // State estimate.
+    level: f64,
+    slope: f64,
+    // Covariance [[p00, p01], [p01, p11]].
+    p00: f64,
+    p01: f64,
+    p11: f64,
+    seen: u64,
+}
+
+const WARMUP: u64 = 5;
+
+impl KalmanDetector {
+    /// Creates a filter with process noise `q > 0`, measurement noise
+    /// `r > 0`, and innovation gate `k_sigma > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or not finite.
+    pub fn new(q: f64, r: f64, k_sigma: f64) -> Self {
+        assert!(q > 0.0 && q.is_finite(), "process noise q must be positive");
+        assert!(r > 0.0 && r.is_finite(), "measurement noise r must be positive");
+        assert!(k_sigma > 0.0, "k_sigma must be positive");
+        KalmanDetector {
+            q,
+            r,
+            k_sigma,
+            level: 0.0,
+            slope: 0.0,
+            p00: 1.0,
+            p01: 0.0,
+            p11: 1.0,
+            seen: 0,
+        }
+    }
+
+    /// Current filtered level estimate.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current slope estimate.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+}
+
+impl Detector for KalmanDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        if self.seen == 0 {
+            self.level = value;
+            self.slope = 0.0;
+            self.seen = 1;
+            return Verdict::new(false, 0.0, None);
+        }
+        // Predict: x = F x with F = [[1,1],[0,1]]; P = F P Fᵀ + Q.
+        let pred_level = self.level + self.slope;
+        let pred_slope = self.slope;
+        let p00 = self.p00 + 2.0 * self.p01 + self.p11 + self.q / 4.0;
+        let p01 = self.p01 + self.p11 + self.q / 2.0;
+        let p11 = self.p11 + self.q;
+
+        // Innovation.
+        let innovation = value - pred_level;
+        let s = p00 + self.r;
+        let score = innovation.abs() / s.sqrt();
+        let anomalous = self.seen > WARMUP && score > self.k_sigma;
+
+        // Update, with inflated measurement noise when gated.
+        let r_eff = if anomalous { self.r * 100.0 } else { self.r };
+        let s_eff = p00 + r_eff;
+        let k0 = p00 / s_eff;
+        let k1 = p01 / s_eff;
+        self.level = pred_level + k0 * innovation;
+        self.slope = pred_slope + k1 * innovation;
+        self.p00 = (1.0 - k0) * p00;
+        self.p01 = (1.0 - k0) * p01;
+        self.p11 = p11 - k1 * p01;
+        self.seen += 1;
+        Verdict::new(anomalous, score, Some(pred_level))
+    }
+
+    fn reset(&mut self) {
+        *self = KalmanDetector::new(self.q, self.r, self.k_sigma);
+    }
+
+    fn name(&self) -> &'static str {
+        "kalman"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{level_shift, ramp, wiggle};
+
+    #[test]
+    fn stable_signal_never_alarms() {
+        let mut det = KalmanDetector::new(1e-4, 1e-3, 5.0);
+        for &v in &wiggle(300, 0.8, 0.005) {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn tracks_linear_trend_without_alarm() {
+        let mut det = KalmanDetector::new(1e-4, 1e-3, 6.0);
+        for &v in &ramp(150, 0.1, 0.9) {
+            assert!(!det.observe(v).is_anomalous());
+        }
+        // Slope ~ 0.8/149 per step.
+        assert!((det.slope() - 0.8 / 149.0).abs() < 2e-3, "slope {}", det.slope());
+    }
+
+    #[test]
+    fn detects_level_shift() {
+        let mut det = KalmanDetector::new(1e-4, 1e-3, 5.0);
+        let signal = level_shift(60, 40, 0.9, 0.3);
+        let mut flagged_at = None;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() && flagged_at.is_none() {
+                flagged_at = Some(i);
+            }
+        }
+        assert_eq!(flagged_at, Some(40));
+    }
+
+    #[test]
+    fn glitch_does_not_drag_the_state() {
+        let mut det = KalmanDetector::new(1e-4, 1e-3, 5.0);
+        for _ in 0..50 {
+            det.observe(0.8);
+        }
+        det.observe(0.1); // one-off glitch
+        // The level estimate barely moves thanks to the inflated noise.
+        assert!((det.level() - 0.8).abs() < 0.05, "level {}", det.level());
+    }
+
+    #[test]
+    fn covariance_stays_positive() {
+        let mut det = KalmanDetector::new(1e-4, 1e-3, 5.0);
+        for &v in &wiggle(500, 0.5, 0.01) {
+            det.observe(v);
+            assert!(det.p00 > 0.0 && det.p11 > 0.0, "covariance went non-positive");
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = KalmanDetector::new(1e-4, 1e-3, 5.0);
+        for _ in 0..10 {
+            det.observe(0.4);
+        }
+        det.reset();
+        assert_eq!(det, KalmanDetector::new(1e-4, 1e-3, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "process noise")]
+    fn rejects_bad_q() {
+        KalmanDetector::new(0.0, 1e-3, 5.0);
+    }
+}

@@ -1,0 +1,146 @@
+use crate::{Detector, Verdict};
+
+/// Page-Hinkley test for streaming change detection.
+///
+/// Maintains the cumulative deviation of observations from their running
+/// mean (minus a drift allowance `delta`) and compares it with its running
+/// minimum/maximum; a gap larger than `lambda` signals a change. A classic
+/// streaming variant of the CUSUM idea that needs no reference window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageHinkleyDetector {
+    delta: f64,
+    lambda: f64,
+    running_mean: f64,
+    /// Cumulative sum oriented for downward shifts (`+delta` drift term);
+    /// compared against its running maximum.
+    cum_down: f64,
+    max_cum_down: f64,
+    /// Cumulative sum oriented for upward shifts (`−delta` drift term);
+    /// compared against its running minimum.
+    cum_up: f64,
+    min_cum_up: f64,
+    seen: u64,
+}
+
+const WARMUP: u64 = 5;
+
+impl PageHinkleyDetector {
+    /// Creates a detector with drift allowance `delta ≥ 0` and alarm
+    /// threshold `lambda > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta < 0` or `lambda <= 0`.
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        assert!(delta >= 0.0, "delta must be non-negative");
+        assert!(lambda > 0.0, "lambda must be positive");
+        PageHinkleyDetector {
+            delta,
+            lambda,
+            running_mean: 0.0,
+            cum_down: 0.0,
+            max_cum_down: 0.0,
+            cum_up: 0.0,
+            min_cum_up: 0.0,
+            seen: 0,
+        }
+    }
+}
+
+impl Detector for PageHinkleyDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        self.seen += 1;
+        let n = self.seen as f64;
+        self.running_mean += (value - self.running_mean) / n;
+
+        // Downward changes: the `+delta` sum drifts up while in control, its
+        // running maximum pins it; a persistent drop opens a gap below it.
+        self.cum_down += value - self.running_mean + self.delta;
+        self.max_cum_down = self.max_cum_down.max(self.cum_down);
+        let down_gap = self.max_cum_down - self.cum_down;
+
+        // Upward changes: symmetric with the running minimum.
+        self.cum_up += value - self.running_mean - self.delta;
+        self.min_cum_up = self.min_cum_up.min(self.cum_up);
+        let up_gap = self.cum_up - self.min_cum_up;
+
+        let score = down_gap.max(up_gap) / self.lambda;
+        let anomalous = self.seen > WARMUP && (down_gap > self.lambda || up_gap > self.lambda);
+        if anomalous {
+            // Restart statistics in the new regime.
+            self.running_mean = value;
+            self.cum_down = 0.0;
+            self.max_cum_down = 0.0;
+            self.cum_up = 0.0;
+            self.min_cum_up = 0.0;
+            self.seen = 1;
+        }
+        Verdict::new(anomalous, score, Some(self.running_mean))
+    }
+
+    fn reset(&mut self) {
+        *self = PageHinkleyDetector::new(self.delta, self.lambda);
+    }
+
+    fn name(&self) -> &'static str {
+        "page-hinkley"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{level_shift, wiggle};
+
+    #[test]
+    fn stable_signal_never_alarms() {
+        let mut det = PageHinkleyDetector::new(0.01, 0.5);
+        for &v in &wiggle(400, 0.85, 0.004) {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn detects_upward_shift() {
+        let mut det = PageHinkleyDetector::new(0.01, 0.3);
+        let signal = level_shift(80, 40, 0.3, 0.8);
+        let mut first = None;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() && first.is_none() {
+                first = Some(i);
+            }
+        }
+        let at = first.expect("upward shift detected");
+        assert!(at >= 40, "false alarm at {at}");
+    }
+
+    #[test]
+    fn detects_downward_shift() {
+        let mut det = PageHinkleyDetector::new(0.01, 0.3);
+        let signal = level_shift(80, 40, 0.9, 0.4);
+        let mut first = None;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() && first.is_none() {
+                first = Some(i);
+            }
+        }
+        let at = first.expect("downward shift detected");
+        assert!(at >= 40, "false alarm at {at}");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = PageHinkleyDetector::new(0.01, 0.5);
+        for _ in 0..20 {
+            det.observe(0.7);
+        }
+        det.reset();
+        assert_eq!(det, PageHinkleyDetector::new(0.01, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_non_positive_lambda() {
+        PageHinkleyDetector::new(0.01, 0.0);
+    }
+}

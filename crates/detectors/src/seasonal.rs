@@ -1,0 +1,218 @@
+use crate::{Detector, Verdict};
+
+/// Holt-Winters **seasonal** forecasting detector (additive variant —
+/// Winters, *Management Science* 1960, ref [12] of the paper).
+///
+/// Maintains level, trend, and a ring of `period` additive seasonal
+/// components; the one-step forecast is `level + trend + season[t mod p]`
+/// and an observation is flagged when its forecast error exceeds `k_sigma`
+/// estimated deviations. QoS series often breathe with a daily rhythm
+/// (evening congestion); a non-seasonal detector either alarms every
+/// evening or must be de-tuned until it misses real faults — this one
+/// learns the rhythm instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalHoltWintersDetector {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    k_sigma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    err_var: f64,
+    seen: u64,
+}
+
+const MIN_STDDEV: f64 = 1e-3;
+/// Error-variance smoothing.
+const VAR_GAMMA: f64 = 0.1;
+
+impl SeasonalHoltWintersDetector {
+    /// Creates a detector with smoothing factors `alpha`, `beta`, `gamma`
+    /// in `(0, 1]`, gate `k_sigma > 0`, and season length `period ≥ 2`.
+    ///
+    /// The detector warms up for two full periods before raising alarms
+    /// (one to seed the seasonal profile, one to stabilize it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range smoothing factors, non-positive `k_sigma`, or
+    /// `period < 2`.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, k_sigma: f64, period: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must lie in (0, 1]");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must lie in (0, 1]");
+        assert!(k_sigma > 0.0, "k_sigma must be positive");
+        assert!(period >= 2, "season length must be at least 2");
+        SeasonalHoltWintersDetector {
+            alpha,
+            beta,
+            gamma,
+            k_sigma,
+            period,
+            level: 0.0,
+            trend: 0.0,
+            season: vec![0.0; period],
+            err_var: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Season length.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// One-step-ahead forecast for the next instant.
+    pub fn forecast_next(&self) -> f64 {
+        let idx = (self.seen as usize) % self.period;
+        self.level + self.trend + self.season[idx]
+    }
+}
+
+impl Detector for SeasonalHoltWintersDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        let idx = (self.seen as usize) % self.period;
+        if self.seen == 0 {
+            self.level = value;
+            self.seen = 1;
+            return Verdict::new(false, 0.0, None);
+        }
+        if (self.seen as usize) < self.period {
+            // First period: seed seasonal components around a flat level.
+            self.season[idx] = value - self.level;
+            self.level = self.alpha * (value - self.season[idx])
+                + (1.0 - self.alpha) * self.level;
+            self.seen += 1;
+            return Verdict::new(false, 0.0, None);
+        }
+        let forecast = self.level + self.trend + self.season[idx];
+        let error = value - forecast;
+        let stddev = self.err_var.sqrt().max(MIN_STDDEV);
+        let score = error.abs() / stddev;
+        let warm = self.seen as usize >= 2 * self.period;
+        let anomalous = warm && score > self.k_sigma;
+
+        // Standard additive Holt-Winters updates.
+        let prev_level = self.level;
+        self.level = self.alpha * (value - self.season[idx])
+            + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.season[idx] =
+            self.gamma * (value - self.level) + (1.0 - self.gamma) * self.season[idx];
+        self.err_var = (1.0 - VAR_GAMMA) * self.err_var + VAR_GAMMA * error * error;
+        self.seen += 1;
+        Verdict::new(anomalous, score, Some(forecast))
+    }
+
+    fn reset(&mut self) {
+        let p = self.period;
+        *self = SeasonalHoltWintersDetector::new(
+            self.alpha,
+            self.beta,
+            self.gamma,
+            self.k_sigma,
+            p,
+        );
+    }
+
+    fn name(&self) -> &'static str {
+        "seasonal-holt-winters"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sinusoid-like periodic QoS with period 8.
+    fn periodic(len: usize, base: f64, amp: f64) -> Vec<f64> {
+        (0..len)
+            .map(|t| base + amp * (2.0 * std::f64::consts::PI * t as f64 / 8.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn learns_the_rhythm_and_stays_quiet() {
+        let mut det = SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 5.0, 8);
+        let mut alarms = 0;
+        for &v in &periodic(400, 0.7, 0.1) {
+            if det.observe(v).is_anomalous() {
+                alarms += 1;
+            }
+        }
+        assert!(alarms <= 2, "periodic signal must be absorbed, got {alarms} alarms");
+    }
+
+    #[test]
+    fn non_seasonal_detector_alarms_on_the_same_rhythm() {
+        // Contrast: a delta-threshold detector tuned to catch 0.05 shifts
+        // fires on every swing of the rhythm (amplitude 0.1 -> per-step
+        // changes up to ~0.08), while the seasonal detector above absorbs
+        // it entirely.
+        use crate::ThresholdDetector;
+        let mut det = ThresholdDetector::with_delta(0.05);
+        let mut alarms = 0;
+        for &v in &periodic(400, 0.7, 0.1) {
+            if det.observe(v).is_anomalous() {
+                alarms += 1;
+            }
+        }
+        assert!(alarms > 50, "the rhythm should defeat a naive delta threshold");
+    }
+
+    #[test]
+    fn level_shift_is_still_detected() {
+        let mut det = SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 5.0, 8);
+        let mut signal = periodic(200, 0.8, 0.05);
+        for v in &mut signal[150..] {
+            *v -= 0.5; // outage on top of the rhythm
+        }
+        let mut first = None;
+        for (i, &v) in signal.iter().enumerate() {
+            if det.observe(v).is_anomalous() && first.is_none() {
+                first = Some(i);
+            }
+        }
+        let at = first.expect("outage detected");
+        assert!((150..158).contains(&at), "alarm at {at}");
+    }
+
+    #[test]
+    fn warmup_covers_two_periods() {
+        let mut det = SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 1.0, 4);
+        // Wild data within the first two periods: silent.
+        for &v in &[0.1, 0.9, 0.2, 0.8, 0.15, 0.85, 0.1, 0.9] {
+            assert!(!det.observe(v).is_anomalous());
+        }
+    }
+
+    #[test]
+    fn forecast_tracks_the_season() {
+        let mut det = SeasonalHoltWintersDetector::new(0.3, 0.05, 0.5, 5.0, 8);
+        let signal = periodic(160, 0.7, 0.1);
+        for &v in &signal {
+            det.observe(v);
+        }
+        // Next value continues the rhythm.
+        let expected = 0.7 + 0.1 * (2.0 * std::f64::consts::PI * 160.0 / 8.0).sin();
+        assert!((det.forecast_next() - expected).abs() < 0.05);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut det = SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 5.0, 8);
+        for &v in &periodic(50, 0.7, 0.1) {
+            det.observe(v);
+        }
+        det.reset();
+        assert_eq!(det, SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 5.0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "season length")]
+    fn rejects_tiny_period() {
+        SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 5.0, 1);
+    }
+}

@@ -1,0 +1,132 @@
+use crate::{Detector, Verdict};
+
+/// The simplest error-detection function: absolute bounds on the value and a
+/// bound on the step-to-step variation.
+///
+/// Flags an observation when it leaves `[min_value, max_value]` or when it
+/// jumps by more than `max_delta` from the previous observation. This is the
+/// "simple threshold based function" end of the spectrum mentioned in
+/// Section III-A of the paper.
+///
+/// # Example
+///
+/// ```
+/// use anomaly_detectors::{Detector, ThresholdDetector};
+/// let mut det = ThresholdDetector::with_delta(0.2);
+/// assert!(!det.observe(0.9).is_anomalous());
+/// assert!(!det.observe(0.85).is_anomalous());
+/// assert!(det.observe(0.3).is_anomalous()); // jump of 0.55 > 0.2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdDetector {
+    min_value: f64,
+    max_value: f64,
+    max_delta: f64,
+    previous: Option<f64>,
+}
+
+impl ThresholdDetector {
+    /// Full constructor with value bounds and a delta bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_value > max_value` or `max_delta < 0`, or any bound is
+    /// NaN.
+    pub fn new(min_value: f64, max_value: f64, max_delta: f64) -> Self {
+        assert!(
+            min_value <= max_value,
+            "min_value must not exceed max_value"
+        );
+        assert!(max_delta >= 0.0, "max_delta must be non-negative");
+        ThresholdDetector {
+            min_value,
+            max_value,
+            max_delta,
+            previous: None,
+        }
+    }
+
+    /// Delta-only detector: any value is acceptable, only large jumps are
+    /// flagged. This is the natural `a_k(j)` for QoS in `[0,1]`.
+    pub fn with_delta(max_delta: f64) -> Self {
+        ThresholdDetector::new(f64::NEG_INFINITY, f64::INFINITY, max_delta)
+    }
+}
+
+impl Detector for ThresholdDetector {
+    fn observe(&mut self, value: f64) -> Verdict {
+        let out_of_bounds = value < self.min_value || value > self.max_value;
+        let jump = self
+            .previous
+            .map(|p| (value - p).abs())
+            .unwrap_or(0.0);
+        let too_fast = jump > self.max_delta;
+        self.previous = Some(value);
+        let score = if self.max_delta > 0.0 && self.max_delta.is_finite() {
+            jump / self.max_delta
+        } else {
+            jump
+        };
+        Verdict::new(out_of_bounds || too_fast, score, self.previous)
+    }
+
+    fn reset(&mut self) {
+        self.previous = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::level_shift;
+
+    #[test]
+    fn flags_out_of_bounds_values() {
+        let mut det = ThresholdDetector::new(0.2, 1.0, f64::INFINITY);
+        assert!(!det.observe(0.5).is_anomalous());
+        assert!(det.observe(0.1).is_anomalous());
+    }
+
+    #[test]
+    fn flags_large_jumps_only_after_first_sample() {
+        let mut det = ThresholdDetector::with_delta(0.1);
+        // First observation has no predecessor: never a jump.
+        assert!(!det.observe(0.9).is_anomalous());
+        assert!(!det.observe(0.85).is_anomalous());
+        assert!(det.observe(0.5).is_anomalous());
+    }
+
+    #[test]
+    fn level_shift_is_flagged_once() {
+        let mut det = ThresholdDetector::with_delta(0.2);
+        let signal = level_shift(20, 10, 0.9, 0.3);
+        let flags: Vec<bool> = signal.iter().map(|&v| det.observe(v).is_anomalous()).collect();
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+        assert!(flags[10]);
+    }
+
+    #[test]
+    fn reset_forgets_previous_value() {
+        let mut det = ThresholdDetector::with_delta(0.1);
+        det.observe(0.9);
+        det.reset();
+        // Would be a jump of 0.6 without the reset.
+        assert!(!det.observe(0.3).is_anomalous());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_value")]
+    fn rejects_inverted_bounds() {
+        ThresholdDetector::new(1.0, 0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delta")]
+    fn rejects_negative_delta() {
+        ThresholdDetector::new(0.0, 1.0, -0.1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic ISP network substrate.
+//!
+//! The paper motivates its characterization with Internet service providers
+//! operating millions of home gateways: when a *network* element (DSLAM,
+//! aggregation switch, core router) degrades, every downstream gateway sees
+//! a correlated QoS drop (a **massive** anomaly); when a single gateway's
+//! hardware or software misbehaves, only that device suffers (an
+//! **isolated** anomaly). The paper's entire point is that gateways can tell
+//! the two apart locally and only call the operator for the latter.
+//!
+//! This crate builds that world:
+//!
+//! * [`Topology`] — a core / aggregation / DSLAM / gateway tree;
+//! * [`Service`] — the `d` services each gateway consumes (their QoS is the
+//!   product of element health along the route from the head-end);
+//! * [`NetworkSimulation`] — fault injection (network-level or CPE-level)
+//!   and end-to-end measurement, producing the QoS snapshots consumed by
+//!   `anomaly-core`, together with the ground truth of which gateways each
+//!   fault impacted;
+//! * [`report`] — the operator-facing decision: which gateways should call
+//!   home (isolated verdicts) and which events belong to the network
+//!   (massive verdicts).
+//!
+//! # Example
+//!
+//! ```
+//! use anomaly_network::{NetworkSimulation, NetworkConfig, FaultTarget};
+//!
+//! let mut net = NetworkSimulation::new(NetworkConfig::small(7))?;
+//! // A DSLAM fault degrades all its gateways...
+//! let dslam = net.topology().dslams()[0];
+//! let outcome = net.step(vec![
+//!     FaultTarget::Node { node: dslam, severity: 0.5 },
+//! ]);
+//! assert!(outcome.impacted[0].len() > 1);
+//! # Ok::<(), anomaly_network::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod measurement;
+pub mod report;
+pub mod schedule;
+mod sim;
+mod topology;
+
+pub use measurement::MeasurementModel;
+pub use report::{gateway_reports, GatewayReport, ReportAction};
+pub use schedule::{Incident, IncidentSchedule};
+pub use sim::{FaultTarget, NetworkConfig, NetworkError, NetworkSimulation, StepOutcome};
+pub use topology::{NodeId, NodeKind, Service, Topology};

@@ -1,0 +1,141 @@
+//! End-to-end QoS measurement.
+//!
+//! The measurement functions `q_{i,k}(j)` of the paper "reflect errors
+//! occurring on the chain of equipments and network links from the providers
+//! of consumed services to the monitored devices" (Section III-A). We model
+//! the QoS of service `i` at gateway `j` as
+//!
+//! ```text
+//! q = base_quality(i) · Π_{e ∈ route(j)} health(e) + noise
+//! ```
+//!
+//! clamped into `[0,1]`, with a small deterministic measurement jitter so
+//! devices never sit at mathematically identical positions.
+
+use crate::topology::{NodeId, Service, Topology};
+
+/// Converts element healths along routes into per-gateway QoS values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementModel {
+    /// Measurement-noise amplitude (uniform in `[-amp, +amp]`).
+    noise_amplitude: f64,
+}
+
+impl MeasurementModel {
+    /// Creates a model with the given measurement-noise amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_amplitude` is negative or not finite.
+    pub fn new(noise_amplitude: f64) -> Self {
+        assert!(
+            noise_amplitude.is_finite() && noise_amplitude >= 0.0,
+            "noise amplitude must be a non-negative finite number"
+        );
+        MeasurementModel { noise_amplitude }
+    }
+
+    /// The configured noise amplitude.
+    pub fn noise_amplitude(&self) -> f64 {
+        self.noise_amplitude
+    }
+
+    /// End-to-end QoS of `service` at `gateway`, given per-node healths and
+    /// a noise sample in `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route node is missing from `health` (i.e. the slice is
+    /// shorter than the topology) or `noise` is outside `[-1, 1]`.
+    pub fn measure(
+        &self,
+        topology: &Topology,
+        health: &[f64],
+        gateway: NodeId,
+        service: &Service,
+        noise: f64,
+    ) -> f64 {
+        assert!(
+            (-1.0..=1.0).contains(&noise),
+            "noise sample must lie in [-1, 1]"
+        );
+        let mut q = service.base_quality();
+        for node in topology.route_to_core(gateway) {
+            q *= health[node.0 as usize];
+        }
+        (q + noise * self.noise_amplitude).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for MeasurementModel {
+    /// A model with ±0.005 measurement jitter.
+    fn default() -> Self {
+        MeasurementModel::new(0.005)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Topology, Vec<f64>, Service) {
+        let t = Topology::tree(1, 1, 1, 2);
+        let health = vec![1.0; t.len()];
+        (t, health, Service::new("iptv", 900))
+    }
+
+    #[test]
+    fn healthy_route_gives_base_quality() {
+        let (t, health, s) = setup();
+        let m = MeasurementModel::new(0.0);
+        let q = m.measure(&t, &health, t.gateways()[0], &s, 0.0);
+        assert!((q - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_element_multiplies_down() {
+        let (t, mut health, s) = setup();
+        let dslam = t.dslams()[0];
+        health[dslam.0 as usize] = 0.5;
+        let m = MeasurementModel::new(0.0);
+        let q = m.measure(&t, &health, t.gateways()[0], &s, 0.0);
+        assert!((q - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_degradations_compound() {
+        let (t, mut health, s) = setup();
+        health[t.dslams()[0].0 as usize] = 0.5;
+        health[t.cores()[0].0 as usize] = 0.5;
+        let m = MeasurementModel::new(0.0);
+        let q = m.measure(&t, &health, t.gateways()[0], &s, 0.0);
+        assert!((q - 0.225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_shifts_within_amplitude_and_clamps() {
+        let (t, health, s) = setup();
+        let m = MeasurementModel::new(0.01);
+        let hi = m.measure(&t, &health, t.gateways()[0], &s, 1.0);
+        let lo = m.measure(&t, &health, t.gateways()[0], &s, -1.0);
+        assert!((hi - 0.91).abs() < 1e-12);
+        assert!((lo - 0.89).abs() < 1e-12);
+        // Clamping at the top.
+        let s_full = Service::new("max", 1000);
+        let q = m.measure(&t, &health, t.gateways()[0], &s_full, 1.0);
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise sample")]
+    fn rejects_out_of_range_noise() {
+        let (t, health, s) = setup();
+        MeasurementModel::default().measure(&t, &health, t.gateways()[0], &s, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise amplitude")]
+    fn rejects_negative_amplitude() {
+        MeasurementModel::new(-0.1);
+    }
+}

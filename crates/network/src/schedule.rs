@@ -1,0 +1,233 @@
+//! Timed incident schedules: multi-step fault timelines with onsets,
+//! durations, and repairs.
+//!
+//! Real incidents are not single-interval events: a DSLAM degrades at
+//! 19:02, worsens, and is repaired at 19:40; a CPE dies and stays dead
+//! until a truck roll. [`IncidentSchedule`] drives a [`NetworkSimulation`]
+//! through such a timeline step by step, producing the per-interval
+//! [`StepOutcome`]s the characterization pipeline consumes and keeping
+//! track of which incidents are active at each instant.
+
+use crate::sim::{FaultTarget, NetworkSimulation, StepOutcome};
+use crate::topology::NodeId;
+use anomaly_core::DeviceSet;
+
+/// One scheduled incident: a fault that starts at `starts_at` (step index)
+/// and is repaired after `duration` steps (`None` = never repaired).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Incident {
+    /// Step index at which the fault appears.
+    pub starts_at: u64,
+    /// Number of steps the fault stays active (`None` = permanent).
+    pub duration: Option<u64>,
+    /// What breaks and how badly.
+    pub fault: FaultTarget,
+}
+
+impl Incident {
+    /// True when the incident is active during step `step`.
+    pub fn active_at(&self, step: u64) -> bool {
+        step >= self.starts_at
+            && match self.duration {
+                Some(d) => step < self.starts_at + d,
+                None => true,
+            }
+    }
+
+    /// The faulted element.
+    pub fn node(&self) -> NodeId {
+        match self.fault {
+            FaultTarget::Node { node, .. } => node,
+            FaultTarget::Gateway { gateway, .. } => gateway,
+        }
+    }
+}
+
+/// Drives a network simulation through a timeline of incidents.
+#[derive(Debug, Clone)]
+pub struct IncidentSchedule {
+    incidents: Vec<Incident>,
+    step: u64,
+}
+
+impl IncidentSchedule {
+    /// Creates a schedule from a list of incidents.
+    pub fn new(incidents: Vec<Incident>) -> Self {
+        IncidentSchedule { incidents, step: 0 }
+    }
+
+    /// The current step index (number of steps already driven).
+    pub fn step_index(&self) -> u64 {
+        self.step
+    }
+
+    /// Incidents active during the step about to run.
+    pub fn active(&self) -> Vec<&Incident> {
+        self.incidents
+            .iter()
+            .filter(|i| i.active_at(self.step))
+            .collect()
+    }
+
+    /// Advances the network one interval: applies newly-starting faults,
+    /// repairs ending ones, snapshots around the changes.
+    ///
+    /// Returns the interval outcome plus the set of gateways whose service
+    /// recovered this step (they see an upward collective trajectory —
+    /// massive, but good news).
+    pub fn advance(&mut self, net: &mut NetworkSimulation) -> (StepOutcome, DeviceSet) {
+        let step = self.step;
+        // Faults that begin exactly now.
+        let starting: Vec<FaultTarget> = self
+            .incidents
+            .iter()
+            .filter(|i| i.starts_at == step)
+            .map(|i| i.fault)
+            .collect();
+        // Incidents whose last active step was step-1: repair them now by
+        // rebuilding health from scratch and re-applying still-active ones.
+        let ending_now: Vec<Incident> = self
+            .incidents
+            .iter()
+            .filter(|i| {
+                matches!(i.duration, Some(d) if i.starts_at + d == step)
+            })
+            .copied()
+            .collect();
+        let mut recovered = DeviceSet::new();
+        if !ending_now.is_empty() {
+            net.repair_all();
+            for incident in self.incidents.iter() {
+                // Re-apply incidents still active (started before now and
+                // not yet ended), except the ones ending this step.
+                if incident.starts_at < step && incident.active_at(step) {
+                    net.inject(incident.fault);
+                }
+            }
+            for incident in &ending_now {
+                recovered.extend(
+                    net.topology()
+                        .downstream_gateways(incident.node())
+                        .into_iter()
+                        .filter_map(|gw| {
+                            net.topology()
+                                .gateway_index(gw)
+                                .map(|i| anomaly_qos::DeviceId(i as u32))
+                        }),
+                );
+            }
+        }
+        let outcome = net.step(starting);
+        self.step += 1;
+        (outcome, recovered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NetworkConfig;
+
+    fn net(seed: u64) -> NetworkSimulation {
+        NetworkSimulation::new(NetworkConfig::small(seed)).unwrap()
+    }
+
+    #[test]
+    fn incident_activity_window() {
+        let i = Incident {
+            starts_at: 3,
+            duration: Some(2),
+            fault: FaultTarget::Gateway {
+                gateway: NodeId(0),
+                severity: 0.5,
+            },
+        };
+        assert!(!i.active_at(2));
+        assert!(i.active_at(3));
+        assert!(i.active_at(4));
+        assert!(!i.active_at(5));
+        let permanent = Incident {
+            duration: None,
+            ..i
+        };
+        assert!(permanent.active_at(1_000_000));
+    }
+
+    #[test]
+    fn timeline_applies_and_repairs_faults() {
+        let mut network = net(1);
+        let dslam = network.topology().dslams()[0];
+        let mut schedule = IncidentSchedule::new(vec![Incident {
+            starts_at: 1,
+            duration: Some(2),
+            fault: FaultTarget::Node {
+                node: dslam,
+                severity: 0.5,
+            },
+        }]);
+
+        // Step 0: nothing.
+        let (o0, rec0) = schedule.advance(&mut network);
+        assert!(o0.abnormal().is_empty());
+        assert!(rec0.is_empty());
+        // Step 1: fault appears, 16 gateways impacted.
+        let (o1, _) = schedule.advance(&mut network);
+        assert_eq!(o1.abnormal().len(), 16);
+        // Step 2: fault persists (no new injection -> no new flags).
+        let (o2, rec2) = schedule.advance(&mut network);
+        assert!(o2.abnormal().is_empty());
+        assert!(rec2.is_empty());
+        // Step 3: repair: 16 gateways recover.
+        let (_, rec3) = schedule.advance(&mut network);
+        assert_eq!(rec3.len(), 16);
+        // QoS is back to healthy.
+        let snap = network.snapshot();
+        for (_, p) in snap.iter() {
+            assert!(p[0] > 0.9);
+        }
+    }
+
+    #[test]
+    fn overlapping_incidents_keep_the_survivor_active() {
+        let mut network = net(2);
+        let d0 = network.topology().dslams()[0];
+        let d1 = network.topology().dslams()[1];
+        let mut schedule = IncidentSchedule::new(vec![
+            Incident {
+                starts_at: 0,
+                duration: Some(2),
+                fault: FaultTarget::Node { node: d0, severity: 0.5 },
+            },
+            Incident {
+                starts_at: 1,
+                duration: Some(5),
+                fault: FaultTarget::Node { node: d1, severity: 0.5 },
+            },
+        ]);
+        schedule.advance(&mut network); // step 0: d0 breaks
+        schedule.advance(&mut network); // step 1: d1 breaks too
+        let (_, recovered) = schedule.advance(&mut network); // step 2: d0 repaired
+        assert_eq!(recovered.len(), 16, "only d0's subtree recovers");
+        // d1's subtree is still degraded.
+        let snap = network.snapshot();
+        let degraded = snap
+            .iter()
+            .filter(|(_, p)| p[0] < 0.6)
+            .count();
+        assert_eq!(degraded, 16, "d1's gateways remain degraded");
+    }
+
+    #[test]
+    fn active_lists_current_incidents() {
+        let schedule = IncidentSchedule::new(vec![Incident {
+            starts_at: 0,
+            duration: None,
+            fault: FaultTarget::Gateway {
+                gateway: NodeId(5),
+                severity: 0.3,
+            },
+        }]);
+        assert_eq!(schedule.active().len(), 1);
+        assert_eq!(schedule.step_index(), 0);
+    }
+}

@@ -1,0 +1,307 @@
+use std::fmt;
+
+/// Identifier of a network element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Role of a network element in the ISP tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Core router / head-end (service origin).
+    Core,
+    /// Aggregation switch.
+    Aggregation,
+    /// DSLAM / OLT — the access multiplexer.
+    Dslam,
+    /// Customer-premises home gateway (the monitored device).
+    Gateway,
+}
+
+/// One of the `d` services every gateway consumes (IPTV, VoIP, …).
+///
+/// Services originate at the core; their end-to-end QoS at a gateway is
+/// determined by the health of every element on the gateway's route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Service {
+    /// Human-readable name.
+    pub name: String,
+    /// Nominal quality when the whole route is healthy, in `(0, 1]`.
+    pub base_quality_millis: u16,
+}
+
+impl Service {
+    /// Creates a service with a base quality expressed in thousandths
+    /// (e.g. `950` = 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_quality_millis` is 0 or exceeds 1000.
+    pub fn new(name: impl Into<String>, base_quality_millis: u16) -> Self {
+        assert!(
+            (1..=1000).contains(&base_quality_millis),
+            "base quality must be in (0, 1000] thousandths"
+        );
+        Service {
+            name: name.into(),
+            base_quality_millis,
+        }
+    }
+
+    /// Base quality as a float in `(0, 1]`.
+    pub fn base_quality(&self) -> f64 {
+        self.base_quality_millis as f64 / 1000.0
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+}
+
+/// The ISP tree: cores at the root, gateways at the leaves.
+///
+/// # Example
+///
+/// ```
+/// use anomaly_network::{Topology, NodeKind};
+/// let t = Topology::tree(1, 2, 3, 4); // 1 core, 2 aggs, 6 DSLAMs, 24 gateways
+/// assert_eq!(t.gateways().len(), 24);
+/// assert_eq!(t.dslams().len(), 6);
+/// // A gateway's route climbs to the core.
+/// let gw = t.gateways()[0];
+/// let route = t.route_to_core(gw);
+/// assert_eq!(t.kind(*route.last().unwrap()), NodeKind::Core);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    gateways: Vec<NodeId>,
+    dslams: Vec<NodeId>,
+    aggregations: Vec<NodeId>,
+    cores: Vec<NodeId>,
+}
+
+impl Topology {
+    /// Builds a regular tree: `cores` roots, each with `aggs_per_core`
+    /// aggregation switches, each with `dslams_per_agg` DSLAMs, each with
+    /// `gateways_per_dslam` home gateways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fan-out is zero.
+    pub fn tree(
+        cores: usize,
+        aggs_per_core: usize,
+        dslams_per_agg: usize,
+        gateways_per_dslam: usize,
+    ) -> Self {
+        assert!(
+            cores > 0 && aggs_per_core > 0 && dslams_per_agg > 0 && gateways_per_dslam > 0,
+            "every level of the tree must have positive fan-out"
+        );
+        let mut nodes = Vec::new();
+        let mut core_ids = Vec::new();
+        let mut agg_ids = Vec::new();
+        let mut dslam_ids = Vec::new();
+        let mut gateway_ids = Vec::new();
+        for _ in 0..cores {
+            let core = NodeId(nodes.len() as u32);
+            nodes.push(Node {
+                kind: NodeKind::Core,
+                parent: None,
+            });
+            core_ids.push(core);
+            for _ in 0..aggs_per_core {
+                let agg = NodeId(nodes.len() as u32);
+                nodes.push(Node {
+                    kind: NodeKind::Aggregation,
+                    parent: Some(core),
+                });
+                agg_ids.push(agg);
+                for _ in 0..dslams_per_agg {
+                    let dslam = NodeId(nodes.len() as u32);
+                    nodes.push(Node {
+                        kind: NodeKind::Dslam,
+                        parent: Some(agg),
+                    });
+                    dslam_ids.push(dslam);
+                    for _ in 0..gateways_per_dslam {
+                        let gw = NodeId(nodes.len() as u32);
+                        nodes.push(Node {
+                            kind: NodeKind::Gateway,
+                            parent: Some(dslam),
+                        });
+                        gateway_ids.push(gw);
+                    }
+                }
+            }
+        }
+        Topology {
+            nodes,
+            gateways: gateway_ids,
+            dslams: dslam_ids,
+            aggregations: agg_ids,
+            cores: core_ids,
+        }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the topology holds no nodes (never, for tree builds).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The home gateways, in construction order (their index is the
+    /// `DeviceId` used by the anomaly pipeline).
+    pub fn gateways(&self) -> &[NodeId] {
+        &self.gateways
+    }
+
+    /// The DSLAMs.
+    pub fn dslams(&self) -> &[NodeId] {
+        &self.dslams
+    }
+
+    /// The aggregation switches.
+    pub fn aggregations(&self) -> &[NodeId] {
+        &self.aggregations
+    }
+
+    /// The core routers.
+    pub fn cores(&self) -> &[NodeId] {
+        &self.cores
+    }
+
+    /// Kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0 as usize].kind
+    }
+
+    /// Parent of a node (`None` for cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0 as usize].parent
+    }
+
+    /// The route from a gateway up to (and including) its core router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateway` is out of bounds.
+    pub fn route_to_core(&self, gateway: NodeId) -> Vec<NodeId> {
+        let mut route = vec![gateway];
+        let mut cursor = gateway;
+        while let Some(parent) = self.parent(cursor) {
+            route.push(parent);
+            cursor = parent;
+        }
+        route
+    }
+
+    /// All gateways in the subtree of `node` (the blast radius of a fault
+    /// at that element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn downstream_gateways(&self, node: NodeId) -> Vec<NodeId> {
+        self.gateways
+            .iter()
+            .copied()
+            .filter(|&gw| self.route_to_core(gw).contains(&node))
+            .collect()
+    }
+
+    /// Index of a gateway among all gateways (its pipeline `DeviceId`), or
+    /// `None` if the node is not a gateway.
+    pub fn gateway_index(&self, node: NodeId) -> Option<usize> {
+        self.gateways.iter().position(|&g| g == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_counts() {
+        let t = Topology::tree(2, 3, 4, 5);
+        assert_eq!(t.cores().len(), 2);
+        assert_eq!(t.aggregations().len(), 6);
+        assert_eq!(t.dslams().len(), 24);
+        assert_eq!(t.gateways().len(), 120);
+        assert_eq!(t.len(), 2 + 6 + 24 + 120);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn routes_climb_to_the_core() {
+        let t = Topology::tree(1, 2, 2, 2);
+        for &gw in t.gateways() {
+            let route = t.route_to_core(gw);
+            assert_eq!(route.len(), 4); // gw, dslam, agg, core
+            assert_eq!(t.kind(route[0]), NodeKind::Gateway);
+            assert_eq!(t.kind(route[1]), NodeKind::Dslam);
+            assert_eq!(t.kind(route[2]), NodeKind::Aggregation);
+            assert_eq!(t.kind(route[3]), NodeKind::Core);
+        }
+    }
+
+    #[test]
+    fn downstream_gateways_match_fanout() {
+        let t = Topology::tree(1, 2, 3, 4);
+        let dslam = t.dslams()[0];
+        assert_eq!(t.downstream_gateways(dslam).len(), 4);
+        let agg = t.aggregations()[0];
+        assert_eq!(t.downstream_gateways(agg).len(), 12);
+        let core = t.cores()[0];
+        assert_eq!(t.downstream_gateways(core).len(), 24);
+        let gw = t.gateways()[0];
+        assert_eq!(t.downstream_gateways(gw), vec![gw]);
+    }
+
+    #[test]
+    fn gateway_index_is_positional() {
+        let t = Topology::tree(1, 1, 2, 2);
+        for (i, &gw) in t.gateways().iter().enumerate() {
+            assert_eq!(t.gateway_index(gw), Some(i));
+        }
+        assert_eq!(t.gateway_index(t.dslams()[0]), None);
+    }
+
+    #[test]
+    fn service_base_quality() {
+        let s = Service::new("iptv", 950);
+        assert!((s.base_quality() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "base quality")]
+    fn service_rejects_zero_quality() {
+        Service::new("bad", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive fan-out")]
+    fn tree_rejects_zero_fanout() {
+        Topology::tree(1, 0, 1, 1);
+    }
+}

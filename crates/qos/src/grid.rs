@@ -1,0 +1,239 @@
+use crate::point::DeviceId;
+use crate::snapshot::StatePair;
+
+/// Uniform-grid spatial index over a [`StatePair`].
+///
+/// Buckets devices by their position at time `k-1` into hypercube cells of a
+/// configurable side, so that the vicinity query *"all devices within uniform
+/// distance `radius` of `j` at both times"* inspects only the `3^d`-ish cells
+/// around `j` instead of the whole population. Candidates from the grid are
+/// then filtered exactly on the motion distance, so results are identical to
+/// the linear scan [`StatePair::neighbors_both`].
+///
+/// The local algorithms of the paper only ever look `2r` (one hop) or `4r`
+/// (two hops) away, and `r < 1/4`, so cell sides match query radii well.
+///
+/// # Example
+///
+/// ```
+/// use anomaly_qos::{GridIndex, QosSpace, Snapshot, StatePair, DeviceId};
+/// let space = QosSpace::new(2)?;
+/// let before = Snapshot::from_rows(&space, vec![vec![0.1, 0.1], vec![0.12, 0.11], vec![0.9, 0.9]])?;
+/// let after  = Snapshot::from_rows(&space, vec![vec![0.4, 0.4], vec![0.42, 0.41], vec![0.9, 0.8]])?;
+/// let pair = StatePair::new(before, after)?;
+/// let index = GridIndex::build(&pair, 0.06);
+/// assert_eq!(index.neighbors_both(&pair, DeviceId(0), 0.06), vec![DeviceId(1)]);
+/// # Ok::<(), anomaly_qos::QosError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    /// Number of cells along each axis.
+    cells_per_axis: usize,
+    /// Cell side length (1 / cells_per_axis).
+    cell_side: f64,
+    /// Space dimension.
+    dim: usize,
+    /// Flattened cell -> device ids bucketed by before-position.
+    buckets: Vec<Vec<DeviceId>>,
+}
+
+impl GridIndex {
+    /// Builds an index over the `before` positions of `pair`, with cells no
+    /// smaller than `min_cell_side` (typically the query radius `2r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_cell_side` is not a positive finite number.
+    pub fn build(pair: &StatePair, min_cell_side: f64) -> Self {
+        assert!(
+            min_cell_side.is_finite() && min_cell_side > 0.0,
+            "cell side must be positive and finite"
+        );
+        let dim = pair.dim();
+        // Cap the axis resolution so `cells_per_axis^dim` stays affordable in
+        // higher dimensions (d is small in practice: number of services).
+        let max_axis = match dim {
+            1 => 4096,
+            2 => 512,
+            3 => 64,
+            _ => 16,
+        };
+        let cells_per_axis = ((1.0 / min_cell_side).floor() as usize).clamp(1, max_axis);
+        let cell_side = 1.0 / cells_per_axis as f64;
+        let total_cells = cells_per_axis.pow(dim as u32);
+        let mut buckets = vec![Vec::new(); total_cells];
+        for (id, p) in pair.before().iter() {
+            let cell = Self::cell_of(p.coords(), cells_per_axis, cell_side);
+            buckets[cell].push(id);
+        }
+        GridIndex {
+            cells_per_axis,
+            cell_side,
+            dim,
+            buckets,
+        }
+    }
+
+    fn cell_of(coords: &[f64], cells_per_axis: usize, cell_side: f64) -> usize {
+        let mut idx = 0usize;
+        for &c in coords {
+            let axis = ((c / cell_side) as usize).min(cells_per_axis - 1);
+            idx = idx * cells_per_axis + axis;
+        }
+        idx
+    }
+
+    /// Number of cells along each axis.
+    pub fn cells_per_axis(&self) -> usize {
+        self.cells_per_axis
+    }
+
+    /// Side length of each cell.
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// Exact vicinity query: devices other than `j` within uniform distance
+    /// `radius` of `j` at **both** times `k-1` and `k`.
+    ///
+    /// Results are sorted by device id and agree exactly with
+    /// [`StatePair::neighbors_both`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds for `pair`, or if `pair` disagrees with
+    /// the dimension the index was built for.
+    pub fn neighbors_both(&self, pair: &StatePair, j: DeviceId, radius: f64) -> Vec<DeviceId> {
+        assert_eq!(pair.dim(), self.dim, "state pair dimension mismatch");
+        let center = pair.before().position(j).coords();
+        let reach = (radius / self.cell_side).ceil() as isize;
+        let mut out = Vec::new();
+        // Enumerate the hyper-box of cells within `reach` of j's cell.
+        let axes: Vec<isize> = center
+            .iter()
+            .map(|&c| ((c / self.cell_side) as isize).min(self.cells_per_axis as isize - 1))
+            .collect();
+        let mut offsets = vec![-reach; self.dim];
+        'outer: loop {
+            // Compute the flattened index of the current neighbour cell.
+            let mut idx = 0usize;
+            let mut valid = true;
+            for (a, off) in axes.iter().zip(&offsets) {
+                let axis = a + off;
+                if axis < 0 || axis >= self.cells_per_axis as isize {
+                    valid = false;
+                    break;
+                }
+                idx = idx * self.cells_per_axis + axis as usize;
+            }
+            if valid {
+                for &cand in &self.buckets[idx] {
+                    if cand != j && pair.pairwise_motion_distance(j, cand) <= radius {
+                        out.push(cand);
+                    }
+                }
+            }
+            // Advance the offset odometer.
+            for i in (0..self.dim).rev() {
+                offsets[i] += 1;
+                if offsets[i] <= reach {
+                    continue 'outer;
+                }
+                offsets[i] = -reach;
+            }
+            break;
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+    use crate::space::QosSpace;
+    use proptest::prelude::*;
+
+    fn pair_from(rows_before: Vec<Vec<f64>>, rows_after: Vec<Vec<f64>>) -> StatePair {
+        let dim = rows_before[0].len();
+        let space = QosSpace::new(dim).unwrap();
+        StatePair::new(
+            Snapshot::from_rows(&space, rows_before).unwrap(),
+            Snapshot::from_rows(&space, rows_after).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_linear_scan_on_small_example() {
+        let pair = pair_from(
+            vec![vec![0.1, 0.1], vec![0.12, 0.11], vec![0.9, 0.9], vec![0.13, 0.13]],
+            vec![vec![0.4, 0.4], vec![0.42, 0.41], vec![0.9, 0.8], vec![0.8, 0.8]],
+        );
+        let index = GridIndex::build(&pair, 0.06);
+        for j in pair.device_ids() {
+            let mut expected = pair.neighbors_both(j, 0.06);
+            expected.sort_unstable();
+            assert_eq!(index.neighbors_both(&pair, j, 0.06), expected);
+        }
+    }
+
+    #[test]
+    fn handles_boundary_coordinates() {
+        let pair = pair_from(
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.02, 0.0]],
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.02, 0.0]],
+        );
+        let index = GridIndex::build(&pair, 0.05);
+        assert_eq!(
+            index.neighbors_both(&pair, DeviceId(0), 0.05),
+            vec![DeviceId(2)]
+        );
+        assert!(index
+            .neighbors_both(&pair, DeviceId(1), 0.05)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_cell_side() {
+        let pair = pair_from(vec![vec![0.5]], vec![vec![0.5]]);
+        GridIndex::build(&pair, 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_space_works() {
+        let pair = pair_from(
+            vec![vec![0.1], vec![0.14], vec![0.5]],
+            vec![vec![0.2], vec![0.24], vec![0.9]],
+        );
+        let index = GridIndex::build(&pair, 0.06);
+        assert_eq!(
+            index.neighbors_both(&pair, DeviceId(0), 0.06),
+            vec![DeviceId(1)]
+        );
+    }
+
+    proptest! {
+        /// The grid query is exactly equivalent to the linear scan, for any
+        /// population and radius.
+        #[test]
+        fn grid_equals_linear_scan(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..=1.0f64, 2), 1..40),
+            rows_after in proptest::collection::vec(
+                proptest::collection::vec(0.0..=1.0f64, 2), 1..40),
+            radius in 0.01..0.3f64,
+        ) {
+            let n = rows.len().min(rows_after.len());
+            let pair = pair_from(rows[..n].to_vec(), rows_after[..n].to_vec());
+            let index = GridIndex::build(&pair, radius);
+            for j in pair.device_ids() {
+                let mut expected = pair.neighbors_both(j, radius);
+                expected.sort_unstable();
+                prop_assert_eq!(index.neighbors_both(&pair, j, radius), expected);
+            }
+        }
+    }
+}

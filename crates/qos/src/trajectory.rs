@@ -1,0 +1,147 @@
+use crate::norm::uniform_distance;
+use crate::point::{DeviceId, Point};
+
+/// The motion of one device between two successive snapshots.
+///
+/// The paper models the temporal evolution of a device's QoS as a trajectory
+/// in `E`; an *abnormal* trajectory (flagged by the error-detection function
+/// `a_k(j)`) is the unit of anomaly characterization.
+///
+/// # Example
+///
+/// ```
+/// use anomaly_qos::{Trajectory, Point, DeviceId};
+/// let t = Trajectory::new(
+///     DeviceId(0),
+///     Point::new_unchecked(vec![0.1, 0.1]),
+///     Point::new_unchecked(vec![0.6, 0.1]),
+/// );
+/// assert!((t.displacement_norm() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    device: DeviceId,
+    before: Point,
+    after: Point,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from the positions at `k-1` and `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two points have different dimensions.
+    pub fn new(device: DeviceId, before: Point, after: Point) -> Self {
+        assert_eq!(
+            before.dim(),
+            after.dim(),
+            "trajectory endpoints must share a dimension"
+        );
+        Trajectory {
+            device,
+            before,
+            after,
+        }
+    }
+
+    /// The device this trajectory belongs to.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Position at time `k-1`.
+    pub fn before(&self) -> &Point {
+        &self.before
+    }
+
+    /// Position at time `k`.
+    pub fn after(&self) -> &Point {
+        &self.after
+    }
+
+    /// The displacement vector `p_k(j) - p_{k-1}(j)`.
+    pub fn displacement(&self) -> Vec<f64> {
+        self.after
+            .coords()
+            .iter()
+            .zip(self.before.coords())
+            .map(|(a, b)| a - b)
+            .collect()
+    }
+
+    /// Uniform norm of the displacement.
+    pub fn displacement_norm(&self) -> f64 {
+        uniform_distance(self.after.coords(), self.before.coords())
+    }
+
+    /// The *motion distance* to another trajectory: the larger of the
+    /// uniform distances at the two times. Two trajectories can share an
+    /// r-consistent motion only if this is at most `2r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectories have different dimensions.
+    pub fn motion_distance(&self, other: &Trajectory) -> f64 {
+        let db = uniform_distance(self.before.coords(), other.before.coords());
+        let da = uniform_distance(self.after.coords(), other.after.coords());
+        db.max(da)
+    }
+
+    /// The trajectory viewed as a single point in the concatenated
+    /// `2d`-dimensional space (positions at `k-1` followed by positions at
+    /// `k`).
+    ///
+    /// A set of trajectories forms an r-consistent motion **iff** the
+    /// corresponding concatenated points have L∞ diameter at most `2r` — this
+    /// reduction is what the maximal-motion enumeration in `anomaly-core`
+    /// exploits.
+    pub fn concatenated(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.before.dim() * 2);
+        v.extend_from_slice(self.before.coords());
+        v.extend_from_slice(self.after.coords());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(id: u32, b: Vec<f64>, a: Vec<f64>) -> Trajectory {
+        Trajectory::new(
+            DeviceId(id),
+            Point::new_unchecked(b),
+            Point::new_unchecked(a),
+        )
+    }
+
+    #[test]
+    fn displacement_and_norm() {
+        let t = traj(0, vec![0.1, 0.5], vec![0.4, 0.3]);
+        assert_eq!(t.displacement(), vec![0.30000000000000004, -0.2]);
+        assert!((t.displacement_norm() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn motion_distance_is_max_of_endpoint_distances() {
+        let t0 = traj(0, vec![0.1, 0.1], vec![0.5, 0.5]);
+        let t1 = traj(1, vec![0.15, 0.1], vec![0.8, 0.5]);
+        assert!((t0.motion_distance(&t1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concatenated_agrees_with_motion_distance() {
+        let t0 = traj(0, vec![0.1, 0.1], vec![0.5, 0.5]);
+        let t1 = traj(1, vec![0.15, 0.2], vec![0.8, 0.5]);
+        let c0 = t0.concatenated();
+        let c1 = t1.concatenated();
+        let d = crate::norm::uniform_distance(&c0, &c1);
+        assert!((d - t0.motion_distance(&t1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn rejects_mismatched_endpoints() {
+        traj(0, vec![0.1], vec![0.1, 0.2]);
+    }
+}

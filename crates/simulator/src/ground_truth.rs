@@ -1,0 +1,119 @@
+use anomaly_core::DeviceSet;
+
+/// One injected error and the devices it impacted — an element of the real
+/// scenario `R_k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorEvent {
+    /// Devices whose trajectory this error caused.
+    pub impacted: DeviceSet,
+    /// Whether the *generator* intended this error as isolated; the
+    /// effective class follows from `impacted.len()` (an intended-massive
+    /// error in a sparse neighbourhood may impact `≤ τ` devices).
+    pub intended_isolated: bool,
+}
+
+impl ErrorEvent {
+    /// True when the error effectively impacted more than `τ` devices —
+    /// i.e. it belongs to `M_{R_k}` in the real scenario.
+    pub fn is_massive(&self, tau: usize) -> bool {
+        self.impacted.len() > tau
+    }
+}
+
+/// The real scenario `R_k` for one step: every injected error with its
+/// impacted devices. Events are pairwise disjoint (restriction R1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    events: Vec<ErrorEvent>,
+}
+
+impl GroundTruth {
+    /// Wraps a list of events.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if events overlap — the generator upholds
+    /// restriction R1.
+    pub fn new(events: Vec<ErrorEvent>) -> Self {
+        debug_assert!(
+            {
+                let mut seen = DeviceSet::new();
+                events.iter().all(|e| {
+                    e.impacted.iter().all(|id| seen.insert(id))
+                })
+            },
+            "error events must be pairwise disjoint (R1)"
+        );
+        GroundTruth { events }
+    }
+
+    /// The injected errors.
+    pub fn events(&self) -> &[ErrorEvent] {
+        &self.events
+    }
+
+    /// All impacted devices — the ground-truth `A_k`.
+    pub fn abnormal_devices(&self) -> DeviceSet {
+        self.events
+            .iter()
+            .flat_map(|e| e.impacted.iter())
+            .collect()
+    }
+
+    /// Devices impacted by effectively-massive errors (`M_{R_k}`).
+    pub fn massive_devices(&self, tau: usize) -> DeviceSet {
+        self.events
+            .iter()
+            .filter(|e| e.is_massive(tau))
+            .flat_map(|e| e.impacted.iter())
+            .collect()
+    }
+
+    /// Devices impacted by effectively-isolated errors (`I_{R_k}`).
+    pub fn isolated_devices(&self, tau: usize) -> DeviceSet {
+        self.events
+            .iter()
+            .filter(|e| !e.is_massive(tau))
+            .flat_map(|e| e.impacted.iter())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ids: &[u32], intended_isolated: bool) -> ErrorEvent {
+        ErrorEvent {
+            impacted: DeviceSet::from(ids),
+            intended_isolated,
+        }
+    }
+
+    #[test]
+    fn classification_by_effective_size() {
+        let e = event(&[1, 2, 3, 4], false);
+        assert!(e.is_massive(3));
+        assert!(!e.is_massive(4));
+    }
+
+    #[test]
+    fn truth_splits_massive_and_isolated() {
+        let truth = GroundTruth::new(vec![
+            event(&[1, 2, 3, 4], false),
+            event(&[5], true),
+            event(&[6, 7], false), // intended massive, effectively isolated
+        ]);
+        assert_eq!(truth.abnormal_devices().len(), 7);
+        assert_eq!(truth.massive_devices(3), DeviceSet::from([1, 2, 3, 4]));
+        assert_eq!(truth.isolated_devices(3), DeviceSet::from([5, 6, 7]));
+        assert_eq!(truth.events().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise disjoint")]
+    #[cfg(debug_assertions)]
+    fn overlapping_events_panic_in_debug() {
+        GroundTruth::new(vec![event(&[1, 2], false), event(&[2, 3], false)]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Parameter sweeps behind Tables II/III and Figures 7–9.
+//!
+//! Each sweep runs many seeded steps per `(A, G)` grid point, aggregates
+//! with [`OnlineStats`], and reports the ratios the paper plots.
+
+use crate::config::{ScenarioConfig, SimulationError};
+use crate::generator::Simulation;
+use crate::runner::{analyze_step, StepReport};
+use anomaly_analytic::OnlineStats;
+
+/// Aggregate measurements for one `(A, G)` grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Errors per step `A`.
+    pub errors_per_step: usize,
+    /// Isolated-error probability `G`.
+    pub isolated_prob: f64,
+    /// Steps aggregated.
+    pub steps: u64,
+    /// Total flagged devices across steps.
+    pub total_abnormal: u64,
+    /// Total unresolved devices across steps.
+    pub total_unresolved: u64,
+    /// Total isolated-truth devices classified massive (Figure 8 numerator).
+    pub total_missed: u64,
+    /// Per-step `|U_k|/|A_k|` statistics.
+    pub u_ratio: OnlineStats,
+    /// Per-step missed-detection-rate statistics.
+    pub missed_rate: OnlineStats,
+}
+
+impl SweepPoint {
+    /// Pooled `Σ|U_k| / Σ|A_k|` (the Figures 7/9 y-value), as a percentage.
+    pub fn pooled_u_ratio_pct(&self) -> f64 {
+        if self.total_abnormal == 0 {
+            0.0
+        } else {
+            100.0 * self.total_unresolved as f64 / self.total_abnormal as f64
+        }
+    }
+
+    /// Pooled missed-detection rate (Figure 8 y-value), as a percentage.
+    pub fn pooled_missed_pct(&self) -> f64 {
+        if self.total_abnormal == 0 {
+            0.0
+        } else {
+            100.0 * self.total_missed as f64 / self.total_abnormal as f64
+        }
+    }
+}
+
+/// Runs `steps` simulation intervals per `(A, G)` point and aggregates.
+///
+/// `full` selects exact characterization (Theorem 7 NSC); the figure
+/// harness uses `true`. Each grid point gets an independent deterministic
+/// seed derived from `base.seed`.
+///
+/// # Errors
+///
+/// Propagates configuration validation failures.
+pub fn sweep_grid(
+    base: &ScenarioConfig,
+    a_values: &[usize],
+    g_values: &[f64],
+    steps: u64,
+    full: bool,
+) -> Result<Vec<SweepPoint>, SimulationError> {
+    let mut out = Vec::with_capacity(a_values.len() * g_values.len());
+    for (ai, &a) in a_values.iter().enumerate() {
+        for (gi, &g) in g_values.iter().enumerate() {
+            let seed = base
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((ai as u64) << 32 | gi as u64);
+            let config = base
+                .with_errors_per_step(a)
+                .with_isolated_prob(g)
+                .with_seed(seed);
+            let mut sim = Simulation::new(config)?;
+            let mut point = SweepPoint {
+                errors_per_step: a,
+                isolated_prob: g,
+                steps,
+                total_abnormal: 0,
+                total_unresolved: 0,
+                total_missed: 0,
+                u_ratio: OnlineStats::new(),
+                missed_rate: OnlineStats::new(),
+            };
+            for _ in 0..steps {
+                let report: StepReport = analyze_step(&sim.step(), full);
+                point.total_abnormal += report.abnormal as u64;
+                point.total_unresolved += report.unresolved as u64;
+                point.total_missed += report.missed_isolated_as_massive as u64;
+                point.u_ratio.push(report.unresolved_ratio());
+                point.missed_rate.push(report.missed_rate());
+            }
+            out.push(point);
+        }
+    }
+    Ok(out)
+}
+
+/// One point of the sampling-granularity experiment (Section VII-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GranularityPoint {
+    /// Snapshots taken per epoch (the sampling frequency).
+    pub frequency: usize,
+    /// Errors landing in each snapshot interval (`a_total / frequency`).
+    pub errors_per_interval: usize,
+    /// Pooled `Σ|U_k| / Σ|A_k|` over the epoch, in percent.
+    pub unresolved_pct: f64,
+}
+
+/// The sampling-granularity experiment of Section VII-C: a fixed workload of
+/// `a_total` errors per epoch is observed at different sampling frequencies.
+/// Sampling `f` times per epoch means each interval carries `a_total / f`
+/// errors; the paper's claim — *"by sampling sufficiently often one's
+/// neighbourhood, the number of unresolved configurations drastically
+/// shrinks"* — shows up as `unresolved_pct` decreasing in `f`.
+///
+/// # Errors
+///
+/// Propagates configuration validation failures.
+///
+/// # Panics
+///
+/// Panics if `a_total == 0` or any frequency is 0.
+pub fn granularity_sweep(
+    base: &ScenarioConfig,
+    a_total: usize,
+    frequencies: &[usize],
+    epochs: u64,
+    full: bool,
+) -> Result<Vec<GranularityPoint>, SimulationError> {
+    assert!(a_total > 0, "the epoch must carry at least one error");
+    let mut out = Vec::with_capacity(frequencies.len());
+    for &f in frequencies {
+        assert!(f > 0, "sampling frequency must be positive");
+        let per_interval = (a_total / f).max(1);
+        let config = base
+            .with_errors_per_step(per_interval)
+            .with_seed(base.seed.wrapping_add(f as u64 * 7919));
+        let mut sim = Simulation::new(config)?;
+        let (mut unresolved, mut abnormal) = (0u64, 0u64);
+        for _ in 0..epochs {
+            for _ in 0..f {
+                let report = analyze_step(&sim.step(), full);
+                unresolved += report.unresolved as u64;
+                abnormal += report.abnormal as u64;
+            }
+        }
+        out.push(GranularityPoint {
+            frequency: f,
+            errors_per_interval: per_interval,
+            unresolved_pct: if abnormal == 0 {
+                0.0
+            } else {
+                100.0 * unresolved as f64 / abnormal as f64
+            },
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ScenarioConfig {
+        let mut c = ScenarioConfig::paper_defaults(99);
+        c.n = 300;
+        c
+    }
+
+    #[test]
+    fn grid_covers_all_points() {
+        let points = sweep_grid(&base(), &[5, 10], &[0.0, 1.0], 2, false).unwrap();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert_eq!(p.steps, 2);
+            assert!(p.total_abnormal > 0);
+        }
+    }
+
+    #[test]
+    fn pooled_ratios_are_percentages() {
+        let points = sweep_grid(&base(), &[8], &[0.5], 3, true).unwrap();
+        let p = &points[0];
+        assert!((0.0..=100.0).contains(&p.pooled_u_ratio_pct()));
+        assert!((0.0..=100.0).contains(&p.pooled_missed_pct()));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = sweep_grid(&base(), &[6], &[0.3], 2, false).unwrap();
+        let b = sweep_grid(&base(), &[6], &[0.3], 2, false).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn granularity_points_cover_frequencies() {
+        let points = granularity_sweep(&base(), 12, &[1, 3], 1, false).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].errors_per_interval, 12);
+        assert_eq!(points[1].errors_per_interval, 4);
+    }
+
+    #[test]
+    fn single_error_per_interval_has_no_unresolved() {
+        // Frequency equal to the workload: one error per snapshot, hence no
+        // superposition and no unresolved configurations.
+        let points = granularity_sweep(&base(), 6, &[6], 2, true).unwrap();
+        assert_eq!(points[0].unresolved_pct, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one error")]
+    fn granularity_rejects_empty_epoch() {
+        let _ = granularity_sweep(&base(), 0, &[1], 1, false);
+    }
+
+    #[test]
+    fn zero_abnormal_is_handled() {
+        let p = SweepPoint {
+            errors_per_step: 0,
+            isolated_prob: 0.0,
+            steps: 0,
+            total_abnormal: 0,
+            total_unresolved: 0,
+            total_missed: 0,
+            u_ratio: OnlineStats::new(),
+            missed_rate: OnlineStats::new(),
+        };
+        assert_eq!(p.pooled_u_ratio_pct(), 0.0);
+        assert_eq!(p.pooled_missed_pct(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Dimensioning r and tau for a deployment (Section VII-A / Figure 6).
+//!
+//! Before rolling the characterization out, an operator must pick the
+//! consistency radius `r` and the density threshold `tau` so that
+//! independent isolated errors almost never masquerade as a massive
+//! anomaly. This example reproduces the paper's reasoning for a fleet of
+//! 1000 devices and then re-dimensions for a 10x larger fleet.
+//!
+//! Run with: `cargo run --example dimensioning`
+
+use anomaly_characterization::analytic::{
+    prob_false_dense_exceeds, prob_vicinity_at_most, solve_tau, vicinity_probability_bulk,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, d, b) = (1000u64, 2usize, 0.005);
+
+    // Step 1: pick r so the vicinity stays small (logarithmic in n).
+    println!("vicinity size vs r (n = {n}):");
+    for r in [0.02, 0.025, 0.03, 0.05, 0.1] {
+        let q = vicinity_probability_bulk(r, d);
+        let mean = q * (n - 1) as f64;
+        println!(
+            "  r = {r:<6} mean vicinity = {mean:>6.1} devices, P{{N <= 30}} = {:.4}",
+            prob_vicinity_at_most(n, r, d, 30)
+        );
+    }
+    let r = 0.03; // the paper's choice: ~14 devices, log-ish in n = 1000
+
+    // Step 2: pick the smallest tau with negligible false-dense probability.
+    let epsilon = 1e-4;
+    let tau = solve_tau(n, r, d, b, epsilon)?;
+    println!(
+        "\nchosen: r = {r}, tau = {tau} (P{{F > tau}} = {:.2e} < {epsilon:.0e})",
+        prob_false_dense_exceeds(n, r, d, b, tau)?
+    );
+
+    // Step 3: the same exercise for a 10x fleet — tau must grow a little.
+    let big_n = 10_000;
+    let big_tau = solve_tau(big_n, r, d, b, epsilon)?;
+    println!(
+        "for n = {big_n}: tau = {big_tau} (P{{F > tau}} = {:.2e})",
+        prob_false_dense_exceeds(big_n, r, d, b, big_tau)?
+    );
+    assert!(big_tau >= tau);
+
+    println!("\nuse Params::new({r}, {tau}) for the n = {n} deployment.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The over-the-top operator's view (Section I, second use case).
+//!
+//! An OTT operator delivers content through an ISP it does not control.
+//! When an aggregation switch degrades, thousands of clients blame the OTT —
+//! so the OTT wants *network-level* events surfaced immediately, while
+//! ignoring individual devices' local problems. This is the mirror image of
+//! the ISP use case: here only **massive** verdicts are reported.
+//!
+//! Run with: `cargo run --example ott_monitoring`
+
+use anomaly_characterization::core::{AnomalyClass, Params};
+use anomaly_characterization::network::{
+    gateway_reports, FaultTarget, NetworkConfig, NetworkSimulation,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut net = NetworkSimulation::new(NetworkConfig::small(31337))?;
+
+    // Hour 1: a few customers have local trouble — the OTT should NOT page
+    // anyone.
+    let g1 = net.topology().gateways()[3];
+    let g2 = net.topology().gateways()[40];
+    let quiet_hour = net.step(vec![
+        FaultTarget::Gateway { gateway: g1, severity: 0.6 },
+        FaultTarget::Gateway { gateway: g2, severity: 0.7 },
+    ]);
+    let params = Params::new(0.02, 3)?;
+    let network_events = |reports: &[anomaly_characterization::network::GatewayReport]| {
+        reports
+            .iter()
+            .filter(|r| r.class == AnomalyClass::Massive)
+            .count()
+    };
+    let quiet_reports = gateway_reports(&quiet_hour, params);
+    println!(
+        "hour 1: {} devices degraded, {} network-level events -> no page",
+        quiet_reports.len(),
+        network_events(&quiet_reports)
+    );
+    assert_eq!(network_events(&quiet_reports), 0);
+
+    // Hour 2: an aggregation switch melts down — 32 clients degrade at once.
+    net.repair_all();
+    let agg = net.topology().aggregations()[1];
+    let bad_hour = net.step(vec![FaultTarget::Node { node: agg, severity: 0.6 }]);
+    let bad_reports = gateway_reports(&bad_hour, params);
+    let events = network_events(&bad_reports);
+    println!(
+        "hour 2: {} devices degraded, {} of them in a network-level event -> PAGE THE NOC",
+        bad_reports.len(),
+        events
+    );
+    assert!(events >= 30, "the aggregation outage must be seen as massive");
+
+    println!("\nthe OTT pages exactly when the network (not a customer) is at fault.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! End-to-end pipeline: raw QoS time series -> error-detection functions ->
+//! abnormal-trajectory set A_k -> local characterization.
+//!
+//! The paper assumes the detection functions `a_k(j)` exist (Section III-A,
+//! citing Holt-Winters and CUSUM); this example actually runs them. Twelve
+//! devices stream noisy QoS samples; at some instant a shared incident hits
+//! eight of them and an unrelated local fault hits one more. The detectors
+//! build A_k, then the characterization separates the two incidents.
+//!
+//! Run with: `cargo run --example streaming_detection`
+
+use anomaly_characterization::core::{Analyzer, AnomalyClass, Params, TrajectoryTable};
+use anomaly_characterization::detectors::{Detector, HoltWintersDetector};
+use anomaly_characterization::qos::{DeviceId, QosSpace, Snapshot, StatePair};
+
+const DEVICES: usize = 12;
+const SHARED_INCIDENT: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+const LOCAL_FAULT: usize = 10;
+const INCIDENT_AT: usize = 60;
+
+/// Noisy QoS sample of device `j` at instant `t`.
+fn qos(j: usize, t: usize) -> f64 {
+    let wiggle = 0.004 * ((t * 7 + j * 13) as f64).sin();
+    let healthy = 0.90 + 0.002 * (j % 5) as f64;
+    let level = if t >= INCIDENT_AT && SHARED_INCIDENT.contains(&j) {
+        healthy - 0.45 - 0.002 * (j % 3) as f64 // shared congestion level
+    } else if t >= INCIDENT_AT && j == LOCAL_FAULT {
+        0.15 // local hardware fault
+    } else {
+        healthy
+    };
+    (level + wiggle).clamp(0.0, 1.0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One Holt-Winters detector per device (trend-aware forecasting).
+    let mut detectors: Vec<HoltWintersDetector> =
+        (0..DEVICES).map(|_| HoltWintersDetector::new(0.5, 0.2, 4.0)).collect();
+
+    // Stream until the incident instant; remember the last healthy sample.
+    let mut last_healthy = vec![0.0f64; DEVICES];
+    for t in 0..INCIDENT_AT {
+        for (j, det) in detectors.iter_mut().enumerate() {
+            let v = qos(j, t);
+            det.observe(v);
+            last_healthy[j] = v;
+        }
+    }
+
+    // The incident instant: detectors raise a_k(j) for the impacted devices.
+    let mut flagged = Vec::new();
+    let mut now = vec![0.0f64; DEVICES];
+    for (j, det) in detectors.iter_mut().enumerate() {
+        now[j] = qos(j, INCIDENT_AT);
+        if det.observe(now[j]).is_anomalous() {
+            flagged.push(DeviceId(j as u32));
+        }
+    }
+    println!("detectors flagged {} devices: {flagged:?}", flagged.len());
+    assert_eq!(flagged.len(), 9, "8 shared + 1 local fault");
+
+    // Build the snapshot pair for the flagged population and characterize.
+    let space = QosSpace::new(1)?;
+    let before = Snapshot::from_rows(&space, last_healthy.iter().map(|&v| vec![v]).collect())?;
+    let after = Snapshot::from_rows(&space, now.iter().map(|&v| vec![v]).collect())?;
+    let pair = StatePair::new(before, after)?;
+    let table = TrajectoryTable::from_state_pair(&pair, &flagged);
+    let analyzer = Analyzer::new(&table, Params::new(0.03, 3)?);
+
+    for &j in table.ids() {
+        let c = analyzer.characterize_full(j);
+        println!("  {} -> {} ({})", j, c.class(), c.rule());
+    }
+    let local = analyzer.characterize_full(DeviceId(LOCAL_FAULT as u32));
+    assert_eq!(local.class(), AnomalyClass::Isolated);
+    let shared = analyzer.characterize_full(DeviceId(0));
+    assert_eq!(shared.class(), AnomalyClass::Massive);
+    println!("\nshared congestion recognized as massive; device d10's fault stays local.");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the DSN 2014 "Anomaly Characterization in Large Scale
+//! Networks" reproduction.
+//!
+//! Re-exports the public API of every sub-crate under one roof. See
+//! `README.md` for a tour and `examples/` for runnable scenarios.
+
+#![forbid(unsafe_code)]
+
+pub mod pipeline;
+
+pub use anomaly_analytic as analytic;
+pub use anomaly_baselines as baselines;
+pub use anomaly_core as core;
+pub use anomaly_detectors as detectors;
+pub use anomaly_network as network;
+pub use anomaly_qos as qos;
+pub use anomaly_simulator as simulator;

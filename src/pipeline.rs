@@ -1,0 +1,254 @@
+//! The deployable pipeline: snapshots in, verdicts out.
+//!
+//! [`FleetMonitor`] is the glue a real deployment needs around the paper's
+//! algorithms: it owns one error-detection function per device (the
+//! `a_k(j)` of Section III-A), ingests a QoS snapshot per sampling instant,
+//! assembles the abnormal set `A_k`, and runs the local characterization of
+//! Section V over the `[k−1, k]` interval — returning, for every flagged
+//! device, whether its anomaly is isolated, massive, or unresolved.
+//!
+//! # Example
+//!
+//! ```
+//! use anomaly_characterization::pipeline::FleetMonitor;
+//! use anomaly_characterization::core::{AnomalyClass, Params};
+//! use anomaly_characterization::detectors::{Detector, EwmaDetector, VectorDetector};
+//! use anomaly_characterization::qos::{QosSpace, Snapshot};
+//!
+//! let space = QosSpace::new(1)?;
+//! let mut monitor = FleetMonitor::new(
+//!     Params::new(0.03, 3)?,
+//!     (0..6).map(|_| VectorDetector::homogeneous(1, || EwmaDetector::new(0.3, 4.0))),
+//! );
+//! // Healthy warm-up.
+//! for _ in 0..30 {
+//!     let snap = Snapshot::from_rows(&space, vec![vec![0.9]; 6])?;
+//!     assert!(monitor.observe(snap).verdicts.is_empty());
+//! }
+//! // A shared incident hits devices 0..5; device 5 fails alone.
+//! let rows = vec![vec![0.4], vec![0.41], vec![0.42], vec![0.43], vec![0.44], vec![0.1]];
+//! let report = monitor.observe(Snapshot::from_rows(&space, rows)?);
+//! assert_eq!(report.verdicts.len(), 6);
+//! assert_eq!(report.class_of(anomaly_characterization::qos::DeviceId(5)),
+//!            Some(AnomalyClass::Isolated));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use anomaly_core::{Analyzer, AnomalyClass, Characterization, Params, TrajectoryTable};
+use anomaly_detectors::VectorDetector;
+use anomaly_qos::{DeviceId, Snapshot, StatePair};
+
+/// Per-interval monitoring result.
+#[derive(Debug)]
+pub struct MonitorReport {
+    /// Sampling instant `k` (0 = the first snapshot ever seen).
+    pub instant: u64,
+    /// Verdict per flagged device (empty when `A_k` is empty).
+    pub verdicts: Vec<(DeviceId, Characterization)>,
+}
+
+impl MonitorReport {
+    /// The class of one flagged device, if it was flagged.
+    pub fn class_of(&self, j: DeviceId) -> Option<AnomalyClass> {
+        self.verdicts
+            .iter()
+            .find(|(id, _)| *id == j)
+            .map(|(_, c)| c.class())
+    }
+
+    /// Devices that should notify the operator (isolated anomalies).
+    pub fn operator_notifications(&self) -> Vec<DeviceId> {
+        self.verdicts
+            .iter()
+            .filter(|(_, c)| c.class() == AnomalyClass::Isolated)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// True when a network-level (massive) event was observed.
+    pub fn has_network_event(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|(_, c)| c.class() == AnomalyClass::Massive)
+    }
+}
+
+/// Continuous monitor for a fleet of devices.
+///
+/// Owns the per-device detectors and the previous snapshot; every call to
+/// [`FleetMonitor::observe`] advances one sampling instant.
+pub struct FleetMonitor {
+    params: Params,
+    detectors: Vec<VectorDetector>,
+    previous: Option<Snapshot>,
+    instant: u64,
+}
+
+impl std::fmt::Debug for FleetMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetMonitor")
+            .field("devices", &self.detectors.len())
+            .field("instant", &self.instant)
+            .finish()
+    }
+}
+
+impl FleetMonitor {
+    /// Creates a monitor with one [`VectorDetector`] per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields no detectors.
+    pub fn new<I>(params: Params, detectors: I) -> Self
+    where
+        I: IntoIterator<Item = VectorDetector>,
+    {
+        let detectors: Vec<_> = detectors.into_iter().collect();
+        assert!(!detectors.is_empty(), "a fleet has at least one device");
+        FleetMonitor {
+            params,
+            detectors,
+            previous: None,
+            instant: 0,
+        }
+    }
+
+    /// Number of monitored devices.
+    pub fn population(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Ingests the snapshot of instant `k`, returning verdicts for every
+    /// device whose detector flagged an abnormal trajectory.
+    ///
+    /// The first snapshot only warms the detectors (there is no interval
+    /// yet); its report is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot population differs from the fleet size.
+    pub fn observe(&mut self, snapshot: Snapshot) -> MonitorReport {
+        assert_eq!(
+            snapshot.len(),
+            self.detectors.len(),
+            "snapshot population must match the fleet"
+        );
+        // Feed detectors; collect A_k.
+        let mut abnormal: Vec<DeviceId> = Vec::new();
+        for (j, det) in self.detectors.iter_mut().enumerate() {
+            let id = DeviceId(j as u32);
+            let verdict = det.observe_vector(snapshot.position(id).coords());
+            if verdict.is_anomalous() {
+                abnormal.push(id);
+            }
+        }
+        let instant = self.instant;
+        self.instant += 1;
+
+        let report = match (&self.previous, abnormal.is_empty()) {
+            (Some(previous), false) => {
+                let pair = StatePair::new(previous.clone(), snapshot.clone())
+                    .expect("fleet population is constant");
+                let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
+                let analyzer = Analyzer::new(&table, self.params);
+                MonitorReport {
+                    instant,
+                    verdicts: abnormal
+                        .into_iter()
+                        .map(|j| (j, analyzer.characterize_full(j)))
+                        .collect(),
+                }
+            }
+            _ => MonitorReport {
+                instant,
+                verdicts: Vec::new(),
+            },
+        };
+        self.previous = Some(snapshot);
+        report
+    }
+
+    /// Resets every detector and forgets the previous snapshot (e.g. after
+    /// a maintenance window where QoS levels legitimately changed).
+    pub fn reset(&mut self) {
+        for det in &mut self.detectors {
+            det.reset();
+        }
+        self.previous = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomaly_detectors::{EwmaDetector, VectorDetector};
+    use anomaly_qos::QosSpace;
+
+    fn monitor(n: usize, d: usize) -> (FleetMonitor, QosSpace) {
+        let space = QosSpace::new(d).unwrap();
+        let m = FleetMonitor::new(
+            Params::new(0.03, 3).unwrap(),
+            (0..n).map(|_| VectorDetector::homogeneous(d, || EwmaDetector::new(0.3, 4.0))),
+        );
+        (m, space)
+    }
+
+    fn healthy(space: &QosSpace, n: usize) -> Snapshot {
+        Snapshot::from_rows(space, vec![vec![0.9; space.dim()]; n]).unwrap()
+    }
+
+    #[test]
+    fn quiet_fleet_reports_nothing() {
+        let (mut m, space) = monitor(8, 2);
+        for i in 0..20 {
+            let r = m.observe(healthy(&space, 8));
+            assert_eq!(r.instant, i);
+            assert!(r.verdicts.is_empty());
+        }
+    }
+
+    #[test]
+    fn shared_incident_is_massive_lone_fault_isolated() {
+        let (mut m, space) = monitor(8, 1);
+        for _ in 0..30 {
+            m.observe(healthy(&space, 8));
+        }
+        let mut rows = vec![vec![0.45]; 8];
+        rows[0] = vec![0.44];
+        rows[1] = vec![0.46];
+        rows[7] = vec![0.05]; // the loner
+        let r = m.observe(Snapshot::from_rows(&space, rows).unwrap());
+        assert_eq!(r.verdicts.len(), 8);
+        assert!(r.has_network_event());
+        assert_eq!(r.operator_notifications(), vec![DeviceId(7)]);
+        assert_eq!(r.class_of(DeviceId(0)), Some(AnomalyClass::Massive));
+        assert_eq!(r.class_of(DeviceId(7)), Some(AnomalyClass::Isolated));
+    }
+
+    #[test]
+    fn first_snapshot_never_reports() {
+        let (mut m, space) = monitor(4, 1);
+        // Even a wild first snapshot cannot define a trajectory.
+        let r = m.observe(Snapshot::from_rows(&space, vec![vec![0.1], vec![0.9], vec![0.2], vec![0.8]]).unwrap());
+        assert!(r.verdicts.is_empty());
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let (mut m, space) = monitor(4, 1);
+        for _ in 0..20 {
+            m.observe(healthy(&space, 4));
+        }
+        m.reset();
+        // A very different level right after reset: detectors re-warm, no alarm.
+        let r = m.observe(Snapshot::from_rows(&space, vec![vec![0.2]; 4]).unwrap());
+        assert!(r.verdicts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "population must match")]
+    fn rejects_population_drift() {
+        let (mut m, space) = monitor(4, 1);
+        m.observe(healthy(&space, 3));
+    }
+}

@@ -1,0 +1,96 @@
+//! The Section II argument, tested: the local characterization dominates
+//! the tessellation baseline across bucket resolutions, and the failure
+//! modes the paper predicts for the baseline actually occur.
+
+use anomaly_characterization::baselines::{
+    compare_on_scenario, KMeansClassifier, TessellationClassifier,
+};
+use anomaly_characterization::simulator::ScenarioConfig;
+
+fn scenario(seed: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::paper_defaults(seed);
+    c.n = 600;
+    c.errors_per_step = 10;
+    c.isolated_prob = 0.5; // mixed workload: both failure modes visible
+    c
+}
+
+#[test]
+fn local_method_dominates_degenerate_bucket_sizes() {
+    let tess_coarse = TessellationClassifier::new(2, 3);
+    let tess_fine = TessellationClassifier::new(256, 3);
+    let report = compare_on_scenario(&scenario(1), &[&tess_coarse, &tess_fine], 4).unwrap();
+    let local = report.scores[0].accuracy();
+    assert!(
+        local > report.scores[1].accuracy(),
+        "local {local:.3} must beat coarse buckets {:.3}",
+        report.scores[1].accuracy()
+    );
+    assert!(
+        local > report.scores[2].accuracy(),
+        "local {local:.3} must beat fine buckets {:.3}",
+        report.scores[2].accuracy()
+    );
+}
+
+#[test]
+fn coarse_buckets_produce_false_massive_fine_buckets_false_isolated() {
+    // The exact trade-off of the Section II critique.
+    let tess_coarse = TessellationClassifier::new(2, 3);
+    let tess_fine = TessellationClassifier::new(256, 3);
+    let report = compare_on_scenario(&scenario(2), &[&tess_coarse, &tess_fine], 4).unwrap();
+    let coarse = &report.scores[1];
+    let fine = &report.scores[2];
+    assert!(
+        coarse.false_massive > fine.false_massive,
+        "coarse buckets lump unrelated devices ({} vs {})",
+        coarse.false_massive,
+        fine.false_massive
+    );
+    assert!(
+        fine.false_isolated > coarse.false_isolated,
+        "fine buckets split real groups ({} vs {})",
+        fine.false_isolated,
+        coarse.false_isolated
+    );
+}
+
+#[test]
+fn kmeans_depends_on_knowing_k() {
+    // k far from the true anomaly count degrades the clustering baseline.
+    let km_right = KMeansClassifier::new(10, 3, 5);
+    let km_tiny = KMeansClassifier::new(1, 3, 5);
+    let report = compare_on_scenario(&scenario(3), &[&km_right, &km_tiny], 4).unwrap();
+    assert!(
+        report.scores[1].accuracy() > report.scores[2].accuracy(),
+        "k=10 {:.3} should beat k=1 {:.3}",
+        report.scores[1].accuracy(),
+        report.scores[2].accuracy()
+    );
+}
+
+#[test]
+fn local_errors_are_abstentions_not_mistakes() {
+    // When the local method cannot decide it says Unresolved; its decided
+    // verdicts should carry very few hard errors under R3 enforcement.
+    let tess = TessellationClassifier::new(16, 3);
+    let report = compare_on_scenario(&scenario(4), &[&tess], 4).unwrap();
+    let local = &report.scores[0];
+    let hard_errors = local.false_massive + local.false_isolated;
+    let total = local.total();
+    assert!(
+        (hard_errors as f64) < 0.05 * total as f64,
+        "local hard errors {hard_errors}/{total} exceed 5%"
+    );
+}
+
+#[test]
+fn all_methods_score_the_same_population() {
+    let tess = TessellationClassifier::new(16, 3);
+    let km = KMeansClassifier::new(10, 3, 5);
+    let report = compare_on_scenario(&scenario(5), &[&tess, &km], 3).unwrap();
+    for s in &report.scores {
+        assert_eq!(s.total(), report.abnormal, "{}", s.name);
+    }
+    assert_eq!(report.steps, 3);
+}

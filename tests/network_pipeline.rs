@@ -1,0 +1,135 @@
+//! Integration of the ISP network substrate with detectors and the
+//! characterization core — the full deployment pipeline of the paper's
+//! motivating use case.
+
+use anomaly_characterization::core::{Analyzer, AnomalyClass, Params, TrajectoryTable};
+use anomaly_characterization::detectors::{EwmaDetector, VectorDetector};
+use anomaly_characterization::network::{
+    gateway_reports, FaultTarget, NetworkConfig, NetworkSimulation, ReportAction,
+};
+use anomaly_characterization::qos::DeviceId;
+
+fn params() -> Params {
+    Params::new(0.02, 3).unwrap()
+}
+
+#[test]
+fn detectors_build_a_k_from_network_measurements() {
+    // Warm the detectors on healthy snapshots, inject a DSLAM fault, and
+    // check the detector-built A_k matches the fault's blast radius.
+    let mut net = NetworkSimulation::new(NetworkConfig::small(11)).unwrap();
+    let d = net.services().len();
+    let n = net.population();
+    let mut devices: Vec<VectorDetector> = (0..n)
+        .map(|_| VectorDetector::homogeneous(d, || EwmaDetector::new(0.3, 6.0)))
+        .collect();
+    for _ in 0..30 {
+        let snap = net.snapshot();
+        for (j, det) in devices.iter_mut().enumerate() {
+            det.observe_vector(snap.position(DeviceId(j as u32)).coords());
+        }
+    }
+    let dslam = net.topology().dslams()[2];
+    let expected = net.topology().downstream_gateways(dslam).len();
+    let outcome = net.step(vec![FaultTarget::Node {
+        node: dslam,
+        severity: 0.5,
+    }]);
+    let mut flagged = Vec::new();
+    for (j, det) in devices.iter_mut().enumerate() {
+        let id = DeviceId(j as u32);
+        if det
+            .observe_vector(outcome.pair.after().position(id).coords())
+            .is_anomalous()
+        {
+            flagged.push(id);
+        }
+    }
+    assert_eq!(flagged.len(), expected, "A_k must equal the blast radius");
+
+    // And the characterization of the detector-built A_k is massive.
+    let table = TrajectoryTable::from_state_pair(&outcome.pair, &flagged);
+    let analyzer = Analyzer::new(&table, params());
+    for &j in table.ids() {
+        assert_eq!(analyzer.characterize_full(j).class(), AnomalyClass::Massive);
+    }
+}
+
+#[test]
+fn simultaneous_dslam_faults_are_both_recognized() {
+    let mut net = NetworkSimulation::new(NetworkConfig::small(13)).unwrap();
+    let d0 = net.topology().dslams()[0];
+    let d3 = net.topology().dslams()[3];
+    let outcome = net.step(vec![
+        FaultTarget::Node { node: d0, severity: 0.5 },
+        FaultTarget::Node { node: d3, severity: 0.3 },
+    ]);
+    let reports = gateway_reports(&outcome, params());
+    assert_eq!(reports.len(), 32);
+    let ott = reports
+        .iter()
+        .filter(|r| r.action == ReportAction::NotifyOtt)
+        .count();
+    assert_eq!(ott, 32, "both faults are network-level events");
+}
+
+#[test]
+fn core_fault_degrades_everyone_and_is_massive() {
+    let mut net = NetworkSimulation::new(NetworkConfig::small(17)).unwrap();
+    let core = net.topology().cores()[0];
+    let outcome = net.step(vec![FaultTarget::Node {
+        node: core,
+        severity: 0.4,
+    }]);
+    assert_eq!(outcome.impacted[0].len(), net.population());
+    let reports = gateway_reports(&outcome, params());
+    assert!(reports
+        .iter()
+        .all(|r| r.class == AnomalyClass::Massive));
+}
+
+#[test]
+fn severity_below_radius_keeps_unimpacted_gateways_quiet() {
+    // Gateways not downstream of the fault move only by measurement jitter,
+    // which is far below the consistency radius.
+    let mut net = NetworkSimulation::new(NetworkConfig::small(19)).unwrap();
+    let dslam = net.topology().dslams()[1];
+    let outcome = net.step(vec![FaultTarget::Node {
+        node: dslam,
+        severity: 0.6,
+    }]);
+    let impacted = outcome.abnormal();
+    for id in outcome.pair.device_ids() {
+        if !impacted.contains(id) {
+            let motion = outcome
+                .pair
+                .before()
+                .position(id)
+                .coords()
+                .iter()
+                .zip(outcome.pair.after().position(id).coords())
+                .map(|(b, a)| (b - a).abs())
+                .fold(0.0f64, f64::max);
+            assert!(motion < 0.02, "quiet gateway {id} moved {motion}");
+        }
+    }
+}
+
+#[test]
+fn repeated_incidents_over_time_stay_classifiable() {
+    let mut net = NetworkSimulation::new(NetworkConfig::small(23)).unwrap();
+    for step in 0..4 {
+        let dslam = net.topology().dslams()[step % 4];
+        let outcome = net.step(vec![FaultTarget::Node {
+            node: dslam,
+            severity: 0.5,
+        }]);
+        let reports = gateway_reports(&outcome, params());
+        assert_eq!(reports.len(), 16, "step {step}");
+        assert!(
+            reports.iter().all(|r| r.class == AnomalyClass::Massive),
+            "step {step}"
+        );
+        net.repair_all();
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's headline claims, verified across crates.
+
+use anomaly_characterization::analytic::{bell_number, solve_tau};
+use anomaly_characterization::core::observer::{
+    brute_force_classes, enumerate_anomaly_partitions,
+};
+use anomaly_characterization::core::partition::build_partition_greedy;
+use anomaly_characterization::core::{Analyzer, AnomalyClass, Params, TrajectoryTable};
+use anomaly_characterization::qos::DeviceId;
+use anomaly_characterization::simulator::{sweep::sweep_grid, ScenarioConfig};
+
+/// Theorem 3: there are configurations where the omniscient observer cannot
+/// decide — ACP is unsolvable.
+#[test]
+fn theorem_3_acp_impossibility() {
+    let table = TrajectoryTable::from_pairs_1d(&[
+        (1, 0.10, 0.10),
+        (2, 0.14, 0.14),
+        (3, 0.16, 0.16),
+        (4, 0.18, 0.18),
+        (5, 0.22, 0.22),
+    ]);
+    let params = Params::new(0.05, 3).unwrap();
+    let partitions = enumerate_anomaly_partitions(&table, &params, 100);
+    // Two valid anomaly partitions disagreeing on devices 1 and 5.
+    assert_eq!(partitions.len(), 2);
+    let truth = brute_force_classes(&table, &params, 100);
+    assert!(!truth.unresolved.is_empty(), "U_k must be non-empty");
+}
+
+/// Lemma 2: Algorithm 1 always produces a valid anomaly partition, on any
+/// configuration we can generate.
+#[test]
+fn lemma_2_algorithm_1_validity() {
+    use anomaly_characterization::simulator::Simulation;
+    for seed in 0..8 {
+        let mut config = ScenarioConfig::paper_defaults(seed);
+        config.n = 300;
+        config.errors_per_step = 5;
+        let mut sim = Simulation::new(config).unwrap();
+        let outcome = sim.step();
+        let abnormal: Vec<DeviceId> = outcome.abnormal().iter().collect();
+        let table = TrajectoryTable::from_state_pair(&outcome.pair, &abnormal);
+        let partition = build_partition_greedy(&table, &outcome.config.params);
+        assert!(
+            partition.validate(&table, &outcome.config.params).is_ok(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Corollary 4: when U_k is empty the observer (and hence the local
+/// algorithms) solve ACP outright.
+#[test]
+fn corollary_4_empty_u_solves_acp() {
+    // A clean configuration: one dense group, one loner.
+    let table = TrajectoryTable::from_pairs_1d(&[
+        (0, 0.10, 0.60),
+        (1, 0.11, 0.61),
+        (2, 0.12, 0.62),
+        (3, 0.13, 0.63),
+        (4, 0.14, 0.64),
+        (5, 0.80, 0.20),
+    ]);
+    let params = Params::new(0.03, 3).unwrap();
+    let truth = brute_force_classes(&table, &params, 10_000);
+    assert!(truth.unresolved.is_empty());
+    // Every partition agrees with the unique classification.
+    for p in enumerate_anomaly_partitions(&table, &params, 10_000) {
+        assert_eq!(p.massive_devices(&params), truth.massive);
+        assert_eq!(p.isolated_devices(&params), truth.isolated);
+    }
+}
+
+/// Section V: the number of partitions of an n-set grows like Bell numbers —
+/// the local conditions exist precisely to avoid enumerating them.
+#[test]
+fn section_5_partition_count_blowup() {
+    // For co-located devices with a huge tau, every set partition is an
+    // anomaly partition; the enumeration count matches the Bell number.
+    let rows: Vec<(u32, f64, f64)> = (0..7).map(|i| (i, 0.5, 0.5)).collect();
+    let table = TrajectoryTable::from_pairs_1d(&rows);
+    let params = Params::new(0.05, 7).unwrap();
+    let partitions = enumerate_anomaly_partitions(&table, &params, 1_000_000);
+    assert_eq!(partitions.len() as u128, bell_number(7).unwrap());
+}
+
+/// Section VII-C: sampling more often (fewer errors per interval) shrinks
+/// the number of unresolved configurations; and massive errors drive them.
+#[test]
+fn section_7c_sampling_granularity_shrinks_u() {
+    let mut base = ScenarioConfig::paper_defaults(4242);
+    base.n = 1000;
+    let points = sweep_grid(&base, &[1, 40], &[0.0], 4, true).unwrap();
+    let u_single = points[0].pooled_u_ratio_pct();
+    let u_many = points[1].pooled_u_ratio_pct();
+    assert!(
+        u_single <= u_many,
+        "a single error per interval gives no superposition ({u_single} vs {u_many})"
+    );
+    // With exactly one error there is nothing to superpose: U must be 0.
+    assert_eq!(u_single, 0.0);
+}
+
+/// Theorem 6's coverage: on the paper's operating point the quick sufficient
+/// condition misses only a small fraction of massive devices (the paper
+/// reports 0.4%; we assert an order-of-magnitude band).
+#[test]
+fn theorem_6_misses_few_massive_devices() {
+    use anomaly_characterization::simulator::{runner::analyze_step, Simulation};
+    let mut sim = Simulation::new(ScenarioConfig::paper_defaults(31415)).unwrap();
+    let mut massive6 = 0u64;
+    let mut massive7 = 0u64;
+    for _ in 0..6 {
+        let r = analyze_step(&sim.step(), true);
+        massive6 += r.massive_thm6 as u64;
+        massive7 += r.massive_thm7 as u64;
+    }
+    assert!(massive6 > 0);
+    let missed = massive7 as f64 / (massive6 + massive7) as f64;
+    assert!(
+        missed < 0.10,
+        "Theorem 6 should catch the vast majority of massive devices (missed {missed:.3})"
+    );
+}
+
+/// The dimensioning pipeline and the characterization agree on the paper's
+/// operating point: the solver's tau is usable as a `Params`.
+#[test]
+fn dimensioning_feeds_characterization() {
+    let tau = solve_tau(1000, 0.03, 2, 0.005, 1e-4).unwrap();
+    let params = Params::new(0.03, tau.max(1) as usize).unwrap();
+    assert!(params.tau() >= 1);
+    // And it characterizes a trivial configuration sensibly.
+    let table = TrajectoryTable::from_pairs_1d(&[(0, 0.2, 0.8)]);
+    let analyzer = Analyzer::new(&table, params);
+    assert_eq!(
+        analyzer.characterize_full(DeviceId(0)).class(),
+        AnomalyClass::Isolated
+    );
+}
