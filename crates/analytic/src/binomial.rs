@@ -23,9 +23,9 @@ pub fn ln_factorial(n: u64) -> f64 {
         TABLE.get_or_init(|| {
             let mut t = [0.0f64; 257];
             let mut acc = 0.0f64;
-            for i in 1..257usize {
+            for (i, slot) in t.iter_mut().enumerate().skip(1) {
                 acc += (i as f64).ln();
-                t[i] = acc;
+                *slot = acc;
             }
             t
         })

@@ -44,10 +44,10 @@ pub fn stirling2_table(n: u32) -> Option<Vec<Vec<u128>>> {
     table.push(vec![1]); // S(0,0) = 1
     for i in 1..=n {
         let mut row = vec![0u128; i + 1];
-        for j in 1..=i {
+        for (j, slot) in row.iter_mut().enumerate().skip(1) {
             let keep = (j as u128).checked_mul(table[i - 1].get(j).copied().unwrap_or(0))?;
             let add = table[i - 1].get(j - 1).copied().unwrap_or(0);
-            row[j] = keep.checked_add(add)?;
+            *slot = keep.checked_add(add)?;
         }
         table.push(row);
     }

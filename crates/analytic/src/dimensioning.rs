@@ -102,7 +102,10 @@ pub fn prob_false_dense_at_most(
 ) -> Result<f64, DimensioningError> {
     assert!(n >= 1, "population must be at least 1");
     if !(0.0..=1.0).contains(&b) || !b.is_finite() {
-        return Err(DimensioningError::InvalidProbability { name: "b", value: b });
+        return Err(DimensioningError::InvalidProbability {
+            name: "b",
+            value: b,
+        });
     }
     let q = vicinity_probability_bulk(r, d);
     Ok(binomial_cdf(n - 1, tau, q * b))
@@ -143,10 +146,16 @@ pub fn prob_false_dense_at_most_with_q(
 ) -> Result<f64, DimensioningError> {
     assert!(n >= 1, "population must be at least 1");
     if !(0.0..=1.0).contains(&b) || !b.is_finite() {
-        return Err(DimensioningError::InvalidProbability { name: "b", value: b });
+        return Err(DimensioningError::InvalidProbability {
+            name: "b",
+            value: b,
+        });
     }
     if !(0.0..=1.0).contains(&q) || !q.is_finite() {
-        return Err(DimensioningError::InvalidProbability { name: "q", value: q });
+        return Err(DimensioningError::InvalidProbability {
+            name: "q",
+            value: q,
+        });
     }
     Ok(binomial_cdf(n - 1, tau, q * b))
 }
@@ -364,7 +373,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = DimensioningError::InvalidProbability { name: "b", value: 2.0 };
+        let e = DimensioningError::InvalidProbability {
+            name: "b",
+            value: 2.0,
+        };
         assert!(e.to_string().contains('b'));
         let e = DimensioningError::NoFeasibleThreshold { epsilon: 0.1 };
         assert!(e.to_string().contains("0.1"));

@@ -31,9 +31,8 @@ pub mod vicinity;
 pub use binomial::{binomial_cdf, binomial_pmf, ln_choose, ln_factorial};
 pub use combinatorics::{bell_number, bell_numbers, stirling2, stirling2_table};
 pub use dimensioning::{
-    prob_false_dense_at_most_with_q,
-    prob_false_dense_at_most, prob_false_dense_exceeds, prob_vicinity_at_most, solve_tau,
-    DimensioningError,
+    prob_false_dense_at_most, prob_false_dense_at_most_with_q, prob_false_dense_exceeds,
+    prob_vicinity_at_most, solve_tau, DimensioningError,
 };
 pub use poisson::{le_cam_bound, poisson_cdf, poisson_pmf, prob_false_dense_exceeds_poisson};
 pub use stats::{mean_and_ci95, Histogram, OnlineStats};

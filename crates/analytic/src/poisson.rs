@@ -39,7 +39,10 @@ pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
 /// assert!((p - 0.9936).abs() < 1e-3);
 /// ```
 pub fn poisson_cdf(lambda: f64, k: u64) -> f64 {
-    (0..=k).map(|i| poisson_pmf(lambda, i)).sum::<f64>().min(1.0)
+    (0..=k)
+        .map(|i| poisson_pmf(lambda, i))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 /// Poisson approximation of the false-dense probability

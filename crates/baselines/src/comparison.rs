@@ -149,8 +149,7 @@ mod tests {
     fn report_covers_all_methods_and_devices() {
         let tess = TessellationClassifier::new(8, 3);
         let km = KMeansClassifier::new(8, 3, 1);
-        let report =
-            compare_on_scenario(&config(), &[&tess, &km], 2).unwrap();
+        let report = compare_on_scenario(&config(), &[&tess, &km], 2).unwrap();
         assert_eq!(report.scores.len(), 3);
         assert_eq!(report.scores[0].name, "local (this paper)");
         for s in &report.scores {

@@ -128,11 +128,7 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 }
 
 impl Classifier for KMeansClassifier {
-    fn classify(
-        &self,
-        pair: &StatePair,
-        abnormal: &[DeviceId],
-    ) -> Vec<(DeviceId, AnomalyClass)> {
+    fn classify(&self, pair: &StatePair, abnormal: &[DeviceId]) -> Vec<(DeviceId, AnomalyClass)> {
         let points: Vec<Vec<f64>> = abnormal
             .iter()
             .map(|&id| {

@@ -40,8 +40,7 @@ use anomaly_qos::{DeviceId, StatePair};
 /// contributions.
 pub trait Classifier {
     /// Classifies each of `abnormal` given the two snapshots.
-    fn classify(&self, pair: &StatePair, abnormal: &[DeviceId])
-        -> Vec<(DeviceId, AnomalyClass)>;
+    fn classify(&self, pair: &StatePair, abnormal: &[DeviceId]) -> Vec<(DeviceId, AnomalyClass)>;
 
     /// Human-readable name for reports.
     fn name(&self) -> String;

@@ -44,19 +44,13 @@ impl TessellationClassifier {
     fn cell_key(&self, coords: &[f64]) -> Vec<usize> {
         coords
             .iter()
-            .map(|&c| {
-                ((c * self.cells_per_axis as f64) as usize).min(self.cells_per_axis - 1)
-            })
+            .map(|&c| ((c * self.cells_per_axis as f64) as usize).min(self.cells_per_axis - 1))
             .collect()
     }
 }
 
 impl Classifier for TessellationClassifier {
-    fn classify(
-        &self,
-        pair: &StatePair,
-        abnormal: &[DeviceId],
-    ) -> Vec<(DeviceId, AnomalyClass)> {
+    fn classify(&self, pair: &StatePair, abnormal: &[DeviceId]) -> Vec<(DeviceId, AnomalyClass)> {
         // Group by (cell at k-1, cell at k).
         let mut buckets: HashMap<(Vec<usize>, Vec<usize>), Vec<DeviceId>> = HashMap::new();
         for &id in abnormal {

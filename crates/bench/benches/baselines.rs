@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let config = ScenarioConfig::paper_defaults(505);
     let mut sim = Simulation::new(config).expect("valid scenario");
     let outcome = sim.step();

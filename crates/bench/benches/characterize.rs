@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_characterize(c: &mut Criterion) {
     let mut group = c.benchmark_group("characterize");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for a in [10usize, 20] {
         let config = ScenarioConfig::paper_defaults(101).with_errors_per_step(a);
         let mut sim = Simulation::new(config).expect("valid scenario");

@@ -20,12 +20,16 @@ fn signal() -> Vec<f64> {
 }
 
 fn run<D: Detector>(mut det: D, sig: &[f64]) -> usize {
-    sig.iter().filter(|&&v| det.observe(v).is_anomalous()).count()
+    sig.iter()
+        .filter(|&&v| det.observe(v).is_anomalous())
+        .count()
 }
 
 fn bench_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("detectors/1k_samples");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     let sig = signal();
     group.bench_function("threshold", |b| {
         b.iter(|| black_box(run(ThresholdDetector::with_delta(0.2), &sig)))

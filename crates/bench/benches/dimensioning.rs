@@ -1,17 +1,17 @@
 //! Cost of the analytic dimensioning computations (Figure 6) and the
 //! combinatorics that motivate the local conditions.
 
-use anomaly_analytic::{
-    bell_numbers, prob_false_dense_at_most, prob_vicinity_at_most,
-};
 use anomaly_analytic::dimensioning::prob_false_dense_at_most_double_sum;
+use anomaly_analytic::{bell_numbers, prob_false_dense_at_most, prob_vicinity_at_most};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_dimensioning(c: &mut Criterion) {
     let mut group = c.benchmark_group("dimensioning");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("fig6a_curve_point", |b| {
         b.iter(|| black_box(prob_vicinity_at_most(1000, 0.03, 2, 30)))
     });
@@ -19,7 +19,11 @@ fn bench_dimensioning(c: &mut Criterion) {
         b.iter(|| black_box(prob_false_dense_at_most(15_000, 0.03, 2, 0.005, 3)))
     });
     group.bench_function("fig6b_double_sum", |b| {
-        b.iter(|| black_box(prob_false_dense_at_most_double_sum(15_000, 0.03, 2, 0.005, 3)))
+        b.iter(|| {
+            black_box(prob_false_dense_at_most_double_sum(
+                15_000, 0.03, 2, 0.005, 3,
+            ))
+        })
     });
     group.bench_function("bell_numbers_40", |b| {
         b.iter(|| black_box(bell_numbers(40)))

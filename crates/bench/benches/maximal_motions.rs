@@ -27,7 +27,9 @@ fn clustered_table(n: usize, clusters: usize, seed: u64) -> TrajectoryTable {
 
 fn bench_fast_vs_brute(c: &mut Criterion) {
     let mut group = c.benchmark_group("maximal_motions/fast_vs_brute");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     let table = clustered_table(10, 2, 42);
     let universe: DeviceSet = table.device_set();
     group.bench_function("sliding_window_n10", |b| {
@@ -44,7 +46,9 @@ fn bench_fast_vs_brute(c: &mut Criterion) {
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("maximal_motions/scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [50usize, 100, 200] {
         let table = clustered_table(n, 8, 7);
         let universe = table.device_set();

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     // Algorithm 1 on a realistic simulated A_k (~95 devices).
     let config = ScenarioConfig::paper_defaults(303);

@@ -25,7 +25,9 @@ fn ring_table(pairs: usize) -> TrajectoryTable {
 
 fn bench_theorem7(c: &mut Criterion) {
     let mut group = c.benchmark_group("theorem7");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let params = Params::new(0.05, 3).unwrap();
     let table = ring_table(4);
     let analyzer = Analyzer::new(&table, params);

@@ -7,9 +7,7 @@
 
 use anomaly_bench::repro_steps;
 use anomaly_core::Params;
-use anomaly_simulator::{
-    runner::analyze_step, DestinationModel, ScenarioConfig, Simulation,
-};
+use anomaly_simulator::{runner::analyze_step, DestinationModel, ScenarioConfig, Simulation};
 
 struct Row {
     label: String,
@@ -86,9 +84,18 @@ fn main() {
     let mut rows = Vec::new();
     for (label, model) in [
         ("uniform destinations", DestinationModel::Uniform),
-        ("degradation scale 0.15", DestinationModel::Degradation { scale: 0.15 }),
-        ("degradation scale 0.28", DestinationModel::Degradation { scale: 0.28 }),
-        ("degradation scale 0.50", DestinationModel::Degradation { scale: 0.50 }),
+        (
+            "degradation scale 0.15",
+            DestinationModel::Degradation { scale: 0.15 },
+        ),
+        (
+            "degradation scale 0.28",
+            DestinationModel::Degradation { scale: 0.28 },
+        ),
+        (
+            "degradation scale 0.50",
+            DestinationModel::Degradation { scale: 0.50 },
+        ),
     ] {
         let mut c = base.clone();
         c.destination = model;
@@ -96,5 +103,8 @@ fn main() {
         row.label = label.to_string();
         rows.push(row);
     }
-    print_rows("Ablation: destination model (r = 0.03, tau = 3, A = 20)", &rows);
+    print_rows(
+        "Ablation: destination model (r = 0.03, tau = 3, A = 20)",
+        &rows,
+    );
 }

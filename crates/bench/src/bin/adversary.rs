@@ -21,8 +21,7 @@ fn main() {
         config.isolated_prob = 0.9;
         config.destination = DestinationModel::Uniform;
         config.params = Params::new(0.03, tau).expect("valid tau");
-        let min = minimum_winning_coalition(&config, 2 * tau + 4, 99)
-            .expect("valid scenario");
+        let min = minimum_winning_coalition(&config, 2 * tau + 4, 99).expect("valid scenario");
         match min {
             Some(c) => println!("  {tau:<8} {c:>24}"),
             None => println!("  {tau:<8} {:>24}", "no victim / not found"),

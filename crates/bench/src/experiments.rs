@@ -7,9 +7,7 @@ use anomaly_analytic::{
 use anomaly_baselines::{
     compare_on_scenario, Classifier, KMeansClassifier, TessellationClassifier,
 };
-use anomaly_simulator::{
-    runner::analyze_step, sweep::sweep_grid, ScenarioConfig, Simulation,
-};
+use anomaly_simulator::{runner::analyze_step, sweep::sweep_grid, ScenarioConfig, Simulation};
 
 /// The `A` grid of Figures 7–9.
 pub const A_VALUES: [usize; 7] = [1, 10, 20, 30, 40, 50, 60];
@@ -55,8 +53,7 @@ pub fn fig6b() {
         for n in (1000..=15_000).step_by(2000) {
             print!("{n:>7}");
             for t in taus {
-                let p = prob_false_dense_at_most_with_q(n, q, 0.005, t)
-                    .expect("valid parameters");
+                let p = prob_false_dense_at_most_with_q(n, q, 0.005, t).expect("valid parameters");
                 print!("  {:<13.6}", p);
             }
             println!();
@@ -94,23 +91,40 @@ pub fn table2_and_3(steps: u64) {
     }
     let pct = |x: u64| 100.0 * x as f64 / tot_abnormal.max(1) as f64;
     println!("# Table II — repartition of A_k (A = 20, n = 1000, r = 0.03, tau = 3)");
-    println!("  steps = {steps}, mean |A_k| = {:.1}", tot_abnormal as f64 / steps as f64);
     println!(
-        "  {:<28} {:>10} {:>10}",
-        "set (rule)", "ours", "paper"
+        "  steps = {steps}, mean |A_k| = {:.1}",
+        tot_abnormal as f64 / steps as f64
     );
-    println!("  {:<28} {:>9.2}% {:>10}", "I_k (Theorem 5)", pct(tot_i), "2.54%");
-    println!("  {:<28} {:>9.2}% {:>10}", "M_k (Theorem 6)", pct(tot_m6), "88.34%");
-    println!("  {:<28} {:>9.2}% {:>10}", "U_k (Corollary 8)", pct(tot_u), "8.72%");
-    println!("  {:<28} {:>9.2}% {:>10}", "M_k extra (Theorem 7)", pct(tot_m7), "0.4%");
+    println!("  {:<28} {:>10} {:>10}", "set (rule)", "ours", "paper");
+    println!(
+        "  {:<28} {:>9.2}% {:>10}",
+        "I_k (Theorem 5)",
+        pct(tot_i),
+        "2.54%"
+    );
+    println!(
+        "  {:<28} {:>9.2}% {:>10}",
+        "M_k (Theorem 6)",
+        pct(tot_m6),
+        "88.34%"
+    );
+    println!(
+        "  {:<28} {:>9.2}% {:>10}",
+        "U_k (Corollary 8)",
+        pct(tot_u),
+        "8.72%"
+    );
+    println!(
+        "  {:<28} {:>9.2}% {:>10}",
+        "M_k extra (Theorem 7)",
+        pct(tot_m7),
+        "0.4%"
+    );
 
     let avg = |sum: f64, n: u64| if n == 0 { 0.0 } else { sum / n as f64 };
     println!();
     println!("# Table III — average computational cost per device");
-    println!(
-        "  {:<34} {:>12} {:>12}",
-        "cost (meaning)", "ours", "paper"
-    );
+    println!("  {:<34} {:>12} {:>12}", "cost (meaning)", "ours", "paper");
     println!(
         "  {:<34} {:>12.2} {:>12}",
         "I_k: maximal motions |M(j)|",
@@ -142,8 +156,8 @@ pub fn table2_and_3(steps: u64) {
 fn print_sweep(title: &str, ylabel: &str, enforce_r3: bool, steps: u64, missed: bool) {
     println!("# {title} (n = 1000, r = 0.03, tau = 3, {steps} steps/point)");
     let base = ScenarioConfig::paper_defaults(2014).with_enforce_r3(enforce_r3);
-    let points = sweep_grid(&base, &A_VALUES, &G_VALUES, steps, true)
-        .expect("paper defaults are valid");
+    let points =
+        sweep_grid(&base, &A_VALUES, &G_VALUES, steps, true).expect("paper defaults are valid");
     print!("{:>4}", "A");
     for g in G_VALUES {
         print!("  G={g:<6}");
@@ -226,7 +240,10 @@ pub fn baselines(steps: u64) {
             s.undecided
         );
     }
-    println!("  ({} abnormal devices over {} steps)", report.abnormal, report.steps);
+    println!(
+        "  ({} abnormal devices over {} steps)",
+        report.abnormal, report.steps
+    );
 }
 
 #[cfg(test)]

@@ -322,8 +322,7 @@ impl<'t> Analyzer<'t> {
         // intersection with J_k(j) is itself dense. (That intersection is a
         // motion — subset of one — and contains j.)
         let tau = self.params.tau();
-        if self
-            .wbar[&j]
+        if self.wbar[&j]
             .iter()
             .any(|m| m.intersection_len(&families.j_set) > tau)
         {
@@ -593,11 +592,8 @@ mod tests {
     #[test]
     fn sparse_group_is_isolated() {
         // Three co-movers with τ = 3: the motion is sparse.
-        let t = TrajectoryTable::from_pairs_1d(&[
-            (0, 0.10, 0.50),
-            (1, 0.11, 0.51),
-            (2, 0.12, 0.52),
-        ]);
+        let t =
+            TrajectoryTable::from_pairs_1d(&[(0, 0.10, 0.50), (1, 0.11, 0.51), (2, 0.12, 0.52)]);
         let a = Analyzer::new(&t, params(3));
         for &j in t.ids() {
             assert_eq!(a.characterize(j).class(), AnomalyClass::Isolated);

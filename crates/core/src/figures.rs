@@ -19,7 +19,12 @@ use crate::table::TrajectoryTable;
 use anomaly_qos::DeviceId;
 
 fn motions(table: &TrajectoryTable, window: f64) -> Vec<DeviceSet> {
-    maximal_motions(table, &table.device_set(), window, &mut MotionOps::default())
+    maximal_motions(
+        table,
+        &table.device_set(),
+        window,
+        &mut MotionOps::default(),
+    )
 }
 
 /// Figure 1: six devices in a 1-D QoS space; `B1 = {1,2,3,4}` and
@@ -33,19 +38,22 @@ fn figure_1_two_maximal_sets_containing_device_1() {
         stay(1, 0.10),
         stay(2, 0.12),
         stay(3, 0.14),
-        stay(4, 0.05),  // pulls B1 left, excludes 5 and 6
+        stay(4, 0.05), // pulls B1 left, excludes 5 and 6
         stay(5, 0.155),
         stay(6, 0.16),
     ]);
     let found = motions(&t, 0.1);
-    assert!(found.contains(&DeviceSet::from([1, 2, 3, 4])), "B1 missing: {found:?}");
-    assert!(found.contains(&DeviceSet::from([1, 2, 3, 5, 6])), "B2 missing: {found:?}");
+    assert!(
+        found.contains(&DeviceSet::from([1, 2, 3, 4])),
+        "B1 missing: {found:?}"
+    );
+    assert!(
+        found.contains(&DeviceSet::from([1, 2, 3, 5, 6])),
+        "B2 missing: {found:?}"
+    );
     // Any subset of B1 or B2 is r-consistent but NOT maximal, so exactly
     // these two sets contain device 1.
-    let containing_1: Vec<_> = found
-        .iter()
-        .filter(|m| m.contains(DeviceId(1)))
-        .collect();
+    let containing_1: Vec<_> = found.iter().filter(|m| m.contains(DeviceId(1))).collect();
     assert_eq!(containing_1.len(), 2);
 }
 
@@ -97,7 +105,10 @@ fn figure_2_partition_non_uniqueness() {
     assert!(all.contains(&p_first));
     assert!(all.contains(&p_second));
     for p in &all {
-        assert_eq!(p.block_of(DeviceId(5)), Some(&DeviceSet::from([5, 6, 7, 8, 9])));
+        assert_eq!(
+            p.block_of(DeviceId(5)),
+            Some(&DeviceSet::from([5, 6, 7, 8, 9]))
+        );
     }
 }
 
@@ -192,7 +203,10 @@ fn figure_4b_neighbourhood_split_with_l() {
     assert_eq!(fam.j_set, DeviceSet::from([1, 2, 3, 4]));
     assert_eq!(fam.l_set, DeviceSet::from([5]));
     // |C1 ∩ J| = 4 > τ = 2: still massive by Theorem 6.
-    assert_eq!(analyzer.characterize(DeviceId(4)).class(), AnomalyClass::Massive);
+    assert_eq!(
+        analyzer.characterize(DeviceId(4)).class(),
+        AnomalyClass::Massive
+    );
 }
 
 /// Figure 5: the diamond of pairs where Theorem 6 is silent but Theorem 7

@@ -58,8 +58,8 @@
 #![warn(missing_docs)]
 
 mod characterize;
-pub mod local;
 pub mod families;
+pub mod local;
 mod maximal;
 pub mod motion;
 pub mod observer;
@@ -72,8 +72,8 @@ mod table;
 mod figures;
 
 pub use characterize::{Analyzer, AnomalyClass, Characterization, Cost, Rule};
-pub use local::LocalContext;
 pub use families::Families;
+pub use local::LocalContext;
 pub use maximal::{
     maximal_motions, maximal_motions_bounded, maximal_motions_brute, maximal_motions_involving,
     maximal_motions_involving_bounded,
@@ -81,4 +81,4 @@ pub use maximal::{
 pub use params::{Params, ParamsError};
 pub use partition::{build_partition, AnomalyPartition, PartitionError};
 pub use set::DeviceSet;
-pub use table::TrajectoryTable;
+pub use table::{TableError, TrajectoryTable};

@@ -142,8 +142,7 @@ mod tests {
             AnomalyClass::Unresolved,
         ];
         for (i, want) in expect.iter().enumerate() {
-            let ctx =
-                LocalContext::from_state_pair(&pair, &abnormal, DeviceId(i as u32), params);
+            let ctx = LocalContext::from_state_pair(&pair, &abnormal, DeviceId(i as u32), params);
             assert_eq!(ctx.characterize().class(), *want, "device {i}");
         }
     }

@@ -110,9 +110,8 @@ pub fn maximal_motions_involving_bounded(
 ) -> Option<Vec<DeviceSet>> {
     let mut neighborhood: DeviceSet = table.neighborhood(j, window).into_iter().collect();
     neighborhood.insert(j);
-    maximal_motions_bounded(table, &neighborhood, window, ops, max_window_moves).map(|sets| {
-        sets.into_iter().filter(|m| m.contains(j)).collect()
-    })
+    maximal_motions_bounded(table, &neighborhood, window, ops, max_window_moves)
+        .map(|sets| sets.into_iter().filter(|m| m.contains(j)).collect())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -139,7 +138,11 @@ fn recurse(
         .into_iter()
         .map(|id| (table.concatenated(id)[axis], id))
         .collect();
-    vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("coordinates are finite").then(a.1.cmp(&b.1)));
+    vals.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("coordinates are finite")
+            .then(a.1.cmp(&b.1))
+    });
 
     let mut prev: Option<Vec<DeviceId>> = None;
     for i in 0..vals.len() {
@@ -177,7 +180,16 @@ fn recurse(
             }
         }
         prev = Some(subset.clone());
-        recurse(table, axes, axis + 1, subset, window, out, ops, max_window_moves);
+        recurse(
+            table,
+            axes,
+            axis + 1,
+            subset,
+            window,
+            out,
+            ops,
+            max_window_moves,
+        );
     }
 }
 
@@ -211,7 +223,10 @@ pub fn maximal_motions_brute(
     assert!(n <= 20, "brute-force enumeration is capped at 20 devices");
     let mut consistent: Vec<DeviceSet> = Vec::new();
     for mask in 1u32..(1 << n) {
-        let set: DeviceSet = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| ids[i]).collect();
+        let set: DeviceSet = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| ids[i])
+            .collect();
         if is_consistent_motion(table, &set, window) {
             consistent.push(set);
         }
@@ -313,11 +328,7 @@ mod tests {
 
     #[test]
     fn duplicate_positions_group_together() {
-        let t = TrajectoryTable::from_pairs_1d(&[
-            (0, 0.3, 0.3),
-            (1, 0.3, 0.3),
-            (2, 0.3, 0.3),
-        ]);
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.3, 0.3), (1, 0.3, 0.3), (2, 0.3, 0.3)]);
         let m = maximal_motions(&t, &t.device_set(), 0.05, &mut ops());
         assert_eq!(m, vec![DeviceSet::from([0, 1, 2])]);
     }

@@ -138,8 +138,18 @@ mod tests {
     fn extends_consistently_matches_full_check() {
         let t = table();
         let base = DeviceSet::from([0, 1]);
-        assert!(extends_consistently(&t, &base, anomaly_qos::DeviceId(2), 0.1));
-        assert!(!extends_consistently(&t, &base, anomaly_qos::DeviceId(3), 0.1));
+        assert!(extends_consistently(
+            &t,
+            &base,
+            anomaly_qos::DeviceId(2),
+            0.1
+        ));
+        assert!(!extends_consistently(
+            &t,
+            &base,
+            anomaly_qos::DeviceId(3),
+            0.1
+        ));
     }
 
     #[test]
@@ -147,11 +157,26 @@ mod tests {
         let t = table();
         let universe = t.device_set();
         // {0,1,2} cannot be extended by 3 or 4.
-        assert!(is_maximal_motion(&t, &DeviceSet::from([0, 1, 2]), &universe, 0.1));
+        assert!(is_maximal_motion(
+            &t,
+            &DeviceSet::from([0, 1, 2]),
+            &universe,
+            0.1
+        ));
         // {0,1} extends by 2.
-        assert!(!is_maximal_motion(&t, &DeviceSet::from([0, 1]), &universe, 0.1));
+        assert!(!is_maximal_motion(
+            &t,
+            &DeviceSet::from([0, 1]),
+            &universe,
+            0.1
+        ));
         // An inconsistent set is never maximal.
-        assert!(!is_maximal_motion(&t, &DeviceSet::from([0, 3]), &universe, 0.1));
+        assert!(!is_maximal_motion(
+            &t,
+            &DeviceSet::from([0, 3]),
+            &universe,
+            0.1
+        ));
     }
 
     #[test]

@@ -81,7 +81,10 @@ fn assign(
     if next == ids.len() {
         let candidate = AnomalyPartition::from_blocks(blocks.clone());
         if candidate.validate(table, params).is_ok() {
-            assert!(out.len() < cap, "partition enumeration exceeded cap of {cap}");
+            assert!(
+                out.len() < cap,
+                "partition enumeration exceeded cap of {cap}"
+            );
             out.push(candidate);
         }
         return;
@@ -291,11 +294,7 @@ mod tests {
 
     #[test]
     fn global_maximal_motions_cover_all_devices() {
-        let t = TrajectoryTable::from_pairs_1d(&[
-            (0, 0.1, 0.1),
-            (1, 0.12, 0.12),
-            (2, 0.8, 0.8),
-        ]);
+        let t = TrajectoryTable::from_pairs_1d(&[(0, 0.1, 0.1), (1, 0.12, 0.12), (2, 0.8, 0.8)]);
         let motions = global_maximal_motions(&t, &params(3));
         let covered: DeviceSet = motions.iter().flat_map(|m| m.iter()).collect();
         assert_eq!(covered, t.device_set());

@@ -78,7 +78,10 @@ impl fmt::Display for PartitionError {
                 write!(f, "condition C1 violated by dense motion {witness}")
             }
             PartitionError::C2Violated { device, block } => {
-                write!(f, "condition C2 violated: {device} extends dense block {block}")
+                write!(
+                    f,
+                    "condition C2 violated: {device} extends dense block {block}"
+                )
             }
         }
     }
@@ -186,7 +189,10 @@ impl AnomalyPartition {
             if params.is_dense(block.len()) {
                 for device in &sparse_union {
                     if extends_consistently(table, block, device, window) {
-                        return Err(PartitionError::C2Violated { device, block: index });
+                        return Err(PartitionError::C2Violated {
+                            device,
+                            block: index,
+                        });
                     }
                 }
             }
@@ -227,7 +233,10 @@ pub fn build_partition(
     while let Some(j) = remaining.as_slice().first().copied() {
         let restricted = table.restricted_to(&remaining);
         let motions = maximal_motions_involving(&restricted, j, window, &mut ops);
-        debug_assert!(!motions.is_empty(), "a device always has its singleton motion");
+        debug_assert!(
+            !motions.is_empty(),
+            "a device always has its singleton motion"
+        );
         let choice = pick(&motions).min(motions.len() - 1);
         let block = motions[choice].clone();
         remaining = remaining.difference(&block);
@@ -278,7 +287,10 @@ mod tests {
         let t = simple_table();
         let p = build_partition_greedy(&t, &params());
         assert_eq!(p.len(), 2);
-        assert_eq!(p.block_of(DeviceId(0)), Some(&DeviceSet::from([0, 1, 2, 3, 4])));
+        assert_eq!(
+            p.block_of(DeviceId(0)),
+            Some(&DeviceSet::from([0, 1, 2, 3, 4]))
+        );
         assert_eq!(p.block_of(DeviceId(5)), Some(&DeviceSet::from([5])));
         assert!(p.validate(&t, &params()).is_ok());
     }
@@ -363,10 +375,7 @@ mod tests {
     #[test]
     fn validate_rejects_empty_block() {
         let t = simple_table();
-        let p = AnomalyPartition::from_blocks(vec![
-            DeviceSet::new(),
-            t.device_set(),
-        ]);
+        let p = AnomalyPartition::from_blocks(vec![DeviceSet::new(), t.device_set()]);
         assert_eq!(p.validate(&t, &params()), Err(PartitionError::EmptyBlock));
     }
 

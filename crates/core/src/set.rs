@@ -256,10 +256,7 @@ mod tests {
     fn construction_sorts_and_dedups() {
         let s = set(&[5, 1, 3, 1, 5]);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.iter().map(|d| d.0).collect::<Vec<_>>(),
-            vec![1, 3, 5]
-        );
+        assert_eq!(s.iter().map(|d| d.0).collect::<Vec<_>>(), vec![1, 3, 5]);
     }
 
     #[test]

@@ -1,6 +1,46 @@
 use crate::set::DeviceSet;
 use anomaly_qos::{DeviceId, StatePair};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the fallible [`TrajectoryTable`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TableError {
+    /// A concatenated row did not hold `2 * dim` coordinates.
+    WrongRowWidth {
+        /// The offending device.
+        id: DeviceId,
+        /// `2 * dim`.
+        expected: usize,
+        /// The row's actual length.
+        actual: usize,
+    },
+    /// The same device id appeared twice.
+    DuplicateDevice {
+        /// The repeated id.
+        id: DeviceId,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::WrongRowWidth {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "device {id}: row holds {actual} coordinates, expected 2*dim = {expected}"
+            ),
+            TableError::DuplicateDevice { id } => write!(f, "duplicate device id {id}"),
+        }
+    }
+}
+
+impl Error for TableError {}
 
 /// Trajectories of the abnormal devices, in the concatenated `2d`-space.
 ///
@@ -57,18 +97,50 @@ impl TrajectoryTable {
     ///
     /// # Panics
     ///
-    /// Panics if any row length differs from `2*dim` or ids repeat.
+    /// Panics if any row length differs from `2*dim` or ids repeat; use
+    /// [`TrajectoryTable::try_from_concatenated`] for the fallible form.
     pub fn from_concatenated(dim: usize, rows: Vec<(DeviceId, Vec<f64>)>) -> Self {
+        match TrajectoryTable::try_from_concatenated(dim, rows) {
+            Ok(table) => table,
+            Err(TableError::WrongRowWidth { .. }) => {
+                panic!("row must hold 2*dim coordinates")
+            }
+            Err(e @ TableError::DuplicateDevice { .. }) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`TrajectoryTable::from_concatenated`] — the
+    /// construction path for incremental monitors, which assemble
+    /// trajectories row by row from successive snapshots instead of pairing
+    /// whole `Snapshot`s, and must surface malformed input as typed errors
+    /// rather than panics.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::WrongRowWidth`] when a row does not hold exactly
+    /// `2 * dim` coordinates; [`TableError::DuplicateDevice`] when an id
+    /// repeats.
+    pub fn try_from_concatenated(
+        dim: usize,
+        rows: Vec<(DeviceId, Vec<f64>)>,
+    ) -> Result<Self, TableError> {
         let mut ids = Vec::with_capacity(rows.len());
         let mut coords = HashMap::with_capacity(rows.len());
         for (id, row) in rows {
-            assert_eq!(row.len(), 2 * dim, "row must hold 2*dim coordinates");
-            let clash = coords.insert(id, row);
-            assert!(clash.is_none(), "duplicate device id {id}");
+            if row.len() != 2 * dim {
+                return Err(TableError::WrongRowWidth {
+                    id,
+                    expected: 2 * dim,
+                    actual: row.len(),
+                });
+            }
+            if coords.insert(id, row).is_some() {
+                return Err(TableError::DuplicateDevice { id });
+            }
             ids.push(id);
         }
         ids.sort_unstable();
-        TrajectoryTable { dim, ids, coords }
+        Ok(TrajectoryTable { dim, ids, coords })
     }
 
     /// Convenience for 1-service systems: rows of `(id, before, after)`,
@@ -154,7 +226,12 @@ impl TrajectoryTable {
 
     /// Restricts the table to `keep`, dropping all other devices.
     pub fn restricted_to(&self, keep: &DeviceSet) -> TrajectoryTable {
-        let ids: Vec<DeviceId> = self.ids.iter().copied().filter(|id| keep.contains(*id)).collect();
+        let ids: Vec<DeviceId> = self
+            .ids
+            .iter()
+            .copied()
+            .filter(|id| keep.contains(*id))
+            .collect();
         let coords = ids
             .iter()
             .map(|id| (*id, self.coords[id].clone()))
@@ -201,6 +278,31 @@ mod tests {
     }
 
     #[test]
+    fn try_constructor_reports_typed_errors() {
+        assert_eq!(
+            TrajectoryTable::try_from_concatenated(2, vec![(DeviceId(4), vec![0.1, 0.2])]),
+            Err(TableError::WrongRowWidth {
+                id: DeviceId(4),
+                expected: 4,
+                actual: 2,
+            })
+        );
+        assert_eq!(
+            TrajectoryTable::try_from_concatenated(
+                1,
+                vec![(DeviceId(0), vec![0.1, 0.2]), (DeviceId(0), vec![0.3, 0.4])],
+            ),
+            Err(TableError::DuplicateDevice { id: DeviceId(0) })
+        );
+        let ok =
+            TrajectoryTable::try_from_concatenated(1, vec![(DeviceId(0), vec![0.1, 0.2])]).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(!TableError::DuplicateDevice { id: DeviceId(0) }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate device id")]
     fn rejects_duplicate_ids() {
         TrajectoryTable::from_concatenated(
@@ -222,10 +324,7 @@ mod tests {
         let before = Snapshot::from_rows(&space, vec![vec![0.1], vec![0.2], vec![0.3]]).unwrap();
         let after = Snapshot::from_rows(&space, vec![vec![0.1], vec![0.2], vec![0.3]]).unwrap();
         let pair = StatePair::new(before, after).unwrap();
-        let t = TrajectoryTable::from_state_pair(
-            &pair,
-            &[DeviceId(2), DeviceId(0), DeviceId(2)],
-        );
+        let t = TrajectoryTable::from_state_pair(&pair, &[DeviceId(2), DeviceId(0), DeviceId(2)]);
         assert_eq!(t.ids(), &[DeviceId(0), DeviceId(2)]);
     }
 }

@@ -112,7 +112,7 @@ mod tests {
             }
         }
         let at = first_alarm.expect("shift must be detected");
-        assert!(at >= 30 && at <= 35, "alarm at {at}");
+        assert!((30..=35).contains(&at), "alarm at {at}");
     }
 
     #[test]

@@ -31,10 +31,7 @@ impl EwmaDetector {
     ///
     /// Panics if `alpha ∉ (0,1]` or `k_sigma <= 0`.
     pub fn new(alpha: f64, k_sigma: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha <= 1.0,
-            "alpha must lie in (0, 1]"
-        );
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
         assert!(k_sigma > 0.0, "k_sigma must be positive");
         EwmaDetector {
             alpha,
@@ -68,10 +65,13 @@ impl Detector for EwmaDetector {
         // shift keeps being flagged until the caller resets or the shift is
         // absorbed deliberately. For QoS snapshots, one flag per interval is
         // exactly what feeds A_k; we still absorb slowly to avoid ringing.
-        let absorb = if anomalous { self.alpha * 0.5 } else { self.alpha };
+        let absorb = if anomalous {
+            self.alpha * 0.5
+        } else {
+            self.alpha
+        };
         self.level += absorb * residual;
-        self.variance =
-            (1.0 - self.alpha) * (self.variance + self.alpha * residual * residual);
+        self.variance = (1.0 - self.alpha) * (self.variance + self.alpha * residual * residual);
         self.seen += 1;
         Verdict::new(anomalous, score, Some(forecast))
     }

@@ -37,7 +37,10 @@ impl KalmanDetector {
     /// Panics if any parameter is non-positive or not finite.
     pub fn new(q: f64, r: f64, k_sigma: f64) -> Self {
         assert!(q > 0.0 && q.is_finite(), "process noise q must be positive");
-        assert!(r > 0.0 && r.is_finite(), "measurement noise r must be positive");
+        assert!(
+            r > 0.0 && r.is_finite(),
+            "measurement noise r must be positive"
+        );
         assert!(k_sigma > 0.0, "k_sigma must be positive");
         KalmanDetector {
             q,
@@ -127,7 +130,11 @@ mod tests {
             assert!(!det.observe(v).is_anomalous());
         }
         // Slope ~ 0.8/149 per step.
-        assert!((det.slope() - 0.8 / 149.0).abs() < 2e-3, "slope {}", det.slope());
+        assert!(
+            (det.slope() - 0.8 / 149.0).abs() < 2e-3,
+            "slope {}",
+            det.slope()
+        );
     }
 
     #[test]
@@ -150,7 +157,7 @@ mod tests {
             det.observe(0.8);
         }
         det.observe(0.1); // one-off glitch
-        // The level estimate barely moves thanks to the inflated noise.
+                          // The level estimate barely moves thanks to the inflated noise.
         assert!((det.level() - 0.8).abs() < 0.05, "level {}", det.level());
     }
 
@@ -159,7 +166,10 @@ mod tests {
         let mut det = KalmanDetector::new(1e-4, 1e-3, 5.0);
         for &v in &wiggle(500, 0.5, 0.01) {
             det.observe(v);
-            assert!(det.p00 > 0.0 && det.p11 > 0.0, "covariance went non-positive");
+            assert!(
+                det.p00 > 0.0 && det.p11 > 0.0,
+                "covariance went non-positive"
+            );
         }
     }
 

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod cusum;
+mod device;
 mod ensemble;
 mod ewma;
 mod holt_winters;
@@ -51,6 +52,7 @@ mod threshold;
 mod vector;
 
 pub use cusum::CusumDetector;
+pub use device::DeviceDetector;
 pub use ensemble::EnsembleDetector;
 pub use ewma::EwmaDetector;
 pub use holt_winters::HoltWintersDetector;

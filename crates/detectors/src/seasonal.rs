@@ -82,8 +82,7 @@ impl Detector for SeasonalHoltWintersDetector {
         if (self.seen as usize) < self.period {
             // First period: seed seasonal components around a flat level.
             self.season[idx] = value - self.level;
-            self.level = self.alpha * (value - self.season[idx])
-                + (1.0 - self.alpha) * self.level;
+            self.level = self.alpha * (value - self.season[idx]) + (1.0 - self.alpha) * self.level;
             self.seen += 1;
             return Verdict::new(false, 0.0, None);
         }
@@ -108,13 +107,8 @@ impl Detector for SeasonalHoltWintersDetector {
 
     fn reset(&mut self) {
         let p = self.period;
-        *self = SeasonalHoltWintersDetector::new(
-            self.alpha,
-            self.beta,
-            self.gamma,
-            self.k_sigma,
-            p,
-        );
+        *self =
+            SeasonalHoltWintersDetector::new(self.alpha, self.beta, self.gamma, self.k_sigma, p);
     }
 
     fn name(&self) -> &'static str {
@@ -142,7 +136,10 @@ mod tests {
                 alarms += 1;
             }
         }
-        assert!(alarms <= 2, "periodic signal must be absorbed, got {alarms} alarms");
+        assert!(
+            alarms <= 2,
+            "periodic signal must be absorbed, got {alarms} alarms"
+        );
     }
 
     #[test]
@@ -159,7 +156,10 @@ mod tests {
                 alarms += 1;
             }
         }
-        assert!(alarms > 50, "the rhythm should defeat a naive delta threshold");
+        assert!(
+            alarms > 50,
+            "the rhythm should defeat a naive delta threshold"
+        );
     }
 
     #[test]
@@ -207,7 +207,10 @@ mod tests {
             det.observe(v);
         }
         det.reset();
-        assert_eq!(det, SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 5.0, 8));
+        assert_eq!(
+            det,
+            SeasonalHoltWintersDetector::new(0.3, 0.05, 0.3, 5.0, 8)
+        );
     }
 
     #[test]

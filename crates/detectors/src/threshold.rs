@@ -56,10 +56,7 @@ impl ThresholdDetector {
 impl Detector for ThresholdDetector {
     fn observe(&mut self, value: f64) -> Verdict {
         let out_of_bounds = value < self.min_value || value > self.max_value;
-        let jump = self
-            .previous
-            .map(|p| (value - p).abs())
-            .unwrap_or(0.0);
+        let jump = self.previous.map(|p| (value - p).abs()).unwrap_or(0.0);
         let too_fast = jump > self.max_delta;
         self.previous = Some(value);
         let score = if self.max_delta > 0.0 && self.max_delta.is_finite() {
@@ -104,7 +101,10 @@ mod tests {
     fn level_shift_is_flagged_once() {
         let mut det = ThresholdDetector::with_delta(0.2);
         let signal = level_shift(20, 10, 0.9, 0.3);
-        let flags: Vec<bool> = signal.iter().map(|&v| det.observe(v).is_anomalous()).collect();
+        let flags: Vec<bool> = signal
+            .iter()
+            .map(|&v| det.observe(v).is_anomalous())
+            .collect();
         assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
         assert!(flags[10]);
     }

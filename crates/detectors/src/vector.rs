@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, DeviceDetector, Verdict};
 
 /// Device-level error-detection function over `d` services.
 ///
@@ -50,7 +50,10 @@ impl VectorDetector {
         I: IntoIterator<Item = Box<dyn Detector>>,
     {
         let detectors: Vec<_> = detectors.into_iter().collect();
-        assert!(!detectors.is_empty(), "a device consumes at least one service");
+        assert!(
+            !detectors.is_empty(),
+            "a device consumes at least one service"
+        );
         VectorDetector { detectors }
     }
 
@@ -62,7 +65,9 @@ impl VectorDetector {
     {
         assert!(d > 0, "a device consumes at least one service");
         VectorDetector {
-            detectors: (0..d).map(|_| Box::new(make()) as Box<dyn Detector>).collect(),
+            detectors: (0..d)
+                .map(|_| Box::new(make()) as Box<dyn Detector>)
+                .collect(),
         }
     }
 
@@ -117,6 +122,25 @@ impl VectorDetector {
         for det in &mut self.detectors {
             det.reset();
         }
+    }
+}
+
+impl DeviceDetector for VectorDetector {
+    fn services(&self) -> usize {
+        VectorDetector::services(self)
+    }
+
+    fn observe_vector(&mut self, values: &[f64]) -> Verdict {
+        VectorDetector::observe_vector(self, values)
+    }
+
+    fn reset(&mut self) {
+        VectorDetector::reset(self)
+    }
+
+    fn description(&self) -> String {
+        let names: Vec<&str> = self.detectors.iter().map(|d| d.name()).collect();
+        format!("vector[{}]", names.join(","))
     }
 }
 

@@ -116,7 +116,9 @@ mod tests {
         let mut net = NetworkSimulation::new(NetworkConfig::small(47)).unwrap();
         let dslam = net.topology().dslams()[0];
         // Pick a CPE on a *different* DSLAM so trajectories do not overlap.
-        let lone_gw = net.topology().downstream_gateways(net.topology().dslams()[3])[0];
+        let lone_gw = net
+            .topology()
+            .downstream_gateways(net.topology().dslams()[3])[0];
         let out = net.step(vec![
             FaultTarget::Node {
                 node: dslam,
@@ -137,6 +139,10 @@ mod tests {
             .filter(|r| r.action == ReportAction::NotifyOtt)
             .collect();
         assert_eq!(isp_calls.len(), 1, "only the CPE fault calls the ISP");
-        assert_eq!(ott_events.len(), 16, "the whole DSLAM subtree is a network event");
+        assert_eq!(
+            ott_events.len(),
+            16,
+            "the whole DSLAM subtree is a network event"
+        );
     }
 }

@@ -89,9 +89,7 @@ impl IncidentSchedule {
         let ending_now: Vec<Incident> = self
             .incidents
             .iter()
-            .filter(|i| {
-                matches!(i.duration, Some(d) if i.starts_at + d == step)
-            })
+            .filter(|i| matches!(i.duration, Some(d) if i.starts_at + d == step))
             .copied()
             .collect();
         let mut recovered = DeviceSet::new();
@@ -196,12 +194,18 @@ mod tests {
             Incident {
                 starts_at: 0,
                 duration: Some(2),
-                fault: FaultTarget::Node { node: d0, severity: 0.5 },
+                fault: FaultTarget::Node {
+                    node: d0,
+                    severity: 0.5,
+                },
             },
             Incident {
                 starts_at: 1,
                 duration: Some(5),
-                fault: FaultTarget::Node { node: d1, severity: 0.5 },
+                fault: FaultTarget::Node {
+                    node: d1,
+                    severity: 0.5,
+                },
             },
         ]);
         schedule.advance(&mut network); // step 0: d0 breaks
@@ -210,10 +214,7 @@ mod tests {
         assert_eq!(recovered.len(), 16, "only d0's subtree recovers");
         // d1's subtree is still degraded.
         let snap = network.snapshot();
-        let degraded = snap
-            .iter()
-            .filter(|(_, p)| p[0] < 0.6)
-            .count();
+        let degraded = snap.iter().filter(|(_, p)| p[0] < 0.6).count();
         assert_eq!(degraded, 16, "d1's gateways remain degraded");
     }
 

@@ -86,10 +86,7 @@ pub struct StepOutcome {
 impl StepOutcome {
     /// Union of all impacted devices — the ground-truth `A_k`.
     pub fn abnormal(&self) -> DeviceSet {
-        self.impacted
-            .iter()
-            .flat_map(|s| s.iter())
-            .collect()
+        self.impacted.iter().flat_map(|s| s.iter()).collect()
     }
 }
 
@@ -196,9 +193,7 @@ impl NetworkSimulation {
                 self.topology
                     .downstream_gateways(node)
                     .into_iter()
-                    .map(|gw| {
-                        DeviceId(self.topology.gateway_index(gw).expect("gateway") as u32)
-                    })
+                    .map(|gw| DeviceId(self.topology.gateway_index(gw).expect("gateway") as u32))
                     .collect()
             }
             FaultTarget::Gateway { gateway, severity } => {
@@ -268,7 +263,10 @@ mod tests {
             if abnormal.contains(id) {
                 assert!(after < before * 0.6 + 0.02, "device {id} should drop");
             } else {
-                assert!((after - before).abs() < 0.05, "device {id} should be stable");
+                assert!(
+                    (after - before).abs() < 0.05,
+                    "device {id} should be stable"
+                );
             }
         }
     }
@@ -313,7 +311,10 @@ mod tests {
     fn rejects_empty_service_list() {
         let mut c = NetworkConfig::small(1);
         c.services.clear();
-        assert_eq!(NetworkSimulation::new(c).unwrap_err(), NetworkError::NoServices);
+        assert_eq!(
+            NetworkSimulation::new(c).unwrap_err(),
+            NetworkError::NoServices
+        );
     }
 
     #[test]

@@ -77,11 +77,22 @@ mod tests {
     fn display_is_nonempty_and_lowercase_start() {
         let errors = [
             QosError::ZeroDimension,
-            QosError::CoordinateOutOfRange { index: 1, value: 1.5 },
-            QosError::DimensionMismatch { expected: 2, actual: 3 },
+            QosError::CoordinateOutOfRange {
+                index: 1,
+                value: 1.5,
+            },
+            QosError::DimensionMismatch {
+                expected: 2,
+                actual: 3,
+            },
             QosError::InvalidRadius { radius: 0.3 },
-            QosError::SnapshotMismatch { reason: "dim".into() },
-            QosError::UnknownDevice { id: 9, population: 3 },
+            QosError::SnapshotMismatch {
+                reason: "dim".into(),
+            },
+            QosError::UnknownDevice {
+                id: 9,
+                population: 3,
+            },
         ];
         for e in errors {
             let s = e.to_string();

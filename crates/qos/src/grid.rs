@@ -45,6 +45,29 @@ impl GridIndex {
     ///
     /// Panics if `min_cell_side` is not a positive finite number.
     pub fn build(pair: &StatePair, min_cell_side: f64) -> Self {
+        let mut index = GridIndex {
+            cells_per_axis: 0,
+            cell_side: 1.0,
+            dim: 0,
+            buckets: Vec::new(),
+        };
+        index.rebuild(pair, min_cell_side);
+        index
+    }
+
+    /// Re-indexes a (possibly different) state pair in place, reusing the
+    /// bucket allocations of the previous instant.
+    ///
+    /// Continuous monitors rebuild the vicinity index at every sampling
+    /// instant; after the first few instants the per-cell vectors have
+    /// reached their steady-state capacities and re-indexing allocates
+    /// nothing. The resulting index is identical to a fresh
+    /// [`GridIndex::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_cell_side` is not a positive finite number.
+    pub fn rebuild(&mut self, pair: &StatePair, min_cell_side: f64) {
         assert!(
             min_cell_side.is_finite() && min_cell_side > 0.0,
             "cell side must be positive and finite"
@@ -61,17 +84,17 @@ impl GridIndex {
         let cells_per_axis = ((1.0 / min_cell_side).floor() as usize).clamp(1, max_axis);
         let cell_side = 1.0 / cells_per_axis as f64;
         let total_cells = cells_per_axis.pow(dim as u32);
-        let mut buckets = vec![Vec::new(); total_cells];
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.buckets.resize_with(total_cells, Vec::new);
         for (id, p) in pair.before().iter() {
             let cell = Self::cell_of(p.coords(), cells_per_axis, cell_side);
-            buckets[cell].push(id);
+            self.buckets[cell].push(id);
         }
-        GridIndex {
-            cells_per_axis,
-            cell_side,
-            dim,
-            buckets,
-        }
+        self.cells_per_axis = cells_per_axis;
+        self.cell_side = cell_side;
+        self.dim = dim;
     }
 
     fn cell_of(coords: &[f64], cells_per_axis: usize, cell_side: f64) -> usize {
@@ -168,8 +191,18 @@ mod tests {
     #[test]
     fn matches_linear_scan_on_small_example() {
         let pair = pair_from(
-            vec![vec![0.1, 0.1], vec![0.12, 0.11], vec![0.9, 0.9], vec![0.13, 0.13]],
-            vec![vec![0.4, 0.4], vec![0.42, 0.41], vec![0.9, 0.8], vec![0.8, 0.8]],
+            vec![
+                vec![0.1, 0.1],
+                vec![0.12, 0.11],
+                vec![0.9, 0.9],
+                vec![0.13, 0.13],
+            ],
+            vec![
+                vec![0.4, 0.4],
+                vec![0.42, 0.41],
+                vec![0.9, 0.8],
+                vec![0.8, 0.8],
+            ],
         );
         let index = GridIndex::build(&pair, 0.06);
         for j in pair.device_ids() {
@@ -190,9 +223,7 @@ mod tests {
             index.neighbors_both(&pair, DeviceId(0), 0.05),
             vec![DeviceId(2)]
         );
-        assert!(index
-            .neighbors_both(&pair, DeviceId(1), 0.05)
-            .is_empty());
+        assert!(index.neighbors_both(&pair, DeviceId(1), 0.05).is_empty());
     }
 
     #[test]
@@ -200,6 +231,61 @@ mod tests {
     fn rejects_zero_cell_side() {
         let pair = pair_from(vec![vec![0.5]], vec![vec![0.5]]);
         GridIndex::build(&pair, 0.0);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_across_instants() {
+        let first = pair_from(
+            vec![vec![0.1, 0.1], vec![0.5, 0.5], vec![0.9, 0.9]],
+            vec![vec![0.2, 0.1], vec![0.5, 0.6], vec![0.9, 0.8]],
+        );
+        let second = pair_from(
+            vec![
+                vec![0.3, 0.3],
+                vec![0.31, 0.3],
+                vec![0.7, 0.7],
+                vec![0.72, 0.7],
+            ],
+            vec![
+                vec![0.4, 0.4],
+                vec![0.41, 0.4],
+                vec![0.7, 0.6],
+                vec![0.72, 0.6],
+            ],
+        );
+        let mut reused = GridIndex::build(&first, 0.06);
+        reused.rebuild(&second, 0.08);
+        let fresh = GridIndex::build(&second, 0.08);
+        assert_eq!(reused.cells_per_axis(), fresh.cells_per_axis());
+        for j in second.device_ids() {
+            assert_eq!(
+                reused.neighbors_both(&second, j, 0.08),
+                fresh.neighbors_both(&second, j, 0.08),
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_survives_population_and_resolution_changes() {
+        // Coarse -> fine -> coarse, with different populations each time.
+        let pairs = [
+            pair_from(vec![vec![0.5]], vec![vec![0.5]]),
+            pair_from(
+                vec![vec![0.1], vec![0.12], vec![0.9]],
+                vec![vec![0.2], vec![0.22], vec![0.9]],
+            ),
+        ];
+        let mut index = GridIndex::build(&pairs[0], 0.5);
+        for (pair, side) in [(&pairs[1], 0.01), (&pairs[0], 0.3), (&pairs[1], 0.06)] {
+            index.rebuild(pair, side);
+            let fresh = GridIndex::build(pair, side);
+            for j in pair.device_ids() {
+                assert_eq!(
+                    index.neighbors_both(pair, j, side),
+                    fresh.neighbors_both(pair, j, side),
+                );
+            }
+        }
     }
 
     #[test]

@@ -167,15 +167,17 @@ mod tests {
         c.n = 400;
         c.errors_per_step = 6;
         c.isolated_prob = 0.9; // make isolated victims plentiful
-        // Uniform destinations: the victim lands in empty space, so the
-        // flip (if any) is the coalition's doing alone.
+                               // Uniform destinations: the victim lands in empty space, so the
+                               // flip (if any) is the coalition's doing alone.
         c.destination = crate::DestinationModel::Uniform;
         c
     }
 
     #[test]
     fn no_coalition_means_no_suppression() {
-        let report = run_attack(&config(1), 0, 99).unwrap().expect("victim exists");
+        let report = run_attack(&config(1), 0, 99)
+            .unwrap()
+            .expect("victim exists");
         assert_eq!(report.verdict_clean, report.verdict_attacked);
         assert!(!report.suppressed());
     }
@@ -197,10 +199,12 @@ mod tests {
     #[test]
     fn minimum_coalition_is_tau() {
         // Fewer than τ shadows leave every motion sparse (victim + c ≤ τ);
-        // exactly τ is the tipping point.
-        let cfg = config(3);
-        let min = minimum_winning_coalition(&cfg, 6, 11).unwrap();
-        assert_eq!(min, Some(cfg.params.tau()));
+        // exactly τ is the tipping point. Whether a step yields a singleton
+        // isolated victim depends on the scenario seed, so scan a few.
+        let min = (3..35)
+            .find_map(|s| minimum_winning_coalition(&config(s), 6, 11).unwrap())
+            .expect("some seed yields an isolated victim");
+        assert_eq!(min, config(3).params.tau());
     }
 
     #[test]

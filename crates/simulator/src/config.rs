@@ -165,7 +165,10 @@ impl ScenarioConfig {
 
     /// Returns a copy with a different seed.
     pub fn with_seed(&self, seed: u64) -> Self {
-        ScenarioConfig { seed, ..self.clone() }
+        ScenarioConfig {
+            seed,
+            ..self.clone()
+        }
     }
 }
 

@@ -173,10 +173,8 @@ impl Simulation {
             free.iter()
                 .copied()
                 .filter(|&id| {
-                    anomaly_qos::uniform_distance(
-                        before.position(id).coords(),
-                        center.coords(),
-                    ) <= r
+                    anomaly_qos::uniform_distance(before.position(id).coords(), center.coords())
+                        <= r
                 })
                 .collect()
         };
@@ -289,7 +287,11 @@ impl Simulation {
         let _ = effective_isolated;
         for &m in members {
             let b_m = before.position(m).coords();
-            let a_m: Vec<f64> = b_m.iter().zip(displacement).map(|(c, d)| (c + d).clamp(0.0, 1.0)).collect();
+            let a_m: Vec<f64> = b_m
+                .iter()
+                .zip(displacement)
+                .map(|(c, d)| (c + d).clamp(0.0, 1.0))
+                .collect();
             for &p in placed_isolated {
                 let close_before =
                     anomaly_qos::uniform_distance(b_m, before.position(p).coords()) <= window;

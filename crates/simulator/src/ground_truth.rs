@@ -38,9 +38,9 @@ impl GroundTruth {
         debug_assert!(
             {
                 let mut seen = DeviceSet::new();
-                events.iter().all(|e| {
-                    e.impacted.iter().all(|id| seen.insert(id))
-                })
+                events
+                    .iter()
+                    .all(|e| e.impacted.iter().all(|id| seen.insert(id)))
             },
             "error events must be pairwise disjoint (R1)"
         );
@@ -54,10 +54,7 @@ impl GroundTruth {
 
     /// All impacted devices — the ground-truth `A_k`.
     pub fn abnormal_devices(&self) -> DeviceSet {
-        self.events
-            .iter()
-            .flat_map(|e| e.impacted.iter())
-            .collect()
+        self.events.iter().flat_map(|e| e.impacted.iter()).collect()
     }
 
     /// Devices impacted by effectively-massive errors (`M_{R_k}`).

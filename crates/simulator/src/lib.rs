@@ -39,10 +39,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod config;
 mod generator;
 mod ground_truth;
-pub mod adversary;
 pub mod runner;
 pub mod sweep;
 pub mod trace;

@@ -104,6 +104,22 @@ impl Trace {
         });
     }
 
+    /// A sub-trace holding the steps of `range`, with the same parameters.
+    ///
+    /// Out-of-bounds indices are clamped to the recorded step count. Useful
+    /// for replaying a scenario in segments — e.g. reproducing fleet
+    /// membership changes that happened between two recording sessions.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Trace {
+        let end = range.end.min(self.steps.len());
+        let start = range.start.min(end);
+        Trace {
+            n: self.n,
+            dim: self.dim,
+            params: self.params,
+            steps: self.steps[start..end].to_vec(),
+        }
+    }
+
     /// Serializes to the v1 text format.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -129,7 +145,11 @@ impl Trace {
             }
             for event in step.truth.events() {
                 out.push_str("event ");
-                out.push_str(if event.intended_isolated { "isolated" } else { "massive" });
+                out.push_str(if event.intended_isolated {
+                    "isolated"
+                } else {
+                    "massive"
+                });
                 for id in &event.impacted {
                     let _ = write!(out, " {}", id.0);
                 }
@@ -161,7 +181,10 @@ impl Trace {
             line: line + 1,
             reason: reason.to_string(),
         };
-        if fields.len() != 8 || fields[0] != "n" || fields[2] != "dim" || fields[4] != "r"
+        if fields.len() != 8
+            || fields[0] != "n"
+            || fields[2] != "dim"
+            || fields[4] != "r"
             || fields[6] != "tau"
         {
             return Err(bad(lineno, "expected `n <n> dim <d> r <r> tau <tau>`"));
@@ -212,7 +235,9 @@ impl Trace {
                 after = Some(parse_snapshot(lineno, rest)?);
             } else if let Some(rest) = line.strip_prefix("event ") {
                 let mut parts = rest.split_whitespace();
-                let kind = parts.next().ok_or_else(|| bad(lineno, "missing event kind"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| bad(lineno, "missing event kind"))?;
                 let intended_isolated = match kind {
                     "isolated" => true,
                     "massive" => false,
@@ -281,6 +306,17 @@ mod tests {
     }
 
     #[test]
+    fn slice_preserves_parameters_and_clamps() {
+        let trace = recorded(8, 4);
+        let mid = trace.slice(1..3);
+        assert_eq!(mid.n, trace.n);
+        assert_eq!(mid.params, trace.params);
+        assert_eq!(mid.steps, trace.steps[1..3].to_vec());
+        assert_eq!(trace.slice(2..99).steps.len(), 2);
+        assert!(trace.slice(7..9).steps.is_empty());
+    }
+
+    #[test]
     fn header_is_validated() {
         assert_eq!(Trace::from_text(""), Err(TraceError::BadHeader));
         assert_eq!(
@@ -312,8 +348,8 @@ mod tests {
 
     #[test]
     fn replayed_steps_characterize_identically() {
-        use crate::runner::analyze_step;
         use crate::generator::StepOutcome;
+        use crate::runner::analyze_step;
         let mut config = ScenarioConfig::paper_defaults(9);
         config.n = 80;
         config.errors_per_step = 4;

@@ -44,6 +44,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(big_tau >= tau);
 
-    println!("\nuse Params::new({r}, {tau}) for the n = {n} deployment.");
+    println!("\nuse MonitorBuilder::new().radius({r}).tau({tau}) for the n = {n} deployment.");
     Ok(())
 }

@@ -1,62 +1,70 @@
-//! Continuous monitoring with [`FleetMonitor`]: the whole paper as one
-//! object.
+//! Continuous monitoring with the v2 `Monitor`: the whole paper as one
+//! object, with mid-run fleet churn.
 //!
 //! A fleet of 40 devices streams QoS snapshots. Over 100 sampling instants
 //! we inject: nothing (warm-up), a network-level incident hitting 12
-//! devices, a quiet period, then two independent local faults. The monitor
-//! raises exactly the right operator notifications.
+//! devices, a quiet period — during which two subscribers cancel and two
+//! new ones join — then two independent local faults. The monitor raises
+//! exactly the right operator notifications throughout.
 //!
 //! Run with: `cargo run --example fleet_monitor`
 
-use anomaly_characterization::core::Params;
-use anomaly_characterization::detectors::{EwmaDetector, VectorDetector};
-use anomaly_characterization::pipeline::FleetMonitor;
-use anomaly_characterization::qos::{QosSpace, Snapshot};
+use anomaly_characterization::pipeline::{DeviceKey, Monitor, MonitorBuilder};
 
 const FLEET: usize = 40;
-const INCIDENT: std::ops::Range<usize> = 10..22; // devices 10..21 share a path
-const LOCAL_A: usize = 3;
-const LOCAL_B: usize = 33;
+const INCIDENT: std::ops::Range<u64> = 10..22; // devices #10..#21 share a path
+const LOCAL_A: u64 = 3;
+const LOCAL_B: u64 = 33;
 
-fn snapshot_at(space: &QosSpace, t: usize) -> Snapshot {
-    let rows: Vec<Vec<f64>> = (0..FLEET)
-        .map(|j| {
-            let wiggle = 0.003 * ((t * 11 + j * 17) as f64).sin();
-            let level = match t {
-                // t = 40: shared incident degrades one subtree.
-                40..=59 if INCIDENT.contains(&j) => 0.45 + 0.002 * (j % 4) as f64,
-                // t = 80: two unrelated CPE faults.
-                80.. if j == LOCAL_A => 0.12,
-                80.. if j == LOCAL_B => 0.22,
-                _ => 0.90 + 0.002 * (j % 5) as f64,
-            };
-            vec![(level + wiggle).clamp(0.0, 1.0)]
-        })
-        .collect();
-    Snapshot::from_rows(space, rows).expect("rows in range")
+/// QoS level of device `key` at instant `t`.
+fn level(key: DeviceKey, t: usize) -> f64 {
+    let wiggle = 0.003 * ((t as u64 * 11 + key.0 * 17) as f64).sin();
+    let base = match t {
+        // t = 40: shared incident degrades one subtree.
+        40..=59 if INCIDENT.contains(&key.0) => 0.45 + 0.002 * (key.0 % 4) as f64,
+        // t = 80: two unrelated CPE faults.
+        80.. if key.0 == LOCAL_A => 0.12,
+        80.. if key.0 == LOCAL_B => 0.22,
+        _ => 0.90 + 0.002 * (key.0 % 5) as f64,
+    };
+    (base + wiggle).clamp(0.0, 1.0)
+}
+
+/// One row per current member, in the monitor's dense key order.
+fn rows_at(monitor: &Monitor, t: usize) -> Vec<Vec<f64>> {
+    monitor.keys().iter().map(|&k| vec![level(k, t)]).collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let space = QosSpace::new(1)?;
-    let mut monitor = FleetMonitor::new(
-        Params::new(0.03, 3)?,
-        (0..FLEET).map(|_| VectorDetector::homogeneous(1, || EwmaDetector::new(0.3, 4.0))),
-    );
+    let mut monitor = MonitorBuilder::new()
+        .radius(0.03)
+        .tau(3)
+        .capacity(FLEET + 2)
+        .fleet(FLEET)
+        .build()?;
 
     let mut isp_calls = Vec::new();
     let mut network_events = 0usize;
     for t in 0..100 {
-        let report = monitor.observe(snapshot_at(&space, t));
+        // t = 70: churn in the quiet period — two subscribers cancel, two
+        // new gateways come online under fresh keys.
+        if t == 70 {
+            monitor.leave(7u64)?;
+            monitor.leave(29u64)?;
+            monitor.join(100u64)?;
+            monitor.join(101u64)?;
+        }
+        let report = monitor.observe_rows(rows_at(&monitor, t))?;
         if report.has_network_event() {
             network_events += 1;
             println!(
                 "t = {t:>3}: network-level event over {} devices (ISP calls suppressed)",
-                report.verdicts.len()
+                report.verdicts().len()
             );
         }
-        for j in report.operator_notifications() {
-            println!("t = {t:>3}: device {j} calls the ISP");
-            isp_calls.push((t, j));
+        for key in report.operator_notifications() {
+            println!("t = {t:>3}: device {key} calls the ISP");
+            isp_calls.push((t, key));
         }
     }
 
@@ -64,12 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nsummary: {} network-event instants, {} ISP calls {:?}",
         network_events,
         isp_calls.len(),
-        isp_calls.iter().map(|(_, j)| j.to_string()).collect::<Vec<_>>()
+        isp_calls
+            .iter()
+            .map(|(_, k)| k.to_string())
+            .collect::<Vec<_>>()
     );
     // Two network-level instants: the incident's onset at t = 40 and its
     // *recovery* at t = 60 — a collective QoS jump is itself a consistent
     // dense motion, which is exactly what an operator wants surfaced.
     assert_eq!(network_events, 2, "incident onset + recovery");
     assert_eq!(isp_calls.len(), 2, "exactly the two CPE faults call home");
+    assert!(isp_calls.iter().any(|&(_, k)| k == DeviceKey(LOCAL_A)));
+    assert!(isp_calls.iter().any(|&(_, k)| k == DeviceKey(LOCAL_B)));
+    assert_eq!(monitor.population(), FLEET, "churn kept the fleet size");
     Ok(())
 }

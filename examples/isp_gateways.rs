@@ -1,27 +1,49 @@
-//! The paper's motivating scenario: an ISP operating home gateways.
+//! The paper's motivating scenario: an ISP operating home gateways,
+//! monitored end to end by the v2 `Monitor`.
 //!
-//! A DSLAM fault degrades a whole neighbourhood while one customer's gateway
-//! fails on its own. Every impacted gateway runs the local characterization
-//! and decides autonomously whether to call the ISP help desk — the paper's
-//! point is that only the lone CPE fault should generate a call, even though
-//! seventeen gateways saw their QoS collapse.
+//! A DSLAM fault degrades a whole neighbourhood while one customer's
+//! gateway fails on its own. Every gateway streams its measured QoS through
+//! the monitor — keyed by its topology node id — and decides autonomously
+//! whether to call the ISP help desk. The paper's point: only the lone CPE
+//! fault should generate a call, even though seventeen gateways saw their
+//! QoS collapse.
 //!
 //! Run with: `cargo run --example isp_gateways`
 
-use anomaly_characterization::core::Params;
-use anomaly_characterization::network::{
-    gateway_reports, FaultTarget, NetworkConfig, NetworkSimulation, ReportAction,
-};
+use anomaly_characterization::detectors::{EwmaDetector, VectorDetector};
+use anomaly_characterization::network::{FaultTarget, NetworkConfig, NetworkSimulation};
+use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1 core, 2 aggregation switches, 4 DSLAMs, 64 gateways, 2 services.
     let mut net = NetworkSimulation::new(NetworkConfig::small(2024))?;
+    let d = net.services().len();
     println!(
-        "network: {} gateways behind {} DSLAMs, {} services monitored",
+        "network: {} gateways behind {} DSLAMs, {d} services monitored",
         net.population(),
         net.topology().dslams().len(),
-        net.services().len()
     );
+
+    // One monitor for the whole fleet: gateways join under their stable
+    // topology node ids; σ-gate wide enough for the ±0.005 measurement
+    // jitter, r chosen above it.
+    let mut monitor = MonitorBuilder::new()
+        .radius(0.02)
+        .tau(3)
+        .services(d)
+        .detector_factory(move |_key| {
+            Box::new(VectorDetector::homogeneous(d, || {
+                EwmaDetector::new(0.3, 6.0)
+            }))
+        })
+        .devices(net.topology().gateways().iter().map(|g| g.0))
+        .build()?;
+
+    // Healthy warm-up: measurements flow, detectors learn the baseline.
+    for _ in 0..30 {
+        let report = monitor.observe(net.snapshot())?;
+        assert!(report.verdicts().is_empty());
+    }
 
     // Tonight's incidents: DSLAM 2 degrades to half capacity, and one
     // customer on another DSLAM bricks their gateway with a bad firmware
@@ -30,44 +52,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sick_gateway = net
         .topology()
         .downstream_gateways(net.topology().dslams()[0])[3];
-    let outcome = net.step(vec![
-        FaultTarget::Node {
-            node: sick_dslam,
-            severity: 0.5,
-        },
-        FaultTarget::Gateway {
-            gateway: sick_gateway,
-            severity: 0.8,
-        },
-    ]);
-    println!(
-        "faults injected: DSLAM {} (16 gateways) + CPE {}",
-        sick_dslam, sick_gateway
-    );
+    net.inject(FaultTarget::Node {
+        node: sick_dslam,
+        severity: 0.5,
+    });
+    net.inject(FaultTarget::Gateway {
+        gateway: sick_gateway,
+        severity: 0.8,
+    });
+    println!("faults injected: DSLAM {sick_dslam} (16 gateways) + CPE {sick_gateway}");
 
-    // Each impacted gateway self-characterizes (r chosen above the ±0.005
-    // measurement jitter, tau = 3).
-    let params = Params::new(0.02, 3)?;
-    let reports = gateway_reports(&outcome, params);
-
-    let mut isp_calls = 0;
-    let mut ott_notices = 0;
-    for r in &reports {
-        match r.action {
-            ReportAction::NotifyIsp => {
-                isp_calls += 1;
-                println!("  {} -> CALL ISP (isolated fault at the customer)", r.device);
-            }
-            ReportAction::NotifyOtt => ott_notices += 1,
-            ReportAction::Defer => println!("  {} -> defer (unresolved)", r.device),
-        }
+    // The next sampling instant sees both faults and separates them.
+    let report = monitor.observe(net.snapshot())?;
+    let isp_calls = report.operator_notifications();
+    for v in report.massive() {
+        println!("  {} -> network event (suppressed)", v.key);
+    }
+    for key in &isp_calls {
+        println!("  {key} -> CALL ISP (isolated fault at the customer)");
     }
     println!(
-        "\n{} gateways flagged; {} suppressed ISP calls (network event), {} real call(s)",
-        reports.len(),
-        ott_notices,
-        isp_calls
+        "\n{} gateways flagged; {} in a network-level event, {} real call(s)",
+        report.verdicts().len(),
+        report.massive().count(),
+        isp_calls.len(),
     );
-    assert_eq!(isp_calls, 1, "exactly the CPE fault should call home");
+    assert!(report.has_network_event(), "the DSLAM outage must surface");
+    assert_eq!(
+        isp_calls,
+        vec![DeviceKey(sick_gateway.0 as u64)],
+        "exactly the CPE fault should call home"
+    );
     Ok(())
 }

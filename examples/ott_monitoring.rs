@@ -1,56 +1,85 @@
-//! The over-the-top operator's view (Section I, second use case).
+//! The over-the-top operator's view (Section I, second use case), on the
+//! v2 `Monitor`.
 //!
 //! An OTT operator delivers content through an ISP it does not control.
 //! When an aggregation switch degrades, thousands of clients blame the OTT —
 //! so the OTT wants *network-level* events surfaced immediately, while
 //! ignoring individual devices' local problems. This is the mirror image of
-//! the ISP use case: here only **massive** verdicts are reported.
+//! the ISP use case: here only **massive** verdicts page anyone.
 //!
 //! Run with: `cargo run --example ott_monitoring`
 
-use anomaly_characterization::core::{AnomalyClass, Params};
-use anomaly_characterization::network::{
-    gateway_reports, FaultTarget, NetworkConfig, NetworkSimulation,
-};
+use anomaly_characterization::detectors::{EwmaDetector, VectorDetector};
+use anomaly_characterization::network::{FaultTarget, NetworkConfig, NetworkSimulation};
+use anomaly_characterization::pipeline::{MonitorBuilder, Report};
+
+fn network_event_size(report: &Report) -> usize {
+    report.massive().count()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = NetworkSimulation::new(NetworkConfig::small(31337))?;
+    let d = net.services().len();
+    let mut monitor = MonitorBuilder::new()
+        .radius(0.02)
+        .tau(3)
+        .services(d)
+        .detector_factory(move |_key| {
+            Box::new(VectorDetector::homogeneous(d, || {
+                EwmaDetector::new(0.3, 6.0)
+            }))
+        })
+        .devices(net.topology().gateways().iter().map(|g| g.0))
+        .build()?;
+    // Warm-up: the σ-gates may fluke once or twice while their variance
+    // estimates settle; what matters is that no *network-level* event ever
+    // appears on a healthy network.
+    for _ in 0..30 {
+        let report = monitor.observe(net.snapshot())?;
+        assert!(!report.has_network_event());
+    }
 
     // Hour 1: a few customers have local trouble — the OTT should NOT page
-    // anyone.
+    // anyone. (Both faulty gateways sit outside aggregation 1's subtree, so
+    // hour 2 stays clean.)
     let g1 = net.topology().gateways()[3];
-    let g2 = net.topology().gateways()[40];
-    let quiet_hour = net.step(vec![
-        FaultTarget::Gateway { gateway: g1, severity: 0.6 },
-        FaultTarget::Gateway { gateway: g2, severity: 0.7 },
-    ]);
-    let params = Params::new(0.02, 3)?;
-    let network_events = |reports: &[anomaly_characterization::network::GatewayReport]| {
-        reports
-            .iter()
-            .filter(|r| r.class == AnomalyClass::Massive)
-            .count()
-    };
-    let quiet_reports = gateway_reports(&quiet_hour, params);
+    let g2 = net.topology().gateways()[20];
+    net.inject(FaultTarget::Gateway {
+        gateway: g1,
+        severity: 0.6,
+    });
+    net.inject(FaultTarget::Gateway {
+        gateway: g2,
+        severity: 0.7,
+    });
+    let quiet_hour = monitor.observe(net.snapshot())?;
     println!(
-        "hour 1: {} devices degraded, {} network-level events -> no page",
-        quiet_reports.len(),
-        network_events(&quiet_reports)
+        "hour 1: {} devices degraded, {} in network-level events -> no page",
+        quiet_hour.verdicts().len(),
+        network_event_size(&quiet_hour),
     );
-    assert_eq!(network_events(&quiet_reports), 0);
+    assert_eq!(network_event_size(&quiet_hour), 0);
 
-    // Hour 2: an aggregation switch melts down — 32 clients degrade at once.
+    // Hour 2: an aggregation switch melts down — 32 clients degrade at
+    // once. (The two repaired gateways jump back up; a two-device motion is
+    // sparse, so they cannot fake a network event either.)
     net.repair_all();
     let agg = net.topology().aggregations()[1];
-    let bad_hour = net.step(vec![FaultTarget::Node { node: agg, severity: 0.6 }]);
-    let bad_reports = gateway_reports(&bad_hour, params);
-    let events = network_events(&bad_reports);
+    net.inject(FaultTarget::Node {
+        node: agg,
+        severity: 0.6,
+    });
+    let bad_hour = monitor.observe(net.snapshot())?;
+    let events = network_event_size(&bad_hour);
     println!(
         "hour 2: {} devices degraded, {} of them in a network-level event -> PAGE THE NOC",
-        bad_reports.len(),
-        events
+        bad_hour.verdicts().len(),
+        events,
     );
-    assert!(events >= 30, "the aggregation outage must be seen as massive");
+    assert!(
+        events >= 30,
+        "the aggregation outage must be seen as massive"
+    );
 
     println!("\nthe OTT pages exactly when the network (not a customer) is at fault.");
     Ok(())

@@ -1,63 +1,53 @@
-//! Quickstart: characterize a hand-built configuration in a dozen lines.
+//! Quickstart: the v2 builder API in a dozen lines.
 //!
-//! Five devices move together (one network-level error) while a sixth jumps
-//! on its own (a local fault). Each flagged device decides locally whether
-//! it was hit by a massive or an isolated anomaly.
+//! Six devices stream QoS samples through a `Monitor`. A shared incident
+//! hits five of them together (a network-level, *massive* anomaly) while
+//! the sixth fails alone (an *isolated* fault). Each flagged device decides
+//! locally which case it is in — only the lone fault should call the
+//! operator.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use anomaly_characterization::core::{Analyzer, Params, TrajectoryTable};
-use anomaly_characterization::qos::{DeviceId, QosSpace, Snapshot, StatePair};
+use anomaly_characterization::core::AnomalyClass;
+use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // One monitored service -> a 1-dimensional QoS space.
-    let space = QosSpace::new(1)?;
+    // The paper's operating point (r = 0.03, τ = 3), one service per
+    // device, EWMA detectors — all defaults. Six devices, keyed 0..6.
+    let mut monitor = MonitorBuilder::new().fleet(6).build()?;
 
-    // QoS of six devices at time k-1 ...
-    let before = Snapshot::from_rows(
-        &space,
-        vec![
-            vec![0.90], // devices 0..4: healthy, clustered
-            vec![0.91],
-            vec![0.92],
-            vec![0.93],
-            vec![0.94],
-            vec![0.92], // device 5: healthy too
-        ],
-    )?;
-    // ... and at time k: a shared degradation hits 0..4, device 5 fails alone.
-    let after = Snapshot::from_rows(
-        &space,
-        vec![
-            vec![0.40],
-            vec![0.41],
-            vec![0.42],
-            vec![0.43],
-            vec![0.44],
-            vec![0.10],
-        ],
-    )?;
-    let pair = StatePair::new(before, after)?;
+    // Healthy warm-up: the detectors learn the normal level.
+    for _ in 0..30 {
+        let report = monitor.observe_rows(vec![vec![0.9]; 6])?;
+        assert!(report.is_quiet());
+    }
 
-    // Every device flagged its trajectory as abnormal (A_k = all six).
-    let abnormal: Vec<DeviceId> = (0..6).map(DeviceId).collect();
-
-    // The paper's operating point: consistency radius r = 0.03, density
-    // threshold tau = 3 (more than 3 co-moving devices = massive).
-    let params = Params::new(0.03, 3)?;
-    let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
-    let analyzer = Analyzer::new(&table, params);
+    // The incident instant: devices 0..4 degrade together, device 5 alone.
+    let rows = vec![
+        vec![0.40],
+        vec![0.41],
+        vec![0.42],
+        vec![0.43],
+        vec![0.44],
+        vec![0.10],
+    ];
+    let report = monitor.observe_rows(rows)?;
 
     println!("device  verdict     decided by");
-    for &j in table.ids() {
-        let c = analyzer.characterize_full(j);
-        println!("{:>6}  {:<10}  {}", j.to_string(), c.class().to_string(), c.rule());
+    for v in report.verdicts() {
+        println!(
+            "{:>6}  {:<10}  {}",
+            v.key.to_string(),
+            v.class().to_string(),
+            v.characterization.rule(),
+        );
     }
 
     // The co-movers are massive, the loner isolated.
-    use anomaly_characterization::core::AnomalyClass;
-    assert_eq!(analyzer.characterize_full(DeviceId(0)).class(), AnomalyClass::Massive);
-    assert_eq!(analyzer.characterize_full(DeviceId(5)).class(), AnomalyClass::Isolated);
-    println!("\nonly device d5 should call the operator.");
+    assert_eq!(report.class_of(DeviceKey(0)), Some(AnomalyClass::Massive));
+    assert_eq!(report.class_of(DeviceKey(5)), Some(AnomalyClass::Isolated));
+    assert_eq!(report.operator_notifications(), vec![DeviceKey(5)]);
+    println!("\nonly device #5 should call the operator.");
+    println!("summary: {}", report.summary());
     Ok(())
 }

@@ -1,26 +1,28 @@
 //! End-to-end pipeline: raw QoS time series -> error-detection functions ->
-//! abnormal-trajectory set A_k -> local characterization.
+//! abnormal-trajectory set A_k -> local characterization — all inside one
+//! v2 `Monitor` with a custom detector factory.
 //!
 //! The paper assumes the detection functions `a_k(j)` exist (Section III-A,
 //! citing Holt-Winters and CUSUM); this example actually runs them. Twelve
-//! devices stream noisy QoS samples; at some instant a shared incident hits
-//! eight of them and an unrelated local fault hits one more. The detectors
-//! build A_k, then the characterization separates the two incidents.
+//! devices stream noisy QoS samples through per-device Holt-Winters
+//! detectors; at some instant a shared incident hits eight of them and an
+//! unrelated local fault hits one more. The detectors build A_k, then the
+//! characterization separates the two incidents.
 //!
 //! Run with: `cargo run --example streaming_detection`
 
-use anomaly_characterization::core::{Analyzer, AnomalyClass, Params, TrajectoryTable};
-use anomaly_characterization::detectors::{Detector, HoltWintersDetector};
-use anomaly_characterization::qos::{DeviceId, QosSpace, Snapshot, StatePair};
+use anomaly_characterization::core::AnomalyClass;
+use anomaly_characterization::detectors::HoltWintersDetector;
+use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder};
 
 const DEVICES: usize = 12;
-const SHARED_INCIDENT: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
-const LOCAL_FAULT: usize = 10;
+const SHARED_INCIDENT: [u64; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+const LOCAL_FAULT: u64 = 10;
 const INCIDENT_AT: usize = 60;
 
 /// Noisy QoS sample of device `j` at instant `t`.
-fn qos(j: usize, t: usize) -> f64 {
-    let wiggle = 0.004 * ((t * 7 + j * 13) as f64).sin();
+fn qos(j: u64, t: usize) -> f64 {
+    let wiggle = 0.004 * ((t as u64 * 7 + j * 13) as f64).sin();
     let healthy = 0.90 + 0.002 * (j % 5) as f64;
     let level = if t >= INCIDENT_AT && SHARED_INCIDENT.contains(&j) {
         healthy - 0.45 - 0.002 * (j % 3) as f64 // shared congestion level
@@ -32,49 +34,51 @@ fn qos(j: usize, t: usize) -> f64 {
     (level + wiggle).clamp(0.0, 1.0)
 }
 
+fn rows_at(t: usize) -> Vec<Vec<f64>> {
+    (0..DEVICES as u64).map(|j| vec![qos(j, t)]).collect()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One Holt-Winters detector per device (trend-aware forecasting).
-    let mut detectors: Vec<HoltWintersDetector> =
-        (0..DEVICES).map(|_| HoltWintersDetector::new(0.5, 0.2, 4.0)).collect();
+    let mut monitor = MonitorBuilder::new()
+        .radius(0.03)
+        .tau(3)
+        .detector_factory(|_key| Box::new(HoltWintersDetector::new(0.5, 0.2, 4.0)))
+        .fleet(DEVICES)
+        .build()?;
 
-    // Stream until the incident instant; remember the last healthy sample.
-    let mut last_healthy = vec![0.0f64; DEVICES];
+    // Stream the healthy prefix: detectors learn, nothing is flagged.
     for t in 0..INCIDENT_AT {
-        for (j, det) in detectors.iter_mut().enumerate() {
-            let v = qos(j, t);
-            det.observe(v);
-            last_healthy[j] = v;
-        }
+        let report = monitor.observe_rows(rows_at(t))?;
+        assert!(report.is_quiet(), "false alarm at t = {t}");
     }
 
-    // The incident instant: detectors raise a_k(j) for the impacted devices.
-    let mut flagged = Vec::new();
-    let mut now = vec![0.0f64; DEVICES];
-    for (j, det) in detectors.iter_mut().enumerate() {
-        now[j] = qos(j, INCIDENT_AT);
-        if det.observe(now[j]).is_anomalous() {
-            flagged.push(DeviceId(j as u32));
-        }
-    }
-    println!("detectors flagged {} devices: {flagged:?}", flagged.len());
-    assert_eq!(flagged.len(), 9, "8 shared + 1 local fault");
+    // The incident instant: detectors raise a_k(j) for the impacted
+    // devices and the characterization runs in the same call.
+    let report = monitor.observe_rows(rows_at(INCIDENT_AT))?;
+    println!(
+        "detectors flagged {} devices (detection {:?}, characterization {:?})",
+        report.verdicts().len(),
+        report.detection_time(),
+        report.characterization_time(),
+    );
+    assert_eq!(report.verdicts().len(), 9, "8 shared + 1 local fault");
 
-    // Build the snapshot pair for the flagged population and characterize.
-    let space = QosSpace::new(1)?;
-    let before = Snapshot::from_rows(&space, last_healthy.iter().map(|&v| vec![v]).collect())?;
-    let after = Snapshot::from_rows(&space, now.iter().map(|&v| vec![v]).collect())?;
-    let pair = StatePair::new(before, after)?;
-    let table = TrajectoryTable::from_state_pair(&pair, &flagged);
-    let analyzer = Analyzer::new(&table, Params::new(0.03, 3)?);
-
-    for &j in table.ids() {
-        let c = analyzer.characterize_full(j);
-        println!("  {} -> {} ({})", j, c.class(), c.rule());
+    for v in report.verdicts() {
+        println!(
+            "  {} -> {} ({}), moved {:.3}, {} neighbours",
+            v.key,
+            v.class(),
+            v.characterization.rule(),
+            v.displacement,
+            v.vicinity,
+        );
     }
-    let local = analyzer.characterize_full(DeviceId(LOCAL_FAULT as u32));
-    assert_eq!(local.class(), AnomalyClass::Isolated);
-    let shared = analyzer.characterize_full(DeviceId(0));
-    assert_eq!(shared.class(), AnomalyClass::Massive);
-    println!("\nshared congestion recognized as massive; device d10's fault stays local.");
+    assert_eq!(
+        report.class_of(DeviceKey(LOCAL_FAULT)),
+        Some(AnomalyClass::Isolated)
+    );
+    assert_eq!(report.class_of(DeviceKey(0)), Some(AnomalyClass::Massive));
+    println!("\nshared congestion recognized as massive; device #10's fault stays local.");
     Ok(())
 }

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate mirrors the criterion API subset our benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a deliberately
+//! simple measurement loop: a short warm-up, then `sample_size` timed
+//! samples, reporting min/median wall-clock per iteration. No statistics, no
+//! HTML reports; enough to compare orders of magnitude and keep the bench
+//! targets compiling and runnable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark, mirroring criterion's type.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (used when the group name already says it all).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into a benchmark identifier (accepts `&str` and [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording one wall-clock sample per run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed run.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's knob; kept small
+    /// here — the shim has no statistical machinery to profit from more).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 100);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always runs exactly
+    /// `sample_size` samples regardless of the requested measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (criterion's throughput annotation).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.into_id(), &mut bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.into_id(), &mut bencher.samples);
+        self
+    }
+
+    /// Ends the group (criterion finalizes reports here; the shim prints as
+    /// it goes, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{id}: min {min:?}, median {median:?} ({} samples)",
+            self.name,
+            samples.len()
+        );
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export for benches written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3).measurement_time(Duration::from_millis(1));
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("algo", 10).to_string(), "algo/10");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(1);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| seen = x)
+        });
+        assert_eq!(seen, 7);
+    }
+}

@@ -1,0 +1,159 @@
+use super::key::DeviceKey;
+use anomaly_core::ParamsError;
+use anomaly_qos::QosError;
+use std::error::Error;
+use std::fmt;
+
+/// Typed misuse and validation errors of the [`Monitor`](super::Monitor)
+/// API.
+///
+/// Every way to misuse a monitor — mismatched populations, unknown or
+/// duplicate device keys, oversized fleets, malformed QoS rows — surfaces as
+/// a variant here instead of a panic, so deployments can log, alert, and
+/// keep the monitoring loop alive.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MonitorError {
+    /// The builder was configured with zero services per device, or a
+    /// detector reported zero services.
+    NoServices,
+    /// The consistency radius or density threshold was invalid.
+    Params(ParamsError),
+    /// Joining would exceed the fleet bound (the configured
+    /// [`max_population`](super::MonitorBuilder::max_population), itself
+    /// capped at `u32::MAX` — the dense [`DeviceId`](anomaly_qos::DeviceId)
+    /// space).
+    FleetTooLarge {
+        /// Population the rejected join would have produced.
+        population: u64,
+        /// The bound in force.
+        bound: u64,
+    },
+    /// A snapshot covered a different number of devices than the fleet.
+    PopulationMismatch {
+        /// Current fleet size.
+        expected: usize,
+        /// Devices in the offending snapshot.
+        actual: usize,
+    },
+    /// A snapshot or detector disagreed with the monitor's service count.
+    ServiceMismatch {
+        /// Services the monitor was built for.
+        expected: usize,
+        /// Services actually provided.
+        actual: usize,
+    },
+    /// [`join`](super::Monitor::join) was called with a key already present.
+    DuplicateDevice {
+        /// The offending key.
+        key: DeviceKey,
+    },
+    /// An operation referenced a key not currently in the fleet.
+    UnknownDevice {
+        /// The offending key.
+        key: DeviceKey,
+    },
+    /// A QoS row failed validation (coordinate out of `[0,1]`, wrong
+    /// dimension).
+    Qos(QosError),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::NoServices => {
+                write!(f, "a monitored device consumes at least one service")
+            }
+            MonitorError::Params(e) => write!(f, "invalid characterization parameters: {e}"),
+            MonitorError::FleetTooLarge { population, bound } => write!(
+                f,
+                "fleet of {population} devices exceeds the bound of {bound}"
+            ),
+            MonitorError::PopulationMismatch { expected, actual } => write!(
+                f,
+                "snapshot covers {actual} devices but the fleet has {expected}"
+            ),
+            MonitorError::ServiceMismatch { expected, actual } => write!(
+                f,
+                "got {actual} services where the monitor expects {expected}"
+            ),
+            MonitorError::DuplicateDevice { key } => {
+                write!(f, "device key {key} already joined the fleet")
+            }
+            MonitorError::UnknownDevice { key } => {
+                write!(f, "device key {key} is not in the fleet")
+            }
+            MonitorError::Qos(e) => write!(f, "invalid QoS data: {e}"),
+        }
+    }
+}
+
+impl Error for MonitorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MonitorError::Params(e) => Some(e),
+            MonitorError::Qos(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamsError> for MonitorError {
+    fn from(e: ParamsError) -> Self {
+        MonitorError::Params(e)
+    }
+}
+
+impl From<QosError> for MonitorError {
+    fn from(e: QosError) -> Self {
+        MonitorError::Qos(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let errors: Vec<MonitorError> = vec![
+            MonitorError::NoServices,
+            MonitorError::Params(anomaly_core::Params::new(0.9, 1).unwrap_err()),
+            MonitorError::FleetTooLarge {
+                population: 5,
+                bound: 4,
+            },
+            MonitorError::PopulationMismatch {
+                expected: 3,
+                actual: 2,
+            },
+            MonitorError::ServiceMismatch {
+                expected: 2,
+                actual: 1,
+            },
+            MonitorError::DuplicateDevice { key: DeviceKey(7) },
+            MonitorError::UnknownDevice { key: DeviceKey(9) },
+            MonitorError::Qos(anomaly_qos::validate_radius(0.5).unwrap_err()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        let e: MonitorError = anomaly_core::Params::new(0.9, 1).unwrap_err().into();
+        assert!(e.source().is_some());
+        let e: MonitorError = anomaly_qos::validate_radius(0.5).unwrap_err().into();
+        assert!(e.source().is_some());
+        assert!(MonitorError::NoServices.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MonitorError>();
+    }
+}

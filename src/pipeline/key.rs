@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Stable, deployment-chosen identity of a monitored device.
+///
+/// The characterization engine works on dense [`DeviceId`]s (`0..n` at one
+/// instant), but real fleets churn: gateways reboot, subscribers come and
+/// go, and a device's dense index shifts whenever a lower-indexed device
+/// leaves. A `DeviceKey` is the external, *stable* name — a serial number
+/// hash, a topology node id, an account number — that survives churn. The
+/// [`Monitor`](super::Monitor) maintains the key ⇄ dense-id mapping and
+/// reports verdicts under both.
+///
+/// [`DeviceId`]: anomaly_qos::DeviceId
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceKey(pub u64);
+
+impl fmt::Display for DeviceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for DeviceKey {
+    fn from(raw: u64) -> Self {
+        DeviceKey(raw)
+    }
+}
+
+impl From<u32> for DeviceKey {
+    fn from(raw: u32) -> Self {
+        DeviceKey(raw as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(DeviceKey::from(7u64), DeviceKey(7));
+        assert_eq!(DeviceKey::from(7u32), DeviceKey(7));
+        assert_eq!(DeviceKey(42).to_string(), "#42");
+        assert!(DeviceKey(1) < DeviceKey(2));
+    }
+}

@@ -1,44 +1,13 @@
-//! The deployable pipeline: snapshots in, verdicts out.
-//!
-//! [`FleetMonitor`] is the glue a real deployment needs around the paper's
-//! algorithms: it owns one error-detection function per device (the
-//! `a_k(j)` of Section III-A), ingests a QoS snapshot per sampling instant,
-//! assembles the abnormal set `A_k`, and runs the local characterization of
-//! Section V over the `[k−1, k]` interval — returning, for every flagged
-//! device, whether its anomaly is isolated, massive, or unresolved.
-//!
-//! # Example
-//!
-//! ```
-//! use anomaly_characterization::pipeline::FleetMonitor;
-//! use anomaly_characterization::core::{AnomalyClass, Params};
-//! use anomaly_characterization::detectors::{Detector, EwmaDetector, VectorDetector};
-//! use anomaly_characterization::qos::{QosSpace, Snapshot};
-//!
-//! let space = QosSpace::new(1)?;
-//! let mut monitor = FleetMonitor::new(
-//!     Params::new(0.03, 3)?,
-//!     (0..6).map(|_| VectorDetector::homogeneous(1, || EwmaDetector::new(0.3, 4.0))),
-//! );
-//! // Healthy warm-up.
-//! for _ in 0..30 {
-//!     let snap = Snapshot::from_rows(&space, vec![vec![0.9]; 6])?;
-//!     assert!(monitor.observe(snap).verdicts.is_empty());
-//! }
-//! // A shared incident hits devices 0..5; device 5 fails alone.
-//! let rows = vec![vec![0.4], vec![0.41], vec![0.42], vec![0.43], vec![0.44], vec![0.1]];
-//! let report = monitor.observe(Snapshot::from_rows(&space, rows)?);
-//! assert_eq!(report.verdicts.len(), 6);
-//! assert_eq!(report.class_of(anomaly_characterization::qos::DeviceId(5)),
-//!            Some(AnomalyClass::Isolated));
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
+//! The v1 pipeline API, kept as thin shims over [`Monitor`] for one
+//! release.
 
-use anomaly_core::{Analyzer, AnomalyClass, Characterization, Params, TrajectoryTable};
+use super::builder::MonitorBuilder;
+use super::monitor::Monitor;
+use anomaly_core::{AnomalyClass, Characterization, Params};
 use anomaly_detectors::VectorDetector;
-use anomaly_qos::{DeviceId, Snapshot, StatePair};
+use anomaly_qos::{DeviceId, Snapshot};
 
-/// Per-interval monitoring result.
+/// Per-interval monitoring result of the v1 API.
 #[derive(Debug)]
 pub struct MonitorReport {
     /// Sampling instant `k` (0 = the first snapshot ever seen).
@@ -73,49 +42,75 @@ impl MonitorReport {
     }
 }
 
-/// Continuous monitor for a fleet of devices.
+/// Fixed-fleet monitor of the v1 API: panics on misuse and cannot churn.
 ///
-/// Owns the per-device detectors and the previous snapshot; every call to
-/// [`FleetMonitor::observe`] advances one sampling instant.
+/// Migrate to [`MonitorBuilder`](super::MonitorBuilder):
+///
+/// ```
+/// use anomaly_characterization::pipeline::MonitorBuilder;
+/// use anomaly_characterization::detectors::{EwmaDetector, VectorDetector};
+///
+/// // v1: FleetMonitor::new(params, (0..6).map(|_| VectorDetector::homogeneous(...)))
+/// // v2:
+/// let monitor = MonitorBuilder::new()
+///     .radius(0.03)
+///     .tau(3)
+///     .detector_factory(|_key| {
+///         Box::new(VectorDetector::homogeneous(1, || EwmaDetector::new(0.3, 4.0)))
+///     })
+///     .fleet(6)
+///     .build()?;
+/// # Ok::<(), anomaly_characterization::pipeline::MonitorError>(())
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use pipeline::MonitorBuilder, which returns Result instead of panicking and supports dynamic fleets"
+)]
 pub struct FleetMonitor {
-    params: Params,
-    detectors: Vec<VectorDetector>,
-    previous: Option<Snapshot>,
-    instant: u64,
+    inner: Monitor,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for FleetMonitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetMonitor")
-            .field("devices", &self.detectors.len())
-            .field("instant", &self.instant)
+            .field("devices", &self.inner.population())
+            .field("instant", &self.inner.instant())
             .finish()
     }
 }
 
+#[allow(deprecated)]
 impl FleetMonitor {
     /// Creates a monitor with one [`VectorDetector`] per device.
     ///
     /// # Panics
     ///
-    /// Panics if the iterator yields no detectors.
+    /// Panics if the iterator yields no detectors, or if the detectors
+    /// disagree on their service count.
     pub fn new<I>(params: Params, detectors: I) -> Self
     where
         I: IntoIterator<Item = VectorDetector>,
     {
-        let detectors: Vec<_> = detectors.into_iter().collect();
+        let detectors: Vec<VectorDetector> = detectors.into_iter().collect();
         assert!(!detectors.is_empty(), "a fleet has at least one device");
-        FleetMonitor {
-            params,
-            detectors,
-            previous: None,
-            instant: 0,
+        let services = detectors[0].services();
+        let mut inner = MonitorBuilder::new()
+            .params(params)
+            .services(services)
+            .build()
+            .expect("v1 parameters were pre-validated Params");
+        for (j, det) in detectors.into_iter().enumerate() {
+            inner
+                .join_with(j as u64, Box::new(det))
+                .unwrap_or_else(|e| panic!("detectors must agree on service count: {e}"));
         }
+        FleetMonitor { inner }
     }
 
     /// Number of monitored devices.
     pub fn population(&self) -> usize {
-        self.detectors.len()
+        self.inner.population()
     }
 
     /// Ingests the snapshot of instant `k`, returning verdicts for every
@@ -126,62 +121,37 @@ impl FleetMonitor {
     ///
     /// # Panics
     ///
-    /// Panics if the snapshot population differs from the fleet size.
+    /// Panics if the snapshot population differs from the fleet size or
+    /// its dimension from the detectors' service count. The v2
+    /// [`Monitor::observe`](super::Monitor::observe) returns typed errors
+    /// instead.
     pub fn observe(&mut self, snapshot: Snapshot) -> MonitorReport {
-        assert_eq!(
-            snapshot.len(),
-            self.detectors.len(),
-            "snapshot population must match the fleet"
-        );
-        // Feed detectors; collect A_k.
-        let mut abnormal: Vec<DeviceId> = Vec::new();
-        for (j, det) in self.detectors.iter_mut().enumerate() {
-            let id = DeviceId(j as u32);
-            let verdict = det.observe_vector(snapshot.position(id).coords());
-            if verdict.is_anomalous() {
-                abnormal.push(id);
-            }
+        let report = self
+            .inner
+            .observe(snapshot)
+            .unwrap_or_else(|e| panic!("snapshot population must match the fleet: {e}"));
+        MonitorReport {
+            instant: report.instant(),
+            verdicts: report
+                .verdicts()
+                .iter()
+                .map(|v| (v.id, v.characterization))
+                .collect(),
         }
-        let instant = self.instant;
-        self.instant += 1;
-
-        let report = match (&self.previous, abnormal.is_empty()) {
-            (Some(previous), false) => {
-                let pair = StatePair::new(previous.clone(), snapshot.clone())
-                    .expect("fleet population is constant");
-                let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
-                let analyzer = Analyzer::new(&table, self.params);
-                MonitorReport {
-                    instant,
-                    verdicts: abnormal
-                        .into_iter()
-                        .map(|j| (j, analyzer.characterize_full(j)))
-                        .collect(),
-                }
-            }
-            _ => MonitorReport {
-                instant,
-                verdicts: Vec::new(),
-            },
-        };
-        self.previous = Some(snapshot);
-        report
     }
 
     /// Resets every detector and forgets the previous snapshot (e.g. after
     /// a maintenance window where QoS levels legitimately changed).
     pub fn reset(&mut self) {
-        for det in &mut self.detectors {
-            det.reset();
-        }
-        self.previous = None;
+        self.inner.reset();
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use anomaly_detectors::{EwmaDetector, VectorDetector};
+    use anomaly_detectors::EwmaDetector;
     use anomaly_qos::QosSpace;
 
     fn monitor(n: usize, d: usize) -> (FleetMonitor, QosSpace) {
@@ -229,7 +199,9 @@ mod tests {
     fn first_snapshot_never_reports() {
         let (mut m, space) = monitor(4, 1);
         // Even a wild first snapshot cannot define a trajectory.
-        let r = m.observe(Snapshot::from_rows(&space, vec![vec![0.1], vec![0.9], vec![0.2], vec![0.8]]).unwrap());
+        let r = m.observe(
+            Snapshot::from_rows(&space, vec![vec![0.1], vec![0.9], vec![0.2], vec![0.8]]).unwrap(),
+        );
         assert!(r.verdicts.is_empty());
     }
 

@@ -1,0 +1,70 @@
+//! The deployable pipeline: snapshots in, verdicts out.
+//!
+//! [`Monitor`] is the glue a real deployment needs around the paper's
+//! algorithms: it owns one error-detection function per device (the
+//! `a_k(j)` of Section III-A), ingests a QoS snapshot per sampling instant,
+//! assembles the abnormal set `A_k`, and runs the local characterization of
+//! Section V over the `[k−1, k]` interval — returning, for every flagged
+//! device, whether its anomaly is isolated, massive, or unresolved.
+//!
+//! The v2 surface, in the order a deployment meets it:
+//!
+//! * [`MonitorBuilder`] — parameters, norm, detector factory, capacity and
+//!   population bounds; all validation at `build()`, no panics.
+//! * [`Monitor`] — [`observe`](Monitor::observe) /
+//!   [`observe_rows`](Monitor::observe_rows) per instant;
+//!   [`join`](Monitor::join) / [`leave`](Monitor::leave) for fleet churn
+//!   under stable [`DeviceKey`]s; [`run_trace`](Monitor::run_trace) to
+//!   replay recorded scenarios through the identical engine.
+//! * [`Report`] — per-class iterators and counts, per-device
+//!   [`DeviceVerdict`]s with displacement and vicinity context, wall-clock
+//!   timings, and a serializable [`ReportSummary`].
+//! * [`MonitorError`] — every misuse path, typed.
+//!
+//! The v1 `FleetMonitor` remains as a deprecated shim; see its docs for the
+//! three-line migration.
+//!
+//! # Example
+//!
+//! ```
+//! use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder};
+//! use anomaly_characterization::core::AnomalyClass;
+//! use anomaly_characterization::detectors::EwmaDetector;
+//!
+//! let mut monitor = MonitorBuilder::new()
+//!     .radius(0.03)
+//!     .tau(3)
+//!     .detector_factory(|_key| Box::new(EwmaDetector::new(0.3, 4.0)))
+//!     .fleet(6)
+//!     .build()?;
+//! // Healthy warm-up.
+//! for _ in 0..30 {
+//!     assert!(monitor.observe_rows(vec![vec![0.9]; 6])?.is_quiet());
+//! }
+//! // A shared incident hits devices 0..5; device 5 fails alone.
+//! let rows = vec![
+//!     vec![0.4], vec![0.41], vec![0.42], vec![0.43], vec![0.44], vec![0.1],
+//! ];
+//! let report = monitor.observe_rows(rows)?;
+//! assert_eq!(report.verdicts().len(), 6);
+//! assert_eq!(report.class_of(DeviceKey(5)), Some(AnomalyClass::Isolated));
+//! assert_eq!(report.operator_notifications(), vec![DeviceKey(5)]);
+//! assert!(report.has_network_event());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod builder;
+mod error;
+mod key;
+mod legacy;
+mod monitor;
+mod replay;
+mod report;
+
+pub use builder::{MonitorBuilder, MAX_FLEET};
+pub use error::MonitorError;
+pub use key::DeviceKey;
+#[allow(deprecated)]
+pub use legacy::{FleetMonitor, MonitorReport};
+pub use monitor::{DetectorFactory, Monitor};
+pub use report::{DeviceVerdict, Report, ReportSummary};

@@ -1,0 +1,718 @@
+use super::error::MonitorError;
+use super::key::DeviceKey;
+use super::report::{DeviceVerdict, Report};
+use anomaly_core::{Analyzer, Params, TrajectoryTable};
+use anomaly_detectors::DeviceDetector;
+use anomaly_qos::{DeviceId, GridIndex, Norm, NormKind, QosSpace, Snapshot, StatePair};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Produces the error-detection function of a joining device from its
+/// stable key.
+pub type DetectorFactory = Box<dyn Fn(DeviceKey) -> Box<dyn DeviceDetector>>;
+
+/// Continuous, churn-tolerant monitor for a fleet of devices — the
+/// deployable form of the paper's pipeline.
+///
+/// Every call to [`Monitor::observe`] advances one sampling instant `k`:
+/// the snapshot feeds each device's error-detection function (`a_k(j)`,
+/// Section III-A), flagged devices form the abnormal set `A_k`, and the
+/// local characterization of Section V runs over the `[k−1, k]` interval,
+/// classifying each flagged device as isolated, massive, or unresolved.
+///
+/// Unlike the deprecated [`FleetMonitor`](super::FleetMonitor), a `Monitor`
+///
+/// * never panics on misuse — every error path returns a typed
+///   [`MonitorError`];
+/// * supports **dynamic membership**: devices [`join`](Monitor::join) and
+///   [`leave`](Monitor::leave) between instants under stable
+///   [`DeviceKey`]s, and characterization automatically restricts to the
+///   surviving cohort of each interval;
+/// * accepts any [`DeviceDetector`] implementation per device, so fleets
+///   mix EWMA, CUSUM, Kalman, or Holt-Winters models freely;
+/// * reuses its vicinity grid across instants and reports per-instant
+///   wall-clock timings.
+///
+/// Construct one with [`MonitorBuilder`](super::MonitorBuilder).
+///
+/// # Example
+///
+/// ```
+/// use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder};
+/// use anomaly_core::AnomalyClass;
+///
+/// let mut monitor = MonitorBuilder::new().fleet(6).build()?;
+/// // Healthy warm-up.
+/// for _ in 0..30 {
+///     let report = monitor.observe_rows(vec![vec![0.9]; 6])?;
+///     assert!(report.is_quiet());
+/// }
+/// // A shared incident hits devices 0..5; device 5 fails alone.
+/// let rows = vec![
+///     vec![0.40], vec![0.41], vec![0.42], vec![0.43], vec![0.44], vec![0.10],
+/// ];
+/// let report = monitor.observe_rows(rows)?;
+/// assert_eq!(report.verdicts().len(), 6);
+/// assert_eq!(report.class_of(DeviceKey(5)), Some(AnomalyClass::Isolated));
+/// assert!(report.has_network_event());
+/// # Ok::<(), anomaly_characterization::pipeline::MonitorError>(())
+/// ```
+pub struct Monitor {
+    params: Params,
+    services: usize,
+    norm: NormKind,
+    factory: DetectorFactory,
+    space: QosSpace,
+    max_population: u64,
+    /// Dense order: index `i` is the device with id `DeviceId(i)` now.
+    keys: Vec<DeviceKey>,
+    index: HashMap<DeviceKey, u32>,
+    detectors: Vec<Box<dyn DeviceDetector>>,
+    /// Snapshot of the previous instant, if any.
+    previous: Option<Snapshot>,
+    /// Dense key order of `previous` — populated lazily, only when
+    /// membership has churned since `previous` was taken (`None` means the
+    /// current `keys` still describe it).
+    previous_keys: Option<Vec<DeviceKey>>,
+    /// Vicinity index, reused (allocations and all) across instants.
+    grid: Option<GridIndex>,
+    instant: u64,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("population", &self.keys.len())
+            .field("services", &self.services)
+            .field("instant", &self.instant)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl Monitor {
+    /// Called by the builder; all arguments pre-validated.
+    pub(super) fn from_parts(
+        params: Params,
+        services: usize,
+        norm: NormKind,
+        factory: DetectorFactory,
+        space: QosSpace,
+        capacity: usize,
+        max_population: u64,
+    ) -> Self {
+        Monitor {
+            params,
+            services,
+            norm,
+            factory,
+            space,
+            max_population,
+            keys: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            detectors: Vec::with_capacity(capacity),
+            previous: None,
+            previous_keys: None,
+            grid: None,
+            instant: 0,
+        }
+    }
+
+    /// Number of monitored devices.
+    pub fn population(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Services per device (the QoS space dimension `d`).
+    pub fn services(&self) -> usize {
+        self.services
+    }
+
+    /// The characterization parameters in force.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The norm used for report displacement magnitudes.
+    pub fn norm(&self) -> NormKind {
+        self.norm
+    }
+
+    /// The fleet-size bound.
+    pub fn max_population(&self) -> u64 {
+        self.max_population
+    }
+
+    /// The next sampling instant (number of snapshots observed so far).
+    pub fn instant(&self) -> u64 {
+        self.instant
+    }
+
+    /// Stable keys in dense order: `keys()[i]` is `DeviceId(i)` at the next
+    /// observation. The order shifts under churn — [`Monitor::leave`] moves
+    /// the last device into the vacated slot.
+    pub fn keys(&self) -> &[DeviceKey] {
+        &self.keys
+    }
+
+    /// True when `key` is currently in the fleet.
+    pub fn contains(&self, key: DeviceKey) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Current dense id of `key`, if present.
+    pub fn id_of(&self, key: DeviceKey) -> Option<DeviceId> {
+        self.index.get(&key).map(|&i| DeviceId(i))
+    }
+
+    /// Stable key of the device currently at dense id `id`.
+    pub fn key_of(&self, id: DeviceId) -> Option<DeviceKey> {
+        self.keys.get(id.index()).copied()
+    }
+
+    /// The last snapshot observed, if any.
+    pub fn last_snapshot(&self) -> Option<&Snapshot> {
+        self.previous.as_ref()
+    }
+
+    /// Enrolls a device, building its detector with the configured factory.
+    /// Returns the device's dense id at the next observation.
+    ///
+    /// A device joining between instants `k-1` and `k` has no position at
+    /// `k-1`: it warms up at `k` (reported via [`Report::warming`] if
+    /// flagged) and is characterized from `k+1` on.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::DuplicateDevice`], [`MonitorError::FleetTooLarge`],
+    /// or [`MonitorError::ServiceMismatch`] (factory produced a detector of
+    /// the wrong width).
+    pub fn join(&mut self, key: impl Into<DeviceKey>) -> Result<DeviceId, MonitorError> {
+        let key = key.into();
+        let detector = (self.factory)(key);
+        self.join_with(key, detector)
+    }
+
+    /// Enrolls a device with an explicitly supplied detector, bypassing the
+    /// factory — e.g. to migrate a warmed-up detector between monitors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Monitor::join`].
+    pub fn join_with(
+        &mut self,
+        key: impl Into<DeviceKey>,
+        detector: Box<dyn DeviceDetector>,
+    ) -> Result<DeviceId, MonitorError> {
+        let key = key.into();
+        if self.index.contains_key(&key) {
+            return Err(MonitorError::DuplicateDevice { key });
+        }
+        let population = self.keys.len() as u64 + 1;
+        if population > self.max_population {
+            return Err(MonitorError::FleetTooLarge {
+                population,
+                bound: self.max_population,
+            });
+        }
+        if detector.services() != self.services {
+            return Err(MonitorError::ServiceMismatch {
+                expected: self.services,
+                actual: detector.services(),
+            });
+        }
+        self.note_churn();
+        let id = self.keys.len() as u32;
+        self.keys.push(key);
+        self.detectors.push(detector);
+        self.index.insert(key, id);
+        Ok(DeviceId(id))
+    }
+
+    /// Removes a device from the fleet, returning its detector (still
+    /// warmed up, in case the device re-joins later).
+    ///
+    /// The last device in dense order moves into the vacated slot, so
+    /// dense ids of other devices may change; stable keys never do.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::UnknownDevice`] when `key` is not in the fleet.
+    pub fn leave(
+        &mut self,
+        key: impl Into<DeviceKey>,
+    ) -> Result<Box<dyn DeviceDetector>, MonitorError> {
+        let key = key.into();
+        let Some(&slot) = self.index.get(&key) else {
+            return Err(MonitorError::UnknownDevice { key });
+        };
+        self.note_churn();
+        let slot = slot as usize;
+        self.index.remove(&key);
+        self.keys.swap_remove(slot);
+        let detector = self.detectors.swap_remove(slot);
+        if let Some(&moved) = self.keys.get(slot) {
+            self.index.insert(moved, slot as u32);
+        }
+        Ok(detector)
+    }
+
+    /// Remembers the previous snapshot's key order before the first
+    /// membership change since it was taken.
+    fn note_churn(&mut self) {
+        if self.previous.is_some() && self.previous_keys.is_none() {
+            self.previous_keys = Some(self.keys.clone());
+        }
+    }
+
+    /// Resets every detector and forgets the previous snapshot (e.g. after
+    /// a maintenance window where QoS levels legitimately changed).
+    pub fn reset(&mut self) {
+        for det in &mut self.detectors {
+            det.reset();
+        }
+        self.previous = None;
+        self.previous_keys = None;
+    }
+
+    /// Convenience form of [`Monitor::observe`]: validates raw coordinate
+    /// rows (one row per device, in dense [`Monitor::keys`] order) and
+    /// observes the resulting snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Qos`] for invalid coordinates, plus everything
+    /// [`Monitor::observe`] returns.
+    pub fn observe_rows(&mut self, rows: Vec<Vec<f64>>) -> Result<Report, MonitorError> {
+        let snapshot = Snapshot::from_rows(&self.space, rows)?;
+        self.observe(snapshot)
+    }
+
+    /// Ingests the snapshot of instant `k` — one position per device, in
+    /// dense [`Monitor::keys`] order — and returns the interval's
+    /// [`Report`].
+    ///
+    /// The first snapshot ever (and the first after [`Monitor::reset`])
+    /// only warms the detectors: there is no `[k−1, k]` interval yet, so
+    /// the report carries no verdicts. When membership churned since the
+    /// previous snapshot, characterization restricts to the surviving
+    /// cohort — devices present at both `k−1` and `k`; fresh joiners that
+    /// flag immediately are listed in [`Report::warming`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MonitorError::ServiceMismatch`] — snapshot dimension differs
+    ///   from the monitor's service count;
+    /// * [`MonitorError::PopulationMismatch`] — snapshot covers a different
+    ///   number of devices than the fleet.
+    pub fn observe(&mut self, snapshot: Snapshot) -> Result<Report, MonitorError> {
+        if snapshot.dim() != self.services {
+            return Err(MonitorError::ServiceMismatch {
+                expected: self.services,
+                actual: snapshot.dim(),
+            });
+        }
+        if snapshot.len() != self.keys.len() {
+            return Err(MonitorError::PopulationMismatch {
+                expected: self.keys.len(),
+                actual: snapshot.len(),
+            });
+        }
+
+        // Detection: feed every device's error-detection function, collect
+        // A_k as (current dense index, detector score).
+        let detection_start = Instant::now();
+        let mut flagged: Vec<(u32, f64)> = Vec::new();
+        for (i, det) in self.detectors.iter_mut().enumerate() {
+            let verdict = det.observe_vector(snapshot.position(DeviceId(i as u32)).coords());
+            if verdict.is_anomalous() {
+                flagged.push((i as u32, verdict.score()));
+            }
+        }
+        let detection = detection_start.elapsed();
+
+        let instant = self.instant;
+        self.instant += 1;
+
+        // Characterization over the surviving cohort of [k-1, k].
+        let mut verdicts: Vec<DeviceVerdict> = Vec::new();
+        let mut warming: Vec<DeviceKey> = Vec::new();
+        let mut characterization = Duration::ZERO;
+        match self.previous.take() {
+            Some(previous) if !flagged.is_empty() => {
+                let char_start = Instant::now();
+                self.characterize_interval(
+                    &previous,
+                    &snapshot,
+                    &flagged,
+                    &mut verdicts,
+                    &mut warming,
+                )?;
+                characterization = char_start.elapsed();
+            }
+            None => {
+                // Very first interval: every flagged device is warming.
+                warming.extend(flagged.iter().map(|&(i, _)| self.keys[i as usize]));
+            }
+            _ => {}
+        }
+
+        self.previous = Some(snapshot);
+        self.previous_keys = None;
+        Ok(Report {
+            instant,
+            population: self.keys.len(),
+            verdicts,
+            warming,
+            detection,
+            characterization,
+        })
+    }
+
+    /// Builds the surviving-cohort state pair, runs the local
+    /// characterization on the flagged survivors, and enriches verdicts
+    /// with displacement and vicinity context.
+    fn characterize_interval(
+        &mut self,
+        previous: &Snapshot,
+        current: &Snapshot,
+        flagged: &[(u32, f64)],
+        verdicts: &mut Vec<DeviceVerdict>,
+        warming: &mut Vec<DeviceKey>,
+    ) -> Result<(), MonitorError> {
+        // Map current dense ids to their dense ids in `previous`.
+        // `previous_keys` is only populated when membership actually
+        // churned; the common steady-state case is the identity mapping,
+        // which allocates no per-device structures at all — cohort id ==
+        // current id == previous id.
+        let survivors: Option<Vec<(u32, u32)>> = self.previous_keys.as_ref().map(|prev_keys| {
+            let prev_index: HashMap<DeviceKey, u32> = prev_keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u32))
+                .collect();
+            self.keys
+                .iter()
+                .enumerate()
+                .filter_map(|(i, key)| prev_index.get(key).map(|&p| (i as u32, p)))
+                .collect()
+        });
+
+        // A_k in cohort-local ids, plus each flagged device's score (only
+        // flagged devices are touched: O(|A_k|), not O(n)).
+        let mut abnormal: Vec<DeviceId> = Vec::new();
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        match &survivors {
+            None => {
+                for &(cur, score) in flagged {
+                    abnormal.push(DeviceId(cur));
+                    scores.insert(cur, score);
+                }
+            }
+            Some(survivors) => {
+                // Cohort-local ids follow current order: cohort id c is
+                // survivors[c]. Invert current -> cohort for the flagged set.
+                let cohort_of: HashMap<u32, u32> = survivors
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &(cur, _))| (cur, c as u32))
+                    .collect();
+                for &(cur, score) in flagged {
+                    match cohort_of.get(&cur) {
+                        Some(&c) => {
+                            abnormal.push(DeviceId(c));
+                            scores.insert(c, score);
+                        }
+                        // Flagged but joined after k-1: no interval yet.
+                        None => warming.push(self.keys[cur as usize]),
+                    }
+                }
+            }
+        }
+        if abnormal.is_empty() {
+            return Ok(());
+        }
+
+        let pair = match &survivors {
+            None => StatePair::new(previous.clone(), current.clone())?,
+            Some(survivors) => {
+                let prev_ids: Vec<DeviceId> = survivors.iter().map(|&(_, p)| DeviceId(p)).collect();
+                let cur_ids: Vec<DeviceId> =
+                    survivors.iter().map(|&(cur, _)| DeviceId(cur)).collect();
+                StatePair::new(previous.select(&prev_ids)?, current.select(&cur_ids)?)?
+            }
+        };
+
+        let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
+        let analyzer = Analyzer::new(&table, self.params);
+
+        // Vicinity index over the whole cohort (not only A_k), rebuilt in
+        // place so bucket allocations persist across instants.
+        let window = self.params.window();
+        let cell_side = window.max(1e-6);
+        let had_grid = self.grid.is_some();
+        let grid = self
+            .grid
+            .get_or_insert_with(|| GridIndex::build(&pair, cell_side));
+        if had_grid {
+            grid.rebuild(&pair, cell_side);
+        }
+        let grid = &*grid;
+
+        for &j in table.ids() {
+            let cur = match &survivors {
+                None => j.0,
+                Some(survivors) => survivors[j.index()].0,
+            };
+            let characterization = analyzer.characterize_full(j);
+            let displacement = self.norm.distance(
+                pair.before().position(j).coords(),
+                pair.after().position(j).coords(),
+            );
+            verdicts.push(DeviceVerdict {
+                key: self.keys[cur as usize],
+                id: DeviceId(cur),
+                characterization,
+                score: scores.get(&j.0).copied().unwrap_or(0.0),
+                displacement,
+                vicinity: grid.neighbors_both(&pair, j, window).len(),
+            });
+        }
+        verdicts.sort_by_key(|v| v.id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::builder::MonitorBuilder;
+    use super::*;
+    use anomaly_core::AnomalyClass;
+    use anomaly_detectors::{CusumDetector, EwmaDetector};
+
+    fn warmed(n: usize) -> Monitor {
+        let mut m = MonitorBuilder::new().fleet(n).build().unwrap();
+        for _ in 0..30 {
+            let r = m.observe_rows(vec![vec![0.9]; n]).unwrap();
+            assert!(r.is_quiet());
+        }
+        m
+    }
+
+    #[test]
+    fn quiet_fleet_reports_nothing() {
+        let mut m = MonitorBuilder::new().fleet(8).build().unwrap();
+        for k in 0..20 {
+            let r = m.observe_rows(vec![vec![0.9]; 8]).unwrap();
+            assert_eq!(r.instant(), k);
+            assert!(r.is_quiet());
+            assert_eq!(r.population(), 8);
+        }
+    }
+
+    #[test]
+    fn shared_incident_is_massive_lone_fault_isolated() {
+        let mut m = warmed(8);
+        let mut rows = vec![vec![0.45]; 8];
+        rows[0] = vec![0.44];
+        rows[1] = vec![0.46];
+        rows[7] = vec![0.05]; // the loner
+        let r = m.observe_rows(rows).unwrap();
+        assert_eq!(r.verdicts().len(), 8);
+        assert!(r.has_network_event());
+        assert_eq!(r.operator_notifications(), vec![DeviceKey(7)]);
+        assert_eq!(r.class_of(DeviceKey(0)), Some(AnomalyClass::Massive));
+        assert_eq!(r.class_of_id(DeviceId(7)), Some(AnomalyClass::Isolated));
+        // The massive group's verdicts see each other in their vicinity.
+        for v in r.massive() {
+            assert!(v.vicinity >= 6, "vicinity {} for {}", v.vicinity, v.key);
+        }
+        // Displacement reflects the actual motion magnitude.
+        let loner = r.verdicts().iter().find(|v| v.key == DeviceKey(7)).unwrap();
+        assert!((loner.displacement - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_mismatch_is_an_error_not_a_panic() {
+        let mut m = warmed(4);
+        let err = m.observe_rows(vec![vec![0.9]; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            MonitorError::PopulationMismatch {
+                expected: 4,
+                actual: 3,
+            }
+        );
+        // The monitor survives misuse: the next correct snapshot works.
+        assert!(m.observe_rows(vec![vec![0.9]; 4]).is_ok());
+    }
+
+    #[test]
+    fn wrong_dimension_is_an_error() {
+        let mut m = warmed(4);
+        let space2 = QosSpace::new(2).unwrap();
+        let snap = Snapshot::from_rows(&space2, vec![vec![0.9, 0.9]; 4]).unwrap();
+        assert_eq!(
+            m.observe(snap).unwrap_err(),
+            MonitorError::ServiceMismatch {
+                expected: 1,
+                actual: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_rows_are_an_error() {
+        let mut m = warmed(2);
+        let err = m.observe_rows(vec![vec![0.9], vec![1.4]]).unwrap_err();
+        assert!(matches!(err, MonitorError::Qos(_)));
+    }
+
+    #[test]
+    fn join_assigns_dense_ids_and_leave_compacts() {
+        let mut m = MonitorBuilder::new().build().unwrap();
+        assert_eq!(m.join(10u64).unwrap(), DeviceId(0));
+        assert_eq!(m.join(20u64).unwrap(), DeviceId(1));
+        assert_eq!(m.join(30u64).unwrap(), DeviceId(2));
+        assert_eq!(
+            m.join(20u64).unwrap_err(),
+            MonitorError::DuplicateDevice { key: DeviceKey(20) }
+        );
+        // Leaving #10 moves #30 into slot 0.
+        m.leave(10u64).unwrap();
+        assert_eq!(m.keys(), &[DeviceKey(30), DeviceKey(20)]);
+        assert_eq!(m.id_of(DeviceKey(30)), Some(DeviceId(0)));
+        assert_eq!(m.key_of(DeviceId(1)), Some(DeviceKey(20)));
+        assert!(!m.contains(DeviceKey(10)));
+        assert_eq!(
+            m.leave(10u64).unwrap_err(),
+            MonitorError::UnknownDevice { key: DeviceKey(10) }
+        );
+    }
+
+    #[test]
+    fn leaving_returns_the_warmed_detector() {
+        let mut m = MonitorBuilder::new()
+            .detector_factory(|_| Box::new(CusumDetector::new(0.05, 0.5)))
+            .fleet(2)
+            .build()
+            .unwrap();
+        let det = m.leave(0u64).unwrap();
+        assert_eq!(det.services(), 1);
+        assert!(det.description().contains("cusum"));
+        // And it can re-join elsewhere.
+        m.join_with(7u64, det).unwrap();
+        assert!(m.contains(DeviceKey(7)));
+    }
+
+    #[test]
+    fn fleet_bound_rejects_oversized_joins() {
+        let mut m = MonitorBuilder::new()
+            .max_population(2)
+            .fleet(2)
+            .build()
+            .unwrap();
+        assert_eq!(
+            m.join(99u64).unwrap_err(),
+            MonitorError::FleetTooLarge {
+                population: 3,
+                bound: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn join_with_rejects_wrong_width_detectors() {
+        let mut m = MonitorBuilder::new().services(2).build().unwrap();
+        let err = m
+            .join_with(1u64, Box::new(EwmaDetector::new(0.3, 4.0)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MonitorError::ServiceMismatch {
+                expected: 2,
+                actual: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn churn_restricts_characterization_to_survivors() {
+        let mut m = warmed(6);
+        // Device 5 leaves; device 100 joins, inheriting the warmed-up
+        // detector (so it can flag immediately). Dense slot 5 is reused.
+        let det = m.leave(5u64).unwrap();
+        m.join_with(100u64, det).unwrap();
+        assert_eq!(m.population(), 6);
+        // Shared incident over everyone; the joiner flags too but has no
+        // interval yet.
+        let r = m.observe_rows(vec![vec![0.45]; 6]).unwrap();
+        assert_eq!(r.warming(), &[DeviceKey(100)]);
+        assert_eq!(r.verdicts().len(), 5, "only survivors characterized");
+        assert!(r.class_of(DeviceKey(100)).is_none());
+        for v in r.verdicts() {
+            assert_eq!(v.class(), AnomalyClass::Massive, "{}", v.key);
+        }
+        // Once every detector has re-settled at the new level, the joiner
+        // has an interval like everyone else and is characterized.
+        for _ in 0..30 {
+            m.observe_rows(vec![vec![0.45]; 6]).unwrap();
+        }
+        let mut rows = vec![vec![0.45]; 6];
+        let joiner_slot = m.id_of(DeviceKey(100)).unwrap().index();
+        rows[joiner_slot] = vec![0.05];
+        let r = m.observe_rows(rows).unwrap();
+        assert_eq!(r.class_of(DeviceKey(100)), Some(AnomalyClass::Isolated));
+    }
+
+    #[test]
+    fn fully_churned_interval_yields_no_verdicts() {
+        let mut m = warmed(3);
+        for k in 0..3 {
+            m.leave(k as u64).unwrap();
+        }
+        for k in 10..13u64 {
+            m.join(k).unwrap();
+        }
+        // Everyone is new: nothing can be characterized, nothing panics.
+        let r = m.observe_rows(vec![vec![0.2]; 3]).unwrap();
+        assert!(r.verdicts().is_empty());
+    }
+
+    #[test]
+    fn empty_fleet_is_legal() {
+        let mut m = MonitorBuilder::new().build().unwrap();
+        let r = m.observe_rows(vec![]).unwrap();
+        assert!(r.is_quiet());
+        assert_eq!(r.population(), 0);
+        assert_eq!(r.summary().abnormal, 0);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut m = warmed(4);
+        m.reset();
+        // A very different level right after reset: detectors re-warm, no
+        // alarm, and there is no previous snapshot to characterize against.
+        let r = m.observe_rows(vec![vec![0.2]; 4]).unwrap();
+        assert!(r.verdicts().is_empty());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut m = warmed(8);
+        let r = m.observe_rows(vec![vec![0.45]; 8]).unwrap();
+        assert!(!r.verdicts().is_empty());
+        assert!(r.detection_time() > Duration::ZERO);
+        assert!(r.characterization_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn debug_formats_are_stable() {
+        let m = MonitorBuilder::new().fleet(2).build().unwrap();
+        let s = format!("{m:?}");
+        assert!(s.contains("population: 2"));
+        let b = format!("{:?}", MonitorBuilder::new());
+        assert!(b.contains("radius"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Batch/replay entry point: drive recorded scenario traces through the
+//! same engine that serves live snapshots.
+
+use super::error::MonitorError;
+use super::monitor::Monitor;
+use super::report::Report;
+use anomaly_simulator::trace::Trace;
+
+impl Monitor {
+    /// Replays a recorded [`Trace`] through the monitor, one observation
+    /// per distinct snapshot, returning the report of every observed
+    /// instant.
+    ///
+    /// Each trace step holds a `(before, after)` snapshot pair. Steps
+    /// recorded from a continuous run chain together (`after` of step `s`
+    /// equals `before` of step `s + 1`); the replay feeds each distinct
+    /// snapshot exactly once, so a chained `T`-step trace produces `T + 1`
+    /// reports on a fresh monitor. A step whose `before` does not match the
+    /// monitor's last-seen snapshot (a recording gap) feeds both of its
+    /// snapshots.
+    ///
+    /// The monitor's own parameters and detectors are used — the trace's
+    /// recorded `r`/`τ` are *not* adopted, so the same scenario can be
+    /// replayed under different operating points. Trace rows map to devices
+    /// positionally: row `i` feeds the device at dense id `i`
+    /// ([`Monitor::keys`]`()[i]`). Replaying segments of one scenario
+    /// across membership changes is how churn is exercised end to end: the
+    /// monitor characterizes survivors over the splice interval and warms
+    /// the joiners.
+    ///
+    /// # Errors
+    ///
+    /// * [`MonitorError::ServiceMismatch`] — the trace's declared space
+    ///   dimension, or any step's snapshots, differ from the monitor's
+    ///   service count;
+    /// * [`MonitorError::PopulationMismatch`] — the trace's declared
+    ///   population, or any step's snapshots, differ from the fleet size.
+    ///
+    /// On error nothing is fed: header *and every step* are validated
+    /// before the first observation, so a malformed trace can never leave
+    /// the monitor partially advanced. (`Trace` fields are public — a
+    /// hand-built trace may well disagree with its own header.)
+    pub fn run_trace(&mut self, trace: &Trace) -> Result<Vec<Report>, MonitorError> {
+        if trace.dim != self.services() {
+            return Err(MonitorError::ServiceMismatch {
+                expected: self.services(),
+                actual: trace.dim,
+            });
+        }
+        if trace.n != self.population() {
+            return Err(MonitorError::PopulationMismatch {
+                expected: self.population(),
+                actual: trace.n,
+            });
+        }
+        for step in &trace.steps {
+            if step.pair.dim() != self.services() {
+                return Err(MonitorError::ServiceMismatch {
+                    expected: self.services(),
+                    actual: step.pair.dim(),
+                });
+            }
+            if step.pair.len() != self.population() {
+                return Err(MonitorError::PopulationMismatch {
+                    expected: self.population(),
+                    actual: step.pair.len(),
+                });
+            }
+        }
+        let mut reports = Vec::with_capacity(trace.steps.len() + 1);
+        for step in &trace.steps {
+            if self.last_snapshot() != Some(step.pair.before()) {
+                reports.push(self.observe(step.pair.before().clone())?);
+            }
+            reports.push(self.observe(step.pair.after().clone())?);
+        }
+        Ok(reports)
+    }
+}

@@ -1,0 +1,222 @@
+use super::key::DeviceKey;
+use anomaly_core::{AnomalyClass, Characterization};
+use anomaly_qos::DeviceId;
+use std::fmt;
+use std::time::Duration;
+
+/// One flagged device's verdict within a [`Report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceVerdict {
+    /// Stable external key of the device.
+    pub key: DeviceKey,
+    /// Dense id of the device *at this instant* (shifts under churn; use
+    /// [`DeviceVerdict::key`] for anything that outlives the report).
+    pub id: DeviceId,
+    /// The local characterization: class, deciding rule, operation costs.
+    pub characterization: Characterization,
+    /// The detector's anomaly score for this instant (comparable across
+    /// instants of the same device only).
+    pub score: f64,
+    /// Magnitude of the device's QoS motion over `[k−1, k]`, measured with
+    /// the monitor's configured norm.
+    pub displacement: f64,
+    /// Surviving-cohort devices — flagged or not — within `2r` of this
+    /// device at both instants: the full-population neighbourhood `N(j)`
+    /// of Algorithm 2, the context an operator dashboard shows next to the
+    /// verdict. (The characterization itself only consults the flagged
+    /// subset; a large vicinity with few flagged members is exactly what
+    /// distinguishes a lone fault in a busy region.)
+    pub vicinity: usize,
+}
+
+impl DeviceVerdict {
+    /// The anomaly class.
+    pub fn class(&self) -> AnomalyClass {
+        self.characterization.class()
+    }
+}
+
+/// Per-instant monitoring result: everything the paper's pipeline can say
+/// about the interval `[k−1, k]`.
+///
+/// Construction happens inside [`Monitor::observe`](super::Monitor::observe);
+/// consumers read it through the per-class iterators and counters, or ship
+/// [`Report::summary`] to a metrics sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    pub(super) instant: u64,
+    pub(super) population: usize,
+    pub(super) verdicts: Vec<DeviceVerdict>,
+    pub(super) warming: Vec<DeviceKey>,
+    pub(super) detection: Duration,
+    pub(super) characterization: Duration,
+}
+
+impl Report {
+    /// Sampling instant `k` (0 = the first snapshot the monitor ever saw).
+    pub fn instant(&self) -> u64 {
+        self.instant
+    }
+
+    /// Fleet size when the snapshot was taken.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Verdict of every characterized device of `A_k`, sorted by dense id.
+    pub fn verdicts(&self) -> &[DeviceVerdict] {
+        &self.verdicts
+    }
+
+    /// Devices whose detector flagged them but which had no position at
+    /// `k−1` (fresh joiners): no interval, no verdict yet.
+    pub fn warming(&self) -> &[DeviceKey] {
+        &self.warming
+    }
+
+    /// True when nothing was flagged and nothing is warming.
+    pub fn is_quiet(&self) -> bool {
+        self.verdicts.is_empty() && self.warming.is_empty()
+    }
+
+    /// The class of one device by stable key, if it was characterized.
+    pub fn class_of(&self, key: DeviceKey) -> Option<AnomalyClass> {
+        self.verdicts
+            .iter()
+            .find(|v| v.key == key)
+            .map(DeviceVerdict::class)
+    }
+
+    /// The class of one device by dense id, if it was characterized.
+    pub fn class_of_id(&self, id: DeviceId) -> Option<AnomalyClass> {
+        self.verdicts
+            .iter()
+            .find(|v| v.id == id)
+            .map(DeviceVerdict::class)
+    }
+
+    /// Verdicts of one class.
+    pub fn of_class(&self, class: AnomalyClass) -> impl Iterator<Item = &DeviceVerdict> {
+        self.verdicts.iter().filter(move |v| v.class() == class)
+    }
+
+    /// Devices certainly hit by an isolated anomaly.
+    pub fn isolated(&self) -> impl Iterator<Item = &DeviceVerdict> {
+        self.of_class(AnomalyClass::Isolated)
+    }
+
+    /// Devices certainly hit by a massive anomaly.
+    pub fn massive(&self) -> impl Iterator<Item = &DeviceVerdict> {
+        self.of_class(AnomalyClass::Massive)
+    }
+
+    /// Devices in an unresolved configuration (defer and re-sample).
+    pub fn unresolved(&self) -> impl Iterator<Item = &DeviceVerdict> {
+        self.of_class(AnomalyClass::Unresolved)
+    }
+
+    /// Number of verdicts of one class.
+    pub fn count_of(&self, class: AnomalyClass) -> usize {
+        self.of_class(class).count()
+    }
+
+    /// Devices that should notify the operator (isolated anomalies), by
+    /// stable key.
+    pub fn operator_notifications(&self) -> Vec<DeviceKey> {
+        self.isolated().map(|v| v.key).collect()
+    }
+
+    /// True when a network-level (massive) event was observed.
+    pub fn has_network_event(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|v| v.class() == AnomalyClass::Massive)
+    }
+
+    /// Wall-clock time spent feeding the error-detection functions.
+    pub fn detection_time(&self) -> Duration {
+        self.detection
+    }
+
+    /// Wall-clock time spent on the local characterization (zero on quiet
+    /// or warm-up instants).
+    pub fn characterization_time(&self) -> Duration {
+        self.characterization
+    }
+
+    /// Condensed, serializable form for logs and metric sinks.
+    pub fn summary(&self) -> ReportSummary {
+        ReportSummary {
+            instant: self.instant,
+            population: self.population,
+            abnormal: self.verdicts.len(),
+            isolated: self.count_of(AnomalyClass::Isolated),
+            massive: self.count_of(AnomalyClass::Massive),
+            unresolved: self.count_of(AnomalyClass::Unresolved),
+            warming: self.warming.len(),
+            detection_micros: self.detection.as_micros() as u64,
+            characterization_micros: self.characterization.as_micros() as u64,
+        }
+    }
+}
+
+/// Flat per-instant counters, ready for a metrics pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Sampling instant `k`.
+    pub instant: u64,
+    /// Fleet size at `k`.
+    pub population: usize,
+    /// `|A_k|` among devices with a full interval.
+    pub abnormal: usize,
+    /// Isolated verdicts.
+    pub isolated: usize,
+    /// Massive verdicts.
+    pub massive: usize,
+    /// Unresolved verdicts.
+    pub unresolved: usize,
+    /// Flagged devices still warming (no interval yet).
+    pub warming: usize,
+    /// Detection wall-clock, microseconds.
+    pub detection_micros: u64,
+    /// Characterization wall-clock, microseconds.
+    pub characterization_micros: u64,
+}
+
+impl ReportSummary {
+    /// JSON object rendering (no external dependencies; keys are stable).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"instant\":{},\"population\":{},\"abnormal\":{},",
+                "\"isolated\":{},\"massive\":{},\"unresolved\":{},\"warming\":{},",
+                "\"detection_micros\":{},\"characterization_micros\":{}}}"
+            ),
+            self.instant,
+            self.population,
+            self.abnormal,
+            self.isolated,
+            self.massive,
+            self.unresolved,
+            self.warming,
+            self.detection_micros,
+            self.characterization_micros,
+        )
+    }
+}
+
+impl fmt::Display for ReportSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k={} n={} abnormal={} (isolated {}, massive {}, unresolved {}, warming {})",
+            self.instant,
+            self.population,
+            self.abnormal,
+            self.isolated,
+            self.massive,
+            self.unresolved,
+            self.warming,
+        )
+    }
+}

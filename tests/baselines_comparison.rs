@@ -3,7 +3,7 @@
 //! modes the paper predicts for the baseline actually occur.
 
 use anomaly_characterization::baselines::{
-    compare_on_scenario, KMeansClassifier, TessellationClassifier,
+    compare_on_scenario, Classifier, KMeansClassifier, TessellationClassifier,
 };
 use anomaly_characterization::simulator::ScenarioConfig;
 
@@ -82,6 +82,46 @@ fn local_errors_are_abstentions_not_mistakes() {
         (hard_errors as f64) < 0.05 * total as f64,
         "local hard errors {hard_errors}/{total} exceed 5%"
     );
+}
+
+/// The v2 Monitor's verdicts line up with running a baseline classifier on
+/// the identical flagged set: every device the monitor characterizes also
+/// gets a baseline verdict, and both partition that set completely.
+#[test]
+fn monitor_and_baselines_cover_the_same_flagged_set() {
+    use anomaly_characterization::detectors::{ThresholdDetector, VectorDetector};
+    use anomaly_characterization::pipeline::MonitorBuilder;
+    use anomaly_characterization::simulator::Simulation;
+
+    let config = scenario(6);
+    let mut sim = Simulation::new(config.clone()).unwrap();
+    let outcome = sim.step();
+    let dim = config.dim;
+    let mut monitor = MonitorBuilder::new()
+        .params(config.params)
+        .services(dim)
+        .detector_factory(move |_key| {
+            Box::new(VectorDetector::homogeneous(dim, || {
+                ThresholdDetector::with_delta(0.05)
+            }))
+        })
+        .fleet(config.n)
+        .build()
+        .unwrap();
+    monitor.observe(outcome.pair.before().clone()).unwrap();
+    let report = monitor.observe(outcome.pair.after().clone()).unwrap();
+    assert!(!report.verdicts().is_empty());
+
+    let flagged: Vec<_> = report.verdicts().iter().map(|v| v.id).collect();
+    let tess = TessellationClassifier::new(16, 3);
+    let baseline = tess.classify(&outcome.pair, &flagged);
+    assert_eq!(baseline.len(), report.verdicts().len());
+    for (id, _class) in &baseline {
+        assert!(
+            report.class_of_id(*id).is_some(),
+            "baseline and monitor must cover the same set ({id})"
+        );
+    }
 }
 
 #[test]

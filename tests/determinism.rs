@@ -4,7 +4,9 @@
 use anomaly_characterization::baselines::{Classifier, KMeansClassifier};
 use anomaly_characterization::core::{Analyzer, TrajectoryTable};
 use anomaly_characterization::network::{FaultTarget, NetworkConfig, NetworkSimulation};
+use anomaly_characterization::pipeline::{Monitor, MonitorBuilder};
 use anomaly_characterization::qos::DeviceId;
+use anomaly_characterization::simulator::trace::Trace;
 use anomaly_characterization::simulator::{sweep::sweep_grid, ScenarioConfig, Simulation};
 
 #[test]
@@ -59,6 +61,36 @@ fn network_simulation_is_reproducible() {
     };
     assert_eq!(run(5), run(5));
     assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn monitor_trace_replay_is_deterministic() {
+    // The same recorded scenario through two identically-built monitors
+    // yields verdict-identical reports (wall-clock timings aside).
+    let mut config = ScenarioConfig::paper_defaults(17);
+    config.n = 120;
+    config.errors_per_step = 3;
+    let mut sim = Simulation::new(config.clone()).unwrap();
+    let mut trace = Trace::new(config.n, config.dim, config.params);
+    for _ in 0..3 {
+        trace.record(&sim.step());
+    }
+    let build = || -> Monitor {
+        MonitorBuilder::new()
+            .params(config.params)
+            .services(config.dim)
+            .fleet(config.n)
+            .build()
+            .unwrap()
+    };
+    let a = build().run_trace(&trace).unwrap();
+    let b = build().run_trace(&trace).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.instant(), rb.instant());
+        assert_eq!(ra.verdicts(), rb.verdicts());
+        assert_eq!(ra.warming(), rb.warming());
+    }
 }
 
 #[test]

@@ -3,6 +3,8 @@
 
 use anomaly_characterization::core::observer::brute_force_classes;
 use anomaly_characterization::core::{Analyzer, AnomalyClass, Params, Rule, TrajectoryTable};
+use anomaly_characterization::detectors::ThresholdDetector;
+use anomaly_characterization::pipeline::MonitorBuilder;
 use anomaly_characterization::qos::DeviceId;
 use anomaly_characterization::simulator::{runner::analyze_step, ScenarioConfig, Simulation};
 
@@ -43,7 +45,11 @@ fn quick_and_full_only_differ_on_unresolved_devices() {
             } else {
                 // The fast path said "unresolved"; the NSC may upgrade it to
                 // massive but never to isolated (Theorem 5 already ruled).
-                assert_ne!(full.class(), AnomalyClass::Isolated, "seed {seed} device {j}");
+                assert_ne!(
+                    full.class(),
+                    AnomalyClass::Isolated,
+                    "seed {seed} device {j}"
+                );
             }
         }
     }
@@ -78,7 +84,10 @@ fn local_equals_observer_on_simulated_steps() {
             checked += 1;
         }
     }
-    assert!(checked > 20, "the test must actually exercise configurations");
+    assert!(
+        checked > 20,
+        "the test must actually exercise configurations"
+    );
 }
 
 #[test]
@@ -121,6 +130,51 @@ fn isolated_truth_never_certainly_massive_when_r3_enforced() {
             report.missed_isolated_as_massive, 0,
             "seed {seed}: R3-enforced isolated errors must not look massive"
         );
+    }
+}
+
+/// The served Monitor surface and the bare engine agree verdict-for-verdict
+/// on simulated data: a monitor fed the simulator's two snapshots flags via
+/// delta thresholds and characterizes exactly like a hand-built Analyzer
+/// over the same flagged set.
+#[test]
+fn monitor_surface_matches_direct_analyzer_on_simulated_steps() {
+    for seed in 0..4 {
+        let mut sim = Simulation::new(small_scenario(seed)).unwrap();
+        let outcome = sim.step();
+        let n = outcome.pair.len();
+        let dim = outcome.pair.dim();
+        let params = outcome.config.params;
+        // Delta thresholds flag exactly the devices that moved > 0.05 in
+        // some service — a deterministic, history-free a_k(j).
+        let mut monitor = MonitorBuilder::new()
+            .params(params)
+            .services(dim)
+            .detector_factory(move |_key| {
+                Box::new(
+                    anomaly_characterization::detectors::VectorDetector::homogeneous(dim, || {
+                        ThresholdDetector::with_delta(0.05)
+                    }),
+                )
+            })
+            .fleet(n)
+            .build()
+            .unwrap();
+        let warm = monitor.observe(outcome.pair.before().clone()).unwrap();
+        assert!(warm.verdicts().is_empty(), "first snapshot cannot report");
+        let report = monitor.observe(outcome.pair.after().clone()).unwrap();
+
+        let flagged: Vec<DeviceId> = report.verdicts().iter().map(|v| v.id).collect();
+        let table = TrajectoryTable::from_state_pair(&outcome.pair, &flagged);
+        let analyzer = Analyzer::new(&table, params);
+        for v in report.verdicts() {
+            assert_eq!(
+                v.class(),
+                analyzer.characterize_full(v.id).class(),
+                "seed {seed} device {}",
+                v.id
+            );
+        }
     }
 }
 

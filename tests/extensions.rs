@@ -7,11 +7,9 @@ use anomaly_characterization::detectors::{CusumDetector, VectorDetector};
 use anomaly_characterization::network::{
     FaultTarget, Incident, IncidentSchedule, NetworkConfig, NetworkSimulation,
 };
-use anomaly_characterization::pipeline::FleetMonitor;
+use anomaly_characterization::pipeline::MonitorBuilder;
 use anomaly_characterization::qos::{DeviceId, Snapshot};
-use anomaly_characterization::simulator::adversary::{
-    minimum_winning_coalition, run_attack,
-};
+use anomaly_characterization::simulator::adversary::{minimum_winning_coalition, run_attack};
 use anomaly_characterization::simulator::sweep::granularity_sweep;
 use anomaly_characterization::simulator::trace::Trace;
 use anomaly_characterization::simulator::{DestinationModel, ScenarioConfig, Simulation};
@@ -86,8 +84,7 @@ fn trace_roundtrip_preserves_characterization() {
 
     let abnormal: Vec<DeviceId> = outcome.abnormal().iter().collect();
     let original_table = TrajectoryTable::from_state_pair(&outcome.pair, &abnormal);
-    let replayed_table =
-        TrajectoryTable::from_state_pair(&parsed.steps[0].pair, &abnormal);
+    let replayed_table = TrajectoryTable::from_state_pair(&parsed.steps[0].pair, &abnormal);
     let a1 = Analyzer::new(&original_table, outcome.config.params);
     let a2 = Analyzer::new(&replayed_table, outcome.config.params);
     assert_eq!(a1.classify_all_full(), a2.classify_all_full());
@@ -95,7 +92,8 @@ fn trace_roundtrip_preserves_characterization() {
 
 #[test]
 fn incident_timeline_through_the_pipeline() {
-    // A DSLAM outage with a repair, observed end to end by a FleetMonitor.
+    // A DSLAM outage with a repair, observed end to end by a v2 Monitor
+    // keyed by gateway node ids.
     let mut net = NetworkSimulation::new(NetworkConfig::small(77)).unwrap();
     let dslam = net.topology().dslams()[1];
     // The incident starts well past the detectors' warm-up window and
@@ -112,11 +110,18 @@ fn incident_timeline_through_the_pipeline() {
     // CUSUM detectors: they re-anchor their reference after each alarm, so
     // both the downward onset and the upward recovery fire exactly once,
     // and the drift allowance absorbs the measurement jitter entirely.
-    let mut monitor = FleetMonitor::new(
-        Params::new(0.02, 3).unwrap(),
-        (0..net.population())
-            .map(|_| VectorDetector::homogeneous(2, || CusumDetector::new(0.02, 0.3))),
-    );
+    let mut monitor = MonitorBuilder::new()
+        .radius(0.02)
+        .tau(3)
+        .services(2)
+        .detector_factory(|_key| {
+            Box::new(VectorDetector::homogeneous(2, || {
+                CusumDetector::new(0.02, 0.3)
+            }))
+        })
+        .devices(net.topology().gateways().iter().map(|g| g.0))
+        .build()
+        .unwrap();
 
     let mut network_event_steps = Vec::new();
     let mut spurious_isolated = 0usize;
@@ -124,7 +129,7 @@ fn incident_timeline_through_the_pipeline() {
         let (outcome, _recovered) = schedule.advance(&mut net);
         // Feed the *after* snapshot to the monitor (one sample per step).
         let snap: Snapshot = outcome.pair.after().clone();
-        let report = monitor.observe(snap);
+        let report = monitor.observe(snap).unwrap();
         if report.has_network_event() {
             network_event_steps.push(step);
         }

@@ -7,6 +7,7 @@ use anomaly_characterization::detectors::{EwmaDetector, VectorDetector};
 use anomaly_characterization::network::{
     gateway_reports, FaultTarget, NetworkConfig, NetworkSimulation, ReportAction,
 };
+use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder};
 use anomaly_characterization::qos::DeviceId;
 
 fn params() -> Params {
@@ -55,14 +56,68 @@ fn detectors_build_a_k_from_network_measurements() {
     }
 }
 
+/// The same deployment story as `detectors_build_a_k_from_network_
+/// measurements`, but served entirely by the v2 Monitor: gateways join
+/// under their topology node ids, the monitor builds A_k itself, and the
+/// blast radius comes back as one massive event.
+#[test]
+fn monitor_keyed_by_gateway_ids_finds_the_blast_radius() {
+    let mut net = NetworkSimulation::new(NetworkConfig::small(11)).unwrap();
+    let d = net.services().len();
+    let mut monitor = MonitorBuilder::new()
+        .radius(0.02)
+        .tau(3)
+        .services(d)
+        .detector_factory(move |_key| {
+            Box::new(VectorDetector::homogeneous(d, || {
+                EwmaDetector::new(0.3, 6.0)
+            }))
+        })
+        .devices(net.topology().gateways().iter().map(|g| g.0))
+        .build()
+        .unwrap();
+    // Warm-up: σ-gates may fluke on jitter while settling, but a healthy
+    // network never shows a network-level event.
+    for _ in 0..30 {
+        assert!(!monitor.observe(net.snapshot()).unwrap().has_network_event());
+    }
+    let dslam = net.topology().dslams()[2];
+    let expected: Vec<DeviceKey> = net
+        .topology()
+        .downstream_gateways(dslam)
+        .into_iter()
+        .map(|g| DeviceKey(g.0 as u64))
+        .collect();
+    net.inject(FaultTarget::Node {
+        node: dslam,
+        severity: 0.5,
+    });
+    let report = monitor.observe(net.snapshot()).unwrap();
+    let mut flagged: Vec<DeviceKey> = report.verdicts().iter().map(|v| v.key).collect();
+    flagged.sort_unstable();
+    let mut expected_sorted = expected;
+    expected_sorted.sort_unstable();
+    assert_eq!(flagged, expected_sorted, "A_k must equal the blast radius");
+    for v in report.verdicts() {
+        assert_eq!(v.class(), AnomalyClass::Massive, "{}", v.key);
+    }
+    assert!(report.operator_notifications().is_empty());
+}
+
 #[test]
 fn simultaneous_dslam_faults_are_both_recognized() {
     let mut net = NetworkSimulation::new(NetworkConfig::small(13)).unwrap();
     let d0 = net.topology().dslams()[0];
     let d3 = net.topology().dslams()[3];
     let outcome = net.step(vec![
-        FaultTarget::Node { node: d0, severity: 0.5 },
-        FaultTarget::Node { node: d3, severity: 0.3 },
+        FaultTarget::Node {
+            node: d0,
+            severity: 0.5,
+        },
+        FaultTarget::Node {
+            node: d3,
+            severity: 0.3,
+        },
     ]);
     let reports = gateway_reports(&outcome, params());
     assert_eq!(reports.len(), 32);
@@ -83,9 +138,7 @@ fn core_fault_degrades_everyone_and_is_massive() {
     }]);
     assert_eq!(outcome.impacted[0].len(), net.population());
     let reports = gateway_reports(&outcome, params());
-    assert!(reports
-        .iter()
-        .all(|r| r.class == AnomalyClass::Massive));
+    assert!(reports.iter().all(|r| r.class == AnomalyClass::Massive));
 }
 
 #[test]

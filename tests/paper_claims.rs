@@ -1,9 +1,7 @@
 //! The paper's headline claims, verified across crates.
 
 use anomaly_characterization::analytic::{bell_number, solve_tau};
-use anomaly_characterization::core::observer::{
-    brute_force_classes, enumerate_anomaly_partitions,
-};
+use anomaly_characterization::core::observer::{brute_force_classes, enumerate_anomaly_partitions};
 use anomaly_characterization::core::partition::build_partition_greedy;
 use anomaly_characterization::core::{Analyzer, AnomalyClass, Params, TrajectoryTable};
 use anomaly_characterization::qos::DeviceId;
@@ -138,4 +136,23 @@ fn dimensioning_feeds_characterization() {
         analyzer.characterize_full(DeviceId(0)).class(),
         AnomalyClass::Isolated
     );
+}
+
+/// Section VII-A end to end on the v2 surface: the dimensioning solver's
+/// operating point flows straight into the production builder.
+#[test]
+fn dimensioning_feeds_the_v2_builder() {
+    use anomaly_characterization::pipeline::MonitorBuilder;
+    let r = 0.03;
+    let tau = solve_tau(1000, r, 2, 0.005, 1e-4).unwrap().max(1) as usize;
+    let monitor = MonitorBuilder::new()
+        .radius(r)
+        .tau(tau)
+        .services(2)
+        .fleet(16)
+        .build()
+        .unwrap();
+    assert_eq!(monitor.params().radius(), r);
+    assert_eq!(monitor.params().tau(), tau);
+    assert_eq!(monitor.population(), 16);
 }
