@@ -149,6 +149,31 @@ pub const MAX_BASE_MOTION_FOR_SUBSETS: usize = 16;
 /// reported unresolved instead of stalling the monitoring round.
 pub const DEFAULT_ENUMERATION_BUDGET: u64 = 500_000;
 
+/// The per-device slice of an [`Analyzer`]'s precomputation: `M(j)`,
+/// `W̄_k(j)`, and the enumeration cost, for one device.
+///
+/// Produced by [`Analyzer::precompute_device`] — a pure function of the
+/// table, the parameters, and one device id, so a pool of workers can
+/// compute the slices of disjoint device shards in parallel (each device's
+/// computation only reads its `2r`-neighbourhood; Definition 1's locality
+/// is what makes this embarrassingly parallel) — and merged back into a
+/// full engine by [`Analyzer::from_parts`].
+#[derive(Debug, Clone)]
+pub struct DevicePrecompute {
+    motions: Vec<DeviceSet>,
+    dense: Vec<DeviceSet>,
+    window_moves: u64,
+    overflowed: bool,
+}
+
+impl DevicePrecompute {
+    /// True when the device's motion enumeration exceeded its budget (the
+    /// merged analyzer will conservatively report it unresolved).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+}
+
 /// Per-population characterization engine.
 ///
 /// Precomputes `M(j)` and `W̄_k(j)` for every device of the table (each
@@ -197,30 +222,94 @@ impl<'t> Analyzer<'t> {
         params: Params,
         max_window_moves: u64,
     ) -> Self {
-        let window = params.window();
+        let parts: Vec<(DeviceId, DevicePrecompute)> = table
+            .ids()
+            .iter()
+            .map(|&j| {
+                (
+                    j,
+                    Self::precompute_device(table, &params, j, max_window_moves),
+                )
+            })
+            .collect();
+        Self::from_parts(table, params, parts)
+    }
+
+    /// The embarrassingly-parallel phase: precomputes one device's slice of
+    /// the engine (`M(j)`, `W̄_k(j)`, enumeration cost).
+    ///
+    /// Reads only `j`'s `2r`-neighbourhood of `table`, takes no `&mut`
+    /// anywhere, and depends on nothing but its arguments — workers may call
+    /// it concurrently for disjoint (or even overlapping) device shards and
+    /// obtain results identical to the sequential [`Analyzer::new`] loop.
+    pub fn precompute_device(
+        table: &TrajectoryTable,
+        params: &Params,
+        j: DeviceId,
+        max_window_moves: u64,
+    ) -> DevicePrecompute {
+        let mut ops = MotionOps::default();
+        let m = maximal_motions_involving_bounded(
+            table,
+            j,
+            params.window(),
+            &mut ops,
+            max_window_moves,
+        );
+        let (motions, overflowed) = match m {
+            Some(m) => (m, false),
+            None => (Vec::new(), true),
+        };
+        let dense: Vec<DeviceSet> = motions
+            .iter()
+            .filter(|s| params.is_dense(s.len()))
+            .cloned()
+            .collect();
+        DevicePrecompute {
+            motions,
+            dense,
+            window_moves: ops.window_moves,
+            overflowed,
+        }
+    }
+
+    /// The merge phase: assembles an engine from per-device slices.
+    ///
+    /// The result is identical to [`Analyzer::new`] whatever order the
+    /// parts arrive in — the internal maps are keyed by device id and the
+    /// overflow set is ordered — so a parallel driver may merge shard
+    /// results as workers finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `parts` covers exactly the devices of `table` (one
+    /// part per id, no strangers).
+    pub fn from_parts(
+        table: &'t TrajectoryTable,
+        params: Params,
+        parts: impl IntoIterator<Item = (DeviceId, DevicePrecompute)>,
+    ) -> Self {
         let mut motions = HashMap::with_capacity(table.len());
         let mut wbar = HashMap::with_capacity(table.len());
         let mut precompute_moves = HashMap::with_capacity(table.len());
         let mut overflowed = std::collections::BTreeSet::new();
-        for &j in table.ids() {
-            let mut ops = MotionOps::default();
-            let m = maximal_motions_involving_bounded(table, j, window, &mut ops, max_window_moves);
-            let m = match m {
-                Some(m) => m,
-                None => {
-                    overflowed.insert(j);
-                    Vec::new()
-                }
-            };
-            let dense: Vec<DeviceSet> = m
-                .iter()
-                .filter(|s| params.is_dense(s.len()))
-                .cloned()
-                .collect();
-            motions.insert(j, m);
-            wbar.insert(j, dense);
-            precompute_moves.insert(j, ops.window_moves);
+        for (j, part) in parts {
+            assert!(table.contains(j), "part for unknown device {j:?}");
+            if part.overflowed {
+                overflowed.insert(j);
+            }
+            precompute_moves.insert(j, part.window_moves);
+            assert!(
+                motions.insert(j, part.motions).is_none(),
+                "duplicate part for device {j:?}"
+            );
+            wbar.insert(j, part.dense);
         }
+        assert_eq!(
+            motions.len(),
+            table.len(),
+            "parts must cover every device of the table exactly once"
+        );
         Analyzer {
             table,
             params,
@@ -663,6 +752,59 @@ mod tests {
                 unbounded.characterize_full(j).class()
             );
         }
+    }
+
+    #[test]
+    fn from_parts_matches_sequential_construction_in_any_order() {
+        let t = simple_table();
+        let sequential = Analyzer::new(&t, params(3));
+        // Parts computed out of order, as shard workers would deliver them.
+        let mut parts: Vec<(DeviceId, DevicePrecompute)> = t
+            .ids()
+            .iter()
+            .map(|&j| {
+                (
+                    j,
+                    Analyzer::precompute_device(&t, &params(3), j, DEFAULT_ENUMERATION_BUDGET),
+                )
+            })
+            .collect();
+        parts.reverse();
+        let merged = Analyzer::from_parts(&t, params(3), parts);
+        for &j in t.ids() {
+            assert_eq!(sequential.characterize_full(j), merged.characterize_full(j));
+        }
+        assert_eq!(
+            sequential.overflowed_devices().count(),
+            merged.overflowed_devices().count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every device")]
+    fn from_parts_rejects_incomplete_coverage() {
+        let t = simple_table();
+        let one = Analyzer::precompute_device(&t, &params(3), DeviceId(0), 1_000);
+        let _ = Analyzer::from_parts(&t, params(3), vec![(DeviceId(0), one)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate part")]
+    fn from_parts_rejects_duplicate_parts() {
+        let t = simple_table();
+        let one = Analyzer::precompute_device(&t, &params(3), DeviceId(0), 1_000);
+        let _ = Analyzer::from_parts(
+            &t,
+            params(3),
+            vec![(DeviceId(0), one.clone()), (DeviceId(0), one)],
+        );
+    }
+
+    #[test]
+    fn precompute_device_reports_overflow() {
+        let t = simple_table();
+        let part = Analyzer::precompute_device(&t, &params(3), DeviceId(0), 1);
+        assert!(part.overflowed());
     }
 
     #[test]

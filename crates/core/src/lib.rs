@@ -66,12 +66,16 @@ pub mod observer;
 mod params;
 pub mod partition;
 mod set;
+mod shard;
 mod table;
 
 #[cfg(test)]
 mod figures;
 
-pub use characterize::{Analyzer, AnomalyClass, Characterization, Cost, Rule};
+pub use characterize::{
+    Analyzer, AnomalyClass, Characterization, Cost, DevicePrecompute, Rule,
+    DEFAULT_COLLECTION_BUDGET, DEFAULT_ENUMERATION_BUDGET,
+};
 pub use families::Families;
 pub use local::LocalContext;
 pub use maximal::{
@@ -81,4 +85,5 @@ pub use maximal::{
 pub use params::{Params, ParamsError};
 pub use partition::{build_partition, AnomalyPartition, PartitionError};
 pub use set::DeviceSet;
+pub use shard::ShardPlan;
 pub use table::{TableError, TrajectoryTable};

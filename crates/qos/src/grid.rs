@@ -1,5 +1,18 @@
-use crate::point::DeviceId;
+use crate::point::{DeviceId, Point};
 use crate::snapshot::StatePair;
+
+/// How [`GridIndex::apply_moves`] brought the index up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridUpdate {
+    /// Only the devices whose cell changed were re-bucketed.
+    Incremental {
+        /// Number of devices moved between buckets.
+        rebucketed: usize,
+    },
+    /// The incremental path was not applicable (dimension, resolution, or
+    /// population changed) and the index was rebuilt from scratch.
+    Rebuilt,
+}
 
 /// Uniform-grid spatial index over a [`StatePair`].
 ///
@@ -33,8 +46,15 @@ pub struct GridIndex {
     cell_side: f64,
     /// Space dimension.
     dim: usize,
+    /// Population the index was built over (before-positions).
+    population: usize,
     /// Flattened cell -> device ids bucketed by before-position.
     buckets: Vec<Vec<DeviceId>>,
+    /// Per device (dense ids): the flattened cell it is bucketed in.
+    cell_of: Vec<usize>,
+    /// Per device: its slot within its bucket, so incremental updates
+    /// remove in O(1) instead of scanning the bucket.
+    slot_of: Vec<usize>,
 }
 
 impl GridIndex {
@@ -49,7 +69,10 @@ impl GridIndex {
             cells_per_axis: 0,
             cell_side: 1.0,
             dim: 0,
+            population: 0,
             buckets: Vec::new(),
+            cell_of: Vec::new(),
+            slot_of: Vec::new(),
         };
         index.rebuild(pair, min_cell_side);
         index
@@ -75,29 +98,124 @@ impl GridIndex {
         let dim = pair.dim();
         // Cap the axis resolution so `cells_per_axis^dim` stays affordable in
         // higher dimensions (d is small in practice: number of services).
-        let max_axis = match dim {
-            1 => 4096,
-            2 => 512,
-            3 => 64,
-            _ => 16,
-        };
-        let cells_per_axis = ((1.0 / min_cell_side).floor() as usize).clamp(1, max_axis);
+        let cells_per_axis = ((1.0 / min_cell_side).floor() as usize).clamp(1, Self::max_axis(dim));
         let cell_side = 1.0 / cells_per_axis as f64;
         let total_cells = cells_per_axis.pow(dim as u32);
         for bucket in &mut self.buckets {
             bucket.clear();
         }
         self.buckets.resize_with(total_cells, Vec::new);
+        self.cell_of.clear();
+        self.slot_of.clear();
+        self.cell_of.reserve(pair.len());
+        self.slot_of.reserve(pair.len());
         for (id, p) in pair.before().iter() {
-            let cell = Self::cell_of(p.coords(), cells_per_axis, cell_side);
+            let cell = Self::flatten(p.coords(), cells_per_axis, cell_side);
+            self.cell_of.push(cell);
+            self.slot_of.push(self.buckets[cell].len());
             self.buckets[cell].push(id);
         }
         self.cells_per_axis = cells_per_axis;
         self.cell_side = cell_side;
         self.dim = dim;
+        self.population = pair.len();
     }
 
-    fn cell_of(coords: &[f64], cells_per_axis: usize, cell_side: f64) -> usize {
+    /// Incrementally maintains the index across one sampling instant.
+    ///
+    /// `moves` lists every device whose **before**-position changed since
+    /// the index last described a state pair, as `(device, old position,
+    /// new position)`; `pair` is the state pair the index must describe
+    /// after the call. Only devices whose grid cell actually changed are
+    /// re-bucketed, so a mostly-calm fleet updates in time proportional to
+    /// the churn, not the population.
+    ///
+    /// Falls back to a full [`GridIndex::rebuild`] — returning
+    /// [`GridUpdate::Rebuilt`] — whenever the incremental path cannot apply:
+    /// the dimension changed, `min_cell_side` implies a different cell
+    /// resolution, or the population differs from the one indexed.
+    ///
+    /// The resulting index is identical to a fresh
+    /// [`GridIndex::build`]`(pair, min_cell_side)` as long as `moves` is
+    /// complete and accurate; queries remain exact either way because
+    /// candidates are always filtered on the true motion distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_cell_side` is not a positive finite number, or if a
+    /// move names a device that is not in the bucket its old position maps
+    /// to (an incomplete or inconsistent move list).
+    pub fn apply_moves(
+        &mut self,
+        pair: &StatePair,
+        min_cell_side: f64,
+        moves: &[(DeviceId, Point, Point)],
+    ) -> GridUpdate {
+        assert!(
+            min_cell_side.is_finite() && min_cell_side > 0.0,
+            "cell side must be positive and finite"
+        );
+        let max_axis = Self::max_axis(pair.dim());
+        let cells_per_axis = ((1.0 / min_cell_side).floor() as usize).clamp(1, max_axis);
+        if pair.dim() != self.dim
+            || cells_per_axis != self.cells_per_axis
+            || pair.len() != self.population
+        {
+            self.rebuild(pair, min_cell_side);
+            return GridUpdate::Rebuilt;
+        }
+        let mut rebucketed = 0usize;
+        for (id, old, new) in moves {
+            let from = self.cell_of[id.index()];
+            assert_eq!(
+                Self::flatten(old.coords(), self.cells_per_axis, self.cell_side),
+                from,
+                "move's old position disagrees with the cell device {id} is indexed in",
+            );
+            let to = Self::flatten(new.coords(), self.cells_per_axis, self.cell_side);
+            if from == to {
+                continue;
+            }
+            // O(1) removal: swap-remove the device's slot and re-point the
+            // device that swapped into it.
+            let slot = self.slot_of[id.index()];
+            let bucket = &mut self.buckets[from];
+            bucket.swap_remove(slot);
+            if let Some(&moved) = bucket.get(slot) {
+                self.slot_of[moved.index()] = slot;
+            }
+            self.cell_of[id.index()] = to;
+            self.slot_of[id.index()] = self.buckets[to].len();
+            self.buckets[to].push(*id);
+            rebucketed += 1;
+        }
+        GridUpdate::Incremental { rebucketed }
+    }
+
+    /// Flattened index of the cell `coords` falls in, under the current
+    /// resolution — lets callers detect cell crossings (and thus build
+    /// minimal [`GridIndex::apply_moves`] batches) without re-deriving the
+    /// grid geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` has fewer axes than the indexed dimension.
+    pub fn cell_index(&self, coords: &[f64]) -> usize {
+        Self::flatten(coords, self.cells_per_axis, self.cell_side)
+    }
+
+    /// Axis-resolution cap for a given dimension, keeping
+    /// `cells_per_axis^dim` affordable.
+    fn max_axis(dim: usize) -> usize {
+        match dim {
+            1 => 4096,
+            2 => 512,
+            3 => 64,
+            _ => 16,
+        }
+    }
+
+    fn flatten(coords: &[f64], cells_per_axis: usize, cell_side: f64) -> usize {
         let mut idx = 0usize;
         for &c in coords {
             let axis = ((c / cell_side) as usize).min(cells_per_axis - 1);
@@ -127,21 +245,57 @@ impl GridIndex {
     /// Panics if `j` is out of bounds for `pair`, or if `pair` disagrees with
     /// the dimension the index was built for.
     pub fn neighbors_both(&self, pair: &StatePair, j: DeviceId, radius: f64) -> Vec<DeviceId> {
+        let mut out = Vec::new();
+        self.neighbors_both_into(pair, j, radius, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`GridIndex::neighbors_both`] (for `d ≤ 8`;
+    /// higher dimensions fall back to two small scratch allocations):
+    /// clears `out` and fills it with the sorted result, reusing its
+    /// capacity.
+    ///
+    /// Characterization loops query the vicinity of every flagged device at
+    /// every instant; with this variant a single buffer (per worker) absorbs
+    /// all of them after the first few queries.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`GridIndex::neighbors_both`].
+    pub fn neighbors_both_into(
+        &self,
+        pair: &StatePair,
+        j: DeviceId,
+        radius: f64,
+        out: &mut Vec<DeviceId>,
+    ) {
         assert_eq!(pair.dim(), self.dim, "state pair dimension mismatch");
         let center = pair.before().position(j).coords();
         let reach = (radius / self.cell_side).ceil() as isize;
-        let mut out = Vec::new();
+        out.clear();
+        // Per-axis scratch on the stack for every realistic dimension (`d`
+        // is the number of services a device consumes).
+        const STACK_DIMS: usize = 8;
+        let mut axes_buf = [0isize; STACK_DIMS];
+        let mut offsets_buf = [0isize; STACK_DIMS];
+        let (mut axes_vec, mut offsets_vec);
+        let (axes, offsets): (&mut [isize], &mut [isize]) = if self.dim <= STACK_DIMS {
+            (&mut axes_buf[..self.dim], &mut offsets_buf[..self.dim])
+        } else {
+            axes_vec = vec![0isize; self.dim];
+            offsets_vec = vec![0isize; self.dim];
+            (&mut axes_vec[..], &mut offsets_vec[..])
+        };
         // Enumerate the hyper-box of cells within `reach` of j's cell.
-        let axes: Vec<isize> = center
-            .iter()
-            .map(|&c| ((c / self.cell_side) as isize).min(self.cells_per_axis as isize - 1))
-            .collect();
-        let mut offsets = vec![-reach; self.dim];
+        for (a, &c) in axes.iter_mut().zip(center) {
+            *a = ((c / self.cell_side) as isize).min(self.cells_per_axis as isize - 1);
+        }
+        offsets.fill(-reach);
         'outer: loop {
             // Compute the flattened index of the current neighbour cell.
             let mut idx = 0usize;
             let mut valid = true;
-            for (a, off) in axes.iter().zip(&offsets) {
+            for (a, off) in axes.iter().zip(offsets.iter()) {
                 let axis = a + off;
                 if axis < 0 || axis >= self.cells_per_axis as isize {
                     valid = false;
@@ -167,7 +321,6 @@ impl GridIndex {
             break;
         }
         out.sort_unstable();
-        out
     }
 }
 
@@ -301,6 +454,127 @@ mod tests {
         );
     }
 
+    /// Applies `moves` (old pair -> new pair, positional diff of the before
+    /// snapshots) and asserts the result equals a fresh build.
+    fn assert_apply_matches_fresh(old: &StatePair, new: &StatePair, side: f64, radius: f64) {
+        let mut index = GridIndex::build(old, side);
+        let moves: Vec<(DeviceId, Point, Point)> = old
+            .before()
+            .iter()
+            .zip(new.before().iter())
+            .filter(|((_, a), (_, b))| a != b)
+            .map(|((id, a), (_, b))| (id, a.clone(), b.clone()))
+            .collect();
+        index.apply_moves(new, side, &moves);
+        let fresh = GridIndex::build(new, side);
+        for j in new.device_ids() {
+            assert_eq!(
+                index.neighbors_both(new, j, radius),
+                fresh.neighbors_both(new, j, radius),
+                "device {j:?} disagrees after apply_moves"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_moves_rebuckets_boundary_crossers() {
+        let old = pair_from(
+            vec![vec![0.10, 0.10], vec![0.50, 0.50], vec![0.90, 0.90]],
+            vec![vec![0.12, 0.10], vec![0.50, 0.52], vec![0.90, 0.88]],
+        );
+        // Device 0 crosses several cells, device 1 stays put, device 2
+        // nudges within its cell.
+        let new = pair_from(
+            vec![vec![0.45, 0.45], vec![0.50, 0.50], vec![0.905, 0.90]],
+            vec![vec![0.46, 0.45], vec![0.50, 0.51], vec![0.91, 0.90]],
+        );
+        assert_apply_matches_fresh(&old, &new, 0.06, 0.06);
+    }
+
+    #[test]
+    fn apply_moves_reports_incremental_outcome_and_counts() {
+        let old = pair_from(vec![vec![0.1], vec![0.9]], vec![vec![0.1], vec![0.9]]);
+        let new = pair_from(vec![vec![0.6], vec![0.9]], vec![vec![0.6], vec![0.9]]);
+        let mut index = GridIndex::build(&old, 0.1);
+        let moves = vec![(
+            DeviceId(0),
+            old.before().position(DeviceId(0)).clone(),
+            new.before().position(DeviceId(0)).clone(),
+        )];
+        assert_eq!(
+            index.apply_moves(&new, 0.1, &moves),
+            GridUpdate::Incremental { rebucketed: 1 }
+        );
+        // A no-op move (same cell) is not counted.
+        assert_eq!(
+            index.apply_moves(&new, 0.1, &[]),
+            GridUpdate::Incremental { rebucketed: 0 }
+        );
+    }
+
+    #[test]
+    fn apply_moves_falls_back_to_rebuild_on_cell_side_change() {
+        let pair = pair_from(
+            vec![vec![0.1], vec![0.5], vec![0.9]],
+            vec![vec![0.1], vec![0.5], vec![0.9]],
+        );
+        let mut index = GridIndex::build(&pair, 0.1);
+        // A different resolution cannot be patched in place.
+        assert_eq!(index.apply_moves(&pair, 0.3, &[]), GridUpdate::Rebuilt);
+        assert_eq!(
+            index.cells_per_axis(),
+            GridIndex::build(&pair, 0.3).cells_per_axis()
+        );
+    }
+
+    #[test]
+    fn apply_moves_falls_back_to_rebuild_on_population_change() {
+        let old = pair_from(vec![vec![0.1], vec![0.9]], vec![vec![0.1], vec![0.9]]);
+        let new = pair_from(
+            vec![vec![0.1], vec![0.5], vec![0.9]],
+            vec![vec![0.1], vec![0.5], vec![0.9]],
+        );
+        let mut index = GridIndex::build(&old, 0.1);
+        assert_eq!(index.apply_moves(&new, 0.1, &[]), GridUpdate::Rebuilt);
+        let fresh = GridIndex::build(&new, 0.1);
+        for j in new.device_ids() {
+            assert_eq!(
+                index.neighbors_both(&new, j, 0.1),
+                fresh.neighbors_both(&new, j, 0.1),
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with the cell")]
+    fn apply_moves_rejects_inconsistent_move_lists() {
+        let pair = pair_from(vec![vec![0.1]], vec![vec![0.1]]);
+        let mut index = GridIndex::build(&pair, 0.1);
+        // Claims device 0 was at 0.9 (wrong cell).
+        let lie = vec![(
+            DeviceId(0),
+            Point::new_unchecked(vec![0.9]),
+            Point::new_unchecked(vec![0.1]),
+        )];
+        index.apply_moves(&pair, 0.1, &lie);
+    }
+
+    #[test]
+    fn neighbors_both_into_reuses_the_buffer() {
+        let pair = pair_from(
+            vec![vec![0.1, 0.1], vec![0.12, 0.11], vec![0.9, 0.9]],
+            vec![vec![0.4, 0.4], vec![0.42, 0.41], vec![0.9, 0.8]],
+        );
+        let index = GridIndex::build(&pair, 0.06);
+        let mut buf = Vec::new();
+        index.neighbors_both_into(&pair, DeviceId(0), 0.06, &mut buf);
+        assert_eq!(buf, vec![DeviceId(1)]);
+        let cap = buf.capacity();
+        index.neighbors_both_into(&pair, DeviceId(2), 0.06, &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "buffer capacity is reused");
+    }
+
     proptest! {
         /// The grid query is exactly equivalent to the linear scan, for any
         /// population and radius.
@@ -320,6 +594,31 @@ mod tests {
                 expected.sort_unstable();
                 prop_assert_eq!(index.neighbors_both(&pair, j, radius), expected);
             }
+        }
+
+        /// Applying a randomized batch of moves is equivalent to a fresh
+        /// build over the moved-to state, for any population and radius —
+        /// including devices crossing cell boundaries.
+        #[test]
+        fn apply_moves_equals_fresh_build(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..=1.0f64, 2), 1..30),
+            moved in proptest::collection::vec(
+                proptest::collection::vec(0.0..=1.0f64, 2), 1..30),
+            radius in 0.01..0.3f64,
+        ) {
+            let n = rows.len().min(moved.len());
+            let before = rows[..n].to_vec();
+            let old = pair_from(before.clone(), before.clone());
+            // Move a deterministic subset (every other device) to a fresh
+            // random position; the rest stay put.
+            let new_before: Vec<Vec<f64>> = before
+                .iter()
+                .enumerate()
+                .map(|(i, row)| if i % 2 == 0 { moved[i].clone() } else { row.clone() })
+                .collect();
+            let new = pair_from(new_before, moved[..n].to_vec());
+            assert_apply_matches_fresh(&old, &new, radius, radius);
         }
     }
 }

@@ -288,6 +288,12 @@ impl StatePair {
     pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> {
         self.before.device_ids()
     }
+
+    /// Consumes the pair, returning `(before, after)` — e.g. to retain one
+    /// snapshot across instants without re-cloning it.
+    pub fn into_parts(self) -> (Snapshot, Snapshot) {
+        (self.before, self.after)
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@
 
 pub mod adversary;
 mod config;
+pub mod fleet;
 mod generator;
 mod ground_truth;
 pub mod runner;
@@ -48,5 +49,6 @@ pub mod sweep;
 pub mod trace;
 
 pub use config::{DestinationModel, ScenarioConfig, SimulationError};
+pub use fleet::{generate_fleet, FleetInstant, FleetSpec};
 pub use generator::{Simulation, StepOutcome};
 pub use ground_truth::{ErrorEvent, GroundTruth};

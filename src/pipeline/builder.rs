@@ -1,3 +1,4 @@
+use super::engine::{Engine, GridMaintenance};
 use super::error::MonitorError;
 use super::key::DeviceKey;
 use super::monitor::{DetectorFactory, Monitor};
@@ -33,6 +34,8 @@ pub struct MonitorBuilder {
     factory: Option<DetectorFactory>,
     capacity: usize,
     max_population: u64,
+    engine: Engine,
+    grid_maintenance: GridMaintenance,
     initial: Vec<DeviceKey>,
 }
 
@@ -46,6 +49,8 @@ impl std::fmt::Debug for MonitorBuilder {
             .field("custom_factory", &self.factory.is_some())
             .field("capacity", &self.capacity)
             .field("max_population", &self.max_population)
+            .field("engine", &self.engine)
+            .field("grid_maintenance", &self.grid_maintenance)
             .field("initial_devices", &self.initial.len())
             .finish()
     }
@@ -69,8 +74,26 @@ impl MonitorBuilder {
             factory: None,
             capacity: 0,
             max_population: MAX_FLEET,
+            engine: Engine::Sequential,
+            grid_maintenance: GridMaintenance::Incremental,
             initial: Vec::new(),
         }
+    }
+
+    /// Execution strategy for the per-instant characterization:
+    /// [`Engine::Sequential`] (default) or [`Engine::Threaded`]. The
+    /// resulting [`Report`](super::Report)s are identical either way — only
+    /// wall-clock timings differ.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// How the vicinity grid is kept current across instants
+    /// ([`GridMaintenance::Incremental`] by default).
+    pub fn grid_maintenance(mut self, mode: GridMaintenance) -> Self {
+        self.grid_maintenance = mode;
+        self
     }
 
     /// Consistency-impact radius `r ∈ [0, 1/4)` (Definition 1). Validated
@@ -190,6 +213,8 @@ impl MonitorBuilder {
             space,
             self.capacity,
             self.max_population,
+            self.engine,
+            self.grid_maintenance,
         );
         for key in self.initial {
             monitor.join(key)?;

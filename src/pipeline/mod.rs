@@ -54,6 +54,7 @@
 //! ```
 
 mod builder;
+mod engine;
 mod error;
 mod key;
 mod legacy;
@@ -62,6 +63,7 @@ mod replay;
 mod report;
 
 pub use builder::{MonitorBuilder, MAX_FLEET};
+pub use engine::{Engine, GridMaintenance};
 pub use error::MonitorError;
 pub use key::DeviceKey;
 #[allow(deprecated)]

@@ -1,9 +1,13 @@
+use super::engine::{Engine, GridMaintenance};
 use super::error::MonitorError;
 use super::key::DeviceKey;
 use super::report::{DeviceVerdict, Report};
-use anomaly_core::{Analyzer, Params, TrajectoryTable};
+use anomaly_core::{
+    Analyzer, Characterization, DevicePrecompute, Params, ShardPlan, TrajectoryTable,
+    DEFAULT_ENUMERATION_BUDGET,
+};
 use anomaly_detectors::DeviceDetector;
-use anomaly_qos::{DeviceId, GridIndex, Norm, NormKind, QosSpace, Snapshot, StatePair};
+use anomaly_qos::{DeviceId, GridIndex, Norm, NormKind, Point, QosSpace, Snapshot, StatePair};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -76,7 +80,24 @@ pub struct Monitor {
     previous_keys: Option<Vec<DeviceKey>>,
     /// Vicinity index, reused (allocations and all) across instants.
     grid: Option<GridIndex>,
+    /// The before-snapshot `grid` currently indexes, for incremental
+    /// maintenance (diffing out the devices whose cell changed).
+    grid_before: Option<Snapshot>,
+    /// Execution strategy for the characterization phase.
+    engine: Engine,
+    /// Grid update policy across instants.
+    grid_maintenance: GridMaintenance,
+    /// Reusable vicinity-query buffer for the sequential path.
+    neighbor_buf: Vec<DeviceId>,
     instant: u64,
+}
+
+/// Per-device result of the parallel phase, keyed by cohort id for the
+/// deterministic merge.
+struct VerdictRow {
+    j: DeviceId,
+    characterization: Characterization,
+    vicinity: usize,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -92,6 +113,7 @@ impl std::fmt::Debug for Monitor {
 
 impl Monitor {
     /// Called by the builder; all arguments pre-validated.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn from_parts(
         params: Params,
         services: usize,
@@ -100,6 +122,8 @@ impl Monitor {
         space: QosSpace,
         capacity: usize,
         max_population: u64,
+        engine: Engine,
+        grid_maintenance: GridMaintenance,
     ) -> Self {
         Monitor {
             params,
@@ -114,8 +138,22 @@ impl Monitor {
             previous: None,
             previous_keys: None,
             grid: None,
+            grid_before: None,
+            engine,
+            grid_maintenance,
+            neighbor_buf: Vec::new(),
             instant: 0,
         }
+    }
+
+    /// The execution strategy for the characterization phase.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The vicinity-grid maintenance policy.
+    pub fn grid_maintenance(&self) -> GridMaintenance {
+        self.grid_maintenance
     }
 
     /// Number of monitored devices.
@@ -342,7 +380,7 @@ impl Monitor {
             Some(previous) if !flagged.is_empty() => {
                 let char_start = Instant::now();
                 self.characterize_interval(
-                    &previous,
+                    previous,
                     &snapshot,
                     &flagged,
                     &mut verdicts,
@@ -374,7 +412,7 @@ impl Monitor {
     /// with displacement and vicinity context.
     fn characterize_interval(
         &mut self,
-        previous: &Snapshot,
+        previous: Snapshot,
         current: &Snapshot,
         flagged: &[(u32, f64)],
         verdicts: &mut Vec<DeviceVerdict>,
@@ -433,8 +471,11 @@ impl Monitor {
             return Ok(());
         }
 
+        // The previous snapshot is owned (this is its last use), so the
+        // steady-state path builds the pair with a single clone of the
+        // current snapshot instead of two.
         let pair = match &survivors {
-            None => StatePair::new(previous.clone(), current.clone())?,
+            None => StatePair::new(previous, current.clone())?,
             Some(survivors) => {
                 let prev_ids: Vec<DeviceId> = survivors.iter().map(|&(_, p)| DeviceId(p)).collect();
                 let cur_ids: Vec<DeviceId> =
@@ -444,27 +485,135 @@ impl Monitor {
         };
 
         let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
-        let analyzer = Analyzer::new(&table, self.params);
 
-        // Vicinity index over the whole cohort (not only A_k), rebuilt in
-        // place so bucket allocations persist across instants.
+        // Vicinity index over the whole cohort (not only A_k), kept across
+        // instants. Incremental maintenance diffs the newly indexed
+        // before-snapshot against the previous one and re-buckets only the
+        // devices whose cell changed; `apply_moves` itself falls back to a
+        // full rebuild when the cohort size or resolution changed.
         let window = self.params.window();
         let cell_side = window.max(1e-6);
-        let had_grid = self.grid.is_some();
-        let grid = self
-            .grid
-            .get_or_insert_with(|| GridIndex::build(&pair, cell_side));
-        if had_grid {
-            grid.rebuild(&pair, cell_side);
+        match (&mut self.grid, self.grid_maintenance) {
+            (Some(grid), GridMaintenance::Incremental)
+                if self.grid_before.as_ref().is_some_and(|prev| {
+                    prev.len() == pair.before().len() && prev.dim() == pair.before().dim()
+                }) =>
+            {
+                let prev = self.grid_before.as_ref().expect("guard checked presence");
+                // Only devices whose grid *cell* changed need re-bucketing;
+                // most of a calm fleet reports an unchanged or same-cell
+                // position, so the batch is proportional to the churn, not
+                // the population.
+                let moves: Vec<(DeviceId, Point, Point)> = prev
+                    .iter()
+                    .zip(pair.before().iter())
+                    .filter(|((_, old), (_, new))| {
+                        old != new && grid.cell_index(old.coords()) != grid.cell_index(new.coords())
+                    })
+                    .map(|((id, old), (_, new))| (id, old.clone(), new.clone()))
+                    .collect();
+                grid.apply_moves(&pair, cell_side, &moves);
+            }
+            (Some(grid), _) => grid.rebuild(&pair, cell_side),
+            (grid @ None, _) => *grid = Some(GridIndex::build(&pair, cell_side)),
         }
-        let grid = &*grid;
+        let grid = self.grid.as_ref().expect("grid was just built");
 
-        for &j in table.ids() {
+        // Characterization in two per-device phases (both embarrassingly
+        // parallel, per Definition 1's locality): precompute each device's
+        // motion families, merge into one Analyzer, then decide verdicts
+        // and vicinities. The merge is deterministic — rows are keyed by
+        // dense id — so the report is identical for every engine.
+        let params = self.params;
+        let shard_count = self.engine.shard_count(table.len());
+        let mut rows: Vec<VerdictRow> = Vec::with_capacity(table.len());
+        if shard_count <= 1 {
+            let analyzer = Analyzer::new(&table, params);
+            let buf = &mut self.neighbor_buf;
+            for &j in table.ids() {
+                grid.neighbors_both_into(&pair, j, window, buf);
+                rows.push(VerdictRow {
+                    j,
+                    characterization: analyzer.characterize_full(j),
+                    vicinity: buf.len(),
+                });
+            }
+        } else {
+            let plan = ShardPlan::build(&table, window, shard_count);
+            let table_ref = &table;
+            let pair_ref = &pair;
+            // Phase 1: per-device precompute, one scoped worker per shard.
+            let parts: Vec<Vec<(DeviceId, DevicePrecompute)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = plan
+                    .shards()
+                    .iter()
+                    .map(|shard| {
+                        s.spawn(move || {
+                            shard
+                                .iter()
+                                .map(|&j| {
+                                    (
+                                        j,
+                                        Analyzer::precompute_device(
+                                            table_ref,
+                                            &params,
+                                            j,
+                                            DEFAULT_ENUMERATION_BUDGET,
+                                        ),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("precompute worker panicked"))
+                    .collect()
+            });
+            let analyzer = Analyzer::from_parts(&table, params, parts.into_iter().flatten());
+            // Phase 2: verdicts and vicinities over the same shards; each
+            // worker reuses one neighbour buffer for all its queries.
+            let analyzer_ref = &analyzer;
+            let shard_rows: Vec<Vec<VerdictRow>> = std::thread::scope(|s| {
+                let handles: Vec<_> = plan
+                    .shards()
+                    .iter()
+                    .map(|shard| {
+                        s.spawn(move || {
+                            let mut buf: Vec<DeviceId> = Vec::new();
+                            shard
+                                .iter()
+                                .map(|&j| {
+                                    grid.neighbors_both_into(pair_ref, j, window, &mut buf);
+                                    VerdictRow {
+                                        j,
+                                        characterization: analyzer_ref.characterize_full(j),
+                                        vicinity: buf.len(),
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("characterization worker panicked"))
+                    .collect()
+            });
+            rows.extend(shard_rows.into_iter().flatten());
+        }
+
+        // Deterministic merge: cohort ids map monotonically to current
+        // dense ids, so id order here is exactly the report's verdict order
+        // whatever sharding produced the rows.
+        rows.sort_unstable_by_key(|r| r.j);
+        for row in rows {
+            let j = row.j;
             let cur = match &survivors {
                 None => j.0,
                 Some(survivors) => survivors[j.index()].0,
             };
-            let characterization = analyzer.characterize_full(j);
             let displacement = self.norm.distance(
                 pair.before().position(j).coords(),
                 pair.after().position(j).coords(),
@@ -472,13 +621,17 @@ impl Monitor {
             verdicts.push(DeviceVerdict {
                 key: self.keys[cur as usize],
                 id: DeviceId(cur),
-                characterization,
+                characterization: row.characterization,
                 score: scores.get(&j.0).copied().unwrap_or(0.0),
                 displacement,
-                vicinity: grid.neighbors_both(&pair, j, window).len(),
+                vicinity: row.vicinity,
             });
         }
-        verdicts.sort_by_key(|v| v.id);
+
+        // Retain the snapshot the grid now indexes (no clone: the pair is
+        // done) so the next instant can diff against it.
+        let (before, _) = pair.into_parts();
+        self.grid_before = Some(before);
         Ok(())
     }
 }

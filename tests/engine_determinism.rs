@@ -1,0 +1,184 @@
+//! The engine knob must be unobservable in reports: `Threaded` with any
+//! worker count produces exactly the verdicts, ordering, and summary of
+//! `Sequential` — on steady fleets, on the churn trace of `monitor_v2.rs`,
+//! and on a generated large-ish fleet — and the incremental vicinity grid
+//! must be equally invisible next to full rebuilds.
+
+use anomaly_characterization::core::Params;
+use anomaly_characterization::pipeline::{
+    Engine, GridMaintenance, Monitor, MonitorBuilder, Report,
+};
+use anomaly_characterization::qos::{QosSpace, Snapshot, StatePair};
+use anomaly_characterization::simulator::fleet::{generate_fleet, FleetSpec};
+use anomaly_characterization::simulator::trace::{Trace, TraceStep};
+use anomaly_characterization::simulator::GroundTruth;
+
+const BASELINE: f64 = 0.9;
+
+fn snapshot(levels: &[f64]) -> Snapshot {
+    let space = QosSpace::new(1).unwrap();
+    Snapshot::from_rows(&space, levels.iter().map(|&v| vec![v]).collect()).unwrap()
+}
+
+fn trace_from_levels(levels: &[Vec<f64>]) -> Trace {
+    let n = levels[0].len();
+    let mut trace = Trace::new(n, 1, Params::new(0.03, 3).unwrap());
+    for w in levels.windows(2) {
+        trace.steps.push(TraceStep {
+            pair: StatePair::new(snapshot(&w[0]), snapshot(&w[1])).unwrap(),
+            truth: GroundTruth::new(Vec::new()),
+        });
+    }
+    trace
+}
+
+/// Two reports agree on everything except wall-clock timings.
+fn assert_reports_identical(a: &Report, b: &Report, context: &str) {
+    assert_eq!(a.instant(), b.instant(), "{context}: instant");
+    assert_eq!(a.population(), b.population(), "{context}: population");
+    assert_eq!(a.verdicts(), b.verdicts(), "{context}: verdicts + order");
+    assert_eq!(a.warming(), b.warming(), "{context}: warming");
+    // Same via the iterators and the serialized summary (timing fields are
+    // wall-clock and legitimately differ; normalize them away).
+    let keys = |r: &Report| {
+        (
+            r.isolated().map(|v| v.key).collect::<Vec<_>>(),
+            r.massive().map(|v| v.key).collect::<Vec<_>>(),
+            r.unresolved().map(|v| v.key).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(keys(a), keys(b), "{context}: per-class iterators");
+    let normalized = |r: &Report| {
+        let mut s = r.summary();
+        s.detection_micros = 0;
+        s.characterization_micros = 0;
+        s.to_json()
+    };
+    assert_eq!(normalized(a), normalized(b), "{context}: JSON summary");
+}
+
+/// Replays the monitor_v2 churn scenario under `engine`/`grid`, returning
+/// every report produced.
+fn churn_scenario(engine: Engine, grid: GridMaintenance) -> Vec<Report> {
+    let mut m = MonitorBuilder::new()
+        .engine(engine)
+        .grid_maintenance(grid)
+        .fleet(8)
+        .build()
+        .unwrap();
+    let mut reports = Vec::new();
+    for _ in 0..40 {
+        reports.push(m.observe_rows(vec![vec![BASELINE]; 8]).unwrap());
+    }
+
+    // Segment 1: shared incident + lone fault, then recovery.
+    let healthy = vec![BASELINE; 8];
+    let incident = vec![0.45, 0.46, 0.44, 0.452, 0.458, 0.443, 0.10, BASELINE];
+    let seg1 = trace_from_levels(&[healthy.clone(), incident, healthy.clone()]);
+    reports.extend(m.run_trace(&seg1).unwrap());
+    for _ in 0..40 {
+        reports.push(m.observe_rows(vec![vec![BASELINE]; 8]).unwrap());
+    }
+
+    // Churn: 6 and 7 leave, 100 and 101 join.
+    m.leave(6u64).unwrap();
+    m.leave(7u64).unwrap();
+    m.join(100u64).unwrap();
+    m.join(101u64).unwrap();
+
+    // Segment 2: another mixed incident over the churned fleet.
+    let second = vec![0.45, 0.46, 0.44, 0.452, 0.458, 0.10, 0.20, 0.22];
+    let seg2 = trace_from_levels(&[healthy, second]);
+    reports.extend(m.run_trace(&seg2).unwrap());
+    reports
+}
+
+#[test]
+fn threaded_1_to_8_workers_match_sequential_on_the_churn_trace() {
+    let baseline = churn_scenario(Engine::Sequential, GridMaintenance::Incremental);
+    assert!(baseline.iter().any(|r| !r.verdicts().is_empty()));
+    for workers in 1..=8 {
+        let threaded = churn_scenario(Engine::Threaded { workers }, GridMaintenance::Incremental);
+        assert_eq!(baseline.len(), threaded.len());
+        for (a, b) in baseline.iter().zip(&threaded) {
+            assert_reports_identical(a, b, &format!("workers={workers} k={}", a.instant()));
+        }
+    }
+}
+
+#[test]
+fn grid_maintenance_mode_is_unobservable() {
+    let incremental = churn_scenario(Engine::Sequential, GridMaintenance::Incremental);
+    let rebuild = churn_scenario(Engine::Sequential, GridMaintenance::FullRebuild);
+    for (a, b) in incremental.iter().zip(&rebuild) {
+        assert_reports_identical(a, b, &format!("grid mode, k={}", a.instant()));
+    }
+}
+
+#[test]
+fn engines_agree_on_a_generated_fleet_with_clusters() {
+    // A denser scenario than the churn trace: co-moving clusters, lone
+    // jumpers, and calm jitter, across multiple chained instants.
+    let spec = FleetSpec {
+        devices: 600,
+        services: 2,
+        massive_clusters: 2,
+        cluster_size: 6,
+        isolated: 4,
+        cohesion: 0.2,
+        calm_activity: 0.6,
+        jitter: 0.02,
+        shift: 0.3,
+        seed: 11,
+    };
+    let fleet = generate_fleet(&spec, 3).unwrap();
+    let run = |engine: Engine, grid: GridMaintenance| -> Vec<Report> {
+        use anomaly_characterization::detectors::{ThresholdDetector, VectorDetector};
+        let mut m = MonitorBuilder::new()
+            .services(2)
+            .engine(engine)
+            .grid_maintenance(grid)
+            .detector_factory(|_| {
+                Box::new(VectorDetector::homogeneous(2, || {
+                    ThresholdDetector::with_delta(0.16)
+                }))
+            })
+            .fleet(600)
+            .build()
+            .unwrap();
+        fleet
+            .iter()
+            .map(|instant| m.observe(instant.snapshot.clone()).unwrap())
+            .collect()
+    };
+    let baseline = run(Engine::Sequential, GridMaintenance::FullRebuild);
+    let total: usize = baseline.iter().map(|r| r.verdicts().len()).sum();
+    assert!(total > 0, "scenario must flag devices");
+    assert!(baseline.iter().any(|r| r.has_network_event()));
+    for workers in [2, 5, 8] {
+        let threaded = run(Engine::Threaded { workers }, GridMaintenance::Incremental);
+        for (a, b) in baseline.iter().zip(&threaded) {
+            assert_reports_identical(a, b, &format!("fleet workers={workers} k={}", a.instant()));
+        }
+    }
+}
+
+#[test]
+fn builder_exposes_the_engine_and_grid_knobs() {
+    let m: Monitor = MonitorBuilder::new()
+        .engine(Engine::Threaded { workers: 3 })
+        .grid_maintenance(GridMaintenance::FullRebuild)
+        .build()
+        .unwrap();
+    assert_eq!(m.engine(), Engine::Threaded { workers: 3 });
+    assert_eq!(m.grid_maintenance(), GridMaintenance::FullRebuild);
+    // Defaults: sequential engine, incremental grid.
+    let d = MonitorBuilder::new().build().unwrap();
+    assert_eq!(d.engine(), Engine::Sequential);
+    assert_eq!(d.grid_maintenance(), GridMaintenance::Incremental);
+    // threaded_auto never yields a zero worker count.
+    match Engine::threaded_auto() {
+        Engine::Threaded { workers } => assert!(workers > 1),
+        Engine::Sequential => {}
+    }
+}
