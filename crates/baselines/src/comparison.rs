@@ -10,9 +10,13 @@
 use crate::Classifier;
 use anomaly_core::{Analyzer, AnomalyClass, TrajectoryTable};
 use anomaly_qos::DeviceId;
+use anomaly_simulator::score::{self, Confusion, Prediction, TruthClass};
 use anomaly_simulator::{runner, ScenarioConfig, Simulation, StepOutcome};
 
-/// Confusion counts for one method on one scenario.
+/// Confusion counts for one method on one scenario — a named view over the
+/// full [`Confusion`] matrix of `anomaly_simulator::score`, kept for the
+/// established comparison workflow (`anomaly-eval` consumes the matrix
+/// directly).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MethodScore {
     /// Method name.
@@ -32,6 +36,17 @@ pub struct MethodScore {
 }
 
 impl MethodScore {
+    /// Collapses a confusion matrix into the four named counters.
+    pub fn from_confusion(name: impl Into<String>, confusion: &Confusion) -> Self {
+        MethodScore {
+            name: name.into(),
+            correct: confusion.correct(),
+            false_massive: confusion.count(TruthClass::Isolated, Prediction::Massive),
+            false_isolated: confusion.count(TruthClass::Massive, Prediction::Isolated),
+            undecided: confusion.undecided(),
+        }
+    }
+
     /// Total devices scored.
     pub fn total(&self) -> u64 {
         self.correct + self.false_massive + self.false_isolated + self.undecided
@@ -60,22 +75,16 @@ pub struct ComparisonReport {
 }
 
 fn score_step(
-    score: &mut MethodScore,
+    confusion: &mut Confusion,
     outcome: &StepOutcome,
     classes: &[(DeviceId, AnomalyClass)],
 ) {
-    let tau = outcome.config.params.tau();
-    let truly_massive = outcome.truth.massive_devices(tau);
-    for &(id, class) in classes {
-        let is_massive = truly_massive.contains(id);
-        match class {
-            AnomalyClass::Massive if is_massive => score.correct += 1,
-            AnomalyClass::Isolated if !is_massive => score.correct += 1,
-            AnomalyClass::Massive => score.false_massive += 1,
-            AnomalyClass::Isolated => score.false_isolated += 1,
-            AnomalyClass::Unresolved => score.undecided += 1,
-        }
-    }
+    score::score_step_classes(
+        confusion,
+        &outcome.truth,
+        outcome.config.params.tau(),
+        classes,
+    );
 }
 
 /// Runs `steps` simulation intervals and scores the paper's local algorithm
@@ -91,26 +100,13 @@ pub fn compare_on_scenario(
     steps: u64,
 ) -> Result<ComparisonReport, anomaly_simulator::SimulationError> {
     let mut sim = Simulation::new(config.clone())?;
-    let mut report = ComparisonReport {
-        scores: Vec::with_capacity(baselines.len() + 1),
-        steps,
-        abnormal: 0,
-    };
-    report.scores.push(MethodScore {
-        name: "local (this paper)".into(),
-        ..MethodScore::default()
-    });
-    for b in baselines {
-        report.scores.push(MethodScore {
-            name: b.name(),
-            ..MethodScore::default()
-        });
-    }
+    let mut abnormal_total = 0u64;
+    let mut confusions: Vec<Confusion> = vec![Confusion::new(); baselines.len() + 1];
 
     for _ in 0..steps {
         let outcome = sim.step();
         let abnormal: Vec<DeviceId> = outcome.abnormal().iter().collect();
-        report.abnormal += abnormal.len() as u64;
+        abnormal_total += abnormal.len() as u64;
 
         // The paper's local characterization (exact pipeline).
         let table = TrajectoryTable::from_state_pair(&outcome.pair, &abnormal);
@@ -119,15 +115,25 @@ pub fn compare_on_scenario(
             .iter()
             .map(|&j| (j, analyzer.characterize_full(j).class()))
             .collect();
-        score_step(&mut report.scores[0], &outcome, &local);
+        score_step(&mut confusions[0], &outcome, &local);
 
         // Baselines.
         for (i, b) in baselines.iter().enumerate() {
             let classes = b.classify(&outcome.pair, &abnormal);
-            score_step(&mut report.scores[i + 1], &outcome, &classes);
+            score_step(&mut confusions[i + 1], &outcome, &classes);
         }
     }
-    Ok(report)
+
+    let names =
+        std::iter::once("local (this paper)".to_string()).chain(baselines.iter().map(|b| b.name()));
+    Ok(ComparisonReport {
+        scores: names
+            .zip(&confusions)
+            .map(|(name, c)| MethodScore::from_confusion(name, c))
+            .collect(),
+        steps,
+        abnormal: abnormal_total,
+    })
 }
 
 // Re-exported convenience: run a step report for the local method only.

@@ -1,0 +1,376 @@
+//! Drive a scenario through the paper's pipeline or a centralized
+//! baseline, and score the verdicts against the ground truth.
+
+use crate::error::EvalError;
+use crate::scenario::{Scenario, ScenarioRun, ScenarioSpec};
+use anomaly_baselines::Classifier;
+use anomaly_characterization::pipeline::{Engine, MonitorBuilder, Report};
+use anomaly_core::AnomalyClass;
+use anomaly_detectors::{ThresholdDetector, VectorDetector};
+use anomaly_qos::DeviceId;
+use anomaly_simulator::score::{self, Confusion};
+use std::fmt::Write as _;
+
+/// Per-step scoring summary — the evaluation's per-instant breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstantScore {
+    /// Step index within the scenario.
+    pub step: usize,
+    /// Ground-truth abnormal devices scored this step.
+    pub abnormal: u64,
+    /// Correct verdicts.
+    pub correct: u64,
+    /// Hard misclassifications (isolated ↔ massive).
+    pub mistaken: u64,
+    /// Abstentions plus devices without any verdict.
+    pub undecided: u64,
+    /// Verdicts on devices outside the ground truth (detector flukes,
+    /// repair rebounds); zero for baselines, which are handed the abnormal
+    /// set directly.
+    pub spurious: u64,
+}
+
+impl InstantScore {
+    fn from_confusion(step: usize, confusion: &Confusion) -> Self {
+        InstantScore {
+            step,
+            abnormal: confusion.total(),
+            correct: confusion.correct(),
+            mistaken: confusion.mistaken(),
+            undecided: confusion.undecided(),
+            spurious: confusion.spurious_total(),
+        }
+    }
+
+    /// Stable JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"step\":{},\"abnormal\":{},\"correct\":{},",
+                "\"mistaken\":{},\"undecided\":{},\"spurious\":{}}}"
+            ),
+            self.step, self.abnormal, self.correct, self.mistaken, self.undecided, self.spurious,
+        )
+    }
+}
+
+/// One method's score on one scenario: the aggregate confusion matrix and
+/// the per-instant breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioScore {
+    /// Scenario name (from [`ScenarioSpec::name`]).
+    pub scenario: String,
+    /// Method label (`paper-sequential`, `paper-threaded-4`, or the
+    /// baseline's [`Classifier::name`]).
+    pub method: String,
+    /// Steps scored.
+    pub steps: usize,
+    /// Aggregate confusion over all steps.
+    pub confusion: Confusion,
+    /// Per-step breakdown.
+    pub instants: Vec<InstantScore>,
+}
+
+impl ScenarioScore {
+    /// The headline metric: unweighted mean of the per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        self.confusion.macro_f1()
+    }
+
+    /// The engine-independent part of the score (everything except the
+    /// method label), serialized — two evaluations are equivalent exactly
+    /// when these strings are byte-identical.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"steps\":{},\"score\":{},\"instants\":[",
+            self.steps,
+            self.confusion.to_json()
+        );
+        for (i, instant) in self.instants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&instant.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Full JSON rendering, one object per scenario × method cell.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"method\":\"{}\",\"metrics\":{}}}",
+            self.scenario,
+            self.method,
+            self.metrics_json()
+        )
+    }
+}
+
+/// Scores one verdict list against one step's ground truth: every truth
+/// device is recorded (missing ones as [`Prediction::Missing`]), and
+/// verdicts on devices outside the truth are counted as spurious.
+///
+/// [`Prediction::Missing`]: anomaly_simulator::score::Prediction::Missing
+fn score_one_step(
+    spec: &ScenarioSpec,
+    step_truth: &anomaly_simulator::GroundTruth,
+    verdicts: &[(DeviceId, AnomalyClass)],
+) -> Confusion {
+    let mut confusion = Confusion::new();
+    score::score_step_classes(&mut confusion, step_truth, spec.params.tau(), verdicts);
+    let abnormal = step_truth.abnormal_devices();
+    for &(id, class) in verdicts {
+        if !abnormal.contains(id) {
+            confusion.record_spurious(class);
+        }
+    }
+    confusion
+}
+
+fn aggregate(spec: ScenarioSpec, method: String, per_step: Vec<Confusion>) -> ScenarioScore {
+    let mut total = Confusion::new();
+    let mut instants = Vec::with_capacity(per_step.len());
+    for (i, c) in per_step.iter().enumerate() {
+        instants.push(InstantScore::from_confusion(i, c));
+        total.merge(c);
+    }
+    ScenarioScore {
+        scenario: spec.name,
+        method,
+        steps: per_step.len(),
+        confusion: total,
+        instants,
+    }
+}
+
+/// Evaluates the paper's pipeline on a scenario: builds a [`Monitor`] from
+/// the scenario's spec (threshold detectors at the spec's delta), drives
+/// it over the generated run — applying churn between segments — and
+/// scores every per-step report against the ground truth.
+///
+/// The resulting metrics are engine-independent: any [`Engine`] produces
+/// byte-identical [`ScenarioScore::metrics_json`] (only the method label
+/// differs), which `tests/engine_determinism.rs` pins down.
+///
+/// # Errors
+///
+/// Propagates generator and monitor failures.
+///
+/// [`Monitor`]: anomaly_characterization::pipeline::Monitor
+pub fn evaluate_monitor(
+    scenario: &dyn Scenario,
+    engine: Engine,
+) -> Result<ScenarioScore, EvalError> {
+    evaluate_monitor_on(&scenario.spec(), &scenario.generate()?, engine)
+}
+
+/// [`evaluate_monitor`] over a pre-generated run — use this to score
+/// several engines on one `generate()` call (generation of a large fleet
+/// dwarfs the scoring itself).
+///
+/// # Errors
+///
+/// Propagates monitor failures.
+pub fn evaluate_monitor_on(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    engine: Engine,
+) -> Result<ScenarioScore, EvalError> {
+    let services = spec.services;
+    let delta = spec.detector_delta;
+    let mut monitor = MonitorBuilder::new()
+        .params(spec.params)
+        .services(services)
+        .engine(engine)
+        .detector_factory(move |_| {
+            Box::new(VectorDetector::homogeneous(services, move || {
+                ThresholdDetector::with_delta(delta)
+            }))
+        })
+        .fleet(spec.population)
+        .build()?;
+
+    let mut reports: Vec<Report> = Vec::with_capacity(run.steps.len());
+    let mut next = 0usize;
+    for churn in &run.churn {
+        let end = (churn.after_step + 1).clamp(next, run.steps.len());
+        if next < end {
+            reports.extend(monitor.run_scenario(&run.steps[next..end])?);
+            next = end;
+        }
+        for &key in &churn.leaves {
+            monitor.leave(key)?;
+        }
+        for &key in &churn.joins {
+            monitor.join(key)?;
+        }
+    }
+    if next < run.steps.len() {
+        reports.extend(monitor.run_scenario(&run.steps[next..])?);
+    }
+
+    let method = match engine {
+        Engine::Sequential => "paper-sequential".to_string(),
+        Engine::Threaded { workers } => format!("paper-threaded-{workers}"),
+    };
+    let per_step: Vec<Confusion> = run
+        .steps
+        .iter()
+        .zip(&reports)
+        .map(|(step, report)| {
+            let verdicts: Vec<(DeviceId, AnomalyClass)> = report
+                .verdicts()
+                .iter()
+                .map(|v| (v.id, v.class()))
+                .collect();
+            score_one_step(spec, &step.truth, &verdicts)
+        })
+        .collect();
+    Ok(aggregate(spec.clone(), method, per_step))
+}
+
+/// Evaluates a centralized baseline on the identical scenario: each step's
+/// ground-truth abnormal set is handed to the classifier (its classical
+/// operating assumption — it needs the abnormal set collected at a
+/// management node), and its answers are scored with the same confusion
+/// types.
+///
+/// # Errors
+///
+/// Propagates generator failures.
+pub fn evaluate_classifier(
+    scenario: &dyn Scenario,
+    classifier: &dyn Classifier,
+) -> Result<ScenarioScore, EvalError> {
+    Ok(evaluate_classifier_on(
+        &scenario.spec(),
+        &scenario.generate()?,
+        classifier,
+    ))
+}
+
+/// [`evaluate_classifier`] over a pre-generated run — use this to score
+/// several baselines on one `generate()` call.
+pub fn evaluate_classifier_on(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    classifier: &dyn Classifier,
+) -> ScenarioScore {
+    let per_step: Vec<Confusion> = run
+        .steps
+        .iter()
+        .map(|step| {
+            let mut abnormal: Vec<DeviceId> = step.truth.abnormal_devices().iter().collect();
+            abnormal.sort_unstable();
+            let classes = classifier.classify(&step.pair, &abnormal);
+            score_one_step(spec, &step.truth, &classes)
+        })
+        .collect();
+    aggregate(spec.clone(), classifier.name(), per_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{ChurnScenario, FleetScenario, NetworkFaultScenario};
+    use anomaly_baselines::TessellationClassifier;
+    use anomaly_core::Params;
+    use anomaly_simulator::FleetSpec;
+
+    fn fleet_scenario() -> FleetScenario {
+        FleetScenario {
+            name: "fleet".into(),
+            fleet: FleetSpec {
+                devices: 500,
+                services: 2,
+                massive_clusters: 2,
+                cluster_size: 6,
+                isolated: 4,
+                cohesion: 0.05,
+                calm_activity: 0.4,
+                jitter: 0.02,
+                shift: 0.3,
+                seed: 21,
+            },
+            steps: 3,
+            params: Params::new(0.03, 3).unwrap(),
+        }
+    }
+
+    #[test]
+    fn monitor_evaluation_scores_every_truth_device() {
+        let scenario = fleet_scenario();
+        let score = evaluate_monitor(&scenario, Engine::Sequential).unwrap();
+        assert_eq!(score.scenario, "fleet");
+        assert_eq!(score.method, "paper-sequential");
+        assert_eq!(score.steps, 3);
+        let truth_total: u64 = scenario
+            .generate()
+            .unwrap()
+            .steps
+            .iter()
+            .map(|s| s.truth.abnormal_devices().len() as u64)
+            .sum();
+        assert_eq!(score.confusion.total(), truth_total);
+        // The generator's clusters and loners are well separated: the
+        // pipeline should be very accurate here.
+        assert!(
+            score.macro_f1() > 0.9,
+            "fleet macro F1 {:.3}",
+            score.macro_f1()
+        );
+        assert_eq!(score.instants.len(), 3);
+    }
+
+    #[test]
+    fn network_evaluation_beats_or_meets_a_degenerate_baseline() {
+        let scenario = NetworkFaultScenario::small_mixed("net", 3, 4);
+        let paper = evaluate_monitor(&scenario, Engine::Sequential).unwrap();
+        let degenerate = TessellationClassifier::new(1, 3);
+        let baseline = evaluate_classifier(&scenario, &degenerate).unwrap();
+        assert_eq!(paper.confusion.total(), baseline.confusion.total());
+        assert!(
+            paper.macro_f1() >= baseline.macro_f1(),
+            "paper {:.3} vs 1-cell tessellation {:.3}",
+            paper.macro_f1(),
+            baseline.macro_f1()
+        );
+        // A 1-cell tessellation calls every CPE fault massive.
+        assert!(baseline.confusion.mistaken() > 0);
+    }
+
+    #[test]
+    fn churn_is_applied_between_segments() {
+        let scenario = ChurnScenario {
+            fleet: fleet_scenario(),
+            churn_devices: 25,
+            churn_every: 1,
+        };
+        let churned = evaluate_monitor(&scenario, Engine::Sequential).unwrap();
+        assert_eq!(churned.steps, 3);
+        // Every truth device is still accounted for: joiners that flag
+        // while warming are scored as missing, not dropped.
+        let truth_total: u64 = scenario
+            .generate()
+            .unwrap()
+            .steps
+            .iter()
+            .map(|s| s.truth.abnormal_devices().len() as u64)
+            .sum();
+        assert_eq!(churned.confusion.total(), truth_total);
+    }
+
+    #[test]
+    fn json_renderings_are_stable() {
+        let score = evaluate_monitor(&fleet_scenario(), Engine::Sequential).unwrap();
+        let json = score.to_json();
+        assert!(json.contains("\"scenario\":\"fleet\""));
+        assert!(json.contains("\"method\":\"paper-sequential\""));
+        assert!(json.contains("\"macro_f1\""));
+        assert_eq!(json, score.to_json());
+        assert!(score.metrics_json().starts_with("{\"steps\":3"));
+    }
+}

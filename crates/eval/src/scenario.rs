@@ -1,0 +1,77 @@
+//! The [`Scenario`] trait: one interface over every workload generator.
+//!
+//! A scenario is a deterministic recipe for a sequence of labelled
+//! intervals — each a snapshot pair plus the real scenario `R_k`
+//! ([`TraceStep`]) — optionally interleaved with fleet-membership churn.
+//! The evaluation runner drives a [`Monitor`] (or a centralized baseline)
+//! over the generated run and scores its verdicts against the ground truth.
+//!
+//! [`Monitor`]: anomaly_characterization::pipeline::Monitor
+
+use crate::error::EvalError;
+use anomaly_core::Params;
+use anomaly_simulator::trace::TraceStep;
+
+/// Shape and operating point of a scenario: everything the runner needs to
+/// configure a monitor before the first snapshot arrives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Human-readable scenario name (stable; keyed in `BENCH_eval.json`).
+    pub name: String,
+    /// Fleet size every generated snapshot covers.
+    pub population: usize,
+    /// Services per device (QoS space dimension `d`).
+    pub services: usize,
+    /// Characterization operating point (`r`, `τ`) the scenario is scored
+    /// under.
+    pub params: Params,
+    /// Per-service jump threshold for the error-detection functions: above
+    /// the workload's calm noise, below its anomalous displacement.
+    pub detector_delta: f64,
+}
+
+/// One fleet-membership change, applied between two scenario steps.
+///
+/// Keys are the stable [`DeviceKey`] values of the monitor. To keep
+/// ground-truth device ids positional across the change, scenarios churn
+/// **tail slots only**: `leaves` lists keys in descending dense-slot order
+/// (so each removal pops the current last slot and no survivor moves), and
+/// `joins` re-fills the vacated tail in ascending order.
+///
+/// [`DeviceKey`]: anomaly_characterization::pipeline::DeviceKey
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Index of the last step observed before the change applies.
+    pub after_step: usize,
+    /// Keys leaving the fleet, in descending dense-slot order.
+    pub leaves: Vec<u64>,
+    /// Keys joining the fleet, appended in order.
+    pub joins: Vec<u64>,
+}
+
+/// A generated scenario: labelled steps plus membership changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// The labelled intervals, in playback order.
+    pub steps: Vec<TraceStep>,
+    /// Membership changes, sorted by [`ChurnEvent::after_step`]. Empty for
+    /// fixed-fleet workloads.
+    pub churn: Vec<ChurnEvent>,
+}
+
+/// A workload generator the evaluation runner can drive and score.
+///
+/// Implementations must be deterministic: two `generate` calls on the same
+/// value produce identical runs, so evaluation scores are reproducible and
+/// engine configurations can be compared on byte-identical inputs.
+pub trait Scenario {
+    /// The scenario's shape and operating point.
+    fn spec(&self) -> ScenarioSpec;
+
+    /// Generates the full run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration failures of the underlying generator.
+    fn generate(&self) -> Result<ScenarioRun, EvalError>;
+}

@@ -1,0 +1,105 @@
+//! Property tests over the scenario generators: every adversary- and
+//! network-generated scenario must satisfy restriction R1 — the
+//! `ErrorEvent`s within one `GroundTruth` step are pairwise disjoint — and
+//! the effective classification `is_massive(τ)` must agree with
+//! `impacted.len() > τ` for every generated event, across random
+//! topologies, fault mixes, coalition sizes, and seeds.
+
+use anomaly_core::{DeviceSet, Params};
+use anomaly_eval::{AdversaryScenario, NetworkFaultScenario, Scenario, ScenarioRun};
+use anomaly_network::NetworkConfig;
+use anomaly_simulator::{DestinationModel, ScenarioConfig};
+use proptest::prelude::*;
+
+/// R1 plus the effective-class agreement, on every step of a run.
+fn assert_scenario_invariants(run: &ScenarioRun, scenario_tau: usize) {
+    for (k, step) in run.steps.iter().enumerate() {
+        let mut seen = DeviceSet::new();
+        for event in step.truth.events() {
+            assert!(!event.impacted.is_empty(), "step {k}: empty event");
+            for id in &event.impacted {
+                assert!(
+                    seen.insert(id),
+                    "step {k}: device {id} impacted by two events (R1 violated)"
+                );
+                assert!(
+                    (id.index()) < step.pair.len(),
+                    "step {k}: event names device {id} outside the population"
+                );
+            }
+            // `is_massive` must agree with the effective size for the
+            // scenario's own τ and for arbitrary other thresholds.
+            for tau in [1, 2, scenario_tau, scenario_tau + 3] {
+                assert_eq!(
+                    event.is_massive(tau),
+                    event.impacted.len() > tau,
+                    "step {k}: is_massive({tau}) disagrees with |impacted| = {}",
+                    event.impacted.len()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn network_scenarios_satisfy_r1_and_effective_classes(
+        seed in 0u64..1000,
+        aggregations in 1usize..=3,
+        dslams in 1usize..=3,
+        gateways in 4usize..=10,
+        dslam_faults in 0usize..=3,
+        cpe_faults in 0usize..=3,
+        steps in 1usize..=4,
+    ) {
+        prop_assume!(dslam_faults + cpe_faults > 0);
+        let mut config = NetworkConfig::small(seed);
+        config.shape = (1, aggregations, dslams, gateways);
+        let scenario = NetworkFaultScenario {
+            name: "prop-network".into(),
+            config,
+            params: Params::new(0.02, 3).unwrap(),
+            steps,
+            dslam_faults_per_step: dslam_faults,
+            cpe_faults_per_step: cpe_faults,
+            dslam_severity: 0.5,
+            cpe_severity: 0.7,
+            detector_delta: 0.1,
+        };
+        let run = scenario.generate().unwrap();
+        prop_assert_eq!(run.steps.len(), steps);
+        assert_scenario_invariants(&run, scenario.params.tau());
+    }
+
+    #[test]
+    fn adversary_scenarios_satisfy_r1_and_effective_classes(
+        seed in 0u64..1000,
+        shadow_seed in 0u64..1000,
+        n in 60usize..250,
+        coalition in 0usize..=5,
+        isolated_pct in 0usize..=100,
+        steps in 1usize..=3,
+    ) {
+        let mut config = ScenarioConfig::paper_defaults(seed);
+        config.n = n;
+        config.errors_per_step = 5;
+        config.isolated_prob = isolated_pct as f64 / 100.0;
+        config.destination = DestinationModel::Uniform;
+        let scenario = AdversaryScenario {
+            name: "prop-adversary".into(),
+            config,
+            coalition,
+            steps,
+            detector_delta: 0.02,
+            shadow_seed,
+        };
+        let run = scenario.generate().unwrap();
+        prop_assert_eq!(run.steps.len(), steps);
+        for step in &run.steps {
+            prop_assert_eq!(step.pair.len(), n + coalition);
+        }
+        assert_scenario_invariants(&run, scenario.config.params.tau());
+    }
+}

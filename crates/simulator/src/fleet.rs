@@ -14,6 +14,7 @@
 //! configurations can be compared on byte-identical inputs.
 
 use crate::config::SimulationError;
+use crate::ground_truth::{ErrorEvent, GroundTruth};
 use anomaly_qos::{DeviceId, QosSpace, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,6 +111,10 @@ pub struct FleetInstant {
     /// Devices that jumped (cluster members and lone jumpers), sorted by
     /// id. Empty for the initial placement.
     pub flagged: Vec<DeviceId>,
+    /// The real scenario of the interval ending at this instant: one event
+    /// per injected cluster (intended massive) and per lone jumper
+    /// (intended isolated). Empty for the initial placement.
+    pub truth: GroundTruth,
 }
 
 /// Generates `steps + 1` chained snapshots: an initial calm placement, then
@@ -142,6 +147,7 @@ pub fn generate_fleet(
     out.push(FleetInstant {
         snapshot: Snapshot::from_rows(&space, rows.clone()).expect("generated rows are in range"),
         flagged: Vec::new(),
+        truth: GroundTruth::default(),
     });
 
     for _ in 0..steps {
@@ -159,6 +165,23 @@ pub fn generate_fleet(
         let loners = pick_disjoint(&mut rng, &mut is_flagged, n, spec.isolated);
         flagged.extend(loners.iter().map(|&i| DeviceId(i as u32)));
         flagged.sort_unstable();
+        // Ground truth mirrors the injection: clusters are intended-massive
+        // events (effectively massive only when they found > τ co-located
+        // members), loners are intended-isolated singletons. The disjoint
+        // draws above guarantee restriction R1.
+        let mut events: Vec<ErrorEvent> = clusters
+            .iter()
+            .filter(|members| !members.is_empty())
+            .map(|members| ErrorEvent {
+                impacted: members.iter().map(|&i| DeviceId(i as u32)).collect(),
+                intended_isolated: false,
+            })
+            .collect();
+        events.extend(loners.iter().map(|&i| ErrorEvent {
+            impacted: std::iter::once(DeviceId(i as u32)).collect(),
+            intended_isolated: true,
+        }));
+        let truth = GroundTruth::new(events);
 
         // Calm motion: a `calm_activity` fraction of the healthy fleet takes
         // a uniform jitter step (clamped to the cube); the rest report the
@@ -191,6 +214,7 @@ pub fn generate_fleet(
             snapshot: Snapshot::from_rows(&space, rows.clone())
                 .expect("generated rows are in range"),
             flagged,
+            truth,
         });
     }
     Ok(out)
@@ -364,6 +388,33 @@ mod tests {
             .filter(|&(a, b)| after.distance(a, b) <= spec.jitter)
             .count();
         assert!(close_pairs > 0, "no co-located flagged pair after the move");
+    }
+
+    #[test]
+    fn truth_mirrors_flagged_and_respects_r1() {
+        let spec = small_spec();
+        let fleet = generate_fleet(&spec, 2).unwrap();
+        assert!(fleet[0].truth.events().is_empty());
+        for instant in &fleet[1..] {
+            let mut from_truth: Vec<DeviceId> = instant.truth.abnormal_devices().iter().collect();
+            from_truth.sort_unstable();
+            assert_eq!(from_truth, instant.flagged, "truth covers the flagged set");
+            let isolated_events = instant
+                .truth
+                .events()
+                .iter()
+                .filter(|e| e.intended_isolated)
+                .count();
+            assert_eq!(isolated_events, spec.isolated, "one event per loner");
+            for e in instant
+                .truth
+                .events()
+                .iter()
+                .filter(|e| e.intended_isolated)
+            {
+                assert_eq!(e.impacted.len(), 1);
+            }
+        }
     }
 
     #[test]

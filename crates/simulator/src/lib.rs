@@ -45,6 +45,7 @@ pub mod fleet;
 mod generator;
 mod ground_truth;
 pub mod runner;
+pub mod score;
 pub mod sweep;
 pub mod trace;
 
@@ -52,3 +53,4 @@ pub use config::{DestinationModel, ScenarioConfig, SimulationError};
 pub use fleet::{generate_fleet, FleetInstant, FleetSpec};
 pub use generator::{Simulation, StepOutcome};
 pub use ground_truth::{ErrorEvent, GroundTruth};
+pub use score::{Confusion, Prediction, TruthClass};

@@ -1,12 +1,65 @@
-//! Batch/replay entry point: drive recorded scenario traces through the
+//! Batch/replay entry points: drive recorded scenario traces through the
 //! same engine that serves live snapshots.
 
 use super::error::MonitorError;
 use super::monitor::Monitor;
 use super::report::Report;
-use anomaly_simulator::trace::Trace;
+use anomaly_simulator::trace::{Trace, TraceStep};
 
 impl Monitor {
+    /// Checks a batch of steps against the monitor's shape before anything
+    /// is fed, so a malformed batch can never leave the monitor partially
+    /// advanced.
+    fn validate_steps(&self, steps: &[TraceStep]) -> Result<(), MonitorError> {
+        for step in steps {
+            if step.pair.dim() != self.services() {
+                return Err(MonitorError::ServiceMismatch {
+                    expected: self.services(),
+                    actual: step.pair.dim(),
+                });
+            }
+            if step.pair.len() != self.population() {
+                return Err(MonitorError::PopulationMismatch {
+                    expected: self.population(),
+                    actual: step.pair.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives the monitor over a batch of scenario steps, returning exactly
+    /// one [`Report`] per step — the evaluation bridge behind
+    /// `anomaly-eval`'s scenario workbench.
+    ///
+    /// Each step's interval is observed as `(before, after)`: when a step's
+    /// `before` snapshot differs from the monitor's last-seen one (a
+    /// recording gap, or a scenario whose steps are built from a freshly
+    /// reset world), `before` is fed first as a bridging observation and
+    /// its report is **discarded** — only the per-step `after` reports are
+    /// returned, index-aligned with `steps`, so callers can score
+    /// `reports[i]` against `steps[i].truth` directly. Use
+    /// [`Monitor::run_trace`] when every produced report matters.
+    ///
+    /// # Errors
+    ///
+    /// * [`MonitorError::ServiceMismatch`] — a step's snapshots differ from
+    ///   the monitor's service count;
+    /// * [`MonitorError::PopulationMismatch`] — a step's snapshots cover a
+    ///   different number of devices than the fleet.
+    ///
+    /// All steps are validated before the first observation.
+    pub fn run_scenario(&mut self, steps: &[TraceStep]) -> Result<Vec<Report>, MonitorError> {
+        self.validate_steps(steps)?;
+        let mut reports = Vec::with_capacity(steps.len());
+        for step in steps {
+            if self.last_snapshot() != Some(step.pair.before()) {
+                let _bridging = self.observe(step.pair.before().clone())?;
+            }
+            reports.push(self.observe(step.pair.after().clone())?);
+        }
+        Ok(reports)
+    }
     /// Replays a recorded [`Trace`] through the monitor, one observation
     /// per distinct snapshot, returning the report of every observed
     /// instant.
@@ -53,20 +106,7 @@ impl Monitor {
                 actual: trace.n,
             });
         }
-        for step in &trace.steps {
-            if step.pair.dim() != self.services() {
-                return Err(MonitorError::ServiceMismatch {
-                    expected: self.services(),
-                    actual: step.pair.dim(),
-                });
-            }
-            if step.pair.len() != self.population() {
-                return Err(MonitorError::PopulationMismatch {
-                    expected: self.population(),
-                    actual: step.pair.len(),
-                });
-            }
-        }
+        self.validate_steps(&trace.steps)?;
         let mut reports = Vec::with_capacity(trace.steps.len() + 1);
         for step in &trace.steps {
             if self.last_snapshot() != Some(step.pair.before()) {

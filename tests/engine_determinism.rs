@@ -163,6 +163,59 @@ fn engines_agree_on_a_generated_fleet_with_clusters() {
     }
 }
 
+/// The evaluation subsystem inherits the engine invariance: scenario
+/// scores — confusion matrices, per-instant breakdowns, every serialized
+/// byte of the metrics — are identical across `Engine::Sequential` and
+/// `Engine::Threaded` for workers 1..=8, on a fault-injected network
+/// scenario and on a churned fleet.
+#[test]
+fn evaluation_scores_are_byte_identical_across_engines() {
+    use anomaly_eval::{
+        evaluate_monitor, ChurnScenario, FleetScenario, NetworkFaultScenario, Scenario,
+    };
+
+    let network = NetworkFaultScenario::small_mixed("det-network", 29, 3);
+    let churn = ChurnScenario {
+        fleet: FleetScenario {
+            name: "det-churn".into(),
+            fleet: FleetSpec {
+                devices: 400,
+                services: 2,
+                massive_clusters: 2,
+                cluster_size: 6,
+                isolated: 4,
+                cohesion: 0.05,
+                calm_activity: 0.4,
+                jitter: 0.02,
+                shift: 0.3,
+                seed: 23,
+            },
+            steps: 4,
+            params: Params::new(0.03, 3).unwrap(),
+        },
+        churn_devices: 30,
+        churn_every: 2,
+    };
+    let scenarios: [&dyn Scenario; 2] = [&network, &churn];
+    for scenario in scenarios {
+        let name = scenario.spec().name;
+        let baseline = evaluate_monitor(scenario, Engine::Sequential).unwrap();
+        assert!(
+            baseline.confusion.total() > 0,
+            "{name}: the scenario must score something"
+        );
+        let reference = baseline.metrics_json();
+        for workers in 1..=8 {
+            let threaded = evaluate_monitor(scenario, Engine::Threaded { workers }).unwrap();
+            assert_eq!(
+                reference,
+                threaded.metrics_json(),
+                "{name}: workers={workers} diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn builder_exposes_the_engine_and_grid_knobs() {
     let m: Monitor = MonitorBuilder::new()

@@ -168,6 +168,66 @@ fn severity_below_radius_keeps_unimpacted_gateways_quiet() {
     }
 }
 
+/// The operator decision end to end on a family of small topologies: a
+/// DSLAM fault yields massive verdicts for exactly its subtree — no
+/// gateway calls home — while a CPE fault yields exactly one isolated
+/// call-home, whatever the tree shape.
+#[test]
+fn operator_decisions_hold_on_small_topologies() {
+    for (shape, seed) in [
+        ((1, 1, 1, 6), 31u64),
+        ((1, 2, 2, 8), 33),
+        ((2, 2, 1, 5), 37),
+    ] {
+        let mut config = NetworkConfig::small(seed);
+        config.shape = shape;
+
+        // Network-level fault: the whole subtree reports massive, upstream
+        // (OTT) only — the ISP help desk stays quiet.
+        let mut net = NetworkSimulation::new(config.clone()).unwrap();
+        let dslam = net.topology().dslams()[0];
+        let subtree = net.topology().downstream_gateways(dslam).len();
+        assert!(subtree > 3, "shape {shape:?} must exceed tau");
+        let outcome = net.step(vec![FaultTarget::Node {
+            node: dslam,
+            severity: 0.5,
+        }]);
+        let reports = gateway_reports(&outcome, params());
+        assert_eq!(reports.len(), subtree, "shape {shape:?}");
+        for r in &reports {
+            assert_eq!(
+                r.class,
+                AnomalyClass::Massive,
+                "shape {shape:?} {}",
+                r.device
+            );
+            assert_eq!(r.action, ReportAction::NotifyOtt, "shape {shape:?}");
+        }
+
+        // CPE fault: exactly one isolated call-home, and it is the faulted
+        // gateway itself.
+        let mut net = NetworkSimulation::new(config).unwrap();
+        let gateway = net.topology().gateways()[2];
+        let outcome = net.step(vec![FaultTarget::Gateway {
+            gateway,
+            severity: 0.7,
+        }]);
+        let reports = gateway_reports(&outcome, params());
+        assert_eq!(reports.len(), 1, "shape {shape:?}");
+        assert_eq!(reports[0].class, AnomalyClass::Isolated, "shape {shape:?}");
+        assert_eq!(
+            reports[0].action,
+            ReportAction::NotifyIsp,
+            "shape {shape:?}"
+        );
+        assert_eq!(
+            outcome.impacted[0].iter().collect::<Vec<_>>(),
+            vec![reports[0].device],
+            "shape {shape:?}: the caller is the faulted gateway"
+        );
+    }
+}
+
 #[test]
 fn repeated_incidents_over_time_stay_classifiable() {
     let mut net = NetworkSimulation::new(NetworkConfig::small(23)).unwrap();

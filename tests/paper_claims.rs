@@ -138,6 +138,72 @@ fn dimensioning_feeds_characterization() {
     );
 }
 
+/// Section VII-A's dimensioning model against measurement: the analytic
+/// bound `P{F_r(j) > τ}` (binomial form and Poisson approximation) must
+/// dominate the *empirical* frequency of isolated devices misclassified as
+/// massive, measured by the evaluation subsystem's confusion matrices on
+/// simulated fleets whose isolated errors are independent (R3 off, uniform
+/// destinations — the model's own assumptions).
+#[test]
+fn dimensioning_bounds_the_empirical_false_massive_rate() {
+    use anomaly_characterization::analytic::{
+        prob_false_dense_exceeds, prob_false_dense_exceeds_poisson, solve_tau,
+    };
+    use anomaly_characterization::pipeline::Engine;
+    use anomaly_characterization::simulator::score::{Prediction, TruthClass};
+    use anomaly_characterization::simulator::DestinationModel;
+    use anomaly_eval::{evaluate_monitor, SimScenario};
+
+    let (r, tau) = (0.03, 3usize);
+    let mut config = ScenarioConfig::paper_defaults(777);
+    config.isolated_prob = 1.0; // independent isolated errors only
+    config.enforce_r3 = false; // superpositions are pure chance
+    config.destination = DestinationModel::Uniform;
+    let steps = 40;
+    let scenario = SimScenario {
+        name: "dimensioning-check".into(),
+        config: config.clone(),
+        steps,
+        detector_delta: 0.02,
+    };
+    let score = evaluate_monitor(&scenario, Engine::Sequential).unwrap();
+
+    let truth_isolated = score.confusion.truth_total(TruthClass::Isolated);
+    assert!(truth_isolated > 500, "enough samples to estimate a rate");
+    let false_massive = score
+        .confusion
+        .count(TruthClass::Isolated, Prediction::Massive);
+    let empirical = false_massive as f64 / truth_isolated as f64;
+
+    // The model's `b`: per-interval probability that a given device is hit
+    // by an isolated error, measured from the same run.
+    let b = truth_isolated as f64 / (steps * config.n) as f64;
+    let analytic = prob_false_dense_exceeds(config.n as u64, r, config.dim, b, tau as u64).unwrap();
+    let q = (4.0 * r).powi(config.dim as i32);
+    let poisson = prob_false_dense_exceeds_poisson(config.n as u64, q, b, tau as u64);
+
+    // Misclassification needs > τ vicinity hits *and* a consistent shared
+    // motion, so the analytic probability is an upper bound.
+    assert!(
+        empirical <= analytic + 1e-9,
+        "empirical false-massive rate {empirical:.5} exceeds the analytic bound {analytic:.5}"
+    );
+    // The Poisson form is numerically the same bound at this scale.
+    assert!(
+        (analytic - poisson).abs() < 1e-3,
+        "binomial {analytic:.6} vs poisson {poisson:.6}"
+    );
+    // And the dimensioning solver, fed the *measured* b, confirms the
+    // paper's τ = 3 keeps the misfire probability at this operating point.
+    // (ε sits just above the measured bound: `solve_tau` requires strict
+    // improvement, so ε = analytic itself would push it one τ higher.)
+    let solved = solve_tau(config.n as u64, r, config.dim, b, analytic.max(1e-6) * 1.01).unwrap();
+    assert!(
+        solved <= tau as u64,
+        "solver wants τ = {solved}, the paper runs τ = {tau}"
+    );
+}
+
 /// Section VII-A end to end on the v2 surface: the dimensioning solver's
 /// operating point flows straight into the production builder.
 #[test]

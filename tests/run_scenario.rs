@@ -1,0 +1,128 @@
+//! The `Monitor::run_scenario` bridge: one report per step, index-aligned
+//! with the ground truth, gap-bridging observations discarded, and
+//! all-or-nothing validation.
+
+use anomaly_characterization::core::Params;
+use anomaly_characterization::pipeline::{MonitorBuilder, MonitorError};
+use anomaly_characterization::qos::{QosSpace, Snapshot, StatePair};
+use anomaly_characterization::simulator::trace::{Trace, TraceStep};
+use anomaly_characterization::simulator::GroundTruth;
+
+const BASELINE: f64 = 0.9;
+
+fn snapshot(levels: &[f64]) -> Snapshot {
+    let space = QosSpace::new(1).unwrap();
+    Snapshot::from_rows(&space, levels.iter().map(|&v| vec![v]).collect()).unwrap()
+}
+
+fn step(before: &[f64], after: &[f64]) -> TraceStep {
+    TraceStep {
+        pair: StatePair::new(snapshot(before), snapshot(after)).unwrap(),
+        truth: GroundTruth::new(Vec::new()),
+    }
+}
+
+#[test]
+fn one_report_per_step_aligned_with_the_input() {
+    let mut m = MonitorBuilder::new().fleet(6).build().unwrap();
+    for _ in 0..30 {
+        m.observe_rows(vec![vec![BASELINE]; 6]).unwrap();
+    }
+    let healthy = vec![BASELINE; 6];
+    let incident = vec![0.45, 0.46, 0.44, 0.452, 0.458, 0.10];
+    let steps = vec![
+        step(&healthy, &incident),
+        step(&incident, &healthy),
+        step(&healthy, &healthy),
+    ];
+    let reports = m.run_scenario(&steps).unwrap();
+    assert_eq!(reports.len(), 3, "exactly one report per step");
+    assert_eq!(reports[0].verdicts().len(), 6, "the incident step's report");
+    assert!(reports[2].is_quiet());
+}
+
+#[test]
+fn gap_steps_feed_both_snapshots_and_discard_the_bridge_report() {
+    // Steps are NOT chained: each starts from the healthy level, as
+    // fresh-world scenarios (network fault injection) produce. The bridge
+    // observation absorbs the recovery motion; the returned reports only
+    // cover the labelled intervals. Threshold detectors keep the flagging
+    // one-step (an EWMA's variance would widen after the first excursion).
+    use anomaly_characterization::detectors::ThresholdDetector;
+    let mut m = MonitorBuilder::new()
+        .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.2)))
+        .fleet(4)
+        .build()
+        .unwrap();
+    m.observe_rows(vec![vec![BASELINE]; 4]).unwrap();
+    let healthy = vec![BASELINE; 4];
+    let down_a = vec![0.45, 0.46, 0.44, BASELINE];
+    let down_b = vec![BASELINE, 0.45, 0.46, 0.44];
+    let steps = vec![step(&healthy, &down_a), step(&healthy, &down_b)];
+    let reports = m.run_scenario(&steps).unwrap();
+    assert_eq!(reports.len(), 2);
+    // Each report carries the step's own incident, not the recovery.
+    for (r, expected_quiet) in reports.iter().zip([3usize, 3]) {
+        assert_eq!(r.verdicts().len(), expected_quiet);
+    }
+    // Equivalent run through run_trace sees the bridging intervals too.
+    let mut m2 = MonitorBuilder::new()
+        .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.2)))
+        .fleet(4)
+        .build()
+        .unwrap();
+    m2.observe_rows(vec![vec![BASELINE]; 4]).unwrap();
+    let mut trace = Trace::new(4, 1, Params::new(0.03, 3).unwrap());
+    trace.steps = steps;
+    // Step 1's `before` matches the warmed snapshot (no bridge); step 2's
+    // does not, so run_trace emits its bridging report too: 3 in total,
+    // where run_scenario returned 2.
+    let all = m2.run_trace(&trace).unwrap();
+    assert_eq!(all.len(), 3, "run_trace keeps the bridging reports");
+}
+
+#[test]
+fn chained_steps_match_run_trace_exactly() {
+    let levels: Vec<Vec<f64>> = vec![
+        vec![BASELINE; 5],
+        vec![0.45, 0.46, 0.44, 0.452, 0.10],
+        vec![BASELINE; 5],
+    ];
+    let mut trace = Trace::new(5, 1, Params::new(0.03, 3).unwrap());
+    for w in levels.windows(2) {
+        trace.steps.push(step(&w[0], &w[1]));
+    }
+    let warm = |m: &mut anomaly_characterization::pipeline::Monitor| {
+        for _ in 0..30 {
+            m.observe_rows(vec![vec![BASELINE]; 5]).unwrap();
+        }
+    };
+    let mut via_scenario = MonitorBuilder::new().fleet(5).build().unwrap();
+    warm(&mut via_scenario);
+    let scenario_reports = via_scenario.run_scenario(&trace.steps).unwrap();
+    let mut via_trace = MonitorBuilder::new().fleet(5).build().unwrap();
+    warm(&mut via_trace);
+    let trace_reports = via_trace.run_trace(&trace).unwrap();
+    // On a chained trace whose first `before` matches the last snapshot,
+    // the two entry points see identical observations.
+    assert_eq!(scenario_reports.len(), trace_reports.len());
+    for (a, b) in scenario_reports.iter().zip(&trace_reports) {
+        assert_eq!(a.verdicts(), b.verdicts());
+    }
+}
+
+#[test]
+fn malformed_batches_are_rejected_before_anything_is_fed() {
+    let mut m = MonitorBuilder::new().fleet(3).build().unwrap();
+    let good = step(&[BASELINE; 3], &[BASELINE; 3]);
+    let bad = step(&[BASELINE; 4], &[BASELINE; 4]);
+    let err = m.run_scenario(&[good, bad]).unwrap_err();
+    assert_eq!(
+        err,
+        MonitorError::PopulationMismatch {
+            expected: 3,
+            actual: 4,
+        }
+    );
+    assert_eq!(m.instant(), 0, "nothing was observed");
+}
