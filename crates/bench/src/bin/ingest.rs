@@ -1,0 +1,197 @@
+//! Ingest benchmark: seal latency of the streaming front-end.
+//!
+//! A large calm fleet is established once; then each measured epoch
+//! ingests updates for only a small changed fraction of the devices (the
+//! rest are bridged by `CarryForward`), seals, and records the wall-clock
+//! of the seal. For comparison the same fleet is also driven through the
+//! batch `observe` path with full snapshots. The run asserts that every
+//! measured delta seal maintained the vicinity grid incrementally (no
+//! rebuild) — the structural guarantee that sealing is O(changed devices)
+//! — and writes the numbers as JSON.
+//!
+//! Knobs (environment variables):
+//!
+//! * `INGEST_BENCH_DEVICES` — fleet size (default 50000)
+//! * `INGEST_BENCH_STEPS` — measured epochs (default 12)
+//! * `INGEST_BENCH_CHANGED_PERMILLE` — changed devices per epoch, in ‰ of
+//!   the fleet (default 10 = 1%)
+//! * `INGEST_BENCH_OUT` — output path (default `BENCH_ingest.json`)
+
+use anomaly_characterization::pipeline::{
+    GridMaintenance, Monitor, MonitorBuilder, StalenessPolicy,
+};
+use anomaly_detectors::{ThresholdDetector, VectorDetector};
+use anomaly_qos::{GridUpdate, QosSpace, Snapshot};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+const SERVICES: usize = 2;
+
+/// Calm base position of device `k`: a deterministic spread over the cube.
+fn base_row(k: usize) -> Vec<f64> {
+    vec![
+        0.55 + 0.3 * ((k % 97) as f64 / 97.0),
+        0.55 + 0.3 * ((k % 89) as f64 / 89.0),
+    ]
+}
+
+/// Anomalous position of device `k` during a measured epoch.
+fn jump_row(k: usize) -> Vec<f64> {
+    vec![0.10 + 0.02 * ((k % 7) as f64 / 7.0), 0.12]
+}
+
+fn monitor(devices: usize) -> Monitor {
+    MonitorBuilder::new()
+        .services(SERVICES)
+        .staleness(StalenessPolicy::CarryForward {
+            max_age: u64::MAX - 1,
+        })
+        .grid_maintenance(GridMaintenance::Incremental)
+        .detector_factory(|_| {
+            Box::new(VectorDetector::homogeneous(SERVICES, || {
+                ThresholdDetector::with_delta(0.15)
+            }))
+        })
+        .capacity(devices)
+        .fleet(devices)
+        .build()
+        .expect("bench monitor configuration is valid")
+}
+
+struct EpochStats {
+    ingest_micros: u64,
+    seal_micros: u64,
+    verdicts: usize,
+}
+
+fn main() {
+    let devices = env_usize("INGEST_BENCH_DEVICES", 50_000);
+    let steps = env_usize("INGEST_BENCH_STEPS", 12);
+    let permille = env_usize("INGEST_BENCH_CHANGED_PERMILLE", 10);
+    let changed = ((devices * permille) / 1000).max(1);
+    let out_path =
+        std::env::var("INGEST_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_string());
+    eprintln!(
+        "ingest bench: {devices} devices, {steps} epochs, {changed} changed/epoch ({permille}‰)"
+    );
+
+    // --- Streaming path: establish, then measure delta seals.
+    let mut m = monitor(devices);
+    for _ in 0..2 {
+        m.ingest_many((0..devices).map(|k| (k as u64, base_row(k))))
+            .expect("baseline rows are valid");
+        m.seal().expect("full epochs seal");
+    }
+    let mut epochs: Vec<EpochStats> = Vec::with_capacity(steps);
+    for step in 0..steps {
+        // A rotating window of devices jumps out on even epochs and back
+        // on odd ones: every measured epoch stages exactly `changed`
+        // updates, and every epoch produces real motion.
+        let start = ((step / 2) * changed) % devices;
+        let jumping = step.is_multiple_of(2);
+        let ingest_start = Instant::now();
+        for i in 0..changed {
+            let k = (start + i) % devices;
+            let row = if jumping { jump_row(k) } else { base_row(k) };
+            m.ingest(k as u64, row).expect("update rows are valid");
+        }
+        let ingest_micros = ingest_start.elapsed().as_micros() as u64;
+        let seal_start = Instant::now();
+        let report = m.seal().expect("delta epochs seal");
+        let seal_micros = seal_start.elapsed().as_micros() as u64;
+        // The structural claim: a small epoch never rebuilds the grid.
+        // (The very first measured epoch builds it once.)
+        match m.last_grid_update() {
+            Some(GridUpdate::Incremental { rebucketed }) => assert!(
+                rebucketed <= 2 * changed,
+                "epoch {step}: rebucketed {rebucketed} for {changed} changed"
+            ),
+            Some(GridUpdate::Rebuilt) => assert_eq!(step, 0, "late grid rebuild at epoch {step}"),
+            None => panic!("epoch {step}: characterization did not run"),
+        }
+        epochs.push(EpochStats {
+            ingest_micros,
+            seal_micros,
+            verdicts: report.verdicts().len(),
+        });
+    }
+
+    // --- Batch path on the same workload shape, for the headline ratio.
+    let mut b = monitor(devices);
+    let space = QosSpace::new(SERVICES).expect("two services");
+    let full_rows = |step: usize| -> Snapshot {
+        let start = ((step / 2) * changed) % devices;
+        let jumping = step.is_multiple_of(2);
+        let rows: Vec<Vec<f64>> = (0..devices)
+            .map(|k| {
+                let in_window = (k + devices - start) % devices < changed;
+                if in_window && jumping {
+                    jump_row(k)
+                } else {
+                    base_row(k)
+                }
+            })
+            .collect();
+        Snapshot::from_rows(&space, rows).expect("rows are valid")
+    };
+    let base_snapshot = Snapshot::from_rows(&space, (0..devices).map(base_row).collect())
+        .expect("base rows are valid");
+    for _ in 0..2 {
+        b.observe(base_snapshot.clone()).expect("warm-up");
+    }
+    let mut observe_micros: Vec<u64> = Vec::with_capacity(steps);
+    for (step, epoch) in epochs.iter().enumerate() {
+        let snapshot = full_rows(step);
+        let t = Instant::now();
+        let report = b.observe(snapshot).expect("batch epochs observe");
+        observe_micros.push(t.elapsed().as_micros() as u64);
+        assert_eq!(
+            report.verdicts().len(),
+            epoch.verdicts,
+            "step {step}: batch and streaming paths disagree on verdicts"
+        );
+    }
+
+    let min = |xs: &[u64]| xs.iter().copied().min().unwrap_or(0);
+    let seal_min = min(&epochs.iter().map(|e| e.seal_micros).collect::<Vec<_>>());
+    let ingest_min = min(&epochs.iter().map(|e| e.ingest_micros).collect::<Vec<_>>());
+    let observe_min = min(&observe_micros);
+    eprintln!(
+        "seal (delta, {changed} changed): min {seal_min} µs (+{ingest_min} µs ingest) | observe (full {devices}): min {observe_min} µs"
+    );
+
+    let epochs_json: Vec<String> = epochs
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"ingest_micros\":{},\"seal_micros\":{},\"verdicts\":{}}}",
+                e.ingest_micros, e.seal_micros, e.verdicts
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"ingest\",\"devices\":{},\"services\":{},",
+            "\"changed_per_epoch\":{},\"steps\":{},",
+            "\"seal_micros_min\":{},\"ingest_micros_min\":{},",
+            "\"observe_full_micros_min\":{},",
+            "\"epochs\":[{}]}}\n"
+        ),
+        devices,
+        SERVICES,
+        changed,
+        steps,
+        seal_min,
+        ingest_min,
+        observe_min,
+        epochs_json.join(","),
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

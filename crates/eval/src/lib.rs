@@ -50,10 +50,10 @@ mod workloads;
 pub use error::EvalError;
 pub use runner::{
     evaluate_classifier, evaluate_classifier_on, evaluate_monitor, evaluate_monitor_on,
-    InstantScore, ScenarioScore,
+    evaluate_monitor_streaming, evaluate_monitor_streaming_on, InstantScore, ScenarioScore,
 };
 pub use scenario::{ChurnEvent, Scenario, ScenarioRun, ScenarioSpec};
 pub use workloads::{
     AdversaryScenario, ChurnScenario, FleetScenario, NetworkFaultScenario, RecordedScenario,
-    SimScenario,
+    SimScenario, StreamingScenario,
 };

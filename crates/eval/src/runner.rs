@@ -3,12 +3,19 @@
 
 use crate::error::EvalError;
 use crate::scenario::{Scenario, ScenarioRun, ScenarioSpec};
+use crate::workloads::StreamingScenario;
 use anomaly_baselines::Classifier;
-use anomaly_characterization::pipeline::{Engine, MonitorBuilder, Report};
+use anomaly_characterization::pipeline::{
+    Engine, Monitor, MonitorBuilder, Report, StalenessPolicy,
+};
 use anomaly_core::AnomalyClass;
 use anomaly_detectors::{ThresholdDetector, VectorDetector};
 use anomaly_qos::DeviceId;
 use anomaly_simulator::score::{self, Confusion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Per-step scoring summary — the evaluation's per-instant breakdown.
@@ -179,19 +186,7 @@ pub fn evaluate_monitor_on(
     run: &ScenarioRun,
     engine: Engine,
 ) -> Result<ScenarioScore, EvalError> {
-    let services = spec.services;
-    let delta = spec.detector_delta;
-    let mut monitor = MonitorBuilder::new()
-        .params(spec.params)
-        .services(services)
-        .engine(engine)
-        .detector_factory(move |_| {
-            Box::new(VectorDetector::homogeneous(services, move || {
-                ThresholdDetector::with_delta(delta)
-            }))
-        })
-        .fleet(spec.population)
-        .build()?;
+    let mut monitor = build_monitor(spec, engine, StalenessPolicy::Reject)?;
 
     let mut reports: Vec<Report> = Vec::with_capacity(run.steps.len());
     let mut next = 0usize;
@@ -216,10 +211,42 @@ pub fn evaluate_monitor_on(
         Engine::Sequential => "paper-sequential".to_string(),
         Engine::Threaded { workers } => format!("paper-threaded-{workers}"),
     };
+    Ok(score_reports(spec, run, method, &reports))
+}
+
+/// Builds the standard evaluation monitor for a scenario spec.
+fn build_monitor(
+    spec: &ScenarioSpec,
+    engine: Engine,
+    staleness: StalenessPolicy,
+) -> Result<Monitor, EvalError> {
+    let services = spec.services;
+    let delta = spec.detector_delta;
+    Ok(MonitorBuilder::new()
+        .params(spec.params)
+        .services(services)
+        .engine(engine)
+        .staleness(staleness)
+        .detector_factory(move |_| {
+            Box::new(VectorDetector::homogeneous(services, move || {
+                ThresholdDetector::with_delta(delta)
+            }))
+        })
+        .fleet(spec.population)
+        .build()?)
+}
+
+/// Scores a monitor's per-step reports against a run's ground truth.
+fn score_reports(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    method: String,
+    reports: &[Report],
+) -> ScenarioScore {
     let per_step: Vec<Confusion> = run
         .steps
         .iter()
-        .zip(&reports)
+        .zip(reports)
         .map(|(step, report)| {
             let verdicts: Vec<(DeviceId, AnomalyClass)> = report
                 .verdicts()
@@ -229,7 +256,185 @@ pub fn evaluate_monitor_on(
             score_one_step(spec, &step.truth, &verdicts)
         })
         .collect();
-    Ok(aggregate(spec.clone(), method, per_step))
+    aggregate(spec.clone(), method, per_step)
+}
+
+/// Evaluates the paper's pipeline over a scenario replayed through the
+/// **streaming** front-end: each step's snapshot is decomposed into
+/// per-device `(key, measurements)` updates, shuffled with the adapter's
+/// seed-fixed RNG, optionally dropped, ingested one by one, and sealed —
+/// then scored exactly like [`evaluate_monitor`].
+///
+/// With [`StreamingScenario::drop_probability`]` == 0` the resulting
+/// metrics are byte-identical to the batch path (asserted here — the run
+/// fails loudly if the equivalence ever breaks); with drops the monitor
+/// runs under `StalenessPolicy::CarryForward` and the score quantifies the
+/// degradation.
+///
+/// # Errors
+///
+/// Propagates generator and monitor failures (including
+/// `MonitorError::Ingest` when a drop streak exceeds
+/// [`StreamingScenario::max_age`]).
+pub fn evaluate_monitor_streaming<S: Scenario>(
+    scenario: &StreamingScenario<S>,
+    engine: Engine,
+) -> Result<ScenarioScore, EvalError> {
+    let spec = scenario.spec();
+    let run = scenario.generate()?;
+    let streamed = evaluate_monitor_streaming_on(
+        &spec,
+        &run,
+        engine,
+        scenario.shuffle_seed,
+        scenario.drop_probability,
+        scenario.max_age,
+    )?;
+    if scenario.drop_probability == 0.0 {
+        let batch = evaluate_monitor_on(&spec, &run, engine)?;
+        assert_eq!(
+            batch.metrics_json(),
+            streamed.metrics_json(),
+            "{}: lossless streaming replay diverged from the batch path",
+            spec.name
+        );
+    }
+    Ok(streamed)
+}
+
+/// [`evaluate_monitor_streaming`] over a pre-generated run.
+///
+/// # Errors
+///
+/// Propagates monitor failures.
+pub fn evaluate_monitor_streaming_on(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    engine: Engine,
+    shuffle_seed: u64,
+    drop_probability: f64,
+    max_age: u64,
+) -> Result<ScenarioScore, EvalError> {
+    let staleness = if drop_probability > 0.0 {
+        StalenessPolicy::CarryForward { max_age }
+    } else {
+        StalenessPolicy::Reject
+    };
+    let mut monitor = build_monitor(spec, engine, staleness)?;
+    let mut rng = StdRng::seed_from_u64(shuffle_seed);
+    // Keys with at least one sealed position: only they can be dropped
+    // (carry-forward needs a row to bridge with).
+    let mut established: HashSet<u64> = HashSet::new();
+
+    /// Streams one snapshot's rows into the monitor (shuffled, lossy for
+    /// established devices) and seals the epoch.
+    fn stream_snapshot(
+        monitor: &mut Monitor,
+        rng: &mut StdRng,
+        established: &mut HashSet<u64>,
+        snapshot: &anomaly_qos::Snapshot,
+        drop_probability: f64,
+    ) -> Result<Report, EvalError> {
+        let keys = monitor.keys().to_vec();
+        let mut updates: Vec<(u64, Vec<f64>)> = snapshot
+            .iter()
+            .map(|(id, p)| (keys[id.index()].0, p.coords().to_vec()))
+            .collect();
+        updates.shuffle(rng);
+        for (key, row) in updates {
+            if drop_probability > 0.0
+                && established.contains(&key)
+                && rng.gen_bool(drop_probability)
+            {
+                continue;
+            }
+            monitor.ingest(key, row)?;
+        }
+        let report = monitor.seal()?;
+        established.extend(monitor.keys().iter().map(|k| k.0));
+        Ok(report)
+    }
+
+    // Whether each step chains onto the previous one, judged from the
+    // run itself (after of step i-1 == before of step i) rather than from
+    // the monitor's sealed state: a lossy seal carries stale rows, and
+    // comparing against it would misread every step after the first drop
+    // as a recording gap (feeding spurious bridging epochs and double
+    // drop-draws). For a lossless replay the two checks coincide, so the
+    // batch-path equivalence is unchanged.
+    let chained: Vec<bool> = run
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, step)| i > 0 && run.steps[i - 1].pair.after() == step.pair.before())
+        .collect();
+
+    let mut reports: Vec<Report> = Vec::with_capacity(run.steps.len());
+    let stream_steps = |monitor: &mut Monitor,
+                        rng: &mut StdRng,
+                        established: &mut HashSet<u64>,
+                        steps: &[anomaly_simulator::trace::TraceStep],
+                        base: usize|
+     -> Result<Vec<Report>, EvalError> {
+        let mut out = Vec::with_capacity(steps.len());
+        for (offset, step) in steps.iter().enumerate() {
+            if !chained[base + offset] {
+                // Gap-bridging observation, discarded like `run_scenario`'s.
+                stream_snapshot(
+                    monitor,
+                    rng,
+                    established,
+                    step.pair.before(),
+                    drop_probability,
+                )?;
+            }
+            out.push(stream_snapshot(
+                monitor,
+                rng,
+                established,
+                step.pair.after(),
+                drop_probability,
+            )?);
+        }
+        Ok(out)
+    };
+
+    let mut next = 0usize;
+    for churn in &run.churn {
+        let end = (churn.after_step + 1).clamp(next, run.steps.len());
+        if next < end {
+            reports.extend(stream_steps(
+                &mut monitor,
+                &mut rng,
+                &mut established,
+                &run.steps[next..end],
+                next,
+            )?);
+            next = end;
+        }
+        for &key in &churn.leaves {
+            monitor.leave(key)?;
+            established.remove(&key);
+        }
+        for &key in &churn.joins {
+            monitor.join(key)?;
+        }
+    }
+    if next < run.steps.len() {
+        reports.extend(stream_steps(
+            &mut monitor,
+            &mut rng,
+            &mut established,
+            &run.steps[next..],
+            next,
+        )?);
+    }
+
+    let method = match engine {
+        Engine::Sequential => "paper-streaming-sequential".to_string(),
+        Engine::Threaded { workers } => format!("paper-streaming-threaded-{workers}"),
+    };
+    Ok(score_reports(spec, run, method, &reports))
 }
 
 /// Evaluates a centralized baseline on the identical scenario: each step's
@@ -361,6 +566,36 @@ mod tests {
             .map(|s| s.truth.abnormal_devices().len() as u64)
             .sum();
         assert_eq!(churned.confusion.total(), truth_total);
+    }
+
+    #[test]
+    fn lossless_streaming_replay_matches_the_batch_path() {
+        let scenario = StreamingScenario::shuffled(fleet_scenario(), 77);
+        let streamed = evaluate_monitor_streaming(&scenario, Engine::Sequential).unwrap();
+        // evaluate_monitor_streaming already asserts byte equality with the
+        // batch path internally; double-check the visible surface.
+        let batch = evaluate_monitor(&scenario.inner, Engine::Sequential).unwrap();
+        assert_eq!(batch.metrics_json(), streamed.metrics_json());
+        assert_eq!(streamed.method, "paper-streaming-sequential");
+    }
+
+    #[test]
+    fn lossy_streaming_replay_still_scores_every_truth_device() {
+        let scenario = StreamingScenario {
+            inner: fleet_scenario(),
+            shuffle_seed: 78,
+            drop_probability: 0.2,
+            max_age: 8,
+        };
+        let streamed = evaluate_monitor_streaming(&scenario, Engine::Sequential).unwrap();
+        let truth_total: u64 = scenario
+            .generate()
+            .unwrap()
+            .steps
+            .iter()
+            .map(|s| s.truth.abnormal_devices().len() as u64)
+            .sum();
+        assert_eq!(streamed.confusion.total(), truth_total);
     }
 
     #[test]

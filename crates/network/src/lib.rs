@@ -48,5 +48,7 @@ mod topology;
 pub use measurement::MeasurementModel;
 pub use report::{gateway_reports, GatewayReport, ReportAction};
 pub use schedule::{Incident, IncidentSchedule};
-pub use sim::{FaultTarget, NetworkConfig, NetworkError, NetworkSimulation, StepOutcome};
+pub use sim::{
+    FaultTarget, MeasurementUpdate, NetworkConfig, NetworkError, NetworkSimulation, StepOutcome,
+};
 pub use topology::{NodeId, NodeKind, Service, Topology};

@@ -73,6 +73,25 @@ impl fmt::Display for NetworkError {
 
 impl Error for NetworkError {}
 
+/// One gateway's measurement report: the per-device unit a real
+/// collection pipeline transports, ready for
+/// `Monitor::ingest(update.key, update.qos)`.
+///
+/// The batch [`NetworkSimulation::snapshot`] is just the dense assembly of
+/// one full round of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementUpdate {
+    /// The reporting gateway's topology node.
+    pub gateway: NodeId,
+    /// Stable ingestion key (the raw node id — what
+    /// `Monitor::join`ing by topology id uses).
+    pub key: u64,
+    /// Dense pipeline id (gateway position among all gateways).
+    pub device: DeviceId,
+    /// Measured QoS of every service, in service order.
+    pub qos: Vec<f64>,
+}
+
 /// Result of one fault-injection step.
 #[derive(Debug, Clone)]
 pub struct StepOutcome {
@@ -144,15 +163,21 @@ impl NetworkSimulation {
         self.topology.gateways().len()
     }
 
-    /// Measures the current QoS of every gateway.
-    pub fn snapshot(&mut self) -> Snapshot {
+    /// Measures one full collection round as a stream of per-gateway
+    /// updates — the shape a real pipeline delivers them in (feed each to
+    /// `Monitor::ingest`; arrival order does not matter there). One call
+    /// consumes exactly the same measurement-jitter randomness as one
+    /// [`NetworkSimulation::snapshot`], so streaming and batch consumers
+    /// observe identical QoS values for identical simulation states.
+    pub fn measure_stream(&mut self) -> Vec<MeasurementUpdate> {
         let gateways: Vec<NodeId> = self.topology.gateways().to_vec();
-        let rows: Vec<Vec<f64>> = gateways
+        gateways
             .iter()
-            .map(|&gw| {
-                let gw_index = self.topology.gateway_index(gw).expect("gateway node");
-                let cpe = self.gateway_health[gw_index];
-                self.config
+            .enumerate()
+            .map(|(i, &gw)| {
+                let cpe = self.gateway_health[i];
+                let qos: Vec<f64> = self
+                    .config
                     .services
                     .iter()
                     .map(|s| {
@@ -166,8 +191,25 @@ impl NetworkSimulation {
                         );
                         (q * cpe).clamp(0.0, 1.0)
                     })
-                    .collect()
+                    .collect();
+                MeasurementUpdate {
+                    gateway: gw,
+                    key: gw.0 as u64,
+                    device: DeviceId(i as u32),
+                    qos,
+                }
             })
+            .collect()
+    }
+
+    /// Measures the current QoS of every gateway as a dense snapshot —
+    /// the batch assembly of one [`NetworkSimulation::measure_stream`]
+    /// round.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let rows: Vec<Vec<f64>> = self
+            .measure_stream()
+            .into_iter()
+            .map(|update| update.qos)
             .collect();
         Snapshot::from_rows(&self.space, rows).expect("measurements are clamped")
     }
@@ -242,6 +284,40 @@ mod tests {
         for (_, p) in snap.iter() {
             assert!((p[0] - 0.95).abs() < 0.01, "iptv at {}", p[0]);
             assert!((p[1] - 0.90).abs() < 0.01, "voip at {}", p[1]);
+        }
+    }
+
+    #[test]
+    fn measure_stream_and_snapshot_agree_value_for_value() {
+        // Two simulations with the same seed: one consumed as a stream,
+        // one as dense snapshots. The values must match exactly, across
+        // rounds and across a fault.
+        let mut streamed = NetworkSimulation::new(NetworkConfig::small(11)).unwrap();
+        let mut batched = NetworkSimulation::new(NetworkConfig::small(11)).unwrap();
+        for round in 0..3 {
+            if round == 2 {
+                let dslam = streamed.topology().dslams()[1];
+                streamed.inject(FaultTarget::Node {
+                    node: dslam,
+                    severity: 0.5,
+                });
+                batched.inject(FaultTarget::Node {
+                    node: dslam,
+                    severity: 0.5,
+                });
+            }
+            let stream = streamed.measure_stream();
+            let snap = batched.snapshot();
+            assert_eq!(stream.len(), snap.len());
+            for update in &stream {
+                assert_eq!(update.key, update.gateway.0 as u64);
+                assert_eq!(
+                    update.qos.as_slice(),
+                    snap.position(update.device).coords(),
+                    "round {round}, gateway {}",
+                    update.gateway
+                );
+            }
         }
     }
 

@@ -175,6 +175,91 @@ impl Snapshot {
         assert_eq!(p.dim(), self.dim, "point dimension must match snapshot");
         self.positions[j.index()] = p;
     }
+
+    /// Consumes the snapshot, returning its positions in dense-id order —
+    /// e.g. to feed every row of a pre-assembled matrix into a streaming
+    /// ingestion path without cloning each point.
+    pub fn into_positions(self) -> Vec<Point> {
+        self.positions
+    }
+
+    /// Copies row `id` from `src` into this snapshot in place, reusing the
+    /// row's existing allocation (no allocation, one `memcpy` of `d`
+    /// floats). This is the buffer-recycling half of delta-style snapshot
+    /// assembly: a stale buffer is brought up to date row by row instead of
+    /// being re-cloned wholesale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots disagree on dimension or `id` is out of
+    /// bounds for either snapshot.
+    pub fn copy_row_from(&mut self, src: &Snapshot, id: DeviceId) {
+        assert_eq!(self.dim, src.dim, "snapshot dimensions must match");
+        self.positions[id.index()].copy_from(&src.positions[id.index()]);
+    }
+
+    /// Edits rows in place: every `(id, point)` patch replaces device
+    /// `id`'s position, leaving all other rows (and their allocations)
+    /// untouched. Duplicate ids are legal; the last patch wins.
+    ///
+    /// This is the churn-tolerant delta primitive behind streaming epoch
+    /// sealing: a fleet where only a few devices reported this instant
+    /// patches exactly those rows — O(changed devices), not O(population).
+    /// Validation is all-or-nothing: every patch is checked (id in bounds,
+    /// dimension, unit cube) before the first row is written, so a
+    /// malformed batch can never leave the snapshot half-patched.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::UnknownDevice`] for an out-of-bounds id,
+    /// [`QosError::DimensionMismatch`] or
+    /// [`QosError::CoordinateOutOfRange`] for an invalid point.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use anomaly_qos::{DeviceId, Point, QosSpace, Snapshot};
+    /// let space = QosSpace::new(1)?;
+    /// let mut snap = Snapshot::from_rows(&space, vec![vec![0.1], vec![0.2], vec![0.3]])?;
+    /// snap.patch_rows(vec![(DeviceId(2), Point::new_unchecked(vec![0.9]))])?;
+    /// assert_eq!(snap.position(DeviceId(2)).coords(), &[0.9]);
+    /// assert_eq!(snap.position(DeviceId(0)).coords(), &[0.1]);
+    /// # Ok::<(), anomaly_qos::QosError>(())
+    /// ```
+    pub fn patch_rows(
+        &mut self,
+        patches: impl IntoIterator<Item = (DeviceId, Point)>,
+    ) -> Result<(), QosError> {
+        let patches: Vec<(DeviceId, Point)> = patches.into_iter().collect();
+        for (id, p) in &patches {
+            if id.index() >= self.positions.len() {
+                return Err(QosError::UnknownDevice {
+                    id: id.0,
+                    population: self.positions.len(),
+                });
+            }
+            if p.dim() != self.dim {
+                return Err(QosError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: p.dim(),
+                });
+            }
+            if !p.is_in_unit_cube() {
+                let (index, value) = p
+                    .coords()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, c)| !c.is_finite() || !(0.0..=1.0).contains(*c))
+                    .map(|(i, c)| (i, *c))
+                    .unwrap_or((0, f64::NAN));
+                return Err(QosError::CoordinateOutOfRange { index, value });
+            }
+        }
+        for (id, p) in patches {
+            self.positions[id.index()] = p;
+        }
+        Ok(())
+    }
 }
 
 /// A pair of successive system states `(S_{k-1}, S_k)`.
@@ -350,6 +435,63 @@ mod tests {
         ));
         // Empty cohorts are legal (a fully churned fleet).
         assert!(s.select(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn patch_rows_edits_in_place_last_write_wins() {
+        let mut s = Snapshot::from_rows(
+            &space2(),
+            vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]],
+        )
+        .unwrap();
+        s.patch_rows(vec![
+            (DeviceId(1), Point::new_unchecked(vec![0.7, 0.7])),
+            (DeviceId(1), Point::new_unchecked(vec![0.8, 0.9])),
+        ])
+        .unwrap();
+        assert_eq!(s.position(DeviceId(1)).coords(), &[0.8, 0.9]);
+        assert_eq!(s.position(DeviceId(0)).coords(), &[0.1, 0.2]);
+        // Empty patch sets are legal no-ops.
+        s.patch_rows(Vec::new()).unwrap();
+    }
+
+    #[test]
+    fn patch_rows_is_all_or_nothing() {
+        let mut s = Snapshot::from_rows(&space2(), vec![vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+        // A valid patch followed by an invalid one: nothing is applied.
+        let err = s
+            .patch_rows(vec![
+                (DeviceId(0), Point::new_unchecked(vec![0.9, 0.9])),
+                (DeviceId(1), Point::new_unchecked(vec![1.4, 0.0])),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, QosError::CoordinateOutOfRange { .. }));
+        assert_eq!(s.position(DeviceId(0)).coords(), &[0.1, 0.2]);
+        let err = s
+            .patch_rows(vec![(DeviceId(5), Point::new_unchecked(vec![0.5, 0.5]))])
+            .unwrap_err();
+        assert!(matches!(err, QosError::UnknownDevice { id: 5, .. }));
+        let err = s
+            .patch_rows(vec![(DeviceId(0), Point::new_unchecked(vec![0.5]))])
+            .unwrap_err();
+        assert!(matches!(err, QosError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn copy_row_from_reuses_the_allocation() {
+        let src = Snapshot::from_rows(&space2(), vec![vec![0.9, 0.8], vec![0.7, 0.6]]).unwrap();
+        let mut dst = Snapshot::from_rows(&space2(), vec![vec![0.1, 0.1], vec![0.2, 0.2]]).unwrap();
+        dst.copy_row_from(&src, DeviceId(1));
+        assert_eq!(dst.position(DeviceId(1)).coords(), &[0.7, 0.6]);
+        assert_eq!(dst.position(DeviceId(0)).coords(), &[0.1, 0.1]);
+    }
+
+    #[test]
+    fn into_positions_preserves_dense_order() {
+        let s = Snapshot::from_rows(&space2(), vec![vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+        let points = s.into_positions();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].coords(), &[0.3, 0.4]);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! The paper's motivating scenario: an ISP operating home gateways,
-//! monitored end to end by the v2 `Monitor`.
+//! monitored end to end through the `Monitor`'s streaming front-end.
 //!
 //! A DSLAM fault degrades a whole neighbourhood while one customer's
-//! gateway fails on its own. Every gateway streams its measured QoS through
-//! the monitor — keyed by its topology node id — and decides autonomously
-//! whether to call the ISP help desk. The paper's point: only the lone CPE
-//! fault should generate a call, even though seventeen gateways saw their
-//! QoS collapse.
+//! gateway fails on its own. Every gateway streams its measured QoS as an
+//! individual report (`NetworkSimulation::measure_stream` — the shape a
+//! real collection pipeline delivers) into the monitor — keyed by its
+//! topology node id — and decides autonomously whether to call the ISP
+//! help desk. The paper's point: only the lone CPE fault should generate a
+//! call, even though seventeen gateways saw their QoS collapse.
 //!
 //! Run with: `cargo run --example isp_gateways`
 
@@ -39,9 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .devices(net.topology().gateways().iter().map(|g| g.0))
         .build()?;
 
-    // Healthy warm-up: measurements flow, detectors learn the baseline.
+    // Healthy warm-up: per-gateway reports stream in (here in reverse
+    // collection order — arrival order never matters), each epoch is
+    // sealed, and the detectors learn the baseline.
     for _ in 0..30 {
-        let report = monitor.observe(net.snapshot())?;
+        let mut updates = net.measure_stream();
+        updates.reverse();
+        for update in updates {
+            monitor.ingest(update.key, update.qos)?;
+        }
+        let report = monitor.seal()?;
         assert!(report.verdicts().is_empty());
     }
 
@@ -62,8 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     println!("faults injected: DSLAM {sick_dslam} (16 gateways) + CPE {sick_gateway}");
 
-    // The next sampling instant sees both faults and separates them.
-    let report = monitor.observe(net.snapshot())?;
+    // The next collection round streams both faults in; sealing the epoch
+    // separates them.
+    for update in net.measure_stream() {
+        monitor.ingest(update.key, update.qos)?;
+    }
+    let report = monitor.seal()?;
     let isp_calls = report.operator_notifications();
     for v in report.massive() {
         println!("  {} -> network event (suppressed)", v.key);

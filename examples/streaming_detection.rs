@@ -1,23 +1,28 @@
-//! End-to-end pipeline: raw QoS time series -> error-detection functions ->
-//! abnormal-trajectory set A_k -> local characterization — all inside one
-//! v2 `Monitor` with a custom detector factory.
+//! End-to-end streaming pipeline: raw QoS reports arriving out of order ->
+//! open epoch -> sealed snapshot -> error-detection functions -> abnormal
+//! set A_k -> local characterization — all through the `Monitor`'s
+//! streaming front-end (`ingest` / `seal`).
 //!
 //! The paper assumes the detection functions `a_k(j)` exist (Section III-A,
 //! citing Holt-Winters and CUSUM); this example actually runs them. Twelve
 //! devices stream noisy QoS samples through per-device Holt-Winters
-//! detectors; at some instant a shared incident hits eight of them and an
-//! unrelated local fault hits one more. The detectors build A_k, then the
-//! characterization separates the two incidents.
+//! detectors — but like a real collection pipeline, their reports arrive in
+//! scrambled order, sometimes twice, and sometimes not at all (a
+//! `CarryForward` staleness policy bridges the gap). At some instant a
+//! shared incident hits eight devices and an unrelated local fault hits one
+//! more; the sealed epoch builds A_k and the characterization separates the
+//! two incidents.
 //!
 //! Run with: `cargo run --example streaming_detection`
 
 use anomaly_characterization::core::AnomalyClass;
 use anomaly_characterization::detectors::HoltWintersDetector;
-use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder};
+use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder, StalenessPolicy};
 
 const DEVICES: usize = 12;
 const SHARED_INCIDENT: [u64; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
 const LOCAL_FAULT: u64 = 10;
+const FLAKY_REPORTER: u64 = 11;
 const INCIDENT_AT: usize = 60;
 
 /// Noisy QoS sample of device `j` at instant `t`.
@@ -34,28 +39,54 @@ fn qos(j: u64, t: usize) -> f64 {
     (level + wiggle).clamp(0.0, 1.0)
 }
 
-fn rows_at(t: usize) -> Vec<Vec<f64>> {
-    (0..DEVICES as u64).map(|j| vec![qos(j, t)]).collect()
+/// The arrival order of instant `t`: a deterministic scramble — reports
+/// reach the collector however the network delivers them.
+fn arrival_order(t: usize) -> Vec<u64> {
+    let mut order: Vec<u64> = (0..DEVICES as u64).collect();
+    order.rotate_left(t % DEVICES);
+    order.reverse();
+    order
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // One Holt-Winters detector per device (trend-aware forecasting).
+    // One Holt-Winters detector per device (trend-aware forecasting);
+    // device #11's reports are flaky, so silent epochs carry its last
+    // position forward for up to 3 instants.
     let mut monitor = MonitorBuilder::new()
         .radius(0.03)
         .tau(3)
+        .staleness(StalenessPolicy::CarryForward { max_age: 3 })
         .detector_factory(|_key| Box::new(HoltWintersDetector::new(0.5, 0.2, 4.0)))
         .fleet(DEVICES)
         .build()?;
 
-    // Stream the healthy prefix: detectors learn, nothing is flagged.
+    // Stream the healthy prefix: updates trickle in scrambled, duplicated,
+    // and (for #11, two instants out of five) missing entirely.
     for t in 0..INCIDENT_AT {
-        let report = monitor.observe_rows(rows_at(t))?;
+        for j in arrival_order(t) {
+            if j == FLAKY_REPORTER && t > 0 && t % 5 < 2 {
+                continue; // report lost in transit
+            }
+            monitor.ingest(j, vec![qos(j, t)])?;
+            if j % 4 == 0 {
+                // A retransmission: the duplicate overwrites harmlessly.
+                monitor.ingest(j, vec![qos(j, t)])?;
+            }
+        }
+        let report = monitor.seal()?;
         assert!(report.is_quiet(), "false alarm at t = {t}");
+        for straggler in report.stragglers() {
+            assert_eq!(*straggler, DeviceKey(FLAKY_REPORTER));
+        }
     }
 
-    // The incident instant: detectors raise a_k(j) for the impacted
-    // devices and the characterization runs in the same call.
-    let report = monitor.observe_rows(rows_at(INCIDENT_AT))?;
+    // The incident instant: the sealed epoch feeds the detectors, which
+    // raise a_k(j) for the impacted devices, and the characterization runs
+    // in the same call.
+    for j in arrival_order(INCIDENT_AT) {
+        monitor.ingest(j, vec![qos(j, INCIDENT_AT)])?;
+    }
+    let report = monitor.seal()?;
     println!(
         "detectors flagged {} devices (detection {:?}, characterization {:?})",
         report.verdicts().len(),

@@ -1,5 +1,6 @@
 use super::engine::{Engine, GridMaintenance};
 use super::error::MonitorError;
+use super::ingest::StalenessPolicy;
 use super::key::DeviceKey;
 use super::monitor::{DetectorFactory, Monitor};
 use anomaly_core::Params;
@@ -36,6 +37,8 @@ pub struct MonitorBuilder {
     max_population: u64,
     engine: Engine,
     grid_maintenance: GridMaintenance,
+    staleness: StalenessPolicy,
+    epoch_start: u64,
     initial: Vec<DeviceKey>,
 }
 
@@ -51,6 +54,8 @@ impl std::fmt::Debug for MonitorBuilder {
             .field("max_population", &self.max_population)
             .field("engine", &self.engine)
             .field("grid_maintenance", &self.grid_maintenance)
+            .field("staleness", &self.staleness)
+            .field("epoch_start", &self.epoch_start)
             .field("initial_devices", &self.initial.len())
             .finish()
     }
@@ -76,8 +81,31 @@ impl MonitorBuilder {
             max_population: MAX_FLEET,
             engine: Engine::Sequential,
             grid_maintenance: GridMaintenance::Incremental,
+            staleness: StalenessPolicy::Reject,
+            epoch_start: 0,
             initial: Vec::new(),
         }
+    }
+
+    /// How [`Monitor::seal`](Monitor::seal) resolves devices that stayed
+    /// silent during an epoch: [`StalenessPolicy::Reject`] (default, the
+    /// streaming path is exactly as strict as the batch one),
+    /// [`StalenessPolicy::CarryForward`], or [`StalenessPolicy::Default`].
+    /// A `Default` row is validated at [`MonitorBuilder::build`] against
+    /// the service count and the unit cube.
+    pub fn staleness(mut self, policy: StalenessPolicy) -> Self {
+        self.staleness = policy;
+        self
+    }
+
+    /// Starting epoch number: the first sealed epoch reports
+    /// [`Report::instant`](super::Report::instant)` == start`. Lets a
+    /// monitor resumed from a checkpoint (or aligned with an external
+    /// collection clock) keep a continuous instant sequence. Defaults to
+    /// `0`.
+    pub fn epoch(mut self, start: u64) -> Self {
+        self.epoch_start = start;
+        self
     }
 
     /// Execution strategy for the per-instant characterization:
@@ -189,7 +217,10 @@ impl MonitorBuilder {
     /// * [`MonitorError::FleetTooLarge`] — more initial devices than the
     ///   population bound;
     /// * [`MonitorError::ServiceMismatch`] — the factory produced a
-    ///   detector with the wrong service count.
+    ///   detector with the wrong service count, or the staleness default
+    ///   row has the wrong width;
+    /// * [`MonitorError::Qos`] — the staleness default row leaves the unit
+    ///   cube.
     pub fn build(self) -> Result<Monitor, MonitorError> {
         let params = Params::new(self.radius, self.tau)?;
         if self.services == 0 {
@@ -198,6 +229,15 @@ impl MonitorBuilder {
         let space = QosSpace::new(self.services)
             .expect("services >= 1 was just checked, so the space is constructible");
         let services = self.services;
+        if let StalenessPolicy::Default(row) = &self.staleness {
+            if row.len() != services {
+                return Err(MonitorError::ServiceMismatch {
+                    expected: services,
+                    actual: row.len(),
+                });
+            }
+            space.point(row.clone())?;
+        }
         let factory = self.factory.unwrap_or_else(|| {
             Box::new(move |_key| {
                 Box::new(VectorDetector::homogeneous(services, || {
@@ -215,6 +255,8 @@ impl MonitorBuilder {
             self.max_population,
             self.engine,
             self.grid_maintenance,
+            self.staleness,
+            self.epoch_start,
         );
         for key in self.initial {
             monitor.join(key)?;
@@ -322,6 +364,44 @@ mod tests {
                 actual: 1,
             }
         );
+    }
+
+    #[test]
+    fn staleness_default_row_is_validated_at_build() {
+        let err = MonitorBuilder::new()
+            .services(2)
+            .staleness(StalenessPolicy::Default(vec![0.5]))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MonitorError::ServiceMismatch {
+                expected: 2,
+                actual: 1,
+            }
+        );
+        let err = MonitorBuilder::new()
+            .staleness(StalenessPolicy::Default(vec![1.5]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::Qos(_)));
+        let m = MonitorBuilder::new()
+            .staleness(StalenessPolicy::CarryForward { max_age: 3 })
+            .build()
+            .unwrap();
+        assert_eq!(m.staleness(), &StalenessPolicy::CarryForward { max_age: 3 });
+        // The default policy is the strict one.
+        let m = MonitorBuilder::new().build().unwrap();
+        assert_eq!(m.staleness(), &StalenessPolicy::Reject);
+    }
+
+    #[test]
+    fn epoch_start_offsets_the_instant_sequence() {
+        let mut m = MonitorBuilder::new().epoch(1000).fleet(2).build().unwrap();
+        assert_eq!(m.instant(), 1000);
+        let r = m.observe_rows(vec![vec![0.9]; 2]).unwrap();
+        assert_eq!(r.instant(), 1000);
+        assert_eq!(m.instant(), 1001);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use super::ingest::IngestError;
 use super::key::DeviceKey;
 use anomaly_core::ParamsError;
 use anomaly_qos::QosError;
@@ -56,6 +57,11 @@ pub enum MonitorError {
     /// A QoS row failed validation (coordinate out of `[0,1]`, wrong
     /// dimension).
     Qos(QosError),
+    /// The streaming ingestion surface rejected an epoch seal
+    /// ([`Monitor::seal`](super::Monitor::seal)): devices missing under
+    /// [`StalenessPolicy::Reject`](super::StalenessPolicy::Reject), or
+    /// silent beyond the carry-forward bound.
+    Ingest(IngestError),
 }
 
 impl fmt::Display for MonitorError {
@@ -84,6 +90,7 @@ impl fmt::Display for MonitorError {
                 write!(f, "device key {key} is not in the fleet")
             }
             MonitorError::Qos(e) => write!(f, "invalid QoS data: {e}"),
+            MonitorError::Ingest(e) => write!(f, "streaming ingestion failed: {e}"),
         }
     }
 }
@@ -93,6 +100,7 @@ impl Error for MonitorError {
         match self {
             MonitorError::Params(e) => Some(e),
             MonitorError::Qos(e) => Some(e),
+            MonitorError::Ingest(e) => Some(e),
             _ => None,
         }
     }
@@ -134,6 +142,13 @@ mod tests {
             MonitorError::DuplicateDevice { key: DeviceKey(7) },
             MonitorError::UnknownDevice { key: DeviceKey(9) },
             MonitorError::Qos(anomaly_qos::validate_radius(0.5).unwrap_err()),
+            MonitorError::Ingest(IngestError::MissingDevices {
+                keys: vec![DeviceKey(3)],
+            }),
+            MonitorError::Ingest(IngestError::StaleDevices {
+                keys: vec![DeviceKey(4)],
+                max_age: 2,
+            }),
         ];
         for e in errors {
             let s = e.to_string();
@@ -147,6 +162,8 @@ mod tests {
         let e: MonitorError = anomaly_core::Params::new(0.9, 1).unwrap_err().into();
         assert!(e.source().is_some());
         let e: MonitorError = anomaly_qos::validate_radius(0.5).unwrap_err().into();
+        assert!(e.source().is_some());
+        let e: MonitorError = IngestError::MissingDevices { keys: Vec::new() }.into();
         assert!(e.source().is_some());
         assert!(MonitorError::NoServices.source().is_none());
     }

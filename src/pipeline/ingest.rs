@@ -1,0 +1,765 @@
+//! Streaming ingestion: per-device updates, sealed epochs, and
+//! partial-snapshot policies.
+//!
+//! The paper's monitor consumes one complete QoS snapshot per instant, but
+//! real collection pipelines see an unordered stream of per-device reports
+//! — late, duplicated, or missing. This module is the front-end that turns
+//! that stream back into the paper's model:
+//!
+//! * [`Monitor::ingest`] / [`Monitor::ingest_many`] accumulate per-device
+//!   measurements into the **open epoch** (duplicates are last-write-wins,
+//!   arrival order is irrelevant);
+//! * [`Monitor::seal`] closes the epoch: devices that did not report are
+//!   resolved by the configured [`StalenessPolicy`], the instant's
+//!   [`Snapshot`] is assembled **delta-style** — the previous snapshot's
+//!   buffers are recycled and only changed rows are written, so sealing is
+//!   O(changed devices) — and the existing detection + characterization
+//!   engine runs, returning the same [`Report`] the batch path produces.
+//!
+//! [`Monitor::observe`] is now a one-shot convenience implemented as
+//! `ingest_many` over every dense row followed by `seal`, so the two paths
+//! are equivalent by construction (and verified byte-for-byte by
+//! `tests/ingest_equivalence.rs`).
+//!
+//! ```text
+//!             ingest(key, row)            seal()
+//!   updates ─────────────────▶ open epoch ───────▶ Snapshot_k ─▶ Report_k
+//!             (any order,         │                    ▲
+//!              last write wins)   │ missing devices    │ delta-patch of
+//!                                 ▼                    │ Snapshot_{k-1}
+//!                          StalenessPolicy ────────────┘
+//!                     Reject | CarryForward | Default
+//! ```
+
+use super::error::MonitorError;
+use super::key::DeviceKey;
+use super::monitor::Monitor;
+use super::report::Report;
+use anomaly_qos::{DeviceId, Point, Snapshot};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// How [`Monitor::seal`] resolves devices that did not report during the
+/// epoch being sealed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum StalenessPolicy {
+    /// Sealing fails with [`IngestError::MissingDevices`] naming every
+    /// silent device; the epoch stays open so the caller can ingest the
+    /// missing updates (or [`Monitor::discard_epoch`]) and retry. The
+    /// default — it makes the streaming path exactly as strict as the
+    /// batch one.
+    #[default]
+    Reject,
+    /// A silent device keeps its previous position for up to `max_age`
+    /// consecutive epochs; beyond that, sealing fails with
+    /// [`IngestError::StaleDevices`]. Devices with no previous position at
+    /// all (fresh joiners, or the very first epoch) cannot be carried and
+    /// surface as [`IngestError::MissingDevices`].
+    CarryForward {
+        /// Longest run of consecutive epochs a device may miss (`1` =
+        /// bridge a single skipped instant).
+        max_age: u64,
+    },
+    /// A silent device's row is replaced by this fixed coordinate row
+    /// (validated against the monitor's service count at
+    /// [`build`](super::MonitorBuilder::build)). Never fails.
+    Default(Vec<f64>),
+}
+
+/// Typed failures of the streaming ingestion surface, folded into
+/// [`MonitorError::Ingest`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// [`Monitor::seal`] under [`StalenessPolicy::Reject`] (or a carry
+    /// forward with no previous position to carry) found devices that
+    /// never reported this epoch. The epoch stays open.
+    MissingDevices {
+        /// The silent devices, in dense-id order.
+        keys: Vec<DeviceKey>,
+    },
+    /// [`StalenessPolicy::CarryForward`] found devices silent for longer
+    /// than `max_age` consecutive epochs. The epoch stays open.
+    StaleDevices {
+        /// The too-stale devices, in dense-id order.
+        keys: Vec<DeviceKey>,
+        /// The bound in force.
+        max_age: u64,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(keys: &[DeviceKey]) -> String {
+            let mut s = keys
+                .iter()
+                .take(8)
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            if keys.len() > 8 {
+                s.push_str(&format!(", … ({} total)", keys.len()));
+            }
+            s
+        }
+        match self {
+            IngestError::MissingDevices { keys } => write!(
+                f,
+                "cannot seal the epoch: no update from device(s) {}",
+                list(keys)
+            ),
+            IngestError::StaleDevices { keys, max_age } => write!(
+                f,
+                "cannot seal the epoch: device(s) {} exceeded the carry-forward bound of {max_age} epoch(s)",
+                list(keys)
+            ),
+        }
+    }
+}
+
+impl Error for IngestError {}
+
+/// The open epoch: per-slot pending updates and per-slot staleness ages.
+///
+/// Slot vectors are index-aligned with the monitor's dense key order and
+/// maintained through churn with the same swap-remove discipline as the
+/// detector vector.
+#[derive(Debug, Default)]
+pub(super) struct EpochState {
+    /// Pending update per dense slot; `None` = silent so far this epoch.
+    pending: Vec<Option<Point>>,
+    /// `Some` entries in `pending`.
+    updated: usize,
+    /// Consecutive already-sealed epochs each slot has missed (0 = the
+    /// device reported in the most recently sealed epoch, or just joined).
+    age: Vec<u64>,
+}
+
+impl EpochState {
+    pub(super) fn with_capacity(capacity: usize) -> Self {
+        EpochState {
+            pending: Vec::with_capacity(capacity),
+            updated: 0,
+            age: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// A device joined: appends its (empty) slot.
+    pub(super) fn push_slot(&mut self) {
+        self.pending.push(None);
+        self.age.push(0);
+    }
+
+    /// A device left: swap-removes its slot, mirroring the key vector.
+    pub(super) fn remove_slot(&mut self, slot: usize) {
+        if self.pending.swap_remove(slot).is_some() {
+            self.updated -= 1;
+        }
+        self.age.swap_remove(slot);
+    }
+
+    /// Stages an update for a slot (last write wins).
+    pub(super) fn stage(&mut self, slot: usize, point: Point) {
+        if self.pending[slot].replace(point).is_none() {
+            self.updated += 1;
+        }
+    }
+
+    pub(super) fn updated(&self) -> usize {
+        self.updated
+    }
+
+    pub(super) fn has_update(&self, slot: usize) -> bool {
+        self.pending[slot].is_some()
+    }
+
+    pub(super) fn take(&mut self, slot: usize) -> Option<Point> {
+        let p = self.pending[slot].take();
+        if p.is_some() {
+            self.updated -= 1;
+        }
+        p
+    }
+
+    pub(super) fn age(&self, slot: usize) -> u64 {
+        self.age[slot]
+    }
+
+    /// Records the outcome of a sealed epoch for one slot.
+    pub(super) fn settle(&mut self, slot: usize, reported: bool) {
+        self.age[slot] = if reported { 0 } else { self.age[slot] + 1 };
+    }
+
+    /// Drops every pending update (ages are untouched).
+    pub(super) fn discard(&mut self) {
+        for p in &mut self.pending {
+            *p = None;
+        }
+        self.updated = 0;
+    }
+
+    /// Forgets the staleness history too (used by [`Monitor::reset`]).
+    pub(super) fn reset(&mut self) {
+        self.discard();
+        self.age.fill(0);
+    }
+}
+
+/// How each dense slot's row of the sealed snapshot is sourced.
+enum Fill {
+    /// A fresh update arrived this epoch.
+    Update,
+    /// Carried forward from the previous snapshot (slot id *in the
+    /// previous snapshot's dense order*).
+    Carry(u32),
+    /// The policy's default row.
+    Default,
+}
+
+impl Monitor {
+    /// Stages one device's measurements into the open epoch.
+    ///
+    /// Updates accumulate until [`Monitor::seal`] closes the epoch;
+    /// duplicates overwrite (last write wins), so arrival order never
+    /// matters. Nothing is fed to detectors or characterized until the
+    /// seal.
+    ///
+    /// # Errors
+    ///
+    /// * [`MonitorError::UnknownDevice`] — `key` is not in the fleet;
+    /// * [`MonitorError::ServiceMismatch`] — wrong number of measurements;
+    /// * [`MonitorError::Qos`] — a measurement outside `[0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use anomaly_characterization::pipeline::MonitorBuilder;
+    ///
+    /// let mut monitor = MonitorBuilder::new().fleet(3).build()?;
+    /// // Reports arrive out of order, device 1 even twice.
+    /// monitor.ingest(2u64, vec![0.93])?;
+    /// monitor.ingest(1u64, vec![0.55])?;
+    /// monitor.ingest(0u64, vec![0.91])?;
+    /// monitor.ingest(1u64, vec![0.92])?; // last write wins
+    /// let report = monitor.seal()?;
+    /// assert_eq!(report.population(), 3);
+    /// # Ok::<(), anomaly_characterization::pipeline::MonitorError>(())
+    /// ```
+    pub fn ingest(
+        &mut self,
+        key: impl Into<DeviceKey>,
+        measurements: Vec<f64>,
+    ) -> Result<(), MonitorError> {
+        let key = key.into();
+        let Some(slot) = self.slot_of(key) else {
+            return Err(MonitorError::UnknownDevice { key });
+        };
+        if measurements.len() != self.services() {
+            return Err(MonitorError::ServiceMismatch {
+                expected: self.services(),
+                actual: measurements.len(),
+            });
+        }
+        let point = self.space().point(measurements)?;
+        self.epoch.stage(slot, point);
+        Ok(())
+    }
+
+    /// Stages a batch of per-device updates, in order.
+    ///
+    /// Equivalent to calling [`Monitor::ingest`] per element. On the first
+    /// invalid update the error is returned and the remaining elements are
+    /// not applied; updates staged before the failure stay in the open
+    /// epoch (complete them and re-seal, or [`Monitor::discard_epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Monitor::ingest`].
+    pub fn ingest_many<I, K>(&mut self, updates: I) -> Result<(), MonitorError>
+    where
+        I: IntoIterator<Item = (K, Vec<f64>)>,
+        K: Into<DeviceKey>,
+    {
+        for (key, row) in updates {
+            self.ingest(key, row)?;
+        }
+        Ok(())
+    }
+
+    /// Number of devices with a pending update in the open epoch.
+    pub fn pending_updates(&self) -> usize {
+        self.epoch.updated()
+    }
+
+    /// Devices without a pending update in the open epoch, in dense-id
+    /// order — the set [`Monitor::seal`] will hand to the staleness
+    /// policy.
+    pub fn silent_keys(&self) -> Vec<DeviceKey> {
+        self.keys()
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| !self.epoch.has_update(slot))
+            .map(|(_, &key)| key)
+            .collect()
+    }
+
+    /// Drops every update staged in the open epoch without sealing it.
+    /// Staleness ages are untouched (the epoch was never sealed).
+    pub fn discard_epoch(&mut self) {
+        self.epoch.discard();
+    }
+
+    /// The staleness policy in force.
+    pub fn staleness(&self) -> &StalenessPolicy {
+        &self.staleness
+    }
+
+    /// Closes the open epoch: resolves silent devices through the
+    /// [`StalenessPolicy`], assembles the instant's snapshot delta-style
+    /// (recycling the previous snapshot's buffers — O(changed devices), no
+    /// full clone in steady state), and runs detection + characterization,
+    /// returning the epoch's [`Report`].
+    ///
+    /// Devices bridged by the policy are listed in
+    /// [`Report::stragglers`]. On a policy failure the epoch stays open
+    /// and unchanged: ingest the missing updates and seal again, or
+    /// [`Monitor::discard_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Ingest`] with [`IngestError::MissingDevices`] or
+    /// [`IngestError::StaleDevices`], per the policy.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use anomaly_characterization::pipeline::{MonitorBuilder, StalenessPolicy};
+    ///
+    /// let mut monitor = MonitorBuilder::new()
+    ///     .staleness(StalenessPolicy::CarryForward { max_age: 2 })
+    ///     .fleet(3)
+    ///     .build()?;
+    /// // Epoch 0: everyone reports.
+    /// monitor.ingest_many((0u64..3).map(|k| (k, vec![0.9])))?;
+    /// monitor.seal()?;
+    /// // Epoch 1: device 2 is silent — its last row is carried forward.
+    /// monitor.ingest(0u64, vec![0.9])?;
+    /// monitor.ingest(1u64, vec![0.9])?;
+    /// let report = monitor.seal()?;
+    /// assert_eq!(report.stragglers().len(), 1);
+    /// # Ok::<(), anomaly_characterization::pipeline::MonitorError>(())
+    /// ```
+    pub fn seal(&mut self) -> Result<Report, MonitorError> {
+        let n = self.keys().len();
+
+        // Phase 1 — resolve silent devices (read-only: a policy failure
+        // must leave the epoch open and every internal structure intact).
+        let prev_by_key: Option<HashMap<DeviceKey, u32>> =
+            match (self.previous_snapshot(), self.previous_key_order()) {
+                (Some(_), Some(prev_keys)) => Some(
+                    prev_keys
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &k)| (k, i as u32))
+                        .collect(),
+                ),
+                _ => None,
+            };
+        let mut plan: Vec<Fill> = Vec::with_capacity(n);
+        let mut missing: Vec<DeviceKey> = Vec::new();
+        let mut stale: Vec<DeviceKey> = Vec::new();
+        let mut stragglers: Vec<DeviceKey> = Vec::new();
+        for slot in 0..n {
+            if self.epoch.has_update(slot) {
+                plan.push(Fill::Update);
+                continue;
+            }
+            let key = self.keys()[slot];
+            // The device's slot in `previous`, if it has a position there.
+            let prev_slot: Option<u32> = match (self.previous_snapshot(), &prev_by_key) {
+                (None, _) => None,
+                (Some(_), None) => Some(slot as u32), // membership unchanged
+                (Some(_), Some(map)) => map.get(&key).copied(),
+            };
+            match (&self.staleness, prev_slot) {
+                (StalenessPolicy::Default(_), _) => {
+                    stragglers.push(key);
+                    plan.push(Fill::Default);
+                }
+                (_, None) => missing.push(key),
+                (StalenessPolicy::Reject, Some(_)) => missing.push(key),
+                (StalenessPolicy::CarryForward { max_age }, Some(p)) => {
+                    if self.epoch.age(slot) < *max_age {
+                        stragglers.push(key);
+                        plan.push(Fill::Carry(p));
+                    } else {
+                        stale.push(key);
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() {
+            return Err(MonitorError::Ingest(IngestError::MissingDevices {
+                keys: missing,
+            }));
+        }
+        if !stale.is_empty() {
+            let max_age = match &self.staleness {
+                StalenessPolicy::CarryForward { max_age } => *max_age,
+                _ => unreachable!("only carry-forward produces stale devices"),
+            };
+            return Err(MonitorError::Ingest(IngestError::StaleDevices {
+                keys: stale,
+                max_age,
+            }));
+        }
+
+        // Phase 2 — assemble the epoch's snapshot and its delta against
+        // the previous one. The epoch is consumed from here on; no
+        // fallible step remains except internal invariants.
+        let default_point: Option<Point> = match &self.staleness {
+            StalenessPolicy::Default(row) => Some(Point::new_unchecked(row.clone())),
+            _ => None,
+        };
+        let steady = self.previous_snapshot().is_some()
+            && self.previous_key_order().is_none()
+            && self
+                .previous_snapshot()
+                .is_some_and(|p| p.len() == n && p.dim() == self.services());
+        let (current, changed, moves) = if steady {
+            self.assemble_delta(&plan, default_point.as_ref())?
+        } else {
+            (
+                self.assemble_fresh(&plan, default_point.as_ref())?,
+                Vec::new(),
+                Vec::new(),
+            )
+        };
+
+        // Phase 3 — settle ages and run the shared pipeline.
+        for (slot, fill) in plan.iter().enumerate() {
+            self.epoch.settle(slot, matches!(fill, Fill::Update));
+        }
+        let report = self.advance(current, stragglers)?;
+
+        // Phase 4 — record the delta for the next epoch: the recycled
+        // buffer lags the new previous snapshot by exactly `changed`, and
+        // the vicinity grid owes those cell moves at its next update.
+        self.record_epoch_delta(changed, moves, steady);
+        Ok(report)
+    }
+
+    /// Steady-state assembly: recycle the spare buffer (or clone once when
+    /// no spare exists yet), patch only the rows that actually changed,
+    /// and report the change-set plus the grid move candidates.
+    #[allow(clippy::type_complexity)]
+    fn assemble_delta(
+        &mut self,
+        plan: &[Fill],
+        default_point: Option<&Point>,
+    ) -> Result<(Snapshot, Vec<DeviceId>, Vec<(DeviceId, Point, Point)>), MonitorError> {
+        let n = plan.len();
+        // Collect the rows that differ from the previous snapshot.
+        let mut patches: Vec<(DeviceId, Point)> = Vec::new();
+        let mut moves: Vec<(DeviceId, Point, Point)> = Vec::new();
+        for (slot, fill) in plan.iter().enumerate() {
+            let new_point: Option<Point> = match fill {
+                Fill::Update => Some(
+                    self.epoch
+                        .take(slot)
+                        .expect("plan said an update is pending"),
+                ),
+                Fill::Default => Some(default_point.expect("plan said default fills").clone()),
+                Fill::Carry(_) => None, // row keeps its previous value
+            };
+            let Some(p) = new_point else { continue };
+            let id = DeviceId(slot as u32);
+            let prev = self
+                .previous_snapshot()
+                .expect("delta assembly requires a previous snapshot");
+            if p != *prev.position(id) {
+                // Move candidates are only worth cloning when incremental
+                // grid maintenance will actually replay them (and only
+                // cell-crossing ones ever need re-bucketing).
+                if self.wants_grid_move(prev.position(id), &p) {
+                    moves.push((id, prev.position(id).clone(), p.clone()));
+                }
+                patches.push((id, p));
+            }
+        }
+        let changed: Vec<DeviceId> = patches.iter().map(|&(id, _)| id).collect();
+        let mut current = match self.take_spare(n) {
+            Some(mut buf) => {
+                // Bring the buffer from S_{k-2} to S_{k-1}: only the rows
+                // that changed last epoch differ.
+                let lag = self.take_spare_lag();
+                let prev = self
+                    .previous_snapshot()
+                    .expect("delta assembly requires a previous snapshot");
+                for id in lag {
+                    buf.copy_row_from(prev, id);
+                }
+                buf
+            }
+            // First delta after a fresh/churned epoch: one full clone,
+            // then the spare ping-pong makes every later seal clone-free.
+            None => self
+                .previous_snapshot()
+                .expect("delta assembly requires a previous snapshot")
+                .clone(),
+        };
+        current
+            .patch_rows(patches)
+            .expect("patched rows were validated at ingest time");
+        Ok((current, changed, moves))
+    }
+
+    /// Full assembly for the first epoch and for epochs following
+    /// membership churn: every row is materialized (updates are moved,
+    /// carries cloned from the previous snapshot by key).
+    fn assemble_fresh(
+        &mut self,
+        plan: &[Fill],
+        default_point: Option<&Point>,
+    ) -> Result<Snapshot, MonitorError> {
+        let mut rows: Vec<Point> = Vec::with_capacity(plan.len());
+        for (slot, fill) in plan.iter().enumerate() {
+            rows.push(match fill {
+                Fill::Update => self
+                    .epoch
+                    .take(slot)
+                    .expect("plan said an update is pending"),
+                Fill::Carry(p) => self
+                    .previous_snapshot()
+                    .expect("carry requires a previous snapshot")
+                    .position(DeviceId(*p))
+                    .clone(),
+                Fill::Default => default_point.expect("plan said default fills").clone(),
+            });
+        }
+        let space = *self.space();
+        Snapshot::new(&space, rows).map_err(MonitorError::Qos)
+    }
+}
+
+impl Monitor {
+    /// Appends this epoch's cell-crossing moves to the staged batch the
+    /// vicinity grid will replay at its next incremental update, and
+    /// remembers which rows the recycled buffer is missing.
+    fn record_epoch_delta(
+        &mut self,
+        changed: Vec<DeviceId>,
+        moves: Vec<(DeviceId, Point, Point)>,
+        steady: bool,
+    ) {
+        if !steady {
+            // A fresh or churned epoch: the spare buffer (if any) and any
+            // staged moves refer to a membership that no longer exists.
+            self.invalidate_spare();
+            return;
+        }
+        self.set_spare_lag(changed);
+        self.stage_grid_moves(moves);
+    }
+}
+
+impl From<IngestError> for MonitorError {
+    fn from(e: IngestError) -> Self {
+        MonitorError::Ingest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::builder::MonitorBuilder;
+    use super::*;
+    use anomaly_qos::QosError;
+
+    #[test]
+    fn ingest_validates_key_width_and_range() {
+        let mut m = MonitorBuilder::new().fleet(2).build().unwrap();
+        assert_eq!(
+            m.ingest(9u64, vec![0.5]).unwrap_err(),
+            MonitorError::UnknownDevice { key: DeviceKey(9) }
+        );
+        assert_eq!(
+            m.ingest(0u64, vec![0.5, 0.5]).unwrap_err(),
+            MonitorError::ServiceMismatch {
+                expected: 1,
+                actual: 2,
+            }
+        );
+        assert!(matches!(
+            m.ingest(0u64, vec![1.5]).unwrap_err(),
+            MonitorError::Qos(QosError::CoordinateOutOfRange { .. })
+        ));
+        assert_eq!(m.pending_updates(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_last_write_wins() {
+        let mut m = MonitorBuilder::new().fleet(2).build().unwrap();
+        m.ingest(0u64, vec![0.1]).unwrap();
+        m.ingest(0u64, vec![0.9]).unwrap();
+        m.ingest(1u64, vec![0.9]).unwrap();
+        assert_eq!(m.pending_updates(), 2);
+        assert!(m.silent_keys().is_empty());
+        let r = m.seal().unwrap();
+        assert_eq!(r.population(), 2);
+        assert_eq!(
+            m.last_snapshot().unwrap().position(DeviceId(0)).coords(),
+            &[0.9]
+        );
+    }
+
+    #[test]
+    fn reject_policy_names_the_silent_devices_and_keeps_the_epoch_open() {
+        let mut m = MonitorBuilder::new().fleet(3).build().unwrap();
+        m.ingest(1u64, vec![0.9]).unwrap();
+        assert_eq!(m.silent_keys(), vec![DeviceKey(0), DeviceKey(2)]);
+        let err = m.seal().unwrap_err();
+        assert_eq!(
+            err,
+            MonitorError::Ingest(IngestError::MissingDevices {
+                keys: vec![DeviceKey(0), DeviceKey(2)],
+            })
+        );
+        // The epoch survives the failure: complete it and seal again.
+        assert_eq!(m.pending_updates(), 1);
+        m.ingest(0u64, vec![0.9]).unwrap();
+        m.ingest(2u64, vec![0.9]).unwrap();
+        assert!(m.seal().is_ok());
+        assert_eq!(m.instant(), 1);
+    }
+
+    #[test]
+    fn discard_epoch_drops_pending_updates() {
+        let mut m = MonitorBuilder::new().fleet(2).build().unwrap();
+        m.ingest(0u64, vec![0.9]).unwrap();
+        m.discard_epoch();
+        assert_eq!(m.pending_updates(), 0);
+        assert_eq!(m.silent_keys().len(), 2);
+    }
+
+    #[test]
+    fn carry_forward_bridges_within_max_age() {
+        let mut m = MonitorBuilder::new()
+            .staleness(StalenessPolicy::CarryForward { max_age: 2 })
+            .fleet(2)
+            .build()
+            .unwrap();
+        m.ingest_many([(0u64, vec![0.9]), (1u64, vec![0.8])])
+            .unwrap();
+        m.seal().unwrap();
+        // Device 1 misses two consecutive epochs: bridged both times.
+        for _ in 0..2 {
+            m.ingest(0u64, vec![0.9]).unwrap();
+            let r = m.seal().unwrap();
+            assert_eq!(r.stragglers(), &[DeviceKey(1)]);
+            assert_eq!(
+                m.last_snapshot().unwrap().position(DeviceId(1)).coords(),
+                &[0.8]
+            );
+        }
+        // The third consecutive miss exceeds max_age.
+        m.ingest(0u64, vec![0.9]).unwrap();
+        let err = m.seal().unwrap_err();
+        assert_eq!(
+            err,
+            MonitorError::Ingest(IngestError::StaleDevices {
+                keys: vec![DeviceKey(1)],
+                max_age: 2,
+            })
+        );
+        // Reporting again resets the age and the epoch seals.
+        m.ingest(1u64, vec![0.8]).unwrap();
+        let r = m.seal().unwrap();
+        assert!(r.stragglers().is_empty());
+    }
+
+    #[test]
+    fn carry_forward_cannot_bridge_a_device_that_never_reported() {
+        let mut m = MonitorBuilder::new()
+            .staleness(StalenessPolicy::CarryForward { max_age: 10 })
+            .fleet(2)
+            .build()
+            .unwrap();
+        // First epoch: there is nothing to carry.
+        m.ingest(0u64, vec![0.9]).unwrap();
+        assert_eq!(
+            m.seal().unwrap_err(),
+            MonitorError::Ingest(IngestError::MissingDevices {
+                keys: vec![DeviceKey(1)],
+            })
+        );
+        m.ingest(1u64, vec![0.9]).unwrap();
+        m.seal().unwrap();
+        // A fresh joiner has no previous position either.
+        m.join(7u64).unwrap();
+        m.ingest(0u64, vec![0.9]).unwrap();
+        m.ingest(1u64, vec![0.9]).unwrap();
+        assert_eq!(
+            m.seal().unwrap_err(),
+            MonitorError::Ingest(IngestError::MissingDevices {
+                keys: vec![DeviceKey(7)],
+            })
+        );
+    }
+
+    #[test]
+    fn default_policy_fills_any_silence() {
+        let mut m = MonitorBuilder::new()
+            .staleness(StalenessPolicy::Default(vec![0.5]))
+            .fleet(2)
+            .build()
+            .unwrap();
+        // Even the very first epoch seals with no updates at all.
+        let r = m.seal().unwrap();
+        assert_eq!(r.stragglers(), &[DeviceKey(0), DeviceKey(1)]);
+        assert_eq!(
+            m.last_snapshot().unwrap().position(DeviceId(0)).coords(),
+            &[0.5]
+        );
+        m.ingest(0u64, vec![0.9]).unwrap();
+        let r = m.seal().unwrap();
+        assert_eq!(r.stragglers(), &[DeviceKey(1)]);
+        assert_eq!(r.summary().stragglers, 1);
+    }
+
+    #[test]
+    fn seal_errors_render_capped_key_lists() {
+        let keys: Vec<DeviceKey> = (0..12).map(DeviceKey).collect();
+        let e = IngestError::MissingDevices { keys: keys.clone() };
+        let s = e.to_string();
+        assert!(s.contains("#0"), "{s}");
+        assert!(s.contains("(12 total)"), "{s}");
+        let e = IngestError::StaleDevices {
+            keys: keys[..2].to_vec(),
+            max_age: 3,
+        };
+        assert!(e.to_string().contains("bound of 3"), "{}", e);
+    }
+
+    #[test]
+    fn churned_epochs_seal_through_the_fresh_path() {
+        let mut m = MonitorBuilder::new()
+            .staleness(StalenessPolicy::CarryForward { max_age: 4 })
+            .fleet(3)
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            m.ingest_many((0u64..3).map(|k| (k, vec![0.9]))).unwrap();
+            m.seal().unwrap();
+        }
+        // Device 2 leaves, device 9 joins; 0 goes silent (carried), the
+        // joiner must report.
+        m.leave(2u64).unwrap();
+        m.join(9u64).unwrap();
+        m.ingest(1u64, vec![0.9]).unwrap();
+        m.ingest(9u64, vec![0.9]).unwrap();
+        let r = m.seal().unwrap();
+        assert_eq!(r.stragglers(), &[DeviceKey(0)]);
+        assert_eq!(r.population(), 3);
+    }
+}

@@ -7,22 +7,30 @@
 //! Section V over the `[k−1, k]` interval — returning, for every flagged
 //! device, whether its anomaly is isolated, massive, or unresolved.
 //!
-//! The v2 surface, in the order a deployment meets it:
+//! The surface, in the order a deployment meets it:
 //!
 //! * [`MonitorBuilder`] — parameters, norm, detector factory, capacity and
-//!   population bounds; all validation at `build()`, no panics.
-//! * [`Monitor`] — [`observe`](Monitor::observe) /
-//!   [`observe_rows`](Monitor::observe_rows) per instant;
+//!   population bounds, staleness policy and epoch start; all validation
+//!   at `build()`, no panics.
+//! * [`Monitor`] — the streaming front-end [`ingest`](Monitor::ingest) /
+//!   [`ingest_many`](Monitor::ingest_many) / [`seal`](Monitor::seal) per
+//!   epoch, with [`observe`](Monitor::observe) /
+//!   [`observe_rows`](Monitor::observe_rows) as the one-shot batch form;
 //!   [`join`](Monitor::join) / [`leave`](Monitor::leave) for fleet churn
 //!   under stable [`DeviceKey`]s; [`run_trace`](Monitor::run_trace) to
 //!   replay recorded scenarios through the identical engine.
+//! * [`StalenessPolicy`] — what [`seal`](Monitor::seal) does about devices
+//!   that did not report: `Reject`, `CarryForward { max_age }`, or
+//!   `Default(row)`.
 //! * [`Report`] — per-class iterators and counts, per-device
-//!   [`DeviceVerdict`]s with displacement and vicinity context, wall-clock
-//!   timings, and a serializable [`ReportSummary`].
-//! * [`MonitorError`] — every misuse path, typed.
+//!   [`DeviceVerdict`]s with displacement and vicinity context, epoch
+//!   metadata ([`Report::stragglers`]), wall-clock timings, and a
+//!   serializable, versioned [`ReportSummary`].
+//! * [`MonitorError`] — every misuse path, typed (ingestion failures under
+//!   [`MonitorError::Ingest`]).
 //!
-//! The v1 `FleetMonitor` remains as a deprecated shim; see its docs for the
-//! three-line migration.
+//! The v1 `FleetMonitor` shim was removed after its deprecation cycle; see
+//! the README's migration notes.
 //!
 //! # Example
 //!
@@ -56,8 +64,8 @@
 mod builder;
 mod engine;
 mod error;
+mod ingest;
 mod key;
-mod legacy;
 mod monitor;
 mod replay;
 mod report;
@@ -65,8 +73,7 @@ mod report;
 pub use builder::{MonitorBuilder, MAX_FLEET};
 pub use engine::{Engine, GridMaintenance};
 pub use error::MonitorError;
+pub use ingest::{IngestError, StalenessPolicy};
 pub use key::DeviceKey;
-#[allow(deprecated)]
-pub use legacy::{FleetMonitor, MonitorReport};
 pub use monitor::{DetectorFactory, Monitor};
 pub use report::{DeviceVerdict, Report, ReportSummary};

@@ -1,5 +1,6 @@
 use super::engine::{Engine, GridMaintenance};
 use super::error::MonitorError;
+use super::ingest::{EpochState, StalenessPolicy};
 use super::key::DeviceKey;
 use super::report::{DeviceVerdict, Report};
 use anomaly_core::{
@@ -7,7 +8,9 @@ use anomaly_core::{
     DEFAULT_ENUMERATION_BUDGET,
 };
 use anomaly_detectors::DeviceDetector;
-use anomaly_qos::{DeviceId, GridIndex, Norm, NormKind, Point, QosSpace, Snapshot, StatePair};
+use anomaly_qos::{
+    DeviceId, GridIndex, GridUpdate, Norm, NormKind, Point, QosSpace, Snapshot, StatePair,
+};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -18,13 +21,28 @@ pub type DetectorFactory = Box<dyn Fn(DeviceKey) -> Box<dyn DeviceDetector>>;
 /// Continuous, churn-tolerant monitor for a fleet of devices — the
 /// deployable form of the paper's pipeline.
 ///
-/// Every call to [`Monitor::observe`] advances one sampling instant `k`:
-/// the snapshot feeds each device's error-detection function (`a_k(j)`,
+/// Each sampling instant `k` closes with one snapshot of the fleet: the
+/// snapshot feeds each device's error-detection function (`a_k(j)`,
 /// Section III-A), flagged devices form the abnormal set `A_k`, and the
 /// local characterization of Section V runs over the `[k−1, k]` interval,
 /// classifying each flagged device as isolated, massive, or unresolved.
 ///
-/// Unlike the deprecated [`FleetMonitor`](super::FleetMonitor), a `Monitor`
+/// Two front-ends feed the same engine:
+///
+/// * **Streaming** — [`ingest`](Monitor::ingest) /
+///   [`ingest_many`](Monitor::ingest_many) accumulate per-device updates
+///   (any order, duplicates last-write-wins) into an open epoch;
+///   [`seal`](Monitor::seal) resolves devices that stayed silent through
+///   the configured [`StalenessPolicy`], assembles the snapshot
+///   delta-style from the previous one, and returns the epoch's
+///   [`Report`].
+/// * **Batch** — [`observe`](Monitor::observe) /
+///   [`observe_rows`](Monitor::observe_rows) take one pre-assembled
+///   snapshot; they are one-shot conveniences implemented as `ingest_many`
+///   over every row followed by `seal`, so the paths are equivalent by
+///   construction.
+///
+/// A `Monitor`
 ///
 /// * never panics on misuse — every error path returns a typed
 ///   [`MonitorError`];
@@ -34,8 +52,8 @@ pub type DetectorFactory = Box<dyn Fn(DeviceKey) -> Box<dyn DeviceDetector>>;
 ///   surviving cohort of each interval;
 /// * accepts any [`DeviceDetector`] implementation per device, so fleets
 ///   mix EWMA, CUSUM, Kalman, or Holt-Winters models freely;
-/// * reuses its vicinity grid across instants and reports per-instant
-///   wall-clock timings.
+/// * reuses its vicinity grid and snapshot buffers across instants and
+///   reports per-instant wall-clock timings.
 ///
 /// Construct one with [`MonitorBuilder`](super::MonitorBuilder).
 ///
@@ -80,9 +98,6 @@ pub struct Monitor {
     previous_keys: Option<Vec<DeviceKey>>,
     /// Vicinity index, reused (allocations and all) across instants.
     grid: Option<GridIndex>,
-    /// The before-snapshot `grid` currently indexes, for incremental
-    /// maintenance (diffing out the devices whose cell changed).
-    grid_before: Option<Snapshot>,
     /// Execution strategy for the characterization phase.
     engine: Engine,
     /// Grid update policy across instants.
@@ -90,6 +105,28 @@ pub struct Monitor {
     /// Reusable vicinity-query buffer for the sequential path.
     neighbor_buf: Vec<DeviceId>,
     instant: u64,
+    /// The open streaming epoch: pending per-device updates and
+    /// staleness ages (slot-aligned with `keys`).
+    pub(super) epoch: EpochState,
+    /// How [`Monitor::seal`] resolves devices that did not report.
+    pub(super) staleness: StalenessPolicy,
+    /// Recycled snapshot buffer for delta-style sealing: holds the
+    /// second-to-last snapshot `S_{k-2}`, which differs from `previous`
+    /// (`S_{k-1}`) by exactly `spare_lag`. Ping-ponged with `previous`
+    /// every epoch, so steady-state sealing never clones a snapshot.
+    spare: Option<Snapshot>,
+    /// Rows of `spare` that are stale with respect to `previous`.
+    spare_lag: Vec<DeviceId>,
+    /// Cell-crossing before-position moves accumulated since the vicinity
+    /// grid last updated — the exact batch `GridIndex::apply_moves`
+    /// replays at the next characterized instant.
+    grid_staged: Vec<(DeviceId, Point, Point)>,
+    /// True when `grid` indexes a full-fleet snapshot and `grid_staged`
+    /// has tracked every before-position change since — the precondition
+    /// for replaying staged moves instead of rebuilding.
+    grid_full_synced: bool,
+    /// Outcome of the most recent vicinity-grid update, if any.
+    last_grid_update: Option<GridUpdate>,
 }
 
 /// Per-device result of the parallel phase, keyed by cohort id for the
@@ -107,6 +144,8 @@ impl std::fmt::Debug for Monitor {
             .field("services", &self.services)
             .field("instant", &self.instant)
             .field("params", &self.params)
+            .field("staleness", &self.staleness)
+            .field("pending_updates", &self.epoch.updated())
             .finish()
     }
 }
@@ -124,6 +163,8 @@ impl Monitor {
         max_population: u64,
         engine: Engine,
         grid_maintenance: GridMaintenance,
+        staleness: StalenessPolicy,
+        epoch_start: u64,
     ) -> Self {
         Monitor {
             params,
@@ -138,11 +179,17 @@ impl Monitor {
             previous: None,
             previous_keys: None,
             grid: None,
-            grid_before: None,
             engine,
             grid_maintenance,
             neighbor_buf: Vec::new(),
-            instant: 0,
+            instant: epoch_start,
+            epoch: EpochState::with_capacity(capacity),
+            staleness,
+            spare: None,
+            spare_lag: Vec::new(),
+            grid_staged: Vec::new(),
+            grid_full_synced: false,
+            last_grid_update: None,
         }
     }
 
@@ -154,6 +201,16 @@ impl Monitor {
     /// The vicinity-grid maintenance policy.
     pub fn grid_maintenance(&self) -> GridMaintenance {
         self.grid_maintenance
+    }
+
+    /// How the most recent characterized instant brought the vicinity grid
+    /// up to date: [`GridUpdate::Incremental`] with the number of devices
+    /// re-bucketed, or [`GridUpdate::Rebuilt`]. `None` until the first
+    /// characterization runs. A steady fleet sealing small epochs must
+    /// report `Incremental` here — `tests/ingest_equivalence.rs` pins that
+    /// down.
+    pub fn last_grid_update(&self) -> Option<GridUpdate> {
+        self.last_grid_update
     }
 
     /// Number of monitored devices.
@@ -181,7 +238,8 @@ impl Monitor {
         self.max_population
     }
 
-    /// The next sampling instant (number of snapshots observed so far).
+    /// The next sampling instant (epochs sealed so far, offset by the
+    /// builder's [`epoch`](super::MonitorBuilder::epoch) start).
     pub fn instant(&self) -> u64 {
         self.instant
     }
@@ -208,9 +266,92 @@ impl Monitor {
         self.keys.get(id.index()).copied()
     }
 
-    /// The last snapshot observed, if any.
+    /// The last sealed snapshot, if any.
     pub fn last_snapshot(&self) -> Option<&Snapshot> {
         self.previous.as_ref()
+    }
+
+    /// Current dense slot of `key` (internal form of [`Monitor::id_of`]).
+    pub(super) fn slot_of(&self, key: DeviceKey) -> Option<usize> {
+        self.index.get(&key).map(|&i| i as usize)
+    }
+
+    /// The QoS space rows are validated against.
+    pub(super) fn space(&self) -> &QosSpace {
+        &self.space
+    }
+
+    /// The previous sealed snapshot (internal alias used by the seal
+    /// machinery in `ingest.rs`).
+    pub(super) fn previous_snapshot(&self) -> Option<&Snapshot> {
+        self.previous.as_ref()
+    }
+
+    /// The dense key order of the previous snapshot when membership has
+    /// churned since it was sealed (`None` = current keys describe it).
+    pub(super) fn previous_key_order(&self) -> Option<&[DeviceKey]> {
+        self.previous_keys.as_deref()
+    }
+
+    /// Takes the recycled snapshot buffer when it matches the required
+    /// shape.
+    pub(super) fn take_spare(&mut self, population: usize) -> Option<Snapshot> {
+        match &self.spare {
+            Some(s) if s.len() == population && s.dim() == self.services => self.spare.take(),
+            _ => None,
+        }
+    }
+
+    /// Takes the list of rows by which the spare buffer lags `previous`.
+    pub(super) fn take_spare_lag(&mut self) -> Vec<DeviceId> {
+        std::mem::take(&mut self.spare_lag)
+    }
+
+    /// Records which rows the (new) spare buffer is missing.
+    pub(super) fn set_spare_lag(&mut self, changed: Vec<DeviceId>) {
+        self.spare_lag = changed;
+    }
+
+    /// Drops the recycled buffer and every staged grid move — called when
+    /// membership or shape changes make them meaningless.
+    pub(super) fn invalidate_spare(&mut self) {
+        self.spare = None;
+        self.spare_lag.clear();
+        self.grid_staged.clear();
+        self.grid_full_synced = false;
+    }
+
+    /// Whether a changed row is worth recording as a grid move candidate:
+    /// only incremental maintenance ever replays moves, and once the grid
+    /// exists only cell-crossing ones need re-bucketing (the cell geometry
+    /// is fixed for the monitor's lifetime — `window` never changes).
+    /// Lets the sealing path skip the two `Point` clones per changed row
+    /// whenever they would be discarded.
+    pub(super) fn wants_grid_move(&self, old: &Point, new: &Point) -> bool {
+        if self.grid_maintenance != GridMaintenance::Incremental {
+            return false;
+        }
+        match &self.grid {
+            Some(grid) => grid.cell_index(old.coords()) != grid.cell_index(new.coords()),
+            None => true,
+        }
+    }
+
+    /// Appends this epoch's before-position moves to the batch the
+    /// vicinity grid will replay at its next incremental update. Only
+    /// cell-crossing moves are kept — same-cell jitter never needs
+    /// re-bucketing — so the staged batch stays proportional to the real
+    /// churn.
+    pub(super) fn stage_grid_moves(&mut self, moves: Vec<(DeviceId, Point, Point)>) {
+        if !self.grid_full_synced || self.grid_maintenance != GridMaintenance::Incremental {
+            return;
+        }
+        let Some(grid) = &self.grid else { return };
+        for (id, old, new) in moves {
+            if grid.cell_index(old.coords()) != grid.cell_index(new.coords()) {
+                self.grid_staged.push((id, old, new));
+            }
+        }
     }
 
     /// Enrolls a device, building its detector with the configured factory.
@@ -218,7 +359,11 @@ impl Monitor {
     ///
     /// A device joining between instants `k-1` and `k` has no position at
     /// `k-1`: it warms up at `k` (reported via [`Report::warming`] if
-    /// flagged) and is characterized from `k+1` on.
+    /// flagged) and is characterized from `k+1` on. Until its first update
+    /// it also has nothing to carry forward, so under
+    /// [`StalenessPolicy::Reject`] and
+    /// [`StalenessPolicy::CarryForward`] it must report in the epoch that
+    /// seals next.
     ///
     /// # Errors
     ///
@@ -263,12 +408,14 @@ impl Monitor {
         let id = self.keys.len() as u32;
         self.keys.push(key);
         self.detectors.push(detector);
+        self.epoch.push_slot();
         self.index.insert(key, id);
         Ok(DeviceId(id))
     }
 
     /// Removes a device from the fleet, returning its detector (still
-    /// warmed up, in case the device re-joins later).
+    /// warmed up, in case the device re-joins later). Any update it staged
+    /// in the open epoch is dropped with it.
     ///
     /// The last device in dense order moves into the vacated slot, so
     /// dense ids of other devices may change; stable keys never do.
@@ -289,6 +436,7 @@ impl Monitor {
         self.index.remove(&key);
         self.keys.swap_remove(slot);
         let detector = self.detectors.swap_remove(slot);
+        self.epoch.remove_slot(slot);
         if let Some(&moved) = self.keys.get(slot) {
             self.index.insert(moved, slot as u32);
         }
@@ -296,21 +444,28 @@ impl Monitor {
     }
 
     /// Remembers the previous snapshot's key order before the first
-    /// membership change since it was taken.
+    /// membership change since it was taken, and invalidates every
+    /// structure keyed by the old dense order (recycled buffer, staged
+    /// grid moves).
     fn note_churn(&mut self) {
         if self.previous.is_some() && self.previous_keys.is_none() {
             self.previous_keys = Some(self.keys.clone());
         }
+        self.invalidate_spare();
     }
 
-    /// Resets every detector and forgets the previous snapshot (e.g. after
-    /// a maintenance window where QoS levels legitimately changed).
+    /// Resets every detector, forgets the previous snapshot, and discards
+    /// the open epoch together with its staleness history (e.g. after a
+    /// maintenance window where QoS levels legitimately changed).
     pub fn reset(&mut self) {
         for det in &mut self.detectors {
             det.reset();
         }
         self.previous = None;
         self.previous_keys = None;
+        self.epoch.reset();
+        self.invalidate_spare();
+        self.last_grid_update = None;
     }
 
     /// Convenience form of [`Monitor::observe`]: validates raw coordinate
@@ -326,9 +481,17 @@ impl Monitor {
         self.observe(snapshot)
     }
 
-    /// Ingests the snapshot of instant `k` — one position per device, in
-    /// dense [`Monitor::keys`] order — and returns the interval's
-    /// [`Report`].
+    /// One-shot batch form of the streaming API: ingests every row of a
+    /// pre-assembled snapshot of instant `k` — one position per device, in
+    /// dense [`Monitor::keys`] order — seals the epoch, and returns the
+    /// interval's [`Report`].
+    ///
+    /// Implemented as [`ingest_many`](Monitor::ingest_many) over every row
+    /// followed by [`seal`](Monitor::seal), so the batch and streaming
+    /// paths produce identical reports by construction. Because every
+    /// device receives an update, the [`StalenessPolicy`] never engages
+    /// and any updates already staged in the open epoch are overwritten
+    /// (last write wins) and sealed along.
     ///
     /// The first snapshot ever (and the first after [`Monitor::reset`])
     /// only warms the detectors: there is no `[k−1, k]` interval yet, so
@@ -343,6 +506,8 @@ impl Monitor {
     ///   from the monitor's service count;
     /// * [`MonitorError::PopulationMismatch`] — snapshot covers a different
     ///   number of devices than the fleet.
+    ///
+    /// Nothing is staged on error.
     pub fn observe(&mut self, snapshot: Snapshot) -> Result<Report, MonitorError> {
         if snapshot.dim() != self.services {
             return Err(MonitorError::ServiceMismatch {
@@ -356,13 +521,29 @@ impl Monitor {
                 actual: snapshot.len(),
             });
         }
+        // Rows were validated by the snapshot's constructor: stage them
+        // directly, without the per-row re-validation of `ingest`.
+        for (slot, point) in snapshot.into_positions().into_iter().enumerate() {
+            self.epoch.stage(slot, point);
+        }
+        self.seal()
+    }
 
+    /// Shared back half of [`Monitor::seal`]: feeds the detectors, runs
+    /// the characterization over `[k−1, k]`, and rotates the snapshot
+    /// buffers (`previous` ← sealed snapshot, `spare` ← old previous,
+    /// when shapes allow).
+    pub(super) fn advance(
+        &mut self,
+        current: Snapshot,
+        stragglers: Vec<DeviceKey>,
+    ) -> Result<Report, MonitorError> {
         // Detection: feed every device's error-detection function, collect
         // A_k as (current dense index, detector score).
         let detection_start = Instant::now();
         let mut flagged: Vec<(u32, f64)> = Vec::new();
         for (i, det) in self.detectors.iter_mut().enumerate() {
-            let verdict = det.observe_vector(snapshot.position(DeviceId(i as u32)).coords());
+            let verdict = det.observe_vector(current.position(DeviceId(i as u32)).coords());
             if verdict.is_anomalous() {
                 flagged.push((i as u32, verdict.score()));
             }
@@ -376,32 +557,38 @@ impl Monitor {
         let mut verdicts: Vec<DeviceVerdict> = Vec::new();
         let mut warming: Vec<DeviceKey> = Vec::new();
         let mut characterization = Duration::ZERO;
-        match self.previous.take() {
+        let (new_previous, new_spare) = match self.previous.take() {
             Some(previous) if !flagged.is_empty() => {
                 let char_start = Instant::now();
-                self.characterize_interval(
+                let rotated = self.characterize_interval(
                     previous,
-                    &snapshot,
+                    current,
                     &flagged,
                     &mut verdicts,
                     &mut warming,
                 )?;
                 characterization = char_start.elapsed();
+                rotated
             }
+            Some(previous) => (current, Some(previous)),
             None => {
                 // Very first interval: every flagged device is warming.
                 warming.extend(flagged.iter().map(|&(i, _)| self.keys[i as usize]));
+                (current, None)
             }
-            _ => {}
-        }
+        };
 
-        self.previous = Some(snapshot);
+        self.previous = Some(new_previous);
+        if let Some(spare) = new_spare {
+            self.spare = Some(spare);
+        }
         self.previous_keys = None;
         Ok(Report {
             instant,
             population: self.keys.len(),
             verdicts,
             warming,
+            stragglers,
             detection,
             characterization,
         })
@@ -409,15 +596,18 @@ impl Monitor {
 
     /// Builds the surviving-cohort state pair, runs the local
     /// characterization on the flagged survivors, and enriches verdicts
-    /// with displacement and vicinity context.
+    /// with displacement and vicinity context. Returns the rotated
+    /// snapshot buffers: `(new previous, recyclable spare)` — in the
+    /// steady (no-churn) case both full snapshots come back without a
+    /// single clone.
     fn characterize_interval(
         &mut self,
         previous: Snapshot,
-        current: &Snapshot,
+        current: Snapshot,
         flagged: &[(u32, f64)],
         verdicts: &mut Vec<DeviceVerdict>,
         warming: &mut Vec<DeviceKey>,
-    ) -> Result<(), MonitorError> {
+    ) -> Result<(Snapshot, Option<Snapshot>), MonitorError> {
         // Map current dense ids to their dense ids in `previous`.
         // `previous_keys` is only populated when membership actually
         // churned; the common steady-state case is the identity mapping,
@@ -468,55 +658,49 @@ impl Monitor {
             }
         }
         if abnormal.is_empty() {
-            return Ok(());
+            return Ok((current, Some(previous)));
         }
 
-        // The previous snapshot is owned (this is its last use), so the
-        // steady-state path builds the pair with a single clone of the
-        // current snapshot instead of two.
-        let pair = match &survivors {
-            None => StatePair::new(previous, current.clone())?,
+        // Steady state pairs the two owned snapshots directly — no clone
+        // at all; churn selects the surviving cohort out of both, keeping
+        // the full current snapshot aside to become the next `previous`.
+        let steady = survivors.is_none();
+        let (pair, current_back): (StatePair, Option<Snapshot>) = match &survivors {
+            None => (StatePair::new(previous, current)?, None),
             Some(survivors) => {
                 let prev_ids: Vec<DeviceId> = survivors.iter().map(|&(_, p)| DeviceId(p)).collect();
                 let cur_ids: Vec<DeviceId> =
                     survivors.iter().map(|&(cur, _)| DeviceId(cur)).collect();
-                StatePair::new(previous.select(&prev_ids)?, current.select(&cur_ids)?)?
+                let cohort =
+                    StatePair::new(previous.select(&prev_ids)?, current.select(&cur_ids)?)?;
+                (cohort, Some(current))
             }
         };
 
         let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
 
         // Vicinity index over the whole cohort (not only A_k), kept across
-        // instants. Incremental maintenance diffs the newly indexed
-        // before-snapshot against the previous one and re-buckets only the
-        // devices whose cell changed; `apply_moves` itself falls back to a
-        // full rebuild when the cohort size or resolution changed.
+        // instants. At a steady full-fleet instant the staged cell moves
+        // accumulated by the sealing path are replayed incrementally
+        // (`apply_moves` — O(moved devices)); any scope or shape change
+        // falls back to a full rebuild.
         let window = self.params.window();
         let cell_side = window.max(1e-6);
-        match (&mut self.grid, self.grid_maintenance) {
-            (Some(grid), GridMaintenance::Incremental)
-                if self.grid_before.as_ref().is_some_and(|prev| {
-                    prev.len() == pair.before().len() && prev.dim() == pair.before().dim()
-                }) =>
-            {
-                let prev = self.grid_before.as_ref().expect("guard checked presence");
-                // Only devices whose grid *cell* changed need re-bucketing;
-                // most of a calm fleet reports an unchanged or same-cell
-                // position, so the batch is proportional to the churn, not
-                // the population.
-                let moves: Vec<(DeviceId, Point, Point)> = prev
-                    .iter()
-                    .zip(pair.before().iter())
-                    .filter(|((_, old), (_, new))| {
-                        old != new && grid.cell_index(old.coords()) != grid.cell_index(new.coords())
-                    })
-                    .map(|((id, old), (_, new))| (id, old.clone(), new.clone()))
-                    .collect();
-                grid.apply_moves(&pair, cell_side, &moves);
+        self.last_grid_update = Some(match (&mut self.grid, self.grid_maintenance) {
+            (Some(grid), GridMaintenance::Incremental) if steady && self.grid_full_synced => {
+                grid.apply_moves(&pair, cell_side, &self.grid_staged)
             }
-            (Some(grid), _) => grid.rebuild(&pair, cell_side),
-            (grid @ None, _) => *grid = Some(GridIndex::build(&pair, cell_side)),
-        }
+            (Some(grid), _) => {
+                grid.rebuild(&pair, cell_side);
+                GridUpdate::Rebuilt
+            }
+            (grid @ None, _) => {
+                *grid = Some(GridIndex::build(&pair, cell_side));
+                GridUpdate::Rebuilt
+            }
+        });
+        self.grid_staged.clear();
+        self.grid_full_synced = steady;
         let grid = self.grid.as_ref().expect("grid was just built");
 
         // Characterization in two per-device phases (both embarrassingly
@@ -628,11 +812,18 @@ impl Monitor {
             });
         }
 
-        // Retain the snapshot the grid now indexes (no clone: the pair is
-        // done) so the next instant can diff against it.
-        let (before, _) = pair.into_parts();
-        self.grid_before = Some(before);
-        Ok(())
+        // Rotate the buffers: steady pairs carry both full snapshots back
+        // (after → new previous, before → recyclable spare); churned pairs
+        // are cohort-sized and simply dropped, with the full current
+        // snapshot becoming the new previous.
+        match current_back {
+            None => {
+                debug_assert!(steady);
+                let (before, after) = pair.into_parts();
+                Ok((after, Some(before)))
+            }
+            Some(current) => Ok((current, None)),
+        }
     }
 }
 
@@ -660,6 +851,7 @@ mod tests {
             assert_eq!(r.instant(), k);
             assert!(r.is_quiet());
             assert_eq!(r.population(), 8);
+            assert!(r.stragglers().is_empty());
         }
     }
 
@@ -741,6 +933,23 @@ mod tests {
             m.leave(10u64).unwrap_err(),
             MonitorError::UnknownDevice { key: DeviceKey(10) }
         );
+    }
+
+    #[test]
+    fn leave_drops_the_departing_devices_pending_update() {
+        let mut m = MonitorBuilder::new().fleet(3).build().unwrap();
+        m.ingest(1u64, vec![0.9]).unwrap();
+        m.ingest(2u64, vec![0.8]).unwrap();
+        assert_eq!(m.pending_updates(), 2);
+        // Device 1 leaves; its staged update goes with it, and device 2's
+        // update follows the swap into slot 1.
+        m.leave(1u64).unwrap();
+        assert_eq!(m.pending_updates(), 1);
+        m.ingest(0u64, vec![0.7]).unwrap();
+        let r = m.seal().unwrap();
+        assert_eq!(r.population(), 2);
+        let slot2 = m.id_of(DeviceKey(2)).unwrap();
+        assert_eq!(m.last_snapshot().unwrap().position(slot2).coords(), &[0.8]);
     }
 
     #[test]
@@ -839,6 +1048,8 @@ mod tests {
         assert!(r.is_quiet());
         assert_eq!(r.population(), 0);
         assert_eq!(r.summary().abnormal, 0);
+        // The streaming path seals empty fleets too.
+        assert!(m.seal().is_ok());
     }
 
     #[test]
@@ -849,6 +1060,7 @@ mod tests {
         // alarm, and there is no previous snapshot to characterize against.
         let r = m.observe_rows(vec![vec![0.2]; 4]).unwrap();
         assert!(r.verdicts().is_empty());
+        assert!(m.last_grid_update().is_none());
     }
 
     #[test]
@@ -858,6 +1070,26 @@ mod tests {
         assert!(!r.verdicts().is_empty());
         assert!(r.detection_time() > Duration::ZERO);
         assert!(r.characterization_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn steady_epochs_update_the_grid_incrementally() {
+        // After the first characterized instant builds the grid, later
+        // small epochs replay only their staged cell moves.
+        let mut m = warmed(16);
+        let mut rows = vec![vec![0.9]; 16];
+        rows[3] = vec![0.45];
+        m.observe_rows(rows.clone()).unwrap();
+        assert_eq!(m.last_grid_update(), Some(GridUpdate::Rebuilt));
+        rows[3] = vec![0.44];
+        rows[5] = vec![0.46];
+        m.observe_rows(rows).unwrap();
+        match m.last_grid_update() {
+            Some(GridUpdate::Incremental { rebucketed }) => {
+                assert!(rebucketed <= 2, "rebucketed {rebucketed}")
+            }
+            other => panic!("expected an incremental update, got {other:?}"),
+        }
     }
 
     #[test]

@@ -39,15 +39,23 @@ impl DeviceVerdict {
 /// Per-instant monitoring result: everything the paper's pipeline can say
 /// about the interval `[k−1, k]`.
 ///
-/// Construction happens inside [`Monitor::observe`](super::Monitor::observe);
+/// Construction happens inside [`Monitor::seal`](super::Monitor::seal) (and
+/// its one-shot form [`Monitor::observe`](super::Monitor::observe));
 /// consumers read it through the per-class iterators and counters, or ship
 /// [`Report::summary`] to a metrics sink.
+///
+/// The struct is `#[non_exhaustive]`: future epochs of the streaming API
+/// may attach more metadata without a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct Report {
     pub(super) instant: u64,
     pub(super) population: usize,
     pub(super) verdicts: Vec<DeviceVerdict>,
     pub(super) warming: Vec<DeviceKey>,
+    /// Devices whose row this epoch was synthesized by the staleness
+    /// policy instead of a fresh measurement.
+    pub(super) stragglers: Vec<DeviceKey>,
     pub(super) detection: Duration,
     pub(super) characterization: Duration,
 }
@@ -72,6 +80,15 @@ impl Report {
     /// `k−1` (fresh joiners): no interval, no verdict yet.
     pub fn warming(&self) -> &[DeviceKey] {
         &self.warming
+    }
+
+    /// Devices that missed the sealed epoch and had their row synthesized
+    /// by the configured [`StalenessPolicy`](super::StalenessPolicy)
+    /// (carried forward from the previous snapshot, or filled with the
+    /// default row), in dense-id order. Always empty on the batch
+    /// [`observe`](super::Monitor::observe) path, which supplies every row.
+    pub fn stragglers(&self) -> &[DeviceKey] {
+        &self.stragglers
     }
 
     /// True when nothing was flagged and nothing is warming.
@@ -154,6 +171,7 @@ impl Report {
             massive: self.count_of(AnomalyClass::Massive),
             unresolved: self.count_of(AnomalyClass::Unresolved),
             warming: self.warming.len(),
+            stragglers: self.stragglers.len(),
             detection_micros: self.detection.as_micros() as u64,
             characterization_micros: self.characterization.as_micros() as u64,
         }
@@ -161,7 +179,13 @@ impl Report {
 }
 
 /// Flat per-instant counters, ready for a metrics pipeline.
+///
+/// `#[non_exhaustive]`: new counters (like the epoch metadata added with
+/// the streaming ingestion API) may appear in minor releases. Construct it
+/// through [`Report::summary`] and read fields directly; the JSON rendering
+/// carries a schema version (`"v"`) so sinks can dispatch on shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ReportSummary {
     /// Sampling instant `k`.
     pub instant: u64,
@@ -177,6 +201,8 @@ pub struct ReportSummary {
     pub unresolved: usize,
     /// Flagged devices still warming (no interval yet).
     pub warming: usize,
+    /// Devices bridged by the staleness policy this epoch.
+    pub stragglers: usize,
     /// Detection wall-clock, microseconds.
     pub detection_micros: u64,
     /// Characterization wall-clock, microseconds.
@@ -184,14 +210,24 @@ pub struct ReportSummary {
 }
 
 impl ReportSummary {
-    /// JSON object rendering (no external dependencies; keys are stable).
+    /// Version of the JSON schema [`ReportSummary::to_json`] emits. Bumped
+    /// whenever a key is added, so metric sinks can dispatch on shape
+    /// instead of breaking. Version 2 added `stragglers` (streaming epoch
+    /// metadata).
+    pub const JSON_VERSION: u32 = 2;
+
+    /// JSON object rendering (no external dependencies; keys are stable
+    /// within one [`ReportSummary::JSON_VERSION`], and new versions only
+    /// add keys).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"instant\":{},\"population\":{},\"abnormal\":{},",
+                "{{\"v\":{},\"instant\":{},\"population\":{},\"abnormal\":{},",
                 "\"isolated\":{},\"massive\":{},\"unresolved\":{},\"warming\":{},",
+                "\"stragglers\":{},",
                 "\"detection_micros\":{},\"characterization_micros\":{}}}"
             ),
+            Self::JSON_VERSION,
             self.instant,
             self.population,
             self.abnormal,
@@ -199,6 +235,7 @@ impl ReportSummary {
             self.massive,
             self.unresolved,
             self.warming,
+            self.stragglers,
             self.detection_micros,
             self.characterization_micros,
         )
@@ -209,7 +246,7 @@ impl fmt::Display for ReportSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "k={} n={} abnormal={} (isolated {}, massive {}, unresolved {}, warming {})",
+            "k={} n={} abnormal={} (isolated {}, massive {}, unresolved {}, warming {}, stragglers {})",
             self.instant,
             self.population,
             self.abnormal,
@@ -217,6 +254,7 @@ impl fmt::Display for ReportSummary {
             self.massive,
             self.unresolved,
             self.warming,
+            self.stragglers,
         )
     }
 }

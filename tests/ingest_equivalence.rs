@@ -1,0 +1,210 @@
+//! The streaming front-end must be unobservable next to the batch one:
+//! any permutation of per-device updates — duplicates included, last
+//! write wins — sealed once yields a report identical (modulo wall-clock
+//! timings) to `observe()` on the assembled snapshot, across both engines
+//! and both grid-maintenance modes. And sealing a small epoch over a calm
+//! fleet must maintain the vicinity grid incrementally, not rebuild it.
+
+use anomaly_characterization::detectors::ThresholdDetector;
+use anomaly_characterization::pipeline::{
+    Engine, GridMaintenance, Monitor, MonitorBuilder, Report, StalenessPolicy,
+};
+use anomaly_characterization::qos::GridUpdate;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Everything a report says except its wall-clock timings.
+fn fingerprint(r: &Report) -> String {
+    format!(
+        "k={} n={} verdicts={:?} warming={:?} stragglers={:?} summary={}",
+        r.instant(),
+        r.population(),
+        r.verdicts(),
+        r.warming(),
+        r.stragglers(),
+        {
+            let mut s = r.summary();
+            s.detection_micros = 0;
+            s.characterization_micros = 0;
+            s.to_json()
+        },
+    )
+}
+
+fn build(n: usize, engine: Engine, grid: GridMaintenance) -> Monitor {
+    MonitorBuilder::new()
+        .engine(engine)
+        .grid_maintenance(grid)
+        .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.08)))
+        .fleet(n)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Feed the same epoch sequence to a batch monitor and a streaming
+    /// monitor whose updates arrive shuffled and partially duplicated:
+    /// every sealed report must match the observed one byte for byte.
+    #[test]
+    fn shuffled_duplicated_ingest_equals_observe(
+        levels in proptest::collection::vec(
+            proptest::collection::vec(0.0..=1.0f64, 8), 4),
+        n in 2..=8usize,
+        seed in 0u64..10_000,
+    ) {
+        for engine in [Engine::Sequential, Engine::Threaded { workers: 3 }] {
+            for grid in [GridMaintenance::Incremental, GridMaintenance::FullRebuild] {
+                let mut batch = build(n, engine, grid);
+                let mut stream = build(n, engine, grid);
+                let mut rng = StdRng::seed_from_u64(seed);
+                for epoch in &levels {
+                    let rows: Vec<Vec<f64>> =
+                        epoch[..n].iter().map(|&v| vec![v]).collect();
+                    // Stale duplicates first (they must be overwritten) …
+                    for slot in 0..n {
+                        if rng.gen_bool(0.3) {
+                            let junk = rng.gen_range(0.0..=1.0);
+                            stream.ingest(slot as u64, vec![junk]).unwrap();
+                        }
+                    }
+                    // … then the real updates, in a random arrival order.
+                    let mut updates: Vec<(u64, Vec<f64>)> = rows
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, row)| (slot as u64, row.clone()))
+                        .collect();
+                    updates.shuffle(&mut rng);
+                    stream.ingest_many(updates).unwrap();
+                    let streamed = stream.seal().unwrap();
+
+                    let observed = batch.observe_rows(rows).unwrap();
+                    prop_assert_eq!(
+                        fingerprint(&observed),
+                        fingerprint(&streamed),
+                        "epoch {} diverged under {:?}/{:?}",
+                        observed.instant(), engine, grid
+                    );
+                }
+                // Both monitors agree on the final snapshot too.
+                prop_assert_eq!(batch.last_snapshot(), stream.last_snapshot());
+            }
+        }
+    }
+}
+
+/// The acceptance bar for delta-style sealing: an epoch where ≤ 1% of the
+/// fleet reports a change re-buckets only those devices in the vicinity
+/// grid — no full rebuild (and, structurally, no full snapshot clone:
+/// the sealing path recycles the previous snapshot's buffers).
+#[test]
+fn sealing_a_one_percent_epoch_is_incremental() {
+    const N: usize = 500;
+    const CHANGED: usize = 5; // exactly 1% of the fleet
+    let mut m = MonitorBuilder::new()
+        .staleness(StalenessPolicy::CarryForward { max_age: 1_000 })
+        .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.1)))
+        .fleet(N)
+        .build()
+        .unwrap();
+    // Two full epochs establish the previous snapshot and the buffers.
+    for _ in 0..2 {
+        m.ingest_many((0..N as u64).map(|k| (k, vec![0.2 + (k % 50) as f64 * 0.01])))
+            .unwrap();
+        m.seal().unwrap();
+    }
+    assert_eq!(m.last_grid_update(), None, "no flags yet, no grid yet");
+
+    // Epoch 3: 1% of the fleet jumps; everyone else is silent and carried.
+    m.ingest_many((0..CHANGED as u64).map(|k| (k, vec![0.95])))
+        .unwrap();
+    let r = m.seal().unwrap();
+    assert_eq!(r.verdicts().len(), CHANGED);
+    assert_eq!(r.stragglers().len(), N - CHANGED);
+    assert_eq!(
+        m.last_grid_update(),
+        Some(GridUpdate::Rebuilt),
+        "the first characterized instant builds the grid"
+    );
+
+    // Epoch 4: another 1% jumps. The grid must absorb the staged moves of
+    // epoch 3 incrementally — rebucketing at most those few devices — and
+    // never rebuild.
+    m.ingest_many((0..CHANGED as u64).map(|k| (k, vec![0.2 + (k % 50) as f64 * 0.01])))
+        .unwrap();
+    let r = m.seal().unwrap();
+    assert_eq!(r.verdicts().len(), CHANGED);
+    match m.last_grid_update() {
+        Some(GridUpdate::Incremental { rebucketed }) => assert!(
+            rebucketed <= CHANGED,
+            "rebucketed {rebucketed} devices for a {CHANGED}-device epoch"
+        ),
+        other => panic!("expected an incremental grid update, got {other:?}"),
+    }
+
+    // And it stays incremental across further small epochs.
+    for round in 0..3 {
+        let level = if round % 2 == 0 { 0.95 } else { 0.4 };
+        m.ingest_many((0..CHANGED as u64).map(|k| (k, vec![level])))
+            .unwrap();
+        m.seal().unwrap();
+        assert!(
+            matches!(
+                m.last_grid_update(),
+                Some(GridUpdate::Incremental { rebucketed }) if rebucketed <= CHANGED
+            ),
+            "round {round}: {:?}",
+            m.last_grid_update()
+        );
+    }
+}
+
+/// Churn forces one rebuild (dense ids shifted), after which steady
+/// sealing goes back to incremental maintenance.
+#[test]
+fn churn_rebuilds_once_then_returns_to_incremental() {
+    let mut m = MonitorBuilder::new()
+        .staleness(StalenessPolicy::CarryForward { max_age: 100 })
+        .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.1)))
+        .fleet(64)
+        .build()
+        .unwrap();
+    let seal_with_jump = |m: &mut Monitor, jumpers: &[u64], level: f64| {
+        for &k in jumpers {
+            m.ingest(k, vec![level]).unwrap();
+        }
+        m.seal().unwrap()
+    };
+    m.ingest_many((0..64u64).map(|k| (k, vec![0.8]))).unwrap();
+    m.seal().unwrap();
+    m.ingest_many((0..64u64).map(|k| (k, vec![0.8]))).unwrap();
+    m.seal().unwrap();
+    seal_with_jump(&mut m, &[1, 2], 0.3);
+    seal_with_jump(&mut m, &[1, 2], 0.8);
+    assert!(matches!(
+        m.last_grid_update(),
+        Some(GridUpdate::Incremental { .. })
+    ));
+
+    // Membership changes: staged moves and the recycled buffer die. The
+    // churned interval characterizes a 63-survivor cohort (rebuild), and
+    // the next full-fleet interval re-syncs the grid to the full scope
+    // (one more rebuild) before incremental maintenance resumes.
+    m.leave(63u64).unwrap();
+    m.join(99u64).unwrap();
+    m.ingest(99u64, vec![0.8]).unwrap();
+    seal_with_jump(&mut m, &[1, 2], 0.3);
+    assert_eq!(m.last_grid_update(), Some(GridUpdate::Rebuilt));
+    seal_with_jump(&mut m, &[1, 2], 0.8);
+    assert_eq!(m.last_grid_update(), Some(GridUpdate::Rebuilt));
+
+    // Steady again: incremental resumes.
+    seal_with_jump(&mut m, &[1, 2], 0.3);
+    assert!(matches!(
+        m.last_grid_update(),
+        Some(GridUpdate::Incremental { .. })
+    ));
+}

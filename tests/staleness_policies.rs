@@ -1,0 +1,150 @@
+//! Staleness policies exercised end to end on the ISP fault-injection
+//! workload: `CarryForward` bridges a gateway whose reports go missing for
+//! k consecutive instants, and `Reject` surfaces a typed error naming the
+//! missing `DeviceKey`s.
+
+use anomaly_characterization::detectors::{ThresholdDetector, VectorDetector};
+use anomaly_characterization::pipeline::{
+    DeviceKey, IngestError, Monitor, MonitorBuilder, MonitorError, StalenessPolicy,
+};
+use anomaly_eval::{NetworkFaultScenario, Scenario, ScenarioRun, ScenarioSpec};
+use anomaly_qos::Snapshot;
+
+fn scenario() -> (ScenarioSpec, ScenarioRun) {
+    let scenario = NetworkFaultScenario::small_mixed("staleness-net", 21, 3);
+    let spec = scenario.spec();
+    let run = scenario.generate().unwrap();
+    (spec, run)
+}
+
+fn monitor(spec: &ScenarioSpec, staleness: StalenessPolicy) -> Monitor {
+    let services = spec.services;
+    let delta = spec.detector_delta;
+    MonitorBuilder::new()
+        .params(spec.params)
+        .services(services)
+        .staleness(staleness)
+        .detector_factory(move |_| {
+            Box::new(VectorDetector::homogeneous(services, move || {
+                ThresholdDetector::with_delta(delta)
+            }))
+        })
+        .fleet(spec.population)
+        .build()
+        .unwrap()
+}
+
+/// Ingests every row of `snapshot` except the devices in `skip`.
+fn ingest_except(m: &mut Monitor, snapshot: &Snapshot, skip: &[DeviceKey]) {
+    let keys = m.keys().to_vec();
+    for (id, p) in snapshot.iter() {
+        let key = keys[id.index()];
+        if skip.contains(&key) {
+            continue;
+        }
+        m.ingest(key, p.coords().to_vec()).unwrap();
+    }
+}
+
+#[test]
+fn carry_forward_bridges_a_gateway_that_skips_k_instants() {
+    const K: u64 = 2;
+    let (spec, run) = scenario();
+    let mut m = monitor(&spec, StalenessPolicy::CarryForward { max_age: K });
+    // The silent gateway: a calm device (never in the ground truth), so
+    // its carried row is indistinguishable from a slow but healthy report.
+    let silent_id = (0..spec.population as u32)
+        .map(anomaly_qos::DeviceId)
+        .find(|&id| {
+            run.steps
+                .iter()
+                .all(|s| !s.truth.abnormal_devices().contains(id))
+        })
+        .expect("some gateway stays calm across the run");
+    let silent = DeviceKey(silent_id.0 as u64);
+
+    // Step 0: everyone reports, both instants.
+    ingest_except(&mut m, run.steps[0].pair.before(), &[]);
+    m.seal().unwrap();
+    ingest_except(&mut m, run.steps[0].pair.after(), &[]);
+    let r = m.seal().unwrap();
+    assert!(r.has_network_event(), "the DSLAM outage must still surface");
+    assert!(r.stragglers().is_empty());
+
+    // Steps 1..: the gateway goes silent for exactly K consecutive
+    // instants — bridged both times, and the rest of the fleet is still
+    // detected and characterized normally.
+    let mut bridged = 0u64;
+    for snapshot in [run.steps[1].pair.before(), run.steps[1].pair.after()] {
+        ingest_except(&mut m, snapshot, &[silent]);
+        let r = m.seal().unwrap();
+        assert_eq!(r.stragglers(), &[silent]);
+        bridged += 1;
+    }
+    assert_eq!(bridged, K);
+    // The gateway reports again: no straggler, age reset.
+    ingest_except(&mut m, run.steps[2].pair.before(), &[]);
+    m.seal().unwrap();
+    ingest_except(&mut m, run.steps[2].pair.after(), &[]);
+    let after = m.seal().unwrap();
+    assert!(after.stragglers().is_empty(), "the gateway is back");
+}
+
+#[test]
+fn carry_forward_rejects_a_gateway_stale_beyond_max_age() {
+    let (spec, run) = scenario();
+    let mut m = monitor(&spec, StalenessPolicy::CarryForward { max_age: 1 });
+    let silent = DeviceKey(40);
+    ingest_except(&mut m, run.steps[0].pair.before(), &[]);
+    m.seal().unwrap();
+    // Miss 1: bridged.
+    ingest_except(&mut m, run.steps[0].pair.after(), &[silent]);
+    assert_eq!(m.seal().unwrap().stragglers(), &[silent]);
+    // Miss 2: beyond the bound — typed error naming the device.
+    ingest_except(&mut m, run.steps[1].pair.before(), &[silent]);
+    let err = m.seal().unwrap_err();
+    assert_eq!(
+        err,
+        MonitorError::Ingest(IngestError::StaleDevices {
+            keys: vec![silent],
+            max_age: 1,
+        })
+    );
+    // The epoch is still open: the late report arrives and sealing works.
+    let row = run.steps[1]
+        .pair
+        .before()
+        .position(anomaly_qos::DeviceId(40))
+        .coords()
+        .to_vec();
+    m.ingest(silent, row).unwrap();
+    assert!(m.seal().unwrap().stragglers().is_empty());
+}
+
+#[test]
+fn reject_names_every_missing_gateway() {
+    let (spec, run) = scenario();
+    let mut m = monitor(&spec, StalenessPolicy::Reject);
+    let missing = [DeviceKey(3), DeviceKey(17)];
+    ingest_except(&mut m, run.steps[0].pair.before(), &missing);
+    let err = m.seal().unwrap_err();
+    assert_eq!(
+        err,
+        MonitorError::Ingest(IngestError::MissingDevices {
+            keys: missing.to_vec(),
+        })
+    );
+    let rendered = err.to_string();
+    assert!(rendered.contains("#3"), "{rendered}");
+    assert!(rendered.contains("#17"), "{rendered}");
+    // Completing the epoch seals it.
+    ingest_except(&mut m, run.steps[0].pair.before(), &[DeviceKey(3)]);
+    let row = run.steps[0]
+        .pair
+        .before()
+        .position(anomaly_qos::DeviceId(3))
+        .coords()
+        .to_vec();
+    m.ingest(DeviceKey(3), row).unwrap();
+    assert!(m.seal().is_ok());
+}
