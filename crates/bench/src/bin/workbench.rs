@@ -14,8 +14,10 @@
 //! * `EVAL_BENCH_OUT` — output path (default `BENCH_eval.json`)
 //! * `EVAL_BENCH_BASELINE` — path to a previously committed
 //!   `BENCH_eval.json`; when set, every (scenario, method) cell present in
-//!   both runs must not regress in macro F1 (tolerance 1e-6) or the run
-//!   aborts
+//!   both runs must not regress in macro F1 or event-level F1 (tolerance
+//!   1e-6) or the run aborts. When unset the gate is skipped for local
+//!   exploratory runs — unless `CI` is set, in which case the run fails
+//!   loudly instead of letting the gate go silently vacuous
 //! * `EVAL_BENCH_WORKERS` — threaded worker count (default 4)
 //! * `EVAL_BENCH_FLEET_DEVICES` — fleet-scenario population (default
 //!   20000; the scenario name embeds the value, so reduced runs are never
@@ -26,8 +28,8 @@ use anomaly_characterization::pipeline::Engine;
 use anomaly_core::Params;
 use anomaly_eval::{
     evaluate_classifier_on, evaluate_monitor_on, evaluate_monitor_streaming_on, AdversaryScenario,
-    ChurnScenario, FleetScenario, NetworkFaultScenario, RecordedScenario, Scenario, ScenarioScore,
-    SimScenario,
+    ChurnScenario, FleetScenario, NetworkFaultScenario, PersistentAnomalyScenario,
+    RecordedScenario, Scenario, ScenarioScore, SimScenario,
 };
 use anomaly_simulator::trace::Trace;
 use anomaly_simulator::{DestinationModel, FleetSpec, ScenarioConfig};
@@ -164,6 +166,18 @@ fn scenarios() -> Vec<Entry> {
         tess_cells: 16,
     });
 
+    // Long-lived anomalies + flapping devices: the event-tracker workload.
+    // A multi-step cluster outage and recurring isolated faults must
+    // surface as correlated events, not per-instant verdict confetti.
+    entries.push(Entry {
+        scenario: Box::new(PersistentAnomalyScenario::standard(
+            "persistent-anomaly",
+            61,
+        )),
+        kmeans_k: 12,
+        tess_cells: 16,
+    });
+
     // Recorded trace: a Section VII-A scenario through the text format.
     let recorded_source = SimScenario::paper("recorded-source", 42, 2);
     let run = recorded_source
@@ -188,9 +202,12 @@ fn scenarios() -> Vec<Entry> {
     entries
 }
 
-/// Extracts `(scenario, method) -> macro_f1` pairs from a workbench JSON
-/// file (the exact format this binary writes).
-fn parse_macro_f1(text: &str) -> Vec<(String, String, f64)> {
+/// Extracts `(scenario, method) -> metric` triplets for one numeric JSON
+/// key from a workbench JSON file (the exact format this binary writes).
+/// Keys absent from a cell (e.g. `event_f1` in a pre-event baseline file)
+/// are simply skipped, so the gate stays backward compatible.
+fn parse_metric(text: &str, key: &str) -> Vec<(String, String, f64)> {
+    let needle = format!("\"{key}\":");
     let mut out = Vec::new();
     for chunk in text.split("{\"scenario\":\"").skip(1) {
         let Some(scenario) = chunk.split('"').next() else {
@@ -203,15 +220,15 @@ fn parse_macro_f1(text: &str) -> Vec<(String, String, f64)> {
         else {
             continue;
         };
-        let Some(f1) = chunk
-            .split("\"macro_f1\":")
+        let Some(value) = chunk
+            .split(needle.as_str())
             .nth(1)
             .and_then(|rest| rest.split([',', '}']).next())
             .and_then(|num| num.parse::<f64>().ok())
         else {
             continue;
         };
-        out.push((scenario.to_string(), method.to_string(), f1));
+        out.push((scenario.to_string(), method.to_string(), value));
     }
     out
 }
@@ -246,14 +263,20 @@ fn main() {
         let tess_score = evaluate_classifier_on(&spec, &run, &tess);
 
         eprintln!(
-            "{:>22}: paper F1 {:.3} | {} F1 {:.3} | {} F1 {:.3} ({} truth devices, {} spurious)",
+            concat!(
+                "{:>22}: paper F1 {:.3} (event F1 {:.3}, latency {:.2}) | ",
+                "{} F1 {:.3} | {} F1 {:.3} ({} truth devices, {} events, {} spurious)"
+            ),
             spec.name,
             paper.macro_f1(),
+            paper.events.f1(),
+            paper.events.mean_latency(),
             kmeans.name(),
             km_score.macro_f1(),
             tess.name(),
             tess_score.macro_f1(),
             paper.confusion.total(),
+            paper.events.truth_events,
             paper.confusion.spurious_total(),
         );
 
@@ -270,6 +293,27 @@ fn main() {
                     baseline.macro_f1()
                 );
             }
+        }
+
+        // The event-tracker gate: on the long-lived-anomaly workload the
+        // multi-step cluster outage and every flapper recurrence must be
+        // found as correlated events — perfectly, with no invented events
+        // and no detection lag.
+        if spec.name.starts_with("persistent") {
+            assert_eq!(
+                (paper.events.recall(), paper.events.precision()),
+                (1.0, 1.0),
+                "{}: event tracking degraded: {:?}",
+                spec.name,
+                paper.events
+            );
+            assert_eq!(
+                paper.events.mean_latency(),
+                0.0,
+                "{}: detection latency appeared: {:?}",
+                spec.name,
+                paper.events
+            );
         }
 
         scores.extend([paper, threaded, km_score, tess_score]);
@@ -309,36 +353,65 @@ fn main() {
         entries_json.join(",\n")
     );
 
-    // Accuracy-regression gate against a committed run.
-    if let Ok(baseline_path) = std::env::var("EVAL_BENCH_BASELINE") {
-        let committed =
-            std::fs::read_to_string(&baseline_path).expect("read the committed baseline file");
-        let old = parse_macro_f1(&committed);
-        let new = parse_macro_f1(&json);
-        assert!(!old.is_empty(), "no entries parsed from {baseline_path}");
-        let mut compared = 0usize;
-        for (scenario, method, old_f1) in &old {
-            let Some((_, _, new_f1)) = new.iter().find(|(s, m, _)| s == scenario && m == method)
-            else {
-                continue; // reduced runs skip cells (e.g. a smaller fleet)
-            };
-            compared += 1;
-            assert!(
-                *new_f1 + 1e-6 >= *old_f1,
-                "accuracy regression on ({scenario}, {method}): {new_f1:.6} < {old_f1:.6}"
+    // Accuracy-regression gate against a committed run, on both the
+    // device-level macro F1 and the event-level F1. In CI the gate is
+    // mandatory: a missing EVAL_BENCH_BASELINE must fail the job loudly
+    // instead of silently skipping the comparison.
+    match std::env::var("EVAL_BENCH_BASELINE") {
+        Ok(baseline_path) => {
+            let committed =
+                std::fs::read_to_string(&baseline_path).expect("read the committed baseline file");
+            for key in ["macro_f1", "event_f1"] {
+                let old = parse_metric(&committed, key);
+                let new = parse_metric(&json, key);
+                if key == "macro_f1" {
+                    assert!(!old.is_empty(), "no entries parsed from {baseline_path}");
+                } else if old.is_empty() {
+                    // A pre-event baseline file: nothing to compare yet.
+                    eprintln!("regression gate: {baseline_path} has no {key} cells, skipping");
+                    continue;
+                }
+                let mut compared = 0usize;
+                for (scenario, method, old_value) in &old {
+                    let Some((_, _, new_value)) =
+                        new.iter().find(|(s, m, _)| s == scenario && m == method)
+                    else {
+                        continue; // reduced runs skip cells (e.g. a smaller fleet)
+                    };
+                    compared += 1;
+                    assert!(
+                        *new_value + 1e-6 >= *old_value,
+                        "{key} regression on ({scenario}, {method}): \
+                         {new_value:.6} < {old_value:.6}"
+                    );
+                }
+                // The gate must not go vacuous: only deliberately re-shaped
+                // cells (a resized fleet, a renamed worker count) may be
+                // skipped. If fewer than half the committed cells matched,
+                // something drifted — a scenario rename or a serialization
+                // change — and the "none worse" claim would be hollow.
+                assert!(
+                    compared * 2 >= old.len(),
+                    "regression gate went vacuous: only {compared}/{} committed {key} cells \
+                     matched",
+                    old.len()
+                );
+                eprintln!(
+                    "regression gate: {compared} {key} cells compared against {baseline_path}, \
+                     none worse"
+                );
+            }
+        }
+        Err(_) if std::env::var("CI").is_ok() => {
+            panic!(
+                "EVAL_BENCH_BASELINE is not set but CI is: the accuracy-regression gate would \
+                 silently skip. Point it at the committed BENCH_eval.json (or unset CI for a \
+                 local exploratory run)."
             );
         }
-        // The gate must not go vacuous: only deliberately re-shaped cells
-        // (a resized fleet, a renamed worker count) may be skipped. If
-        // fewer than half the committed cells matched, something drifted —
-        // a scenario rename or a serialization change — and the "none
-        // worse" claim would be hollow.
-        assert!(
-            compared * 2 >= old.len(),
-            "regression gate went vacuous: only {compared}/{} committed cells matched",
-            old.len()
-        );
-        eprintln!("regression gate: {compared} cells compared against {baseline_path}, none worse");
+        Err(_) => {
+            eprintln!("regression gate: EVAL_BENCH_BASELINE not set, skipping (local run)");
+        }
     }
 
     std::fs::write(&out_path, json).expect("write workbench output");

@@ -11,8 +11,9 @@
 //!   Monte-Carlo simulation ([`SimScenario`]), ISP fault injection
 //!   ([`NetworkFaultScenario`]), collusion attacks ([`AdversaryScenario`]),
 //!   large fleets ([`FleetScenario`]), membership churn
-//!   ([`ChurnScenario`]), and recorded traces ([`RecordedScenario`]) —
-//!   behind one deterministic `generate()`;
+//!   ([`ChurnScenario`]), long-lived anomalies with flapping devices
+//!   ([`PersistentAnomalyScenario`]), and recorded traces
+//!   ([`RecordedScenario`]) — behind one deterministic `generate()`;
 //! * [`evaluate_monitor`] drives the v2
 //!   [`Monitor`](anomaly_characterization::pipeline::Monitor) over a
 //!   scenario via `Monitor::run_scenario` and scores every verdict against
@@ -54,6 +55,6 @@ pub use runner::{
 };
 pub use scenario::{ChurnEvent, Scenario, ScenarioRun, ScenarioSpec};
 pub use workloads::{
-    AdversaryScenario, ChurnScenario, FleetScenario, NetworkFaultScenario, RecordedScenario,
-    SimScenario, StreamingScenario,
+    AdversaryScenario, ChurnScenario, FleetScenario, NetworkFaultScenario,
+    PersistentAnomalyScenario, RecordedScenario, SimScenario, StreamingScenario,
 };

@@ -431,6 +431,209 @@ impl Scenario for ChurnScenario {
     }
 }
 
+/// Long-lived anomalies and flapping devices: the event-tracker workload.
+///
+/// Three populations share a 2-service QoS cube:
+///
+/// * a **massive cluster** (devices `0..cluster_size`) parked near the top
+///   of the cube that degrades coherently — one downward `shift` per step —
+///   for `duration` consecutive steps starting at `onset`: one long-lived
+///   network event whose ground truth spans many steps;
+/// * **flappers** (the next `flappers` devices), each alone in its own
+///   neighbourhood, that jump out by `shift` at steps `≡ 0 (mod
+///   flap_period)` and back at steps `≡ 1`, then hold still — isolated
+///   anomalies that recur with quiet gaps in between;
+/// * a **calm majority** jittering below the detector threshold.
+///
+/// Per-step device verdicts score exactly like every other workload; the
+/// point of this one is the *event* axis: the cluster must surface as one
+/// event (not `duration` disjoint massive verdicts) and each flapper's
+/// recurrences must stay temporally correlated, which the event-level
+/// precision/recall/latency metrics quantify.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistentAnomalyScenario {
+    /// Scenario name.
+    pub name: String,
+    /// Fleet size (cluster + flappers + calm majority).
+    pub devices: usize,
+    /// Devices in the long-lived massive cluster.
+    pub cluster_size: usize,
+    /// Step the cluster starts degrading.
+    pub onset: usize,
+    /// Consecutive degrading steps.
+    pub duration: usize,
+    /// Number of flapping devices.
+    pub flappers: usize,
+    /// Flap cycle length (`>= 2`): out at `step ≡ 0`, back at `step ≡ 1`,
+    /// still otherwise — so each cycle has `flap_period - 2` quiet steps.
+    pub flap_period: usize,
+    /// Steps to generate.
+    pub steps: usize,
+    /// Characterization operating point.
+    pub params: Params,
+    /// Calm per-coordinate jitter, strictly below the detector threshold.
+    pub jitter: f64,
+    /// Anomalous per-step displacement, strictly above it.
+    pub shift: f64,
+    /// Seed for placement and calm jitter.
+    pub seed: u64,
+}
+
+impl PersistentAnomalyScenario {
+    /// A standard instance: 800 devices, an 8-device cluster degrading for
+    /// 5 steps from step 2, four period-3 flappers, 10 steps.
+    pub fn standard(name: impl Into<String>, seed: u64) -> Self {
+        PersistentAnomalyScenario {
+            name: name.into(),
+            devices: 800,
+            cluster_size: 8,
+            onset: 2,
+            duration: 5,
+            flappers: 4,
+            flap_period: 3,
+            steps: 10,
+            params: Params::new(0.03, 3).expect("the standard operating point is valid"),
+            jitter: 0.01,
+            shift: 0.15,
+            seed,
+        }
+    }
+
+    fn detector_delta(&self) -> f64 {
+        (self.jitter + self.shift) / 2.0
+    }
+}
+
+impl Scenario for PersistentAnomalyScenario {
+    fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            name: self.name.clone(),
+            population: self.devices,
+            services: 2,
+            params: self.params,
+            detector_delta: self.detector_delta(),
+        }
+    }
+
+    fn generate(&self) -> Result<ScenarioRun, EvalError> {
+        let window = self.params.window();
+        let invalid = |reason: String| EvalError::InvalidScenario { reason };
+        if self.flap_period < 2 {
+            return Err(invalid(format!(
+                "flap_period must be at least 2, got {}",
+                self.flap_period
+            )));
+        }
+        if self.cluster_size + self.flappers > self.devices {
+            return Err(invalid(format!(
+                "{} cluster + {} flapper devices exceed the fleet of {}",
+                self.cluster_size, self.flappers, self.devices
+            )));
+        }
+        if self.shift <= self.jitter {
+            return Err(invalid(format!(
+                "shift {} must exceed the calm jitter {} for the detector to separate them",
+                self.shift, self.jitter
+            )));
+        }
+        let active_steps = self.duration.min(self.steps.saturating_sub(self.onset));
+        let cluster_top = 0.88;
+        if cluster_top - active_steps as f64 * self.shift < 0.01 {
+            return Err(invalid(format!(
+                "{active_steps} drift steps of {} leave the unit cube",
+                self.shift
+            )));
+        }
+        // Flappers sit on one column, vertically separated by more than the
+        // vicinity window so they never co-move with each other.
+        let spacing = 2.0 * window + 0.02;
+        if 0.1 + self.flappers as f64 * spacing > 0.95 || 0.06 + self.shift > 0.80 {
+            return Err(invalid(format!(
+                "{} flappers at spacing {spacing:.3} (shift {}) do not fit the cube",
+                self.flappers, self.shift
+            )));
+        }
+
+        let space = QosSpace::new(2).expect("two services is a valid space");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let spread = window.min(0.08) / 2.0;
+        let mut pos: Vec<[f64; 2]> = (0..self.devices)
+            .map(|i| {
+                if i < self.cluster_size {
+                    [
+                        cluster_top + rng.gen_range(0.0..spread),
+                        cluster_top + rng.gen_range(0.0..spread),
+                    ]
+                } else if i < self.cluster_size + self.flappers {
+                    let f = i - self.cluster_size;
+                    [0.06, 0.1 + f as f64 * spacing]
+                } else {
+                    [rng.gen_range(0.15..0.80), rng.gen_range(0.15..0.80)]
+                }
+            })
+            .collect();
+
+        let snapshot = |pos: &[[f64; 2]]| -> Snapshot {
+            Snapshot::from_rows(&space, pos.iter().map(|p| p.to_vec()).collect())
+                .expect("generated rows stay in the unit cube")
+        };
+        let mut previous = snapshot(&pos);
+        let mut steps = Vec::with_capacity(self.steps);
+        for step in 0..self.steps {
+            let mut events: Vec<ErrorEvent> = Vec::new();
+            // The long-lived cluster: one coherent downward shift per
+            // active step, every cluster device impacted.
+            if step >= self.onset && step < self.onset + self.duration {
+                for p in pos.iter_mut().take(self.cluster_size) {
+                    p[1] -= self.shift;
+                }
+                events.push(ErrorEvent {
+                    impacted: (0..self.cluster_size).map(|i| DeviceId(i as u32)).collect(),
+                    intended_isolated: false,
+                });
+            }
+            // Flappers: out, back, still, repeat.
+            for f in 0..self.flappers {
+                let id = self.cluster_size + f;
+                let jumped = match step % self.flap_period {
+                    0 => {
+                        pos[id][0] += self.shift;
+                        true
+                    }
+                    1 => {
+                        pos[id][0] -= self.shift;
+                        true
+                    }
+                    _ => false,
+                };
+                if jumped {
+                    events.push(ErrorEvent {
+                        impacted: anomaly_core::DeviceSet::singleton(DeviceId(id as u32)),
+                        intended_isolated: true,
+                    });
+                }
+            }
+            // The calm majority random-walks below the detector threshold.
+            for p in pos.iter_mut().skip(self.cluster_size + self.flappers) {
+                for c in p.iter_mut() {
+                    *c = (*c + rng.gen_range(-self.jitter..=self.jitter)).clamp(0.01, 0.99);
+                }
+            }
+            let current = snapshot(&pos);
+            steps.push(TraceStep {
+                pair: StatePair::new(previous, current.clone())
+                    .expect("chained snapshots share the fleet shape"),
+                truth: GroundTruth::new(events),
+            });
+            previous = current;
+        }
+        Ok(ScenarioRun {
+            steps,
+            churn: Vec::new(),
+        })
+    }
+}
+
 /// Replays any scenario through the monitor's streaming front-end
 /// (`ingest` + `seal`) instead of the batch `observe` path: each step's
 /// snapshot is decomposed into per-device updates, shuffled with a
@@ -698,6 +901,88 @@ mod tests {
         scenario.churn_every = 0;
         assert!(matches!(
             scenario.generate(),
+            Err(EvalError::InvalidScenario { .. })
+        ));
+    }
+
+    #[test]
+    fn persistent_scenario_generates_chained_labelled_steps() {
+        let scenario = PersistentAnomalyScenario {
+            devices: 60,
+            ..PersistentAnomalyScenario::standard("persist", 5)
+        };
+        let run = scenario.generate().unwrap();
+        assert_eq!(run.steps.len(), 10);
+        assert_r1(&run);
+        for w in run.steps.windows(2) {
+            assert_eq!(w[0].pair.after(), w[1].pair.before());
+        }
+        assert_eq!(scenario.generate().unwrap(), run, "deterministic");
+        // The cluster event appears at exactly the drift steps.
+        for (i, step) in run.steps.iter().enumerate() {
+            let has_cluster = step
+                .truth
+                .events()
+                .iter()
+                .any(|e| e.impacted.len() == scenario.cluster_size);
+            assert_eq!(has_cluster, (2..7).contains(&i), "step {i}");
+            let flapper_events = step
+                .truth
+                .events()
+                .iter()
+                .filter(|e| e.impacted.len() == 1)
+                .count();
+            let expected = if i % 3 <= 1 { scenario.flappers } else { 0 };
+            assert_eq!(flapper_events, expected, "step {i}");
+        }
+        // Linked into spans: one long massive event, plus per-flapper
+        // isolated recurrences (two active steps each, quiet gaps between).
+        let spans = anomaly_simulator::score::link_truth_events(
+            run.steps.iter().map(|s| &s.truth),
+            scenario.params.tau(),
+        );
+        let massive: Vec<_> = spans.iter().filter(|s| s.massive).collect();
+        assert_eq!(massive.len(), 1, "one long-lived cluster event");
+        assert_eq!((massive[0].onset, massive[0].last), (2, 6));
+        assert_eq!(massive[0].devices.len(), scenario.cluster_size);
+        let isolated = spans.len() - 1;
+        // Steps 0..10, period 3: recurrences at {0,1}, {3,4}, {6,7}, {9}.
+        assert_eq!(isolated, scenario.flappers * 4);
+    }
+
+    #[test]
+    fn persistent_scenario_validates_its_knobs() {
+        let bad_period = PersistentAnomalyScenario {
+            flap_period: 1,
+            ..PersistentAnomalyScenario::standard("p", 1)
+        };
+        assert!(matches!(
+            bad_period.generate(),
+            Err(EvalError::InvalidScenario { .. })
+        ));
+        let bad_drift = PersistentAnomalyScenario {
+            duration: 50,
+            steps: 60,
+            ..PersistentAnomalyScenario::standard("p", 1)
+        };
+        assert!(matches!(
+            bad_drift.generate(),
+            Err(EvalError::InvalidScenario { .. })
+        ));
+        let bad_fleet = PersistentAnomalyScenario {
+            devices: 5,
+            ..PersistentAnomalyScenario::standard("p", 1)
+        };
+        assert!(matches!(
+            bad_fleet.generate(),
+            Err(EvalError::InvalidScenario { .. })
+        ));
+        let bad_shift = PersistentAnomalyScenario {
+            jitter: 0.2,
+            ..PersistentAnomalyScenario::standard("p", 1)
+        };
+        assert!(matches!(
+            bad_shift.generate(),
             Err(EvalError::InvalidScenario { .. })
         ));
     }

@@ -559,6 +559,74 @@ mod tests {
         index.apply_moves(&pair, 0.1, &lie);
     }
 
+    /// The axis-resolution cap engages for `min_cell_side` far below
+    /// `1 / max_axis(dim)`; a caller detecting cell crossings through
+    /// [`GridIndex::cell_index`] (the monitor's staged-move filter) must
+    /// stay consistent with `apply_moves`' own capped geometry.
+    #[test]
+    fn cell_index_crossing_filter_matches_apply_moves_under_the_cap() {
+        // dim 3: uncapped would be 1000 cells/axis, capped at 64.
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![0.08 * i as f64, 0.07 * i as f64, 0.05 * i as f64])
+            .collect();
+        let old = pair_from(rows.clone(), rows.clone());
+        let side = 0.001;
+        let mut index = GridIndex::build(&old, side);
+        assert_eq!(index.cells_per_axis(), 64, "the dim-3 cap must engage");
+        // Every device nudges; some cross capped cells, some only cross
+        // cells of the *uncapped* resolution (the desync hazard: filtering
+        // with the wrong geometry would drop or fabricate moves).
+        let new_rows: Vec<Vec<f64>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let nudge = if i % 3 == 0 { 0.002 } else { 0.11 };
+                row.iter().map(|c| (c + nudge).min(1.0)).collect()
+            })
+            .collect();
+        let new = pair_from(new_rows, rows.clone());
+        // The monitor's filter: keep only moves whose *capped* cell differs.
+        let moves: Vec<(DeviceId, Point, Point)> = old
+            .before()
+            .iter()
+            .zip(new.before().iter())
+            .filter(|((_, a), (_, b))| index.cell_index(a.coords()) != index.cell_index(b.coords()))
+            .map(|((id, a), (_, b))| (id, a.clone(), b.clone()))
+            .collect();
+        assert!(
+            moves.len() < old.len(),
+            "some nudges must stay within their capped cell"
+        );
+        assert_eq!(
+            index.apply_moves(&new, side, &moves),
+            GridUpdate::Incremental {
+                rebucketed: moves.len()
+            }
+        );
+        let fresh = GridIndex::build(&new, side);
+        for j in new.device_ids() {
+            for radius in [0.02, 0.12] {
+                assert_eq!(
+                    index.neighbors_both(&new, j, radius),
+                    fresh.neighbors_both(&new, j, radius),
+                    "device {j:?} at radius {radius}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_axis_cap_depends_on_the_dimension() {
+        for (dim, expected) in [(1usize, 4096), (2, 512), (3, 64), (4, 16), (6, 16)] {
+            let rows = vec![vec![0.5; dim], vec![0.25; dim]];
+            let pair = pair_from(rows.clone(), rows);
+            let index = GridIndex::build(&pair, 1e-9);
+            assert_eq!(index.cells_per_axis(), expected, "dim {dim}");
+            // The capped cell side is what cell_index actually uses.
+            assert!((index.cell_side() - 1.0 / expected as f64).abs() < 1e-12);
+        }
+    }
+
     #[test]
     fn neighbors_both_into_reuses_the_buffer() {
         let pair = pair_from(
@@ -593,6 +661,52 @@ mod tests {
                 let mut expected = pair.neighbors_both(j, radius);
                 expected.sort_unstable();
                 prop_assert_eq!(index.neighbors_both(&pair, j, radius), expected);
+            }
+        }
+
+        /// In the capped-resolution regime (dim 3, radii far below the
+        /// 1/64 capped cell side) the incremental path must still agree
+        /// with a fresh build — both when handed the full positional diff
+        /// and when handed only the moves that cross a *capped* cell, the
+        /// filter the monitor's sealing path applies via `cell_index`.
+        #[test]
+        fn apply_moves_equals_fresh_build_when_the_axis_cap_engages(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..=1.0f64, 3), 1..25),
+            moved in proptest::collection::vec(
+                proptest::collection::vec(0.0..=1.0f64, 3), 1..25),
+            radius in 0.0003..0.02f64,
+        ) {
+            let n = rows.len().min(moved.len());
+            let before = rows[..n].to_vec();
+            let old = pair_from(before.clone(), before.clone());
+            let new_before: Vec<Vec<f64>> = before
+                .iter()
+                .enumerate()
+                .map(|(i, row)| if i % 2 == 0 { moved[i].clone() } else { row.clone() })
+                .collect();
+            let new = pair_from(new_before, moved[..n].to_vec());
+            prop_assert!(GridIndex::build(&old, radius).cells_per_axis() <= 64);
+            // Full positional diff.
+            assert_apply_matches_fresh(&old, &new, radius, radius);
+            // Capped-cell-crossing filter only (the monitor's batch).
+            let mut index = GridIndex::build(&old, radius);
+            let moves: Vec<(DeviceId, Point, Point)> = old
+                .before()
+                .iter()
+                .zip(new.before().iter())
+                .filter(|((_, a), (_, b))| {
+                    index.cell_index(a.coords()) != index.cell_index(b.coords())
+                })
+                .map(|((id, a), (_, b))| (id, a.clone(), b.clone()))
+                .collect();
+            index.apply_moves(&new, radius, &moves);
+            let fresh = GridIndex::build(&new, radius);
+            for j in new.device_ids() {
+                prop_assert_eq!(
+                    index.neighbors_both(&new, j, radius),
+                    fresh.neighbors_both(&new, j, radius)
+                );
             }
         }
 

@@ -53,4 +53,4 @@ pub use config::{DestinationModel, ScenarioConfig, SimulationError};
 pub use fleet::{generate_fleet, FleetInstant, FleetSpec};
 pub use generator::{Simulation, StepOutcome};
 pub use ground_truth::{ErrorEvent, GroundTruth};
-pub use score::{Confusion, Prediction, TruthClass};
+pub use score::{Confusion, EventConfusion, EventSpan, Prediction, TruthClass};

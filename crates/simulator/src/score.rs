@@ -21,7 +21,7 @@
 //!   abnormal set directly.
 
 use crate::ground_truth::GroundTruth;
-use anomaly_core::AnomalyClass;
+use anomaly_core::{AnomalyClass, DeviceSet};
 use anomaly_qos::DeviceId;
 use std::fmt::Write as _;
 
@@ -285,6 +285,217 @@ impl Confusion {
     }
 }
 
+/// One anomaly event in **step coordinates**: the unit of event-level
+/// scoring, on either side of the comparison.
+///
+/// Ground-truth spans come from [`link_truth_events`] (per-step
+/// [`GroundTruth`] events chained across consecutive steps by device
+/// overlap); predicted spans come from a monitor's event-delta stream or
+/// from [`link_event_spans`] over a classifier's per-step verdict groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSpan {
+    /// First step the event was observed at.
+    pub onset: usize,
+    /// Last step the event was observed at (inclusive).
+    pub last: usize,
+    /// Every device the event affected over its lifetime.
+    pub devices: DeviceSet,
+    /// True when the event was massive (impacted `> τ` devices) at any
+    /// step of its life — its peak class.
+    pub massive: bool,
+}
+
+impl EventSpan {
+    /// True when the two spans overlap in time.
+    pub fn overlaps(&self, other: &EventSpan) -> bool {
+        self.onset <= other.last && other.onset <= self.last
+    }
+
+    /// True when `other` is the same anomaly: same peak class, overlapping
+    /// steps, and at least one shared device.
+    pub fn matches(&self, other: &EventSpan) -> bool {
+        self.massive == other.massive
+            && self.overlaps(other)
+            && !self.devices.is_disjoint(&other.devices)
+    }
+}
+
+/// Chains per-step event groups into [`EventSpan`]s: a group at step `s`
+/// continues a span that was active at step `s-1` and shares a device with
+/// it; otherwise it opens a new span. Each group is `(devices, massive)`.
+///
+/// The chaining is deterministic (steps in order, groups in their given
+/// order, candidate spans in creation order) and gap-free: one quiet step
+/// ends a span — mirroring a tracker debounce of one bridging epoch, which
+/// is exactly what the evaluation monitors run with.
+pub fn link_event_spans<'a, I, S>(steps: I) -> Vec<EventSpan>
+where
+    I: IntoIterator<Item = S>,
+    S: IntoIterator<Item = &'a (DeviceSet, bool)>,
+{
+    let mut spans: Vec<EventSpan> = Vec::new();
+    for (step, groups) in steps.into_iter().enumerate() {
+        for (devices, massive) in groups {
+            let continued = spans.iter_mut().find(|span| {
+                (span.last + 1 == step || span.last == step) && !span.devices.is_disjoint(devices)
+            });
+            match continued {
+                Some(span) => {
+                    span.last = step;
+                    span.devices = span.devices.union(devices);
+                    span.massive |= massive;
+                }
+                None => spans.push(EventSpan {
+                    onset: step,
+                    last: step,
+                    devices: devices.clone(),
+                    massive: *massive,
+                }),
+            }
+        }
+    }
+    spans
+}
+
+/// [`link_event_spans`] over a run's per-step ground truth: each step's
+/// [`ErrorEvent`](crate::ErrorEvent)s become groups classified by their
+/// effective size against `tau`.
+pub fn link_truth_events<'a>(
+    steps: impl IntoIterator<Item = &'a GroundTruth>,
+    tau: usize,
+) -> Vec<EventSpan> {
+    let grouped: Vec<Vec<(DeviceSet, bool)>> = steps
+        .into_iter()
+        .map(|truth| {
+            truth
+                .events()
+                .iter()
+                .map(|e| (e.impacted.clone(), e.is_massive(tau)))
+                .collect()
+        })
+        .collect();
+    link_event_spans(grouped.iter().map(|g| g.iter()))
+}
+
+/// Event-level comparison of predicted spans against ground-truth spans:
+/// the temporal counterpart of the per-device [`Confusion`].
+///
+/// A predicted span *matches* a truth span when the peak classes agree,
+/// the step ranges overlap, and the device sets intersect
+/// ([`EventSpan::matches`]). Precision is over predicted events, recall
+/// over truth events, and detection latency is the gap (in steps) between
+/// a truth event's onset and the onset of its earliest matching
+/// prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventConfusion {
+    /// Ground-truth events scored.
+    pub truth_events: u64,
+    /// Predicted events scored.
+    pub predicted_events: u64,
+    /// Truth events with at least one matching prediction.
+    pub matched_truth: u64,
+    /// Predicted events matching at least one truth event (the rest are
+    /// spurious).
+    pub matched_predicted: u64,
+    /// Sum over matched truth events of the onset gap to their earliest
+    /// matching prediction (clamped at zero for early predictions).
+    pub latency_steps: u64,
+}
+
+impl EventConfusion {
+    /// Of the predicted events, the fraction matching a real one. 1.0 when
+    /// nothing was predicted (no claims, no false claims).
+    pub fn precision(&self) -> f64 {
+        if self.predicted_events == 0 {
+            1.0
+        } else {
+            self.matched_predicted as f64 / self.predicted_events as f64
+        }
+    }
+
+    /// Of the real events, the fraction detected. 1.0 when nothing real
+    /// happened.
+    pub fn recall(&self) -> f64 {
+        if self.truth_events == 0 {
+            1.0
+        } else {
+            self.matched_truth as f64 / self.truth_events as f64
+        }
+    }
+
+    /// Harmonic mean of event precision and recall (0 when both vanish).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Mean detection latency over the matched truth events, in steps
+    /// (0 when nothing matched).
+    pub fn mean_latency(&self) -> f64 {
+        if self.matched_truth == 0 {
+            0.0
+        } else {
+            self.latency_steps as f64 / self.matched_truth as f64
+        }
+    }
+
+    /// Stable JSON rendering: the raw counters and the derived metrics.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"truth_events\":{},\"predicted_events\":{},",
+                "\"matched_truth\":{},\"matched_predicted\":{},",
+                "\"latency_steps\":{},",
+                "\"event_precision\":{:.6},\"event_recall\":{:.6},",
+                "\"event_f1\":{:.6},\"mean_detection_latency\":{:.6}}}"
+            ),
+            self.truth_events,
+            self.predicted_events,
+            self.matched_truth,
+            self.matched_predicted,
+            self.latency_steps,
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.mean_latency(),
+        )
+    }
+}
+
+/// Scores predicted event spans against ground-truth spans — see
+/// [`EventConfusion`] for the matching rule and the derived metrics.
+pub fn score_events(truth: &[EventSpan], predicted: &[EventSpan]) -> EventConfusion {
+    let mut confusion = EventConfusion {
+        truth_events: truth.len() as u64,
+        predicted_events: predicted.len() as u64,
+        ..EventConfusion::default()
+    };
+    let mut predicted_matched = vec![false; predicted.len()];
+    for t in truth {
+        let mut earliest: Option<usize> = None;
+        for (pi, p) in predicted.iter().enumerate() {
+            if p.matches(t) {
+                predicted_matched[pi] = true;
+                earliest = Some(match earliest {
+                    Some(onset) => onset.min(p.onset),
+                    None => p.onset,
+                });
+            }
+        }
+        if let Some(onset) = earliest {
+            confusion.matched_truth += 1;
+            confusion.latency_steps += onset.saturating_sub(t.onset) as u64;
+        }
+    }
+    confusion.matched_predicted = predicted_matched.iter().filter(|&&m| m).count() as u64;
+    confusion
+}
+
 /// Scores every ground-truth abnormal device of one step: looks each one up
 /// through `class_of` (`None` = no verdict, recorded as
 /// [`Prediction::Missing`]) and records it against its event's effective
@@ -432,6 +643,107 @@ mod tests {
         assert!(json.contains("\"matrix\""));
         assert!(json.contains("\"macro_f1\""));
         assert!(json.contains("\"spurious\":{\"isolated\":1"));
+        assert_eq!(json, c.to_json());
+    }
+
+    fn event(ids: &[u32], intended_isolated: bool) -> ErrorEvent {
+        ErrorEvent {
+            impacted: DeviceSet::from(ids),
+            intended_isolated,
+        }
+    }
+
+    fn span(onset: usize, last: usize, ids: &[u32], massive: bool) -> EventSpan {
+        EventSpan {
+            onset,
+            last,
+            devices: DeviceSet::from(ids),
+            massive,
+        }
+    }
+
+    #[test]
+    fn truth_linking_chains_overlapping_consecutive_steps() {
+        // Steps 0-2: the same cluster degrades; step 1 adds a lone fault;
+        // step 3 is quiet; step 4 re-faults the cluster's devices.
+        let steps = [
+            GroundTruth::new(vec![event(&[0, 1, 2, 3], false)]),
+            GroundTruth::new(vec![event(&[1, 2, 3, 4], false), event(&[9], true)]),
+            GroundTruth::new(vec![event(&[2, 3, 4, 5], false)]),
+            GroundTruth::new(vec![]),
+            GroundTruth::new(vec![event(&[0, 1, 2, 3], false)]),
+        ];
+        let spans = link_truth_events(steps.iter(), 3);
+        assert_eq!(spans.len(), 3);
+        // The cluster chains across steps 0..=2 with a growing device set.
+        assert_eq!(spans[0], span(0, 2, &[0, 1, 2, 3, 4, 5], true));
+        // The lone fault is its own single-step span.
+        assert_eq!(spans[1], span(1, 1, &[9], false));
+        // The quiet step 3 breaks the chain: step 4 is a new span.
+        assert_eq!(spans[2], span(4, 4, &[0, 1, 2, 3], true));
+    }
+
+    #[test]
+    fn effective_class_follows_the_peak_size() {
+        // An intended-massive event that only ever impacts 2 devices is
+        // effectively isolated; growth past tau flips the span to massive.
+        let steps = [
+            GroundTruth::new(vec![event(&[0, 1], false)]),
+            GroundTruth::new(vec![event(&[0, 1, 2, 3], false)]),
+        ];
+        let spans = link_truth_events(steps.iter(), 3);
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].massive, "peak size 4 > tau 3");
+        let spans = link_truth_events(steps[..1].iter(), 3);
+        assert!(!spans[0].massive);
+    }
+
+    #[test]
+    fn event_matching_needs_class_time_and_device_overlap() {
+        let truth = vec![span(2, 6, &[0, 1, 2, 3], true), span(4, 4, &[9], false)];
+        // Matches the cluster two steps late; wrong class on the loner.
+        let predicted = vec![
+            span(4, 6, &[1, 2, 3], true),
+            span(4, 4, &[9], true),
+            span(0, 0, &[7], false),
+        ];
+        let c = score_events(&truth, &predicted);
+        assert_eq!(c.truth_events, 2);
+        assert_eq!(c.predicted_events, 3);
+        assert_eq!(c.matched_truth, 1);
+        assert_eq!(c.matched_predicted, 1);
+        assert_eq!(c.latency_steps, 2);
+        assert!((c.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.mean_latency() - 2.0).abs() < 1e-12);
+        assert!(c.f1() > 0.0);
+    }
+
+    #[test]
+    fn early_predictions_have_zero_latency_and_empty_sides_are_vacuous() {
+        let truth = vec![span(3, 5, &[0], false)];
+        let predicted = vec![span(1, 5, &[0], false)];
+        let c = score_events(&truth, &predicted);
+        assert_eq!(c.latency_steps, 0, "early onset clamps to zero");
+        let empty = score_events(&[], &[]);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.f1(), 1.0);
+        assert_eq!(empty.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn event_json_is_stable() {
+        let c = score_events(
+            &[span(0, 2, &[0, 1, 2, 3], true)],
+            &[span(1, 2, &[0, 1], true)],
+        );
+        let json = c.to_json();
+        assert!(json.contains("\"event_f1\":1.000000"), "{json}");
+        assert!(
+            json.contains("\"mean_detection_latency\":1.000000"),
+            "{json}"
+        );
         assert_eq!(json, c.to_json());
     }
 }

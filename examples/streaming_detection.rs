@@ -17,7 +17,9 @@
 
 use anomaly_characterization::core::AnomalyClass;
 use anomaly_characterization::detectors::HoltWintersDetector;
-use anomaly_characterization::pipeline::{DeviceKey, MonitorBuilder, StalenessPolicy};
+use anomaly_characterization::pipeline::{
+    DeviceKey, EventDeltaKind, MonitorBuilder, StalenessPolicy,
+};
 
 const DEVICES: usize = 12;
 const SHARED_INCIDENT: [u64; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
@@ -56,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .radius(0.03)
         .tau(3)
         .staleness(StalenessPolicy::CarryForward { max_age: 3 })
+        // Keep an anomaly event open across up to 3 quiet epochs, so the
+        // incident and the repair rebound correlate into one event.
+        .debounce(3)
         .detector_factory(|_key| Box::new(HoltWintersDetector::new(0.5, 0.2, 4.0)))
         .fleet(DEVICES)
         .build()?;
@@ -111,5 +116,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(report.class_of(DeviceKey(0)), Some(AnomalyClass::Massive));
     println!("\nshared congestion recognized as massive; device #10's fault stays local.");
+
+    // The epoch's verdicts also folded into tracked anomaly *events*: one
+    // massive event for the shared congestion, one isolated event for the
+    // local fault — the units an operator pages on.
+    let opened = report
+        .event_deltas()
+        .iter()
+        .filter(|d| d.kind == EventDeltaKind::Opened)
+        .count();
+    assert_eq!(opened, 2, "one shared event + one local event");
+    assert_eq!(monitor.events().open().len(), 2);
+
+    // The incident persists a couple of instants, then everything is
+    // repaired. The rebound jump hits the same devices, so it *continues*
+    // the open events instead of fabricating new incidents.
+    for t in INCIDENT_AT + 1..INCIDENT_AT + 3 {
+        for j in arrival_order(t) {
+            monitor.ingest(j, vec![qos(j, t)])?;
+        }
+        monitor.seal()?;
+    }
+    for t in 0..6 {
+        // Healthy levels again (the profile of the warm-up phase).
+        for j in arrival_order(t) {
+            monitor.ingest(j, vec![qos(j, t)])?;
+        }
+        monitor.seal()?;
+    }
+    assert_eq!(
+        monitor.events().opened_total(),
+        2,
+        "the repair rebound must not open fresh events"
+    );
+    assert!(
+        monitor.events().open().is_empty(),
+        "all events closed after the quiet stretch"
+    );
+    println!("\nevent lifecycle:");
+    for e in monitor.events().recently_closed() {
+        println!(
+            "  {}: {} from epoch {} to {} ({} devices, {} active epochs)",
+            e.id,
+            e.class,
+            e.onset,
+            e.end.expect("closed events have an end"),
+            e.devices.len(),
+            e.epochs_active,
+        );
+    }
     Ok(())
 }

@@ -39,6 +39,8 @@ pub struct MonitorBuilder {
     grid_maintenance: GridMaintenance,
     staleness: StalenessPolicy,
     epoch_start: u64,
+    history: usize,
+    debounce: u64,
     initial: Vec<DeviceKey>,
 }
 
@@ -56,6 +58,8 @@ impl std::fmt::Debug for MonitorBuilder {
             .field("grid_maintenance", &self.grid_maintenance)
             .field("staleness", &self.staleness)
             .field("epoch_start", &self.epoch_start)
+            .field("history", &self.history)
+            .field("debounce", &self.debounce)
             .field("initial_devices", &self.initial.len())
             .finish()
     }
@@ -83,8 +87,29 @@ impl MonitorBuilder {
             grid_maintenance: GridMaintenance::Incremental,
             staleness: StalenessPolicy::Reject,
             epoch_start: 0,
+            history: 16,
+            debounce: 0,
             initial: Vec::new(),
         }
+    }
+
+    /// Capacity of the monitor's bounded history rings: the last `window`
+    /// sealed-epoch [`ReportSummary`](super::ReportSummary)s
+    /// ([`Monitor::history`](Monitor::history)) and the last `window`
+    /// closed [`AnomalyEvent`](super::AnomalyEvent)s. `0` keeps no
+    /// history at all (events are still tracked). Defaults to 16.
+    pub fn history(mut self, window: usize) -> Self {
+        self.history = window;
+        self
+    }
+
+    /// Quiet epochs an open anomaly event absorbs before it is closed: a
+    /// device flapping in and out of its anomaly within `debounce` epochs
+    /// stays one event instead of fragmenting. Defaults to `0` (an event
+    /// closes at the first epoch none of its devices is flagged).
+    pub fn debounce(mut self, epochs: u64) -> Self {
+        self.debounce = epochs;
+        self
     }
 
     /// How [`Monitor::seal`](Monitor::seal) resolves devices that stayed
@@ -257,6 +282,8 @@ impl MonitorBuilder {
             self.grid_maintenance,
             self.staleness,
             self.epoch_start,
+            self.history,
+            self.debounce,
         );
         for key in self.initial {
             monitor.join(key)?;

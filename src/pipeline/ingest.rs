@@ -52,10 +52,13 @@ pub enum StalenessPolicy {
     #[default]
     Reject,
     /// A silent device keeps its previous position for up to `max_age`
-    /// consecutive epochs; beyond that, sealing fails with
-    /// [`IngestError::StaleDevices`]. Devices with no previous position at
-    /// all (fresh joiners, or the very first epoch) cannot be carried and
-    /// surface as [`IngestError::MissingDevices`].
+    /// consecutive epochs — the bound is **inclusive**: a device silent
+    /// for exactly `max_age` consecutive epochs is bridged every time, and
+    /// the `max_age + 1`-th consecutive silent epoch fails sealing with
+    /// [`IngestError::StaleDevices`] (pinned by the boundary test in
+    /// `tests/staleness_policies.rs`). Devices with no previous position
+    /// at all (fresh joiners, or the very first epoch) cannot be carried
+    /// and surface as [`IngestError::MissingDevices`].
     CarryForward {
         /// Longest run of consecutive epochs a device may miss (`1` =
         /// bridge a single skipped instant).
@@ -390,6 +393,11 @@ impl Monitor {
                 (_, None) => missing.push(key),
                 (StalenessPolicy::Reject, Some(_)) => missing.push(key),
                 (StalenessPolicy::CarryForward { max_age }, Some(p)) => {
+                    // `age` counts the *previously sealed* consecutive
+                    // misses, so this epoch is consecutive miss number
+                    // `age + 1`; carrying while `age < max_age` bridges a
+                    // device for exactly `max_age` consecutive epochs
+                    // (inclusive bound — see the policy's doc).
                     if self.epoch.age(slot) < *max_age {
                         stragglers.push(key);
                         plan.push(Fill::Carry(p));

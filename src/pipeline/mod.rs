@@ -24,8 +24,14 @@
 //!   `Default(row)`.
 //! * [`Report`] — per-class iterators and counts, per-device
 //!   [`DeviceVerdict`]s with displacement and vicinity context, epoch
-//!   metadata ([`Report::stragglers`]), wall-clock timings, and a
-//!   serializable, versioned [`ReportSummary`].
+//!   metadata ([`Report::stragglers`]), the epoch's event changes
+//!   ([`Report::event_deltas`]), wall-clock timings, and a serializable,
+//!   versioned [`ReportSummary`].
+//! * [`EventTracker`] — temporal correlation over the report stream:
+//!   per-epoch verdicts fold into [`AnomalyEvent`]s with a full lifecycle
+//!   (onset, class transitions, affected-device evolution, end), plus a
+//!   bounded ring of recent epoch summaries
+//!   ([`MonitorBuilder::history`]); read it via [`Monitor::events`].
 //! * [`MonitorError`] — every misuse path, typed (ingestion failures under
 //!   [`MonitorError::Ingest`]).
 //!
@@ -64,6 +70,7 @@
 mod builder;
 mod engine;
 mod error;
+mod events;
 mod ingest;
 mod key;
 mod monitor;
@@ -73,6 +80,9 @@ mod report;
 pub use builder::{MonitorBuilder, MAX_FLEET};
 pub use engine::{Engine, GridMaintenance};
 pub use error::MonitorError;
+pub use events::{
+    AnomalyEvent, ClassTransition, EventDelta, EventDeltaKind, EventId, EventTracker,
+};
 pub use ingest::{IngestError, StalenessPolicy};
 pub use key::DeviceKey;
 pub use monitor::{DetectorFactory, Monitor};

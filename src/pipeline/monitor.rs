@@ -1,8 +1,9 @@
 use super::engine::{Engine, GridMaintenance};
 use super::error::MonitorError;
+use super::events::EventTracker;
 use super::ingest::{EpochState, StalenessPolicy};
 use super::key::DeviceKey;
-use super::report::{DeviceVerdict, Report};
+use super::report::{DeviceVerdict, Report, ReportSummary};
 use anomaly_core::{
     Analyzer, Characterization, DevicePrecompute, Params, ShardPlan, TrajectoryTable,
     DEFAULT_ENUMERATION_BUDGET,
@@ -127,6 +128,9 @@ pub struct Monitor {
     grid_full_synced: bool,
     /// Outcome of the most recent vicinity-grid update, if any.
     last_grid_update: Option<GridUpdate>,
+    /// Correlates per-epoch verdicts into anomaly events and keeps the
+    /// bounded report history.
+    tracker: EventTracker,
 }
 
 /// Per-device result of the parallel phase, keyed by cohort id for the
@@ -165,6 +169,8 @@ impl Monitor {
         grid_maintenance: GridMaintenance,
         staleness: StalenessPolicy,
         epoch_start: u64,
+        history: usize,
+        debounce: u64,
     ) -> Self {
         Monitor {
             params,
@@ -190,6 +196,7 @@ impl Monitor {
             grid_staged: Vec::new(),
             grid_full_synced: false,
             last_grid_update: None,
+            tracker: EventTracker::new(history, debounce),
         }
     }
 
@@ -269,6 +276,20 @@ impl Monitor {
     /// The last sealed snapshot, if any.
     pub fn last_snapshot(&self) -> Option<&Snapshot> {
         self.previous.as_ref()
+    }
+
+    /// The anomaly event tracker: open events, recently closed ones, and
+    /// lifetime counters. Updated at every seal; the per-epoch change feed
+    /// is [`Report::event_deltas`].
+    pub fn events(&self) -> &EventTracker {
+        &self.tracker
+    }
+
+    /// Summaries of the most recently sealed epochs, oldest first — the
+    /// bounded ring configured by
+    /// [`MonitorBuilder::history`](super::MonitorBuilder::history).
+    pub fn history(&self) -> impl Iterator<Item = &ReportSummary> {
+        self.tracker.history()
     }
 
     /// Current dense slot of `key` (internal form of [`Monitor::id_of`]).
@@ -466,6 +487,7 @@ impl Monitor {
         self.epoch.reset();
         self.invalidate_spare();
         self.last_grid_update = None;
+        self.tracker.reset();
     }
 
     /// Convenience form of [`Monitor::observe`]: validates raw coordinate
@@ -583,7 +605,7 @@ impl Monitor {
             self.spare = Some(spare);
         }
         self.previous_keys = None;
-        Ok(Report {
+        let mut report = Report {
             instant,
             population: self.keys.len(),
             verdicts,
@@ -591,7 +613,16 @@ impl Monitor {
             stragglers,
             detection,
             characterization,
-        })
+            event_deltas: Vec::new(),
+            events_open: 0,
+        };
+        // Fold the epoch into the event tracker and record the summary in
+        // the history ring. The tracker consumes only the (already
+        // engine-independent) report, so events inherit its determinism.
+        report.event_deltas = self.tracker.observe(&report);
+        report.events_open = self.tracker.open().len();
+        self.tracker.push_history(report.summary());
+        Ok(report)
     }
 
     /// Builds the surviving-cohort state pair, runs the local

@@ -1,3 +1,4 @@
+use super::events::{EventDelta, EventDeltaKind};
 use super::key::DeviceKey;
 use anomaly_core::{AnomalyClass, Characterization};
 use anomaly_qos::DeviceId;
@@ -58,6 +59,10 @@ pub struct Report {
     pub(super) stragglers: Vec<DeviceKey>,
     pub(super) detection: Duration,
     pub(super) characterization: Duration,
+    /// What the event tracker did with this epoch's verdicts.
+    pub(super) event_deltas: Vec<EventDelta>,
+    /// Anomaly events still open after this epoch.
+    pub(super) events_open: usize,
 }
 
 impl Report {
@@ -150,6 +155,21 @@ impl Report {
             .any(|v| v.class() == AnomalyClass::Massive)
     }
 
+    /// What the event tracker did with this epoch's verdicts: events
+    /// opened, updated (with any class transition), and closed, in
+    /// ascending event-id order. Sufficient to reconstruct every event's
+    /// evolution from the report stream alone — see
+    /// [`EventTracker`](super::EventTracker) for the correlation rules and
+    /// [`Monitor::events`](super::Monitor::events) for the standing state.
+    pub fn event_deltas(&self) -> &[EventDelta] {
+        &self.event_deltas
+    }
+
+    /// Anomaly events still open after this epoch.
+    pub fn open_events(&self) -> usize {
+        self.events_open
+    }
+
     /// Wall-clock time spent feeding the error-detection functions.
     pub fn detection_time(&self) -> Duration {
         self.detection
@@ -172,6 +192,17 @@ impl Report {
             unresolved: self.count_of(AnomalyClass::Unresolved),
             warming: self.warming.len(),
             stragglers: self.stragglers.len(),
+            events_open: self.events_open,
+            events_opened: self
+                .event_deltas
+                .iter()
+                .filter(|d| d.kind == EventDeltaKind::Opened)
+                .count(),
+            events_closed: self
+                .event_deltas
+                .iter()
+                .filter(|d| d.kind == EventDeltaKind::Closed)
+                .count(),
             detection_micros: self.detection.as_micros() as u64,
             characterization_micros: self.characterization.as_micros() as u64,
         }
@@ -203,6 +234,12 @@ pub struct ReportSummary {
     pub warming: usize,
     /// Devices bridged by the staleness policy this epoch.
     pub stragglers: usize,
+    /// Anomaly events still open after this epoch.
+    pub events_open: usize,
+    /// Events opened this epoch.
+    pub events_opened: usize,
+    /// Events closed this epoch.
+    pub events_closed: usize,
     /// Detection wall-clock, microseconds.
     pub detection_micros: u64,
     /// Characterization wall-clock, microseconds.
@@ -213,8 +250,9 @@ impl ReportSummary {
     /// Version of the JSON schema [`ReportSummary::to_json`] emits. Bumped
     /// whenever a key is added, so metric sinks can dispatch on shape
     /// instead of breaking. Version 2 added `stragglers` (streaming epoch
-    /// metadata).
-    pub const JSON_VERSION: u32 = 2;
+    /// metadata); version 3 added the event-tracker counters
+    /// (`events_open`, `events_opened`, `events_closed`).
+    pub const JSON_VERSION: u32 = 3;
 
     /// JSON object rendering (no external dependencies; keys are stable
     /// within one [`ReportSummary::JSON_VERSION`], and new versions only
@@ -225,6 +263,7 @@ impl ReportSummary {
                 "{{\"v\":{},\"instant\":{},\"population\":{},\"abnormal\":{},",
                 "\"isolated\":{},\"massive\":{},\"unresolved\":{},\"warming\":{},",
                 "\"stragglers\":{},",
+                "\"events_open\":{},\"events_opened\":{},\"events_closed\":{},",
                 "\"detection_micros\":{},\"characterization_micros\":{}}}"
             ),
             Self::JSON_VERSION,
@@ -236,6 +275,9 @@ impl ReportSummary {
             self.unresolved,
             self.warming,
             self.stragglers,
+            self.events_open,
+            self.events_opened,
+            self.events_closed,
             self.detection_micros,
             self.characterization_micros,
         )
@@ -246,7 +288,7 @@ impl fmt::Display for ReportSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "k={} n={} abnormal={} (isolated {}, massive {}, unresolved {}, warming {}, stragglers {})",
+            "k={} n={} abnormal={} (isolated {}, massive {}, unresolved {}, warming {}, stragglers {}) events={}",
             self.instant,
             self.population,
             self.abnormal,
@@ -255,6 +297,7 @@ impl fmt::Display for ReportSummary {
             self.unresolved,
             self.warming,
             self.stragglers,
+            self.events_open,
         )
     }
 }

@@ -38,6 +38,12 @@ fn assert_reports_identical(a: &Report, b: &Report, context: &str) {
     assert_eq!(a.population(), b.population(), "{context}: population");
     assert_eq!(a.verdicts(), b.verdicts(), "{context}: verdicts + order");
     assert_eq!(a.warming(), b.warming(), "{context}: warming");
+    assert_eq!(
+        a.event_deltas(),
+        b.event_deltas(),
+        "{context}: event deltas"
+    );
+    assert_eq!(a.open_events(), b.open_events(), "{context}: open events");
     // Same via the iterators and the serialized summary (timing fields are
     // wall-clock and legitimately differ; normalize them away).
     let keys = |r: &Report| {
@@ -213,6 +219,127 @@ fn evaluation_scores_are_byte_identical_across_engines() {
                 "{name}: workers={workers} diverged"
             );
         }
+    }
+}
+
+/// The event tracker's standing state — open events, recently closed
+/// events, lifetime counters, and the history ring — is byte-identical
+/// across `Sequential` vs `Threaded{1..=8}` and both grid-maintenance
+/// modes, not just the per-report delta feed.
+#[test]
+fn event_tracker_state_is_identical_across_engines_and_grid_modes() {
+    use anomaly_characterization::pipeline::AnomalyEvent;
+
+    fn run(
+        engine: Engine,
+        grid: GridMaintenance,
+    ) -> (Vec<AnomalyEvent>, Vec<AnomalyEvent>, String) {
+        let mut m = MonitorBuilder::new()
+            .engine(engine)
+            .grid_maintenance(grid)
+            .debounce(1)
+            .fleet(8)
+            .build()
+            .unwrap();
+        for _ in 0..40 {
+            m.observe_rows(vec![vec![BASELINE]; 8]).unwrap();
+        }
+        // A flapping incident, a growing massive event, and a recovery.
+        let levels = [
+            vec![0.45, 0.46, 0.44, 0.452, BASELINE, BASELINE, 0.10, BASELINE],
+            vec![0.20, 0.21, 0.19, 0.202, 0.21, 0.20, 0.10, BASELINE],
+            vec![0.20, 0.21, 0.19, 0.202, 0.21, 0.20, 0.10, BASELINE],
+            vec![0.20, 0.21, 0.19, 0.202, 0.21, 0.20, 0.80, BASELINE],
+            vec![
+                BASELINE, BASELINE, BASELINE, BASELINE, BASELINE, BASELINE, 0.10, BASELINE,
+            ],
+        ];
+        for rows in &levels {
+            m.observe_rows(rows.iter().map(|&v| vec![v]).collect())
+                .unwrap();
+        }
+        // Timings are wall-clock and legitimately differ; normalize them.
+        let history: Vec<String> = m
+            .history()
+            .map(|s| {
+                let mut s = *s;
+                s.detection_micros = 0;
+                s.characterization_micros = 0;
+                s.to_json()
+            })
+            .collect();
+        (
+            m.events().open().to_vec(),
+            m.events().recently_closed().cloned().collect(),
+            history.join("\n"),
+        )
+    }
+
+    let baseline = run(Engine::Sequential, GridMaintenance::FullRebuild);
+    assert!(
+        !baseline.0.is_empty() || !baseline.1.is_empty(),
+        "the scenario must produce events"
+    );
+    for workers in 1..=8 {
+        for grid in [GridMaintenance::Incremental, GridMaintenance::FullRebuild] {
+            let threaded = run(Engine::Threaded { workers }, grid);
+            assert_eq!(
+                baseline.0, threaded.0,
+                "open events, workers={workers} {grid:?}"
+            );
+            assert_eq!(
+                baseline.1, threaded.1,
+                "closed events, workers={workers} {grid:?}"
+            );
+            assert_eq!(
+                baseline.2, threaded.2,
+                "history ring, workers={workers} {grid:?}"
+            );
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+    /// Replaying a chained trace in two slices (`Trace::slice`) through
+    /// one monitor yields exactly the reports — and event boundaries — of
+    /// the uninterrupted replay, wherever the cut lands.
+    #[test]
+    fn sliced_trace_replay_preserves_event_boundaries(
+        levels in proptest::collection::vec(
+            proptest::collection::vec(0.05..=0.95f64, 4), 3..9),
+        cut in 0usize..12,
+    ) {
+        use anomaly_characterization::detectors::ThresholdDetector;
+        use proptest::prelude::*;
+
+        let trace = trace_from_levels(&levels);
+        let steps = trace.steps.len();
+        let cut = cut % (steps + 1);
+        let build = || {
+            MonitorBuilder::new()
+                .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.1)))
+                .debounce(1)
+                .fleet(4)
+                .build()
+                .unwrap()
+        };
+        let mut full = build();
+        let full_reports = full.run_trace(&trace).unwrap();
+        let mut sliced = build();
+        let mut sliced_reports = sliced.run_trace(&trace.slice(0..cut)).unwrap();
+        sliced_reports.extend(sliced.run_trace(&trace.slice(cut..steps)).unwrap());
+        prop_assert_eq!(full_reports.len(), sliced_reports.len());
+        for (a, b) in full_reports.iter().zip(&sliced_reports) {
+            assert_reports_identical(a, b, &format!("cut={cut} k={}", a.instant()));
+        }
+        prop_assert_eq!(full.events().open(), sliced.events().open());
+        let full_closed: Vec<_> = full.events().recently_closed().collect();
+        let sliced_closed: Vec<_> = sliced.events().recently_closed().collect();
+        prop_assert_eq!(full_closed, sliced_closed);
+        prop_assert_eq!(full.events().opened_total(), sliced.events().opened_total());
+        prop_assert_eq!(full.events().closed_total(), sliced.events().closed_total());
     }
 }
 

@@ -121,6 +121,143 @@ fn carry_forward_rejects_a_gateway_stale_beyond_max_age() {
     assert!(m.seal().unwrap().stragglers().is_empty());
 }
 
+/// The `CarryForward { max_age }` bound is **inclusive**: a device silent
+/// for *exactly* `max_age` consecutive epochs is bridged every single
+/// time, and only the `max_age + 1`-th consecutive miss fails. Pinned for
+/// several bounds so the `age < max_age` comparison in the seal can never
+/// silently drift to `<=` (one extra bridged epoch) or to bridging one
+/// epoch fewer than documented.
+#[test]
+fn carry_forward_bridges_exactly_max_age_epochs() {
+    for max_age in [1u64, 2, 3, 5] {
+        let mut m = MonitorBuilder::new()
+            .staleness(StalenessPolicy::CarryForward { max_age })
+            .fleet(2)
+            .build()
+            .unwrap();
+        m.ingest_many([(0u64, vec![0.9]), (1u64, vec![0.8])])
+            .unwrap();
+        m.seal().unwrap();
+        // Silent for exactly max_age consecutive epochs: bridged each time.
+        for miss in 1..=max_age {
+            m.ingest(0u64, vec![0.9]).unwrap();
+            let r = m
+                .seal()
+                .unwrap_or_else(|e| panic!("miss {miss}/{max_age} must be bridged: {e}"));
+            assert_eq!(r.stragglers(), &[DeviceKey(1)], "miss {miss}/{max_age}");
+        }
+        // The max_age + 1-th consecutive miss crosses the bound.
+        m.ingest(0u64, vec![0.9]).unwrap();
+        assert_eq!(
+            m.seal().unwrap_err(),
+            MonitorError::Ingest(IngestError::StaleDevices {
+                keys: vec![DeviceKey(1)],
+                max_age,
+            }),
+            "max_age {max_age}"
+        );
+        // A late report resets the run of misses entirely.
+        m.ingest(1u64, vec![0.8]).unwrap();
+        assert!(m.seal().unwrap().stragglers().is_empty());
+        m.ingest(0u64, vec![0.9]).unwrap();
+        assert_eq!(m.seal().unwrap().stragglers(), &[DeviceKey(1)]);
+    }
+}
+
+/// Churn in the middle of an open epoch: `leave` swap-removes the dense
+/// slot out of the key vector, the detector vector, *and* the epoch state
+/// (staged update + staleness age). The device swapped into the vacated
+/// slot must keep its own staged point and its own consecutive-miss age —
+/// not inherit the departing device's (or a reset one).
+#[test]
+fn leave_mid_epoch_keeps_staged_points_and_ages_with_their_device() {
+    let mut m = MonitorBuilder::new()
+        .staleness(StalenessPolicy::CarryForward { max_age: 2 })
+        .fleet(4)
+        .build()
+        .unwrap();
+    // Epoch 0: everyone reports a distinguishable row.
+    m.ingest_many((0u64..4).map(|k| (k, vec![0.5 + k as f64 / 100.0])))
+        .unwrap();
+    m.seal().unwrap();
+    // Epoch 1: device 3 (the last dense slot) misses once — its age is 1.
+    m.ingest_many((0u64..3).map(|k| (k, vec![0.6]))).unwrap();
+    assert_eq!(m.seal().unwrap().stragglers(), &[DeviceKey(3)]);
+
+    // Epoch 2, interleaved with churn: device 0 stages an update, then
+    // device 1 leaves mid-epoch (device 3 swap-moves into slot 1, carrying
+    // its staged state), and a fresh device 9 joins the tail slot.
+    m.ingest(0u64, vec![0.7]).unwrap();
+    m.leave(1u64).unwrap();
+    m.join(9u64).unwrap();
+    assert_eq!(
+        m.keys(),
+        &[DeviceKey(0), DeviceKey(3), DeviceKey(2), DeviceKey(9)]
+    );
+    // The joiner has no previous position: it must report this epoch.
+    m.ingest(2u64, vec![0.7]).unwrap();
+    m.ingest(9u64, vec![0.7]).unwrap();
+    let r = m.seal().unwrap();
+    // Device 3's second consecutive miss is bridged with ITS old row (the
+    // epoch-0 report carried through epoch 1) — not device 1's.
+    assert_eq!(r.stragglers(), &[DeviceKey(3)]);
+    let slot3 = m.id_of(DeviceKey(3)).unwrap();
+    assert_eq!(
+        m.last_snapshot().unwrap().position(slot3).coords(),
+        &[0.53],
+        "the swapped-in slot must keep device 3's carried row"
+    );
+    // And device 0's staged point survived the churn untouched.
+    let slot0 = m.id_of(DeviceKey(0)).unwrap();
+    assert_eq!(m.last_snapshot().unwrap().position(slot0).coords(), &[0.7]);
+
+    // Epoch 3: device 3's THIRD consecutive miss must cross max_age 2. If
+    // the swap had mis-attributed ages (e.g. reset to the vacated slot's
+    // age), this seal would wrongly bridge it again.
+    m.ingest(0u64, vec![0.7]).unwrap();
+    m.ingest(2u64, vec![0.7]).unwrap();
+    m.ingest(9u64, vec![0.7]).unwrap();
+    assert_eq!(
+        m.seal().unwrap_err(),
+        MonitorError::Ingest(IngestError::StaleDevices {
+            keys: vec![DeviceKey(3)],
+            max_age: 2,
+        })
+    );
+    // Recovery: device 3 reports, the epoch seals, everyone is current.
+    m.ingest(3u64, vec![0.8]).unwrap();
+    let r = m.seal().unwrap();
+    assert!(r.stragglers().is_empty());
+    assert_eq!(r.population(), 4);
+}
+
+/// A staged update leaves with its device, and the update staged by the
+/// swapped-in device is attributed to the right key even when both had
+/// pending points (the `pending` vector mirrors the same swap-remove).
+#[test]
+fn leave_mid_epoch_drops_only_the_departing_devices_update() {
+    let mut m = MonitorBuilder::new().fleet(3).build().unwrap();
+    m.ingest_many((0u64..3).map(|k| (k, vec![0.9]))).unwrap();
+    m.seal().unwrap();
+    // All three stage updates; device 1 (with a pending point) leaves.
+    m.ingest(0u64, vec![0.10]).unwrap();
+    m.ingest(1u64, vec![0.20]).unwrap();
+    m.ingest(2u64, vec![0.30]).unwrap();
+    m.leave(1u64).unwrap();
+    assert_eq!(m.pending_updates(), 2);
+    assert!(m.silent_keys().is_empty());
+    let r = m.seal().unwrap();
+    assert_eq!(r.population(), 2);
+    let slot2 = m.id_of(DeviceKey(2)).unwrap();
+    assert_eq!(
+        m.last_snapshot().unwrap().position(slot2).coords(),
+        &[0.30],
+        "device 2's staged point follows it into the swapped slot"
+    );
+    let slot0 = m.id_of(DeviceKey(0)).unwrap();
+    assert_eq!(m.last_snapshot().unwrap().position(slot0).coords(), &[0.10]);
+}
+
 #[test]
 fn reject_names_every_missing_gateway() {
     let (spec, run) = scenario();
