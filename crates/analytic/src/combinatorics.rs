@@ -78,14 +78,18 @@ pub fn bell_numbers(n: u32) -> Option<Vec<u128>> {
     let mut row = vec![1u128];
     for _ in 1..=n {
         let mut next = Vec::with_capacity(row.len() + 1);
-        next.push(*row.last().expect("row is never empty"));
-        for &v in &row {
-            let last = *next.last().expect("next never empty");
-            next.push(last.checked_add(v)?);
-        }
+        let mut acc = match row.last() {
+            Some(&v) => v,
+            None => unreachable!("row is never empty"),
+        };
         // The first element of row i equals B_i (it is the last element of
         // row i-1 by construction of the Bell triangle).
-        bells.push(next[0]);
+        next.push(acc);
+        bells.push(acc);
+        for &v in &row {
+            acc = acc.checked_add(v)?;
+            next.push(acc);
+        }
         row = next;
     }
     Some(bells)

@@ -19,11 +19,13 @@
 //! * [`stats`] — summary statistics used by the simulation harness.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 pub mod binomial;
 pub mod combinatorics;
 pub mod dimensioning;
+pub mod order;
 pub mod poisson;
 pub mod stats;
 pub mod vicinity;
@@ -34,6 +36,7 @@ pub use dimensioning::{
     prob_false_dense_at_most, prob_false_dense_at_most_with_q, prob_false_dense_exceeds,
     prob_vicinity_at_most, solve_tau, DimensioningError,
 };
+pub use order::{total_f64, total_f64_by_key};
 pub use poisson::{le_cam_bound, poisson_cdf, poisson_pmf, prob_false_dense_exceeds_poisson};
 pub use stats::{mean_and_ci95, Histogram, OnlineStats};
 pub use vicinity::{vicinity_probability, vicinity_probability_bulk};

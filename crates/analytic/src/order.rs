@@ -1,0 +1,67 @@
+//! Total ordering for floats — the approved helper behind conformance lint
+//! C5 (`float-total-order`).
+//!
+//! `partial_cmp(..).unwrap()` is how float comparisons used to be written
+//! across this workspace. It has two failure modes the determinism gates
+//! care about: a NaN panics at runtime (violating the panic-freedom
+//! invariant, C1), and the *fallback* spellings people reach for instead —
+//! `unwrap_or(Ordering::Equal)` — silently turn a sort into an
+//! order-dependent one when NaN does appear, which is exactly the kind of
+//! nondeterminism C2 exists to keep out of reports.
+//!
+//! [`f64::total_cmp`] (IEEE 754 `totalOrder`) fixes both: it is total,
+//! panic-free, and deterministic — NaN sorts after every number, `-0.0`
+//! before `+0.0`. This module wraps it in the comparator shapes the
+//! workspace sorts with, and is the only place `partial_cmp` on floats may
+//! be unwrapped should a future helper ever need the partial form (the
+//! conformance pass exempts exactly this file).
+
+use std::cmp::Ordering;
+
+/// Total-order comparator for `f64`, shaped for `sort_by`/`min_by`:
+/// `slice.sort_by(total_f64)`.
+///
+/// Behaves like `a.partial_cmp(&b).unwrap()` on ordinary numbers; on the
+/// cases that made the unwrap spelling a hazard it is deterministic
+/// instead of panicking or lying: NaN orders after +∞ (negative NaN before
+/// −∞), and `-0.0 < +0.0`.
+pub fn total_f64(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+/// [`total_f64`] over the first element of a keyed pair — the common
+/// "sort values carrying a payload" shape.
+pub fn total_f64_by_key<T>(a: &(f64, T), b: &(f64, T)) -> Ordering {
+    a.0.total_cmp(&b.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_partial_cmp_on_ordinary_floats() {
+        let pairs = [(1.0, 2.0), (2.0, 1.0), (3.5, 3.5), (-1.0, 1.0), (0.0, 5.0)];
+        for (a, b) in pairs {
+            assert_eq!(total_f64(&a, &b), a.partial_cmp(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn nan_and_signed_zero_are_ordered_deterministically() {
+        assert_eq!(total_f64(&f64::NAN, &f64::INFINITY), Ordering::Greater);
+        assert_eq!(total_f64(&-0.0, &0.0), Ordering::Less);
+        // A sort containing NaN terminates and is reproducible.
+        let mut v = [2.0, f64::NAN, 1.0];
+        v.sort_by(total_f64);
+        assert_eq!(&v[..2], &[1.0, 2.0]);
+        assert!(v[2].is_nan());
+    }
+
+    #[test]
+    fn keyed_form_sorts_by_the_float() {
+        let mut v = [(2.0, 'b'), (1.0, 'a'), (3.0, 'c')];
+        v.sort_by(total_f64_by_key);
+        assert_eq!(v.iter().map(|&(_, c)| c).collect::<String>(), "abc");
+    }
+}

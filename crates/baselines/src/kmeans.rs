@@ -4,7 +4,7 @@ use anomaly_qos::{DeviceId, StatePair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Centralized k-means classifier (reference [15] of the paper).
+/// Centralized k-means classifier (reference \[15\] of the paper).
 ///
 /// A management node collects every abnormal trajectory (as a point in the
 /// concatenated `2d`-space), clusters them with Lloyd's algorithm seeded by
@@ -91,11 +91,9 @@ impl KMeansClassifier {
             for (i, p) in points.iter().enumerate() {
                 let best = (0..k)
                     .min_by(|&a, &b| {
-                        sq_dist(p, &centroids[a])
-                            .partial_cmp(&sq_dist(p, &centroids[b]))
-                            .expect("distances are finite")
+                        sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b]))
                     })
-                    .expect("k >= 1");
+                    .unwrap_or_else(|| unreachable!("k >= 1"));
                 if assignment[i] != best {
                     assignment[i] = best;
                     changed = true;

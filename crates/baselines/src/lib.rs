@@ -1,6 +1,6 @@
 //! Related-work baselines the paper argues against (Section II).
 //!
-//! * [`TessellationClassifier`] — the FixMe-style approach of reference [1]
+//! * [`TessellationClassifier`] — the FixMe-style approach of reference \[1\]
 //!   (Anceaume et al., OPODIS 2012): the QoS space is tessellated into fixed
 //!   buckets and an anomaly is massive when its bucket holds more than `τ`
 //!   abnormal devices. The paper's critique: *"tessellating the space with
@@ -9,7 +9,7 @@
 //!   the probability of having a large number of devices in a single
 //!   bucket, giving rise to the triggering of false alarms."* The
 //!   comparison harness quantifies exactly that trade-off.
-//! * [`KMeansClassifier`] — the centralized clustering of reference [15]
+//! * [`KMeansClassifier`] — the centralized clustering of reference \[15\]
 //!   (Zhao et al., ICAC 2009): a management node runs k-means over all
 //!   abnormal trajectories and calls a cluster massive when it exceeds `τ`.
 //!   Accurate when `k` matches the true anomaly count but requires global
@@ -20,6 +20,7 @@
 //! them against `anomaly-core`'s local algorithms on identical scenarios.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 pub mod comparison;

@@ -1,9 +1,9 @@
 use crate::Classifier;
 use anomaly_core::AnomalyClass;
 use anomaly_qos::{DeviceId, StatePair};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// FixMe-style fixed-tessellation classifier (reference [1] of the paper).
+/// FixMe-style fixed-tessellation classifier (reference \[1\] of the paper).
 ///
 /// The unit QoS space is cut into `cells_per_axis^d` equal buckets. Each
 /// abnormal device is keyed by the pair *(bucket before, bucket after)*; all
@@ -52,7 +52,7 @@ impl TessellationClassifier {
 impl Classifier for TessellationClassifier {
     fn classify(&self, pair: &StatePair, abnormal: &[DeviceId]) -> Vec<(DeviceId, AnomalyClass)> {
         // Group by (cell at k-1, cell at k).
-        let mut buckets: HashMap<(Vec<usize>, Vec<usize>), Vec<DeviceId>> = HashMap::new();
+        let mut buckets: BTreeMap<(Vec<usize>, Vec<usize>), Vec<DeviceId>> = BTreeMap::new();
         for &id in abnormal {
             let key = (
                 self.cell_key(pair.before().position(id).coords()),
@@ -149,6 +149,70 @@ mod tests {
         let ids: Vec<DeviceId> = (0..4).map(DeviceId).collect();
         for (_, class) in c.classify(&p, &ids) {
             assert_eq!(class, AnomalyClass::Isolated);
+        }
+    }
+
+    #[test]
+    fn classification_is_invariant_under_input_permutation() {
+        // Regression guard from the conformance C2 audit: grouping used to
+        // iterate a HashMap — the only hash iteration anywhere in the
+        // report path. The audit found no live bug (a device's class
+        // depends only on its bucket's population, and the output is
+        // id-sorted), but hash order reaching a loop is exactly how
+        // determinism dies under refactoring; the BTreeMap grouping plus
+        // this test pin it down. Classify the same abnormal set in several
+        // input orders and require byte-identical results.
+        let p = pair(
+            vec![
+                vec![0.10],
+                vec![0.11],
+                vec![0.12],
+                vec![0.13],
+                vec![0.60],
+                vec![0.90],
+            ],
+            vec![
+                vec![0.60],
+                vec![0.61],
+                vec![0.62],
+                vec![0.63],
+                vec![0.10],
+                vec![0.40],
+            ],
+        );
+        let c = TessellationClassifier::new(4, 3);
+        let ids: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let baseline = c.classify(&p, &ids);
+        assert!(baseline.iter().any(|&(_, cl)| cl == AnomalyClass::Massive));
+        assert!(baseline.iter().any(|&(_, cl)| cl == AnomalyClass::Isolated));
+
+        let mut reversed = ids.clone();
+        reversed.reverse();
+        assert_eq!(c.classify(&p, &reversed), baseline);
+
+        let mut rotated = ids.clone();
+        rotated.rotate_left(3);
+        assert_eq!(c.classify(&p, &rotated), baseline);
+
+        let interleaved: Vec<DeviceId> = [0u32, 5, 1, 4, 2, 3].map(DeviceId).to_vec();
+        assert_eq!(c.classify(&p, &interleaved), baseline);
+    }
+
+    #[test]
+    fn classification_is_stable_across_repeated_runs() {
+        // Same process, repeated calls: the result must never depend on
+        // allocation addresses or any other per-run state (the failure
+        // mode randomized hashers introduce across *processes* shows up
+        // here first when someone reintroduces per-call state).
+        let p = pair(
+            vec![vec![0.10], vec![0.11], vec![0.12], vec![0.13], vec![0.88]],
+            vec![vec![0.60], vec![0.61], vec![0.62], vec![0.63], vec![0.22]],
+        );
+        let c = TessellationClassifier::new(4, 3);
+        let ids: Vec<DeviceId> = (0..5).map(DeviceId).collect();
+        let baseline = c.classify(&p, &ids);
+        for _ in 0..10 {
+            assert_eq!(c.classify(&p, &ids), baseline);
         }
     }
 

@@ -14,6 +14,7 @@
 //! ~10 000 settings — raise it when you have the time).
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -1,0 +1,492 @@
+//! A hand-rolled, loss-free Rust lexer.
+//!
+//! The conformance lints need exactly one thing from a lexer: to tell code
+//! from non-code. `unwrap` inside a string literal or a doc comment is not a
+//! violation; `HashMap` in a `use` path is. So this lexer's contract is
+//! *tiling*, not semantics:
+//!
+//! * every byte of the input belongs to exactly one token
+//!   ([`Token::start`]`..`[`Token::end`], half-open),
+//! * tokens are emitted in source order with no gaps and no overlaps, and
+//! * concatenating the token texts reproduces the input byte-for-byte.
+//!
+//! Those invariants are property-tested against every `.rs` file in the
+//! repository (see `tests/lexer_roundtrip.rs`). The token classification is
+//! intentionally coarse — keywords are [`TokenKind::Ident`], every operator
+//! is a single-character [`TokenKind::Punct`] — because the lint pass works
+//! on small token patterns, never on a parse tree.
+//!
+//! The constructs that actually require care (and get it below):
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with arbitrary hash fences (`r##"..."##`), raw byte
+//!   strings, and raw identifiers (`r#match`),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escapes
+//!   (`'\u{1F600}'`),
+//! * float exponents (`1e-3`) vs. range/method syntax (`1..2`, `1.min(2)`).
+
+/// Coarse classification of one source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace.
+    Whitespace,
+    /// `// ...` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* ... */`, nesting respected; unterminated comments run to EOF.
+    BlockComment,
+    /// Identifier or keyword (`foo`, `match`, `self`).
+    Ident,
+    /// Raw identifier (`r#type`).
+    RawIdent,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or byte char (`b'x'`).
+    CharLit,
+    /// String literal (`"..."`) or byte string (`b"..."`).
+    StrLit,
+    /// Raw (byte) string literal (`r"..."`, `r#"..."#`, `br#"..."#`).
+    RawStrLit,
+    /// Numeric literal, including suffix and exponent (`0xfe`, `1e-3_f64`).
+    Number,
+    /// One punctuation character (`.`, `[`, `!`, `:`; never compound).
+    Punct,
+    /// Anything the lexer does not understand; still exactly tiled.
+    Unknown,
+}
+
+/// One token: a kind plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Character cursor with byte-offset and line tracking.
+struct Cursor<'s> {
+    src: &'s str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes one char, keeping the line count in step.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src` completely. Infallible: unrecognized bytes come back as
+/// [`TokenKind::Unknown`] tokens, and unterminated literals or comments
+/// extend to end of input — the tiling invariants hold regardless.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = next_kind(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    out
+}
+
+/// Lexes one token starting at `c`; the cursor is advanced past it.
+fn next_kind(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    match c {
+        _ if c.is_whitespace() => {
+            cur.bump_while(|c| c.is_whitespace());
+            TokenKind::Whitespace
+        }
+        '/' if cur.peek2() == Some('/') => {
+            cur.bump_while(|c| c != '\n');
+            TokenKind::LineComment
+        }
+        '/' if cur.peek2() == Some('*') => block_comment(cur),
+        'r' if matches!(cur.peek2(), Some('"' | '#')) => raw_prefixed(cur, false),
+        'b' => byte_prefixed(cur),
+        '"' => {
+            cur.bump();
+            string_body(cur);
+            TokenKind::StrLit
+        }
+        '\'' => char_or_lifetime(cur),
+        _ if is_ident_start(c) => {
+            cur.bump_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        _ if c.is_ascii_digit() => number(cur),
+        _ if c.is_ascii_punctuation() => {
+            cur.bump();
+            TokenKind::Punct
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// `/* ... */` with nesting; the opening `/*` is still unconsumed.
+fn block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek2()) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: runs to EOF
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// At `r` followed by `"` or `#`: raw string, raw identifier, or — for
+/// `r#` fences that never open a quote — a plain ident. `byte` marks an
+/// already-consumed `b` prefix.
+fn raw_prefixed(cur: &mut Cursor<'_>, byte: bool) -> TokenKind {
+    cur.bump(); // the `r`
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        // `r#ident` (raw identifier) — only at exactly one `#` and only
+        // when a quote never follows.
+        if hashes == 0 && matches!(cur.peek2(), Some(c) if is_ident_start(c)) {
+            cur.bump();
+            cur.bump_while(is_ident_continue);
+            return TokenKind::RawIdent;
+        }
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek() != Some('"') {
+        // `r` or `br` that never opened a string: treat what we consumed
+        // as an identifier-ish token (the `#`s were already eaten; this
+        // does not occur in valid Rust, and tiling is all that matters).
+        cur.bump_while(is_ident_continue);
+        return if byte {
+            TokenKind::Unknown
+        } else {
+            TokenKind::Ident
+        };
+    }
+    cur.bump(); // opening quote
+                // Scan for `"` followed by `hashes` fence hashes.
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            let rest = &cur.src[cur.pos..];
+            let mut it = rest.chars();
+            for _ in 0..hashes {
+                if it.next() != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+    TokenKind::RawStrLit
+}
+
+/// At `b`: byte string `b"..."`, byte char `b'x'`, raw byte string
+/// `br#"..."#`, or just an identifier starting with `b`.
+fn byte_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    match cur.peek2() {
+        Some('"') => {
+            cur.bump();
+            cur.bump();
+            string_body(cur);
+            TokenKind::StrLit
+        }
+        Some('\'') => {
+            cur.bump();
+            char_body(cur);
+            TokenKind::CharLit
+        }
+        Some('r') if matches!(cur.peek3(), Some('"' | '#')) => {
+            cur.bump(); // the `b`; raw_prefixed eats the `r`
+            raw_prefixed(cur, true);
+            TokenKind::RawStrLit
+        }
+        _ => {
+            cur.bump_while(is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Body of a `"` string, opening quote already consumed.
+fn string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // the escaped char, whatever it is
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Body of a `'` char literal, opening quote already consumed.
+fn char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening `'`
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// At `'`: a char literal when a close quote is in reach, else a lifetime.
+fn char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    match (cur.peek2(), cur.peek3()) {
+        // `'\...'` — escapes only occur in char literals.
+        (Some('\\'), _) => {
+            char_body(cur);
+            TokenKind::CharLit
+        }
+        // `'x'` — exactly one char then a close quote.
+        (Some(c), Some('\'')) if c != '\'' => {
+            char_body(cur);
+            TokenKind::CharLit
+        }
+        // `'ident` — a lifetime (covers `'static`, `'a`, `'_`).
+        (Some(c), _) if is_ident_start(c) => {
+            cur.bump();
+            cur.bump_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        // Stray quote (`''`, `'` at EOF): a single punct keeps the tiling.
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// At an ASCII digit: integer / float / prefixed literal with suffix.
+fn number(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump();
+    // Digits, underscores, hex digits, and alphabetic suffixes (`u32`,
+    // `f64`, `0x1f`) are all just "word characters" here.
+    cur.bump_while(is_ident_continue);
+    // Fraction: `.` only joins the number when a digit follows (so `1..2`
+    // and `1.min(2)` leave the dot to punctuation).
+    if cur.peek() == Some('.') && matches!(cur.peek2(), Some(c) if c.is_ascii_digit()) {
+        cur.bump();
+        cur.bump_while(is_ident_continue);
+    }
+    // Exponent sign: `1e-3` / `2.5E+10`. The `e` was consumed as a word
+    // character; a trailing sign-then-digit continues the literal.
+    if matches!(cur.peek(), Some('+' | '-'))
+        && matches!(cur.peek2(), Some(c) if c.is_ascii_digit())
+        && cur.src[..cur.pos].ends_with(['e', 'E'])
+    {
+        cur.bump();
+        cur.bump_while(is_ident_continue);
+    }
+    TokenKind::Number
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Whitespace))
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn tiles(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before {t:?} in {src:?}");
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "trailing gap in {src:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"let x = "unwrap() // not a comment"; // trailing.unwrap()"##;
+        tiles(src);
+        let ids: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(ids, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        for src in [
+            "r\"plain\"",
+            "r#\"one \" inside\"#",
+            "r##\"trap \"# still inside\"##",
+            "br#\"bytes\"#",
+            "b\"bytes\"",
+        ] {
+            tiles(src);
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexed as {toks:?}");
+            assert!(matches!(
+                toks[0].kind,
+                TokenKind::RawStrLit | TokenKind::StrLit
+            ));
+        }
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_string() {
+        let src = "let r#type = 1;";
+        tiles(src);
+        assert!(kinds(src).contains(&(TokenKind::RawIdent, "r#type")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '\\u{1F600}'; }";
+        tiles(src);
+        let ks = kinds(src);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokenKind::CharLit).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still out */ b";
+        tiles(src);
+        let ids: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numbers_keep_exponents_and_split_ranges() {
+        tiles("1e-3 + 2.5E+10_f64 - 0x1f");
+        let ks = kinds("1e-3 2.5E+10_f64 0x1f 1..2 1.min(2)");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|&(_, s)| s)
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["1e-3", "2.5E+10_f64", "0x1f", "1", "2", "1", "2"]
+        );
+    }
+
+    #[test]
+    fn lines_are_one_based_and_tracked() {
+        let src = "a\nbb\n\nccc";
+        let lines: Vec<(u32, &str)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text(src)))
+            .collect();
+        assert_eq!(lines, vec![(1, "a"), (2, "bb"), (4, "ccc")]);
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed"] {
+            tiles(src);
+            assert_eq!(lex(src).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Workspace-native static analysis for the anomaly-characterization
+//! reproduction: a dependency-free lexer plus five project-invariant lints
+//! (C1–C5) that prove, at the source level, the determinism and
+//! panic-freedom guarantees the dynamic equality gates only sample.
+//!
+//! Run it as a binary — `cargo run -p anomaly-conformance` — or use
+//! [`workspace::analyze_root`] / [`lints::analyze_source`] directly (the
+//! test suites do). Findings are machine-readable (`file:line`, lint id)
+//! and the versioned JSON report is committed as `CONFORMANCE.json`; CI
+//! runs deny-by-default and also fails when the committed report drifts
+//! from a fresh run.
+//!
+//! The lint charter, scopes, and the suppression pragma grammar live in
+//! [`lints`]; the loss-free tokenizer in [`lexer`]; walking, rendering, and
+//! drift checking in [`workspace`].
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod workspace;

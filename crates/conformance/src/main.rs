@@ -1,0 +1,94 @@
+//! `anomaly-conformance` — deny-by-default static analysis runner.
+//!
+//! ```text
+//! cargo run -p anomaly-conformance              # analyze + drift-check, exit 1 on findings/drift
+//! cargo run -p anomaly-conformance -- --write   # analyze + rewrite CONFORMANCE.json
+//! cargo run -p anomaly-conformance -- --root D  # analyze the tree rooted at D
+//! ```
+//!
+//! Exit codes: `0` clean and in sync, `1` findings or drift, `2` usage or
+//! I/O failure.
+
+use anomaly_conformance::lints::LINTS;
+use anomaly_conformance::workspace::{analyze_root, check_drift, write_report, REPORT_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: anomaly-conformance [--write] [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut write = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write" => write = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // Default root: the workspace containing this crate (two levels above
+    // the crate manifest), overridable for out-of-tree runs.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let analysis = match analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("conformance: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "conformance: {} files scanned, {} findings, {} allows",
+        analysis.files.len(),
+        analysis.findings.len(),
+        analysis.allows.len()
+    );
+    for l in LINTS {
+        let nf = analysis.findings.iter().filter(|f| f.lint == l.id).count();
+        let na = analysis.allows.iter().filter(|a| a.lint == l.id).count();
+        if nf + na > 0 {
+            println!("  {:>6} ({}): {} findings, {} allows", l.id, l.name, nf, na);
+        }
+    }
+    for f in &analysis.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.message);
+    }
+
+    if write {
+        if let Err(e) = write_report(&root, &analysis) {
+            eprintln!("conformance: failed to write {REPORT_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("conformance: wrote {REPORT_FILE}");
+    } else {
+        match check_drift(&root, &analysis) {
+            Ok(None) => {}
+            Ok(Some(msg)) => {
+                eprintln!("conformance: {msg}");
+                return ExitCode::from(1);
+            }
+            Err(e) => {
+                eprintln!("conformance: failed to read {REPORT_FILE}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

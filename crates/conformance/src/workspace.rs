@@ -1,0 +1,221 @@
+//! Workspace walking, report assembly, and the versioned JSON rendering
+//! committed as `CONFORMANCE.json`.
+//!
+//! The scan set is fixed by the lint charter: every `.rs` file under `src/`
+//! and `crates/*/src/`, plus `shims/*/src/lib.rs` (shims participate only in
+//! the C4 hygiene check — see [`lints`](crate::lints)). Directory traversal
+//! is sorted, findings and allows are sorted, and the JSON carries no
+//! timestamps — two runs over the same tree render byte-identical reports,
+//! which is what lets CI fail on drift with a plain string compare.
+
+use crate::lints::{analyze_source, Allow, Finding, LINTS, LINT_SET_VERSION};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the committed report at the workspace root.
+pub const REPORT_FILE: &str = "CONFORMANCE.json";
+
+/// Outcome of one full workspace scan.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Files scanned, sorted repo-relative paths.
+    pub files: Vec<String>,
+    /// Unsuppressed findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Used pragmas, sorted by (file, line, lint).
+    pub allows: Vec<Allow>,
+}
+
+impl Analysis {
+    /// Process exit code the analysis maps to: non-zero iff any finding
+    /// survived pragma filtering.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.findings.is_empty())
+    }
+}
+
+/// Collects the scan set under `root`, sorted for determinism.
+fn scan_set(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    for member in sorted_dir(&root.join("crates"))? {
+        collect_rs(&member.join("src"), &mut files)?;
+    }
+    for shim in sorted_dir(&root.join("shims"))? {
+        let lib = shim.join("src").join("lib.rs");
+        if lib.is_file() {
+            files.push(lib);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Subdirectories of `dir`, sorted by name; empty when `dir` is absent.
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` (absent dirs are fine).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every lint over the workspace rooted at `root`.
+pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    for path in scan_set(root)? {
+        let rel = relative_slash(root, &path);
+        let src = fs::read_to_string(&path)?;
+        let (mut f, mut a) = analyze_source(&rel, &src);
+        findings.append(&mut f);
+        allows.append(&mut a);
+        files.push(rel);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    allows.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(Analysis {
+        files,
+        findings,
+        allows,
+    })
+}
+
+/// `path` relative to `root`, `/`-separated whatever the platform.
+fn relative_slash(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the versioned, deterministic report. Committed as
+/// [`REPORT_FILE`]; CI fails when a fresh render differs.
+pub fn render_json(a: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"tool\": \"anomaly-conformance\",\n");
+    s.push_str(&format!("  \"lint_set_version\": {LINT_SET_VERSION},\n"));
+    s.push_str("  \"lints\": [\n");
+    for (i, l) in LINTS.iter().enumerate() {
+        let sep = if i + 1 == LINTS.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"name\": \"{}\", \"invariant\": \"{}\"}}{sep}\n",
+            l.id,
+            l.name,
+            json_escape(l.invariant)
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", a.files.len()));
+    s.push_str("  \"summary\": {");
+    s.push_str(&format!(
+        "\"findings\": {}, \"allows\": {}, \"per_lint\": {{",
+        a.findings.len(),
+        a.allows.len()
+    ));
+    for (i, l) in LINTS.iter().enumerate() {
+        let nf = a.findings.iter().filter(|f| f.lint == l.id).count();
+        let na = a.allows.iter().filter(|x| x.lint == l.id).count();
+        let sep = if i + 1 == LINTS.len() { "" } else { ", " };
+        s.push_str(&format!(
+            "\"{}\": {{\"findings\": {nf}, \"allows\": {na}}}{sep}",
+            l.id
+        ));
+    }
+    s.push_str("}},\n");
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in a.findings.iter().enumerate() {
+        let sep = if i + 1 == a.findings.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}{sep}\n",
+            json_escape(&f.file),
+            f.line,
+            f.lint,
+            json_escape(&f.message)
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"allows\": [\n");
+    for (i, x) in a.allows.iter().enumerate() {
+        let sep = if i + 1 == a.allows.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"reason\": \"{}\"}}{sep}\n",
+            json_escape(&x.file),
+            x.line,
+            x.lint,
+            json_escape(&x.reason)
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Compares a fresh render with the committed report. `Ok(None)` — in sync;
+/// `Ok(Some(diff-message))` — drift; missing file counts as drift.
+pub fn check_drift(root: &Path, a: &Analysis) -> io::Result<Option<String>> {
+    let path = root.join(REPORT_FILE);
+    let fresh = render_json(a);
+    match fs::read_to_string(&path) {
+        Ok(committed) if committed == fresh => Ok(None),
+        Ok(_) => Ok(Some(format!(
+            "{REPORT_FILE} is stale: regenerate with `cargo run -p anomaly-conformance -- --write`"
+        ))),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Some(format!(
+            "{REPORT_FILE} is missing: generate it with `cargo run -p anomaly-conformance -- --write`"
+        ))),
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes the report to `root/CONFORMANCE.json`.
+pub fn write_report(root: &Path, a: &Analysis) -> io::Result<()> {
+    fs::write(root.join(REPORT_FILE), render_json(a))
+}

@@ -1,0 +1,164 @@
+//! The lexer's tiling contract, checked two ways: against every `.rs` file
+//! in the repository (the corpus the lints actually run on), and against
+//! randomized concatenations of tricky fragments (raw strings, nested
+//! comments, unterminated literals, multi-byte text).
+//!
+//! Tiling means: tokens start at byte 0, are contiguous and non-empty,
+//! end exactly at `src.len()`, concatenate back to the input
+//! byte-for-byte, and carry correct 1-based line numbers. Every lint
+//! depends on these invariants — a gap or overlap would silently hide
+//! code from the scan.
+
+use anomaly_conformance::lexer::lex;
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Asserts the full tiling contract for one input.
+fn assert_tiles(src: &str, origin: &str) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    let mut rebuilt = String::with_capacity(src.len());
+    for tok in &tokens {
+        assert_eq!(tok.start, pos, "{origin}: gap or overlap at byte {pos}");
+        assert!(tok.end > tok.start, "{origin}: empty token at byte {pos}");
+        let expected_line = 1 + src[..tok.start].matches('\n').count() as u32;
+        assert_eq!(
+            tok.line, expected_line,
+            "{origin}: wrong line number for token at byte {}",
+            tok.start
+        );
+        rebuilt.push_str(tok.text(src));
+        pos = tok.end;
+    }
+    assert_eq!(pos, src.len(), "{origin}: trailing bytes left untokenized");
+    assert_eq!(
+        rebuilt, src,
+        "{origin}: concatenated token texts differ from the input"
+    );
+}
+
+/// Every `.rs` file in the repository, skipping build output and VCS dirs.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_repo_source_file_tiles_exactly() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    assert!(
+        files.len() >= 80,
+        "expected a substantial corpus, found only {} files",
+        files.len()
+    );
+    for path in files {
+        let src = fs::read_to_string(&path).unwrap();
+        assert_tiles(&src, &path.display().to_string());
+    }
+}
+
+#[test]
+fn empty_and_trivial_inputs_tile() {
+    assert_tiles("", "empty");
+    assert_tiles("\n", "one newline");
+    assert_tiles("x", "one ident");
+    assert_tiles("\u{feff}fn f() {}", "BOM prefix");
+}
+
+/// Fragments chosen to exercise every tricky lexer path: fences, nesting,
+/// char-vs-lifetime, exponents vs ranges, unterminated literals (legal —
+/// they must run to EOF, still tiling), and multi-byte characters that
+/// would break any byte-offset arithmetic done carelessly.
+const FRAGMENTS: &[&str] = &[
+    "fn main() {}",
+    "// line comment",
+    "/// doc with `code` and \"quotes\"",
+    "/* block /* nested */ still open */",
+    "\"string with \\\" escape\"",
+    "r\"raw no fence\"",
+    "r#\"raw \" fence\"#",
+    "r##\"double \"# fence\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "r#match",
+    "'x'",
+    "'\\n'",
+    "'\\u{1F600}'",
+    "b'q'",
+    "'a",
+    "'static",
+    "'_",
+    "1e-3",
+    "2.5E+7_f64",
+    "0xfe_u32",
+    "1..2",
+    "3.14",
+    "1.min(2)",
+    "v[0]",
+    "let [a, b] = x;",
+    "#[cfg(test)]",
+    "#![deny(warnings)]",
+    "::",
+    "=>",
+    "..=",
+    ";",
+    "{",
+    "}",
+    " ",
+    "\t",
+    "\n",
+    "日本語のコメント",
+    "émoji🚀",
+    "/* unterminated",
+    "\"unterminated",
+    "r#\"unterminated raw",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any concatenation of fragments — including ones that glue into new
+    /// constructs or leave literals unterminated — must still tile.
+    #[test]
+    fn random_fragment_soup_tiles_exactly(
+        picks in collection::vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_tiles(&src, "fragment soup");
+    }
+
+    /// Separator-joined variant: fragments in fresh token positions.
+    #[test]
+    fn spaced_fragment_soup_tiles_exactly(
+        picks in collection::vec(0usize..FRAGMENTS.len(), 1..30),
+        sep in 0usize..3,
+    ) {
+        let sep = [" ", "\n", ""][sep];
+        let src = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(sep);
+        assert_tiles(&src, "spaced fragment soup");
+    }
+}

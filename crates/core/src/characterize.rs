@@ -22,7 +22,7 @@ use crate::params::Params;
 use crate::set::DeviceSet;
 use crate::table::TrajectoryTable;
 use anomaly_qos::DeviceId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The three possible verdicts for an abnormal device.
@@ -184,11 +184,11 @@ pub struct Analyzer<'t> {
     table: &'t TrajectoryTable,
     params: Params,
     /// All maximal motions containing each device.
-    motions: HashMap<DeviceId, Vec<DeviceSet>>,
+    motions: BTreeMap<DeviceId, Vec<DeviceSet>>,
     /// The dense (`> τ`) subset of `motions`.
-    wbar: HashMap<DeviceId, Vec<DeviceSet>>,
+    wbar: BTreeMap<DeviceId, Vec<DeviceSet>>,
     /// Window moves spent per device during precomputation.
-    precompute_moves: HashMap<DeviceId, u64>,
+    precompute_moves: BTreeMap<DeviceId, u64>,
     /// Devices whose motion enumeration exceeded the budget; their verdict
     /// degrades conservatively to unresolved.
     overflowed: std::collections::BTreeSet<DeviceId>,
@@ -289,9 +289,9 @@ impl<'t> Analyzer<'t> {
         params: Params,
         parts: impl IntoIterator<Item = (DeviceId, DevicePrecompute)>,
     ) -> Self {
-        let mut motions = HashMap::with_capacity(table.len());
-        let mut wbar = HashMap::with_capacity(table.len());
-        let mut precompute_moves = HashMap::with_capacity(table.len());
+        let mut motions = BTreeMap::new();
+        let mut wbar = BTreeMap::new();
+        let mut precompute_moves = BTreeMap::new();
         let mut overflowed = std::collections::BTreeSet::new();
         for (j, part) in parts {
             assert!(table.contains(j), "part for unknown device {j:?}");

@@ -55,6 +55,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 mod characterize;
@@ -80,7 +81,7 @@ pub use families::Families;
 pub use local::LocalContext;
 pub use maximal::{
     maximal_motions, maximal_motions_bounded, maximal_motions_brute, maximal_motions_involving,
-    maximal_motions_involving_bounded,
+    maximal_motions_involving_bounded, MotionOps,
 };
 pub use params::{Params, ParamsError};
 pub use partition::{build_partition, AnomalyPartition, PartitionError};

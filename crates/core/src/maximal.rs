@@ -48,7 +48,7 @@ pub fn maximal_motions(
     ops: &mut MotionOps,
 ) -> Vec<DeviceSet> {
     maximal_motions_bounded(table, candidates, window, ops, u64::MAX)
-        .expect("unlimited budget cannot truncate")
+        .unwrap_or_else(|| unreachable!("unlimited budget cannot truncate"))
 }
 
 /// [`maximal_motions`] with a budget on sliding-window placements.
@@ -57,7 +57,7 @@ pub fn maximal_motions(
 /// windows) can have exponentially many maximal motions — no exact
 /// algorithm escapes that. Bounding the enumeration keeps monitoring
 /// rounds total: on budget exhaustion the function returns `None`
-/// (and sets [`MotionOps::truncated`]) so the caller can degrade
+/// (and sets the [`MotionOps`] `truncated` flag) so the caller can degrade
 /// conservatively instead of stalling.
 pub fn maximal_motions_bounded(
     table: &TrajectoryTable,
@@ -96,7 +96,7 @@ pub fn maximal_motions_involving(
     ops: &mut MotionOps,
 ) -> Vec<DeviceSet> {
     maximal_motions_involving_bounded(table, j, window, ops, u64::MAX)
-        .expect("unlimited budget cannot truncate")
+        .unwrap_or_else(|| unreachable!("unlimited budget cannot truncate"))
 }
 
 /// [`maximal_motions_involving`] with an enumeration budget; `None` on
@@ -138,11 +138,7 @@ fn recurse(
         .into_iter()
         .map(|id| (table.concatenated(id)[axis], id))
         .collect();
-    vals.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("coordinates are finite")
-            .then(a.1.cmp(&b.1))
-    });
+    vals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
     let mut prev: Option<Vec<DeviceId>> = None;
     for i in 0..vals.len() {

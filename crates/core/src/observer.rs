@@ -128,7 +128,9 @@ pub fn brute_force_classes(
         let mut ever_sparse = false;
         let mut ever_dense = false;
         for p in &partitions {
-            let block = p.block_of(j).expect("partitions cover all devices");
+            let Some(block) = p.block_of(j) else {
+                unreachable!("partitions cover all devices")
+            };
             if params.is_dense(block.len()) {
                 ever_dense = true;
             } else {

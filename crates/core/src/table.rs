@@ -1,6 +1,6 @@
 use crate::set::DeviceSet;
 use anomaly_qos::{DeviceId, StatePair};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -71,7 +71,7 @@ pub struct TrajectoryTable {
     /// Space dimension `d` (the concatenated space has `2d` axes).
     dim: usize,
     ids: Vec<DeviceId>,
-    coords: HashMap<DeviceId, Vec<f64>>,
+    coords: BTreeMap<DeviceId, Vec<f64>>,
 }
 
 impl TrajectoryTable {
@@ -125,7 +125,7 @@ impl TrajectoryTable {
         rows: Vec<(DeviceId, Vec<f64>)>,
     ) -> Result<Self, TableError> {
         let mut ids = Vec::with_capacity(rows.len());
-        let mut coords = HashMap::with_capacity(rows.len());
+        let mut coords = BTreeMap::new();
         for (id, row) in rows {
             if row.len() != 2 * dim {
                 return Err(TableError::WrongRowWidth {

@@ -1,7 +1,7 @@
 use crate::{Detector, Verdict};
 
 /// Two-sided CUSUM change detector (Page, *Continuous Inspection Schemes*,
-/// Biometrika 1954 — ref [10] of the paper).
+/// Biometrika 1954 — ref \[10\] of the paper).
 ///
 /// Accumulates deviations of the observations from a reference mean in both
 /// directions, with a drift allowance `kappa` that absorbs in-control noise;

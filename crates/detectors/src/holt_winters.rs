@@ -2,7 +2,7 @@ use crate::{Detector, Verdict};
 
 /// Holt's double exponential smoothing with a forecast-error gate.
 ///
-/// Maintains a level and a trend estimate (Holt [6], Winters [12] — the
+/// Maintains a level and a trend estimate (Holt \[6\], Winters \[12\] — the
 /// forecasting methods the paper cites for `a_k(j)`); the one-step-ahead
 /// forecast is `level + trend` and an observation is flagged when its
 /// forecast error exceeds `k_sigma` estimated deviations of recent errors.

@@ -1,7 +1,7 @@
 use crate::{Detector, Verdict};
 
 /// Scalar constant-velocity Kalman filter with an innovation gate
-/// (Kalman 1960 — ref [7]; the filter the related work [15] installs at both
+/// (Kalman 1960 — ref \[7\]; the filter the related work \[15\] installs at both
 /// monitored and management nodes).
 ///
 /// State is `(level, slope)`; the filter predicts the next observation and

@@ -11,12 +11,12 @@
 //! * [`EwmaDetector`] — exponentially weighted moving average with a
 //!   residual σ-band;
 //! * [`HoltWintersDetector`] — Holt's double exponential smoothing
-//!   (trend-aware forecasting, refs [6][12] of the paper);
+//!   (trend-aware forecasting, refs \[6\]\[12\] of the paper);
 //! * [`CusumDetector`] — Page's two-sided cumulative-sum change detector
-//!   (ref [10]);
+//!   (ref \[10\]);
 //! * [`PageHinkleyDetector`] — the streaming Page-Hinkley variant;
 //! * [`KalmanDetector`] — a scalar constant-velocity Kalman filter with an
-//!   innovation gate (ref [7]);
+//!   innovation gate (ref \[7\]);
 //! * [`VectorDetector`] — one detector per service; the device-level
 //!   `a_k(j)` is the OR over services, exactly as in the paper.
 //!
@@ -38,6 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 mod cusum;

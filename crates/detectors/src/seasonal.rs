@@ -1,7 +1,7 @@
 use crate::{Detector, Verdict};
 
 /// Holt-Winters **seasonal** forecasting detector (additive variant —
-/// Winters, *Management Science* 1960, ref [12] of the paper).
+/// Winters, *Management Science* 1960, ref \[12\] of the paper).
 ///
 /// Maintains level, trend, and a ring of `period` additive seasonal
 /// components; the one-step forecast is `level + trend + season[t mod p]`

@@ -41,6 +41,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 mod error;

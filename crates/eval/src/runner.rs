@@ -15,7 +15,7 @@ use anomaly_simulator::score::{self, Confusion, EventConfusion, EventSpan};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Per-step scoring summary — the evaluation's per-instant breakdown.
@@ -185,8 +185,7 @@ fn spans_from_reports(reports: &[Report]) -> Vec<EventSpan> {
     }
     let mut by_id: BTreeMap<anomaly_characterization::pipeline::EventId, Partial> = BTreeMap::new();
     for (step, report) in reports.iter().enumerate() {
-        let id_of: std::collections::HashMap<_, _> =
-            report.verdicts().iter().map(|v| (v.key, v.id)).collect();
+        let id_of: BTreeMap<_, _> = report.verdicts().iter().map(|v| (v.key, v.id)).collect();
         for delta in report.event_deltas() {
             if delta.kind == EventDeltaKind::Closed {
                 continue;
@@ -431,14 +430,14 @@ pub fn evaluate_monitor_streaming_on(
     let mut rng = StdRng::seed_from_u64(shuffle_seed);
     // Keys with at least one sealed position: only they can be dropped
     // (carry-forward needs a row to bridge with).
-    let mut established: HashSet<u64> = HashSet::new();
+    let mut established: BTreeSet<u64> = BTreeSet::new();
 
     /// Streams one snapshot's rows into the monitor (shuffled, lossy for
     /// established devices) and seals the epoch.
     fn stream_snapshot(
         monitor: &mut Monitor,
         rng: &mut StdRng,
-        established: &mut HashSet<u64>,
+        established: &mut BTreeSet<u64>,
         snapshot: &anomaly_qos::Snapshot,
         drop_probability: f64,
     ) -> Result<Report, EvalError> {
@@ -479,7 +478,7 @@ pub fn evaluate_monitor_streaming_on(
     let mut reports: Vec<Report> = Vec::with_capacity(run.steps.len());
     let stream_steps = |monitor: &mut Monitor,
                         rng: &mut StdRng,
-                        established: &mut HashSet<u64>,
+                        established: &mut BTreeSet<u64>,
                         steps: &[anomaly_simulator::trace::TraceStep],
                         base: usize|
      -> Result<Vec<Report>, EvalError> {

@@ -134,7 +134,8 @@ impl NetworkSimulation {
         }
         let (c, a, d, g) = config.shape;
         let topology = Topology::tree(c, a, d, g);
-        let space = QosSpace::new(config.services.len()).expect("non-empty services");
+        let space = QosSpace::new(config.services.len())
+            .unwrap_or_else(|_| unreachable!("non-empty services"));
         let health = vec![1.0; topology.len()];
         let gateway_health = vec![1.0; topology.gateways().len()];
         let rng = StdRng::seed_from_u64(config.seed);
@@ -211,7 +212,8 @@ impl NetworkSimulation {
             .into_iter()
             .map(|update| update.qos)
             .collect();
-        Snapshot::from_rows(&self.space, rows).expect("measurements are clamped")
+        Snapshot::from_rows(&self.space, rows)
+            .unwrap_or_else(|_| unreachable!("measurements are clamped"))
     }
 
     /// Applies one fault, returning the impacted gateways (pipeline ids).
@@ -235,7 +237,13 @@ impl NetworkSimulation {
                 self.topology
                     .downstream_gateways(node)
                     .into_iter()
-                    .map(|gw| DeviceId(self.topology.gateway_index(gw).expect("gateway") as u32))
+                    .map(|gw| {
+                        let index = self
+                            .topology
+                            .gateway_index(gw)
+                            .unwrap_or_else(|| unreachable!("downstream nodes are gateways"));
+                        DeviceId(index as u32)
+                    })
                     .collect()
             }
             FaultTarget::Gateway { gateway, severity } => {
@@ -243,10 +251,9 @@ impl NetworkSimulation {
                     (0.0..=1.0).contains(&severity) && severity > 0.0,
                     "severity must lie in (0, 1]"
                 );
-                let index = self
-                    .topology
-                    .gateway_index(gateway)
-                    .expect("FaultTarget::Gateway requires a gateway node");
+                let Some(index) = self.topology.gateway_index(gateway) else {
+                    panic!("FaultTarget::Gateway requires a gateway node");
+                };
                 self.gateway_health[index] *= 1.0 - severity;
                 DeviceSet::singleton(DeviceId(index as u32))
             }
@@ -266,7 +273,7 @@ impl NetworkSimulation {
         let impacted: Vec<DeviceSet> = faults.into_iter().map(|f| self.inject(f)).collect();
         let after = self.snapshot();
         StepOutcome {
-            pair: StatePair::new(before, after).expect("same population"),
+            pair: StatePair::new(before, after).unwrap_or_else(|_| unreachable!("same population")),
             impacted,
         }
     }

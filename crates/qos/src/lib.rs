@@ -34,6 +34,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 mod error;

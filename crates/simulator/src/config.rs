@@ -107,7 +107,8 @@ impl ScenarioConfig {
             dim: 2,
             errors_per_step: 20,
             isolated_prob: 0.08,
-            params: Params::new(0.03, 3).expect("paper parameters are valid"),
+            params: Params::new(0.03, 3)
+                .unwrap_or_else(|_| unreachable!("paper parameters are valid")),
             destination: DestinationModel::Degradation { scale: 0.20 },
             enforce_r3: true,
             seed,

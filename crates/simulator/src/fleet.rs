@@ -8,7 +8,7 @@
 //! volume: a calm, jittering population seeded i.i.d. uniformly, plus a
 //! configurable anomaly mix of co-moving clusters (massive events) and lone
 //! jumpers (isolated events), emitted as chained snapshots ready to feed
-//! [`Monitor::observe`] (`anomaly-characterization`) unmodified.
+//! `Monitor::observe` (`anomaly-characterization`) unmodified.
 //!
 //! Runs are deterministic for a given spec (seeded RNG), so engine
 //! configurations can be compared on byte-identical inputs.
@@ -135,7 +135,8 @@ pub fn generate_fleet(
     steps: usize,
 ) -> Result<Vec<FleetInstant>, SimulationError> {
     spec.validate()?;
-    let space = QosSpace::new(spec.services).expect("validate checked services >= 1");
+    let space = QosSpace::new(spec.services)
+        .unwrap_or_else(|_| unreachable!("validate checked services >= 1"));
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let dim = spec.services;
     let n = spec.devices;
@@ -145,7 +146,8 @@ pub fn generate_fleet(
         .collect();
     let mut out = Vec::with_capacity(steps + 1);
     out.push(FleetInstant {
-        snapshot: Snapshot::from_rows(&space, rows.clone()).expect("generated rows are in range"),
+        snapshot: Snapshot::from_rows(&space, rows.clone())
+            .unwrap_or_else(|_| unreachable!("generated rows are in range")),
         flagged: Vec::new(),
         truth: GroundTruth::default(),
     });
@@ -212,7 +214,7 @@ pub fn generate_fleet(
         }
         out.push(FleetInstant {
             snapshot: Snapshot::from_rows(&space, rows.clone())
-                .expect("generated rows are in range"),
+                .unwrap_or_else(|_| unreachable!("generated rows are in range")),
             flagged,
             truth,
         });

@@ -60,7 +60,8 @@ impl Simulation {
         let rows: Vec<Vec<f64>> = (0..config.n)
             .map(|_| (0..config.dim).map(|_| rng.gen::<f64>()).collect())
             .collect();
-        let current = Snapshot::from_rows(&space, rows).expect("generated rows are in range");
+        let current = Snapshot::from_rows(&space, rows)
+            .unwrap_or_else(|_| unreachable!("generated rows are in range"));
         Ok(Simulation {
             config,
             space,
@@ -134,7 +135,8 @@ impl Simulation {
         self.recovering = impacted_all;
         self.step_count += 1;
         StepOutcome {
-            pair: StatePair::new(before, after).expect("snapshots share shape"),
+            pair: StatePair::new(before, after)
+                .unwrap_or_else(|_| unreachable!("snapshots share shape")),
             truth: GroundTruth::new(events),
             recovered,
             config: self.config.clone(),

@@ -37,6 +37,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 #![warn(missing_docs)]
 
 pub mod adversary;

@@ -533,7 +533,7 @@ pub fn score_step_classes(
     tau: usize,
     classes: &[(DeviceId, AnomalyClass)],
 ) {
-    let by_id: std::collections::HashMap<DeviceId, AnomalyClass> =
+    let by_id: std::collections::BTreeMap<DeviceId, AnomalyClass> =
         classes.iter().copied().collect();
     score_step(confusion, truth, tau, |id| by_id.get(&id).copied());
 }

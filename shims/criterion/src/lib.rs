@@ -11,6 +11,7 @@
 //! targets compiling and runnable.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 use std::fmt;
 use std::time::{Duration, Instant};

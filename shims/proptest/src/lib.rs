@@ -15,6 +15,7 @@
 //!   failures reproduce locally.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 use std::ops::{Range, RangeInclusive};
 
@@ -158,7 +159,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -12,6 +12,7 @@
 //! stream, so the substitution is behavior-preserving.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 use std::ops::{Range, RangeInclusive};
 

@@ -5,6 +5,7 @@
 //! `README.md` for a tour and `examples/` for runnable scenarios.
 
 #![forbid(unsafe_code)]
+#![deny(warnings)]
 
 pub mod pipeline;
 

@@ -251,8 +251,7 @@ impl MonitorBuilder {
         if self.services == 0 {
             return Err(MonitorError::NoServices);
         }
-        let space = QosSpace::new(self.services)
-            .expect("services >= 1 was just checked, so the space is constructible");
+        let space = QosSpace::new(self.services)?;
         let services = self.services;
         if let StalenessPolicy::Default(row) = &self.staleness {
             if row.len() != services {

@@ -62,6 +62,22 @@ pub enum MonitorError {
     /// [`StalenessPolicy::Reject`](super::StalenessPolicy::Reject), or
     /// silent beyond the carry-forward bound.
     Ingest(IngestError),
+    /// A library invariant failed — a bug in this crate, never a misuse of
+    /// its API. Surfaced as a typed error instead of a panic (conformance
+    /// C1) so a deployment can log the breach and keep its monitoring loop
+    /// alive; please report the context string upstream.
+    Internal {
+        /// The invariant that did not hold.
+        context: &'static str,
+    },
+}
+
+impl MonitorError {
+    /// Shorthand for an invariant-breach error (conformance C1: library
+    /// code converts "impossible" states into this instead of panicking).
+    pub(crate) fn internal(context: &'static str) -> Self {
+        MonitorError::Internal { context }
+    }
 }
 
 impl fmt::Display for MonitorError {
@@ -91,6 +107,11 @@ impl fmt::Display for MonitorError {
             }
             MonitorError::Qos(e) => write!(f, "invalid QoS data: {e}"),
             MonitorError::Ingest(e) => write!(f, "streaming ingestion failed: {e}"),
+            MonitorError::Internal { context } => write!(
+                f,
+                "internal invariant violated ({context}) — this is a bug in \
+                 anomaly-characterization, please report it"
+            ),
         }
     }
 }

@@ -280,7 +280,8 @@ impl EventTracker {
             definite
                 .binary_search_by_key(&key, |&(k, _)| k)
                 .ok()
-                .map(|i| definite[i].1)
+                .and_then(|i| definite.get(i))
+                .map(|&(_, class)| class)
         };
         let mut active_keys: Vec<DeviceKey> = definite.iter().map(|&(key, _)| key).collect();
         for &key in warming {
@@ -295,9 +296,9 @@ impl EventTracker {
         let mut continuing: Vec<(usize, Vec<DeviceKey>)> = Vec::new(); // (open index, active overlap)
         for (idx, event) in self.open.iter().enumerate() {
             let mut overlap = Vec::new();
-            for (ai, &key) in active_keys.iter().enumerate() {
-                if !claimed[ai] && event.devices.binary_search(&key).is_ok() {
-                    claimed[ai] = true;
+            for (&key, taken) in active_keys.iter().zip(claimed.iter_mut()) {
+                if !*taken && event.devices.binary_search(&key).is_ok() {
+                    *taken = true;
                     overlap.push(key);
                 }
             }
@@ -310,8 +311,8 @@ impl EventTracker {
         // never spawn: a fresh joiner that flags has no interval yet.
         let mut new_massive: Vec<DeviceKey> = Vec::new();
         let mut new_single: Vec<(DeviceKey, AnomalyClass)> = Vec::new();
-        for (ai, &key) in active_keys.iter().enumerate() {
-            if claimed[ai] {
+        for (&key, &taken) in active_keys.iter().zip(claimed.iter()) {
+            if taken {
                 continue;
             }
             match class_of(key) {
@@ -331,7 +332,8 @@ impl EventTracker {
         if !new_massive.is_empty() {
             let open = &self.open;
             if let Some((_, overlap)) = continuing.iter_mut().find(|(idx, overlap)| {
-                open[*idx].class == AnomalyClass::Massive
+                open.get(*idx)
+                    .is_some_and(|e| e.class == AnomalyClass::Massive)
                     || overlap
                         .iter()
                         .any(|&key| class_of(key) == Some(AnomalyClass::Massive))
@@ -345,7 +347,12 @@ impl EventTracker {
 
         // Update continuing events, id order.
         for (idx, overlap) in &continuing {
-            let event = &mut self.open[*idx];
+            // Indices into `open` were collected above and nothing has
+            // mutated the vector since; a miss would be a bug, so skip
+            // rather than panic (conformance C1).
+            let Some(event) = self.open.get_mut(*idx) else {
+                continue;
+            };
             let mut joined: Vec<DeviceKey> = Vec::new();
             for &key in overlap {
                 if let Err(pos) = event.devices.binary_search(&key) {
@@ -411,7 +418,9 @@ impl EventTracker {
         let debounce = self.debounce;
         let mut idx = 0;
         while idx < self.open.len() {
-            let event = &mut self.open[idx];
+            let Some(event) = self.open.get_mut(idx) else {
+                break;
+            };
             if event.last_active < k && k - event.last_active > debounce {
                 event.end = Some(event.last_active + 1);
                 event.active.clear();

@@ -36,7 +36,7 @@ use super::key::DeviceKey;
 use super::monitor::Monitor;
 use super::report::Report;
 use anomaly_qos::{DeviceId, Point, Snapshot};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -164,6 +164,7 @@ impl EpochState {
 
     /// Stages an update for a slot (last write wins).
     pub(super) fn stage(&mut self, slot: usize, point: Point) {
+        // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
         if self.pending[slot].replace(point).is_none() {
             self.updated += 1;
         }
@@ -174,10 +175,12 @@ impl EpochState {
     }
 
     pub(super) fn has_update(&self, slot: usize) -> bool {
+        // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
         self.pending[slot].is_some()
     }
 
     pub(super) fn take(&mut self, slot: usize) -> Option<Point> {
+        // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
         let p = self.pending[slot].take();
         if p.is_some() {
             self.updated -= 1;
@@ -186,11 +189,13 @@ impl EpochState {
     }
 
     pub(super) fn age(&self, slot: usize) -> u64 {
+        // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
         self.age[slot]
     }
 
     /// Records the outcome of a sealed epoch for one slot.
     pub(super) fn settle(&mut self, slot: usize, reported: bool) {
+        // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
         self.age[slot] = if reported { 0 } else { self.age[slot] + 1 };
     }
 
@@ -358,7 +363,7 @@ impl Monitor {
 
         // Phase 1 — resolve silent devices (read-only: a policy failure
         // must leave the epoch open and every internal structure intact).
-        let prev_by_key: Option<HashMap<DeviceKey, u32>> =
+        let prev_by_key: Option<BTreeMap<DeviceKey, u32>> =
             match (self.previous_snapshot(), self.previous_key_order()) {
                 (Some(_), Some(prev_keys)) => Some(
                     prev_keys
@@ -378,7 +383,7 @@ impl Monitor {
                 plan.push(Fill::Update);
                 continue;
             }
-            let key = self.keys()[slot];
+            let key = self.key_at(slot as u32)?;
             // The device's slot in `previous`, if it has a position there.
             let prev_slot: Option<u32> = match (self.previous_snapshot(), &prev_by_key) {
                 (None, _) => None,
@@ -415,7 +420,14 @@ impl Monitor {
         if !stale.is_empty() {
             let max_age = match &self.staleness {
                 StalenessPolicy::CarryForward { max_age } => *max_age,
-                _ => unreachable!("only carry-forward produces stale devices"),
+                // Only the carry-forward arm ever pushes into `stale`;
+                // reaching this is a bug, reported as a typed error
+                // rather than a panic (conformance C1).
+                _ => {
+                    return Err(MonitorError::internal(
+                        "only carry-forward produces stale devices",
+                    ))
+                }
             };
             return Err(MonitorError::Ingest(IngestError::StaleDevices {
                 keys: stale,
@@ -476,16 +488,20 @@ impl Monitor {
                 Fill::Update => Some(
                     self.epoch
                         .take(slot)
-                        .expect("plan said an update is pending"),
+                        .ok_or(MonitorError::internal("plan said an update is pending"))?,
                 ),
-                Fill::Default => Some(default_point.expect("plan said default fills").clone()),
+                Fill::Default => Some(
+                    default_point
+                        .ok_or(MonitorError::internal("plan said default fills"))?
+                        .clone(),
+                ),
                 Fill::Carry(_) => None, // row keeps its previous value
             };
             let Some(p) = new_point else { continue };
             let id = DeviceId(slot as u32);
-            let prev = self
-                .previous_snapshot()
-                .expect("delta assembly requires a previous snapshot");
+            let prev = self.previous_snapshot().ok_or(MonitorError::internal(
+                "delta assembly requires a previous snapshot",
+            ))?;
             if p != *prev.position(id) {
                 // Move candidates are only worth cloning when incremental
                 // grid maintenance will actually replay them (and only
@@ -502,9 +518,9 @@ impl Monitor {
                 // Bring the buffer from S_{k-2} to S_{k-1}: only the rows
                 // that changed last epoch differ.
                 let lag = self.take_spare_lag();
-                let prev = self
-                    .previous_snapshot()
-                    .expect("delta assembly requires a previous snapshot");
+                let prev = self.previous_snapshot().ok_or(MonitorError::internal(
+                    "delta assembly requires a previous snapshot",
+                ))?;
                 for id in lag {
                     buf.copy_row_from(prev, id);
                 }
@@ -514,12 +530,14 @@ impl Monitor {
             // then the spare ping-pong makes every later seal clone-free.
             None => self
                 .previous_snapshot()
-                .expect("delta assembly requires a previous snapshot")
+                .ok_or(MonitorError::internal(
+                    "delta assembly requires a previous snapshot",
+                ))?
                 .clone(),
         };
         current
             .patch_rows(patches)
-            .expect("patched rows were validated at ingest time");
+            .map_err(|_| MonitorError::internal("patched rows were validated at ingest time"))?;
         Ok((current, changed, moves))
     }
 
@@ -537,13 +555,15 @@ impl Monitor {
                 Fill::Update => self
                     .epoch
                     .take(slot)
-                    .expect("plan said an update is pending"),
+                    .ok_or(MonitorError::internal("plan said an update is pending"))?,
                 Fill::Carry(p) => self
                     .previous_snapshot()
-                    .expect("carry requires a previous snapshot")
+                    .ok_or(MonitorError::internal("carry requires a previous snapshot"))?
                     .position(DeviceId(*p))
                     .clone(),
-                Fill::Default => default_point.expect("plan said default fills").clone(),
+                Fill::Default => default_point
+                    .ok_or(MonitorError::internal("plan said default fills"))?
+                    .clone(),
             });
         }
         let space = *self.space();

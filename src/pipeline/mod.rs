@@ -76,6 +76,7 @@ mod key;
 mod monitor;
 mod replay;
 mod report;
+mod timings;
 
 pub use builder::{MonitorBuilder, MAX_FLEET};
 pub use engine::{Engine, GridMaintenance};

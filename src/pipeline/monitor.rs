@@ -4,6 +4,7 @@ use super::events::EventTracker;
 use super::ingest::{EpochState, StalenessPolicy};
 use super::key::DeviceKey;
 use super::report::{DeviceVerdict, Report, ReportSummary};
+use super::timings::Stopwatch;
 use anomaly_core::{
     Analyzer, Characterization, DevicePrecompute, Params, ShardPlan, TrajectoryTable,
     DEFAULT_ENUMERATION_BUDGET,
@@ -12,8 +13,9 @@ use anomaly_detectors::DeviceDetector;
 use anomaly_qos::{
     DeviceId, GridIndex, GridUpdate, Norm, NormKind, Point, QosSpace, Snapshot, StatePair,
 };
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+// conformance: allow(C2, reason = "HashMap backs only the lookup-only key index; it is never iterated, so hash order cannot reach a report")
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
 
 /// Produces the error-detection function of a joining device from its
 /// stable key.
@@ -89,6 +91,10 @@ pub struct Monitor {
     max_population: u64,
     /// Dense order: index `i` is the device with id `DeviceId(i)` now.
     keys: Vec<DeviceKey>,
+    /// Key → dense-slot map. Lookup-only: every read is a point query
+    /// (`get`/`contains_key`) on the per-update hot path, never an
+    /// iteration, so its hash order is unobservable in any report.
+    // conformance: allow(C2, reason = "lookup-only key index on the per-update hot path; never iterated")
     index: HashMap<DeviceKey, u32>,
     detectors: Vec<Box<dyn DeviceDetector>>,
     /// Snapshot of the previous instant, if any.
@@ -180,6 +186,7 @@ impl Monitor {
             space,
             max_population,
             keys: Vec::with_capacity(capacity),
+            // conformance: allow(C2, reason = "lookup-only key index on the per-update hot path; never iterated")
             index: HashMap::with_capacity(capacity),
             detectors: Vec::with_capacity(capacity),
             previous: None,
@@ -295,6 +302,17 @@ impl Monitor {
     /// Current dense slot of `key` (internal form of [`Monitor::id_of`]).
     pub(super) fn slot_of(&self, key: DeviceKey) -> Option<usize> {
         self.index.get(&key).map(|&i| i as usize)
+    }
+
+    /// The stable key at dense index `i`, as a typed invariant error
+    /// instead of a panicking index (conformance C1): every `i` handed to
+    /// this comes from a structure maintained slot-aligned with `keys`, so
+    /// a miss is a bug in this crate, not misuse.
+    pub(super) fn key_at(&self, i: u32) -> Result<DeviceKey, MonitorError> {
+        self.keys
+            .get(i as usize)
+            .copied()
+            .ok_or(MonitorError::internal("dense id out of range for fleet"))
     }
 
     /// The QoS space rows are validated against.
@@ -562,7 +580,7 @@ impl Monitor {
     ) -> Result<Report, MonitorError> {
         // Detection: feed every device's error-detection function, collect
         // A_k as (current dense index, detector score).
-        let detection_start = Instant::now();
+        let detection_start = Stopwatch::start();
         let mut flagged: Vec<(u32, f64)> = Vec::new();
         for (i, det) in self.detectors.iter_mut().enumerate() {
             let verdict = det.observe_vector(current.position(DeviceId(i as u32)).coords());
@@ -581,7 +599,7 @@ impl Monitor {
         let mut characterization = Duration::ZERO;
         let (new_previous, new_spare) = match self.previous.take() {
             Some(previous) if !flagged.is_empty() => {
-                let char_start = Instant::now();
+                let char_start = Stopwatch::start();
                 let rotated = self.characterize_interval(
                     previous,
                     current,
@@ -595,7 +613,9 @@ impl Monitor {
             Some(previous) => (current, Some(previous)),
             None => {
                 // Very first interval: every flagged device is warming.
-                warming.extend(flagged.iter().map(|&(i, _)| self.keys[i as usize]));
+                for &(i, _) in &flagged {
+                    warming.push(self.key_at(i)?);
+                }
                 (current, None)
             }
         };
@@ -645,7 +665,7 @@ impl Monitor {
         // which allocates no per-device structures at all — cohort id ==
         // current id == previous id.
         let survivors: Option<Vec<(u32, u32)>> = self.previous_keys.as_ref().map(|prev_keys| {
-            let prev_index: HashMap<DeviceKey, u32> = prev_keys
+            let prev_index: BTreeMap<DeviceKey, u32> = prev_keys
                 .iter()
                 .enumerate()
                 .map(|(i, &k)| (k, i as u32))
@@ -660,7 +680,7 @@ impl Monitor {
         // A_k in cohort-local ids, plus each flagged device's score (only
         // flagged devices are touched: O(|A_k|), not O(n)).
         let mut abnormal: Vec<DeviceId> = Vec::new();
-        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
         match &survivors {
             None => {
                 for &(cur, score) in flagged {
@@ -671,7 +691,7 @@ impl Monitor {
             Some(survivors) => {
                 // Cohort-local ids follow current order: cohort id c is
                 // survivors[c]. Invert current -> cohort for the flagged set.
-                let cohort_of: HashMap<u32, u32> = survivors
+                let cohort_of: BTreeMap<u32, u32> = survivors
                     .iter()
                     .enumerate()
                     .map(|(c, &(cur, _))| (cur, c as u32))
@@ -683,7 +703,7 @@ impl Monitor {
                             scores.insert(c, score);
                         }
                         // Flagged but joined after k-1: no interval yet.
-                        None => warming.push(self.keys[cur as usize]),
+                        None => warming.push(self.key_at(cur)?),
                     }
                 }
             }
@@ -732,7 +752,10 @@ impl Monitor {
         });
         self.grid_staged.clear();
         self.grid_full_synced = steady;
-        let grid = self.grid.as_ref().expect("grid was just built");
+        let grid = self
+            .grid
+            .as_ref()
+            .ok_or(MonitorError::internal("vicinity grid missing after update"))?;
 
         // Characterization in two per-device phases (both embarrassingly
         // parallel, per Definition 1's locality): precompute each device's
@@ -783,7 +806,7 @@ impl Monitor {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("precompute worker panicked"))
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             });
             let analyzer = Analyzer::from_parts(&table, params, parts.into_iter().flatten());
@@ -813,7 +836,7 @@ impl Monitor {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("characterization worker panicked"))
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             });
             rows.extend(shard_rows.into_iter().flatten());
@@ -827,14 +850,17 @@ impl Monitor {
             let j = row.j;
             let cur = match &survivors {
                 None => j.0,
-                Some(survivors) => survivors[j.index()].0,
+                Some(survivors) => survivors
+                    .get(j.index())
+                    .map(|&(cur, _)| cur)
+                    .ok_or(MonitorError::internal("cohort id out of range"))?,
             };
             let displacement = self.norm.distance(
                 pair.before().position(j).coords(),
                 pair.after().position(j).coords(),
             );
             verdicts.push(DeviceVerdict {
-                key: self.keys[cur as usize],
+                key: self.key_at(cur)?,
                 id: DeviceId(cur),
                 characterization: row.characterization,
                 score: scores.get(&j.0).copied().unwrap_or(0.0),
