@@ -1,20 +1,35 @@
 //! Ingest benchmark: seal latency of the streaming front-end.
 //!
-//! A large calm fleet is established once; then each measured epoch
-//! ingests updates for only a small changed fraction of the devices (the
-//! rest are bridged by `CarryForward`), seals, and records the wall-clock
-//! of the seal. For comparison the same fleet is also driven through the
-//! batch `observe` path with full snapshots. The run asserts that every
-//! measured delta seal maintained the vicinity grid incrementally (no
-//! rebuild) — the structural guarantee that sealing is O(changed devices)
-//! — and writes the numbers as JSON.
+//! Workload: a persistent anomalous cluster jumps once during warm-up and
+//! then goes silent — bridged rows freeze detector state and verdict (see
+//! the `StalenessPolicy` docs), so every later epoch characterizes the
+//! same abnormal set. Each measured epoch ingests updates for a rotating
+//! window of `changed` calm devices far from the cluster and seals. The
+//! run asserts the structural guarantees behind the O(changed +
+//! dirty-neighbourhood) seal claim: steady-state epochs maintain the
+//! vicinity grid incrementally (no rebuild) and keep the frozen cluster
+//! flagged without re-feeding it.
+//!
+//! The first characterized epoch — grid build plus the first full
+//! characterization — is cold by construction and is reported separately
+//! as `warmup_seal_micros`, so it cannot pollute the steady-state
+//! statistics (`seal_micros_min`/`median`/`max` cover steady epochs only).
+//! A fleet-size sweep at fixed churn records how flat the steady-state
+//! seal stays as the population grows; `sweep_flat_ratio` is the largest
+//! sweep median over the smallest.
+//!
+//! For the headline ratio the same workload shape is also driven through
+//! the batch `observe` path with full snapshots (the cluster re-jumps
+//! every epoch there, since batch epochs feed every detector).
 //!
 //! Knobs (environment variables):
 //!
 //! * `INGEST_BENCH_DEVICES` — fleet size (default 50000)
-//! * `INGEST_BENCH_STEPS` — measured epochs (default 12)
+//! * `INGEST_BENCH_STEPS` — measured steady-state epochs (default 12)
 //! * `INGEST_BENCH_CHANGED_PERMILLE` — changed devices per epoch, in ‰ of
 //!   the fleet (default 10 = 1%)
+//! * `INGEST_BENCH_SWEEP` — comma-separated fleet sizes swept at a fixed
+//!   500-device churn (default `10000,50000,100000`; empty disables)
 //! * `INGEST_BENCH_OUT` — output path (default `BENCH_ingest.json`)
 
 use anomaly_characterization::pipeline::{
@@ -32,8 +47,14 @@ fn env_usize(key: &str, default: usize) -> usize {
 }
 
 const SERVICES: usize = 2;
+/// Devices in the persistent anomalous cluster.
+const CLUSTER: usize = 64;
+/// Fixed churn of every sweep run, per the O(changed) claim: the same 500
+/// devices' worth of work regardless of fleet size.
+const SWEEP_CHANGED: usize = 500;
 
-/// Calm base position of device `k`: a deterministic spread over the cube.
+/// Calm base position of device `k`: a deterministic spread over the
+/// region `[0.55, 0.85]^2`, far (> 4r) from the cluster's corner.
 fn base_row(k: usize) -> Vec<f64> {
     vec![
         0.55 + 0.3 * ((k % 97) as f64 / 97.0),
@@ -41,9 +62,25 @@ fn base_row(k: usize) -> Vec<f64> {
     ]
 }
 
-/// Anomalous position of device `k` during a measured epoch.
-fn jump_row(k: usize) -> Vec<f64> {
-    vec![0.10 + 0.02 * ((k % 7) as f64 / 7.0), 0.12]
+/// Anomalous cluster position of device `k`; `phase` flips between two
+/// corners 0.2 apart so the batch path (which re-feeds every detector each
+/// epoch) keeps the cluster flagged epoch after epoch.
+fn jump_row(k: usize, phase: usize) -> Vec<f64> {
+    let corner = if phase.is_multiple_of(2) { 0.10 } else { 0.30 };
+    vec![corner + 0.02 * ((k % 7) as f64 / 7.0), 0.12]
+}
+
+/// Small in-region wiggle of a churn device: below the detector delta
+/// (stays calm), but real motion the grid and the cache must absorb.
+fn wiggled_row(k: usize, step: usize) -> Vec<f64> {
+    let delta = if step.is_multiple_of(2) {
+        0.004
+    } else {
+        -0.004
+    };
+    let mut row = base_row(k);
+    row[0] += delta;
+    row
 }
 
 fn monitor(devices: usize) -> Monitor {
@@ -70,69 +107,146 @@ struct EpochStats {
     verdicts: usize,
 }
 
-fn main() {
-    let devices = env_usize("INGEST_BENCH_DEVICES", 50_000);
-    let steps = env_usize("INGEST_BENCH_STEPS", 12);
-    let permille = env_usize("INGEST_BENCH_CHANGED_PERMILLE", 10);
-    let changed = ((devices * permille) / 1000).max(1);
-    let out_path =
-        std::env::var("INGEST_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_string());
-    eprintln!(
-        "ingest bench: {devices} devices, {steps} epochs, {changed} changed/epoch ({permille}‰)"
-    );
+struct RunStats {
+    devices: usize,
+    changed: usize,
+    /// The cold, first characterized epoch: grid build + full
+    /// characterization of the cluster. Reported apart from the steady
+    /// epochs so it cannot pollute their statistics.
+    warmup_seal_micros: u64,
+    epochs: Vec<EpochStats>,
+}
 
-    // --- Streaming path: establish, then measure delta seals.
+impl RunStats {
+    fn steady_seals(&self) -> Vec<u64> {
+        self.epochs.iter().map(|e| e.seal_micros).collect()
+    }
+}
+
+fn min(xs: &[u64]) -> u64 {
+    xs.iter().copied().min().unwrap_or(0)
+}
+
+fn max(xs: &[u64]) -> u64 {
+    xs.iter().copied().max().unwrap_or(0)
+}
+
+fn median(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Streams the workload through one monitor: calm warm-up, the cluster's
+/// jump (cold characterized epoch, timed separately), then `steps` steady
+/// delta epochs of `changed` rotating calm updates.
+fn run_streaming(devices: usize, steps: usize, changed: usize) -> RunStats {
+    assert!(
+        devices > CLUSTER + changed,
+        "fleet of {devices} too small for cluster {CLUSTER} + churn {changed}"
+    );
     let mut m = monitor(devices);
+    // Two calm full epochs: detectors learn the base rows.
     for _ in 0..2 {
         m.ingest_many((0..devices).map(|k| (k as u64, base_row(k))))
             .expect("baseline rows are valid");
-        m.seal().expect("full epochs seal");
+        m.seal().expect("full calm epochs seal");
     }
+    // The cold epoch: the cluster jumps (a full epoch — everyone else
+    // re-reports base). Builds the grid and characterizes from scratch.
+    m.ingest_many((0..devices).map(|k| {
+        let row = if k < CLUSTER {
+            jump_row(k, 0)
+        } else {
+            base_row(k)
+        };
+        (k as u64, row)
+    }))
+    .expect("jump rows are valid");
+    let warm_start = Instant::now();
+    let report = m.seal().expect("the jump epoch seals");
+    let warmup_seal_micros = warm_start.elapsed().as_micros() as u64;
+    assert_eq!(report.verdicts().len(), CLUSTER, "the cluster must flag");
+    assert_eq!(
+        m.last_grid_update(),
+        Some(GridUpdate::Rebuilt),
+        "the first characterized epoch builds the grid"
+    );
+
+    // Steady state: the cluster stays silent (frozen flags keep it
+    // abnormal); a rotating window of `changed` calm devices reports a
+    // small wiggle each epoch.
+    let calm = devices - CLUSTER;
     let mut epochs: Vec<EpochStats> = Vec::with_capacity(steps);
     for step in 0..steps {
-        // A rotating window of devices jumps out on even epochs and back
-        // on odd ones: every measured epoch stages exactly `changed`
-        // updates, and every epoch produces real motion.
-        let start = ((step / 2) * changed) % devices;
-        let jumping = step.is_multiple_of(2);
+        let start = (step * changed) % calm;
         let ingest_start = Instant::now();
-        for i in 0..changed {
-            let k = (start + i) % devices;
-            let row = if jumping { jump_row(k) } else { base_row(k) };
-            m.ingest(k as u64, row).expect("update rows are valid");
-        }
+        m.ingest_many((0..changed).map(|i| {
+            let k = CLUSTER + (start + i) % calm;
+            (k as u64, wiggled_row(k, step))
+        }))
+        .expect("churn rows are valid");
         let ingest_micros = ingest_start.elapsed().as_micros() as u64;
         let seal_start = Instant::now();
-        let report = m.seal().expect("delta epochs seal");
+        let report = m.seal().expect("steady epochs seal");
         let seal_micros = seal_start.elapsed().as_micros() as u64;
-        // The structural claim: a small epoch never rebuilds the grid.
-        // (The very first measured epoch builds it once.)
+        // The structural claims: no rebuild, re-bucketing bounded by the
+        // actual movers (the first steady epoch also absorbs the staged
+        // cluster jump), and the frozen cluster stays flagged without
+        // being re-fed.
         match m.last_grid_update() {
-            Some(GridUpdate::Incremental { rebucketed }) => assert!(
-                rebucketed <= 2 * changed,
-                "epoch {step}: rebucketed {rebucketed} for {changed} changed"
-            ),
-            Some(GridUpdate::Rebuilt) => assert_eq!(step, 0, "late grid rebuild at epoch {step}"),
-            None => panic!("epoch {step}: characterization did not run"),
+            Some(GridUpdate::Incremental { rebucketed }) => {
+                let movers = changed + if step == 0 { CLUSTER } else { 0 };
+                assert!(
+                    rebucketed <= movers,
+                    "epoch {step}: rebucketed {rebucketed} for {movers} movers"
+                );
+            }
+            other => panic!("epoch {step}: expected incremental grid maintenance, got {other:?}"),
         }
+        assert_eq!(
+            report.verdicts().len(),
+            CLUSTER,
+            "epoch {step}: the frozen cluster must stay abnormal"
+        );
+        assert_eq!(report.straggler_count(), devices - changed);
         epochs.push(EpochStats {
             ingest_micros,
             seal_micros,
             verdicts: report.verdicts().len(),
         });
     }
+    RunStats {
+        devices,
+        changed,
+        warmup_seal_micros,
+        epochs,
+    }
+}
 
-    // --- Batch path on the same workload shape, for the headline ratio.
+/// Drives the same workload shape through full-snapshot `observe` calls
+/// for the headline ratio. Batch epochs feed every detector, so the
+/// cluster re-jumps between its two corners each epoch to stay flagged.
+fn run_batch(devices: usize, steps: usize, changed: usize) -> Vec<u64> {
     let mut b = monitor(devices);
     let space = QosSpace::new(SERVICES).expect("two services");
-    let full_rows = |step: usize| -> Snapshot {
-        let start = ((step / 2) * changed) % devices;
-        let jumping = step.is_multiple_of(2);
+    let calm = devices - CLUSTER;
+    let snapshot_at = |phase: usize, window: Option<usize>| -> Snapshot {
         let rows: Vec<Vec<f64>> = (0..devices)
             .map(|k| {
-                let in_window = (k + devices - start) % devices < changed;
-                if in_window && jumping {
-                    jump_row(k)
+                if k < CLUSTER {
+                    jump_row(k, phase)
+                } else if let Some(step) = window {
+                    let start = (step * changed) % calm;
+                    let offset = (k - CLUSTER + calm - start) % calm;
+                    if offset < changed {
+                        wiggled_row(k, step)
+                    } else {
+                        base_row(k)
+                    }
                 } else {
                     base_row(k)
                 }
@@ -140,33 +254,92 @@ fn main() {
             .collect();
         Snapshot::from_rows(&space, rows).expect("rows are valid")
     };
-    let base_snapshot = Snapshot::from_rows(&space, (0..devices).map(base_row).collect())
+    let base = Snapshot::from_rows(&space, (0..devices).map(base_row).collect())
         .expect("base rows are valid");
     for _ in 0..2 {
-        b.observe(base_snapshot.clone()).expect("warm-up");
+        b.observe(base.clone()).expect("warm-up");
     }
-    let mut observe_micros: Vec<u64> = Vec::with_capacity(steps);
-    for (step, epoch) in epochs.iter().enumerate() {
-        let snapshot = full_rows(step);
+    b.observe(snapshot_at(0, None)).expect("the jump epoch");
+    let mut observe_micros = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let snapshot = snapshot_at(step + 1, Some(step));
         let t = Instant::now();
         let report = b.observe(snapshot).expect("batch epochs observe");
         observe_micros.push(t.elapsed().as_micros() as u64);
         assert_eq!(
             report.verdicts().len(),
-            epoch.verdicts,
-            "step {step}: batch and streaming paths disagree on verdicts"
+            CLUSTER,
+            "step {step}: the re-jumping cluster must stay flagged in batch"
         );
     }
+    observe_micros
+}
 
-    let min = |xs: &[u64]| xs.iter().copied().min().unwrap_or(0);
-    let seal_min = min(&epochs.iter().map(|e| e.seal_micros).collect::<Vec<_>>());
-    let ingest_min = min(&epochs.iter().map(|e| e.ingest_micros).collect::<Vec<_>>());
-    let observe_min = min(&observe_micros);
+fn main() {
+    let devices = env_usize("INGEST_BENCH_DEVICES", 50_000);
+    let steps = env_usize("INGEST_BENCH_STEPS", 12).max(1);
+    let permille = env_usize("INGEST_BENCH_CHANGED_PERMILLE", 10);
+    let changed = ((devices * permille) / 1000).max(1);
+    let sweep_sizes: Vec<usize> = std::env::var("INGEST_BENCH_SWEEP")
+        .unwrap_or_else(|_| "10000,50000,100000".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path =
+        std::env::var("INGEST_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_string());
     eprintln!(
-        "seal (delta, {changed} changed): min {seal_min} µs (+{ingest_min} µs ingest) | observe (full {devices}): min {observe_min} µs"
+        "ingest bench: {devices} devices, {steps} steady epochs, {changed} changed/epoch ({permille}‰)"
     );
 
-    let epochs_json: Vec<String> = epochs
+    // --- Headline run: streaming deltas, then the batch comparison.
+    let headline = run_streaming(devices, steps, changed);
+    let observe_micros = run_batch(devices, steps, changed);
+
+    let seals = headline.steady_seals();
+    eprintln!(
+        "seal (delta, {changed} changed): warm-up {} µs, steady min {} / median {} / max {} µs | observe (full {devices}): min {} µs",
+        headline.warmup_seal_micros,
+        min(&seals),
+        median(&seals),
+        max(&seals),
+        min(&observe_micros),
+    );
+
+    // --- Fleet-size sweep at fixed churn: the flatness evidence.
+    let mut sweep: Vec<RunStats> = Vec::new();
+    for &size in &sweep_sizes {
+        if size == devices && changed == SWEEP_CHANGED {
+            continue; // the headline run already covers this point
+        }
+        eprintln!("sweep: {size} devices at {SWEEP_CHANGED} changed/epoch");
+        sweep.push(run_streaming(size, steps, SWEEP_CHANGED));
+    }
+    let mut sweep_points: Vec<&RunStats> = sweep.iter().collect();
+    if changed == SWEEP_CHANGED && sweep_sizes.contains(&devices) {
+        sweep_points.push(&headline);
+    }
+    sweep_points.sort_by_key(|r| r.devices);
+    let sweep_flat_ratio = match (sweep_points.first(), sweep_points.last()) {
+        (Some(small), Some(large)) if small.devices < large.devices => {
+            let lo = median(&small.steady_seals()).max(1);
+            let hi = median(&large.steady_seals());
+            hi as f64 / lo as f64
+        }
+        _ => 1.0,
+    };
+    for r in &sweep_points {
+        let seals = r.steady_seals();
+        eprintln!(
+            "sweep {} devices: warm-up {} µs, steady median {} µs",
+            r.devices,
+            r.warmup_seal_micros,
+            median(&seals)
+        );
+    }
+    eprintln!("sweep flat ratio (largest/smallest steady median): {sweep_flat_ratio:.2}");
+
+    let epochs_json: Vec<String> = headline
+        .epochs
         .iter()
         .map(|e| {
             format!(
@@ -175,21 +348,53 @@ fn main() {
             )
         })
         .collect();
+    let sweep_json: Vec<String> = sweep_points
+        .iter()
+        .map(|r| {
+            let seals = r.steady_seals();
+            format!(
+                concat!(
+                    "{{\"devices\":{},\"changed\":{},\"warmup_seal_micros\":{},",
+                    "\"steady_seal_micros_min\":{},\"steady_seal_micros_median\":{},",
+                    "\"steady_seal_micros_max\":{}}}"
+                ),
+                r.devices,
+                r.changed,
+                r.warmup_seal_micros,
+                min(&seals),
+                median(&seals),
+                max(&seals),
+            )
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\"bench\":\"ingest\",\"devices\":{},\"services\":{},",
-            "\"changed_per_epoch\":{},\"steps\":{},",
-            "\"seal_micros_min\":{},\"ingest_micros_min\":{},",
+            "\"cluster\":{},\"changed_per_epoch\":{},\"steps\":{},",
+            "\"warmup_seal_micros\":{},",
+            "\"seal_micros_min\":{},\"seal_micros_median\":{},\"seal_micros_max\":{},",
+            "\"ingest_micros_min\":{},",
             "\"observe_full_micros_min\":{},",
+            "\"sweep\":[{}],\"sweep_flat_ratio\":{:.3},",
             "\"epochs\":[{}]}}\n"
         ),
         devices,
         SERVICES,
+        CLUSTER,
         changed,
         steps,
-        seal_min,
-        ingest_min,
-        observe_min,
+        headline.warmup_seal_micros,
+        min(&seals),
+        median(&seals),
+        max(&seals),
+        min(&headline
+            .epochs
+            .iter()
+            .map(|e| e.ingest_micros)
+            .collect::<Vec<_>>()),
+        min(&observe_micros),
+        sweep_json.join(","),
+        sweep_flat_ratio,
         epochs_json.join(","),
     );
     std::fs::write(&out_path, json).expect("write bench output");

@@ -174,14 +174,25 @@ impl DevicePrecompute {
     }
 }
 
-/// Per-population characterization engine.
+/// The owned data half of an [`Analyzer`]: every per-device precompute
+/// slice merged into id-keyed maps, with no borrow of the table.
 ///
-/// Precomputes `M(j)` and `W̄_k(j)` for every device of the table (each
-/// computation is local to the device's `2r`-neighbourhood) and answers
-/// per-device queries. See the crate docs for an end-to-end example.
+/// The split from the borrowing [`Analyzer`] wrapper serves two callers:
+///
+/// * a **persistent worker pool**, which must ship one engine to `'static`
+///   worker threads (`Arc<AnalyzerCore>` beside an `Arc<TrajectoryTable>`)
+///   where a lifetime-carrying `Analyzer<'t>` cannot go;
+/// * an **incremental monitor**, which merges cached slices of unchanged
+///   devices with freshly computed ones —
+///   [`AnalyzerCore::from_parts`] is indifferent to where each
+///   [`DevicePrecompute`] came from, as long as the slice is valid for the
+///   table it is queried against.
+///
+/// Every query takes the table the parts were computed from; handing a
+/// different table is a logic error (verdicts would be meaningless or the
+/// lookup panics on an unknown id), though never memory-unsafe.
 #[derive(Debug, Clone)]
-pub struct Analyzer<'t> {
-    table: &'t TrajectoryTable,
+pub struct AnalyzerCore {
     params: Params,
     /// All maximal motions containing each device.
     motions: BTreeMap<DeviceId, Vec<DeviceSet>>,
@@ -194,6 +205,21 @@ pub struct Analyzer<'t> {
     overflowed: std::collections::BTreeSet<DeviceId>,
     /// Bound on collections visited per NSC search.
     collection_budget: u64,
+}
+
+/// Per-population characterization engine.
+///
+/// Precomputes `M(j)` and `W̄_k(j)` for every device of the table (each
+/// computation is local to the device's `2r`-neighbourhood) and answers
+/// per-device queries. See the crate docs for an end-to-end example.
+///
+/// `Analyzer` is a thin borrow-carrying wrapper over [`AnalyzerCore`],
+/// which owns the merged precompute maps; use the core directly when the
+/// engine must outlive a borrow of the table (worker pools, caches).
+#[derive(Debug, Clone)]
+pub struct Analyzer<'t> {
+    table: &'t TrajectoryTable,
+    core: AnalyzerCore,
 }
 
 impl<'t> Analyzer<'t> {
@@ -211,7 +237,7 @@ impl<'t> Analyzer<'t> {
     /// budget is exhausted the device is conservatively reported
     /// unresolved (with `Rule::Corollary8` provenance).
     pub fn with_collection_budget(mut self, budget: u64) -> Self {
-        self.collection_budget = budget.max(1);
+        self.core = self.core.with_collection_budget(budget);
         self
     }
 
@@ -242,6 +268,141 @@ impl<'t> Analyzer<'t> {
     /// anywhere, and depends on nothing but its arguments — workers may call
     /// it concurrently for disjoint (or even overlapping) device shards and
     /// obtain results identical to the sequential [`Analyzer::new`] loop.
+    /// Because the result depends only on the trajectories of the
+    /// `2r`-neighbourhood, a caller may also cache it across instants and
+    /// reuse it verbatim while that neighbourhood is unchanged.
+    pub fn precompute_device(
+        table: &TrajectoryTable,
+        params: &Params,
+        j: DeviceId,
+        max_window_moves: u64,
+    ) -> DevicePrecompute {
+        AnalyzerCore::precompute_device(table, params, j, max_window_moves)
+    }
+
+    /// The merge phase: assembles an engine from per-device slices.
+    ///
+    /// The result is identical to [`Analyzer::new`] whatever order the
+    /// parts arrive in — the internal maps are keyed by device id and the
+    /// overflow set is ordered — so a parallel driver may merge shard
+    /// results as workers finish. Parts may equally be a mix of freshly
+    /// computed and cached slices; see [`AnalyzerCore::from_parts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `parts` covers exactly the devices of `table` (one
+    /// part per id, no strangers).
+    pub fn from_parts(
+        table: &'t TrajectoryTable,
+        params: Params,
+        parts: impl IntoIterator<Item = (DeviceId, DevicePrecompute)>,
+    ) -> Self {
+        Analyzer {
+            table,
+            core: AnalyzerCore::from_parts(table, params, parts),
+        }
+    }
+
+    /// Wraps an owned engine back around a table borrow. The caller is
+    /// responsible for handing the table the core's parts were computed
+    /// from (same devices, same trajectories).
+    pub fn from_core(table: &'t TrajectoryTable, core: AnalyzerCore) -> Self {
+        Analyzer { table, core }
+    }
+
+    /// The owned half of the engine, e.g. to ship to worker threads.
+    pub fn core(&self) -> &AnalyzerCore {
+        &self.core
+    }
+
+    /// Unwraps the owned half of the engine, dropping the table borrow.
+    pub fn into_core(self) -> AnalyzerCore {
+        self.core
+    }
+
+    /// Devices whose enumeration overflowed (conservatively unresolved).
+    pub fn overflowed_devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.core.overflowed_devices()
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &Params {
+        self.core.params()
+    }
+
+    /// The table under analysis.
+    pub fn table(&self) -> &TrajectoryTable {
+        self.table
+    }
+
+    /// `M(j)`: all maximal motions containing `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn motions_of(&self, j: DeviceId) -> &[DeviceSet] {
+        self.core.motions_of(j)
+    }
+
+    /// `W̄_k(j)`: maximal τ-dense motions containing `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn wbar_of(&self, j: DeviceId) -> &[DeviceSet] {
+        self.core.wbar_of(j)
+    }
+
+    /// The Section V families of `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn families_of(&self, j: DeviceId) -> Families {
+        self.core.families_of(j)
+    }
+
+    /// Algorithm 3: Theorem 5 / Theorem 6 / tentative unresolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn characterize(&self, j: DeviceId) -> Characterization {
+        self.core.characterize(self.table, j)
+    }
+
+    /// Algorithm 3 + Algorithms 4–5: exact verdict via the Theorem 7 NSC
+    /// when the fast path is inconclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not in the table.
+    pub fn characterize_full(&self, j: DeviceId) -> Characterization {
+        self.core.characterize_full(self.table, j)
+    }
+
+    /// Characterizes every device with the fast path (Algorithm 3).
+    pub fn classify_all(&self) -> Vec<(DeviceId, Characterization)> {
+        self.table
+            .ids()
+            .iter()
+            .map(|&j| (j, self.characterize(j)))
+            .collect()
+    }
+
+    /// Characterizes every device exactly (with the Theorem 7 NSC).
+    pub fn classify_all_full(&self) -> Vec<(DeviceId, Characterization)> {
+        self.table
+            .ids()
+            .iter()
+            .map(|&j| (j, self.characterize_full(j)))
+            .collect()
+    }
+}
+
+impl AnalyzerCore {
+    /// Owned form of [`Analyzer::precompute_device`] — same function, same
+    /// guarantees (pure, local to `j`'s `2r`-neighbourhood).
     pub fn precompute_device(
         table: &TrajectoryTable,
         params: &Params,
@@ -273,19 +434,21 @@ impl<'t> Analyzer<'t> {
         }
     }
 
-    /// The merge phase: assembles an engine from per-device slices.
+    /// Assembles an owned engine from per-device slices, in any order.
     ///
-    /// The result is identical to [`Analyzer::new`] whatever order the
-    /// parts arrive in — the internal maps are keyed by device id and the
-    /// overflow set is ordered — so a parallel driver may merge shard
-    /// results as workers finish.
+    /// The slices may come from anywhere — a sequential loop, parallel
+    /// shard workers, or a cache of previous instants' parts for devices
+    /// whose `2r`-neighbourhood did not change — as long as together they
+    /// cover exactly the devices of `table`. The merge result is
+    /// independent of part order and provenance: the maps are keyed by
+    /// device id and the overflow set is ordered.
     ///
     /// # Panics
     ///
     /// Panics unless `parts` covers exactly the devices of `table` (one
     /// part per id, no strangers).
     pub fn from_parts(
-        table: &'t TrajectoryTable,
+        table: &TrajectoryTable,
         params: Params,
         parts: impl IntoIterator<Item = (DeviceId, DevicePrecompute)>,
     ) -> Self {
@@ -310,8 +473,7 @@ impl<'t> Analyzer<'t> {
             table.len(),
             "parts must cover every device of the table exactly once"
         );
-        Analyzer {
-            table,
+        AnalyzerCore {
             params,
             motions,
             wbar,
@@ -319,6 +481,12 @@ impl<'t> Analyzer<'t> {
             overflowed,
             collection_budget: DEFAULT_COLLECTION_BUDGET,
         }
+    }
+
+    /// Sets the bound on collections visited per Theorem 7 search.
+    pub fn with_collection_budget(mut self, budget: u64) -> Self {
+        self.collection_budget = budget.max(1);
+        self
     }
 
     /// Devices whose enumeration overflowed (conservatively unresolved).
@@ -331,16 +499,11 @@ impl<'t> Analyzer<'t> {
         &self.params
     }
 
-    /// The table under analysis.
-    pub fn table(&self) -> &TrajectoryTable {
-        self.table
-    }
-
     /// `M(j)`: all maximal motions containing `j`.
     ///
     /// # Panics
     ///
-    /// Panics if `j` is not in the table.
+    /// Panics if no part was merged for `j`.
     pub fn motions_of(&self, j: DeviceId) -> &[DeviceSet] {
         &self.motions[&j]
     }
@@ -349,7 +512,7 @@ impl<'t> Analyzer<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if `j` is not in the table.
+    /// Panics if no part was merged for `j`.
     pub fn wbar_of(&self, j: DeviceId) -> &[DeviceSet] {
         &self.wbar[&j]
     }
@@ -358,19 +521,20 @@ impl<'t> Analyzer<'t> {
     ///
     /// # Panics
     ///
-    /// Panics if `j` is not in the table.
+    /// Panics if no part was merged for `j`.
     pub fn families_of(&self, j: DeviceId) -> Families {
         Families::build(j, &self.wbar[&j], |id| {
             self.wbar.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
         })
     }
 
-    /// Algorithm 3: Theorem 5 / Theorem 6 / tentative unresolved.
+    /// Algorithm 3 against `table`, which must be the table the parts were
+    /// computed from.
     ///
     /// # Panics
     ///
-    /// Panics if `j` is not in the table.
-    pub fn characterize(&self, j: DeviceId) -> Characterization {
+    /// Panics if no part was merged for `j`.
+    pub fn characterize(&self, _table: &TrajectoryTable, j: DeviceId) -> Characterization {
         let mut cost = Cost {
             maximal_motions: self.motions[&j].len(),
             dense_motions: self.wbar[&j].len(),
@@ -429,14 +593,14 @@ impl<'t> Analyzer<'t> {
         }
     }
 
-    /// Algorithm 3 + Algorithms 4–5: exact verdict via the Theorem 7 NSC
-    /// when the fast path is inconclusive.
+    /// Algorithm 3 + Algorithms 4–5 against `table`: exact verdict via the
+    /// Theorem 7 NSC when the fast path is inconclusive.
     ///
     /// # Panics
     ///
-    /// Panics if `j` is not in the table.
-    pub fn characterize_full(&self, j: DeviceId) -> Characterization {
-        let quick = self.characterize(j);
+    /// Panics if no part was merged for `j`.
+    pub fn characterize_full(&self, table: &TrajectoryTable, j: DeviceId) -> Characterization {
+        let quick = self.characterize(table, j);
         if quick.rule != Rule::Algorithm3 {
             return quick;
         }
@@ -451,7 +615,7 @@ impl<'t> Analyzer<'t> {
         {
             return quick;
         }
-        let (massive, tested) = self.nsc_massive(j, &families);
+        let (massive, tested) = self.nsc_massive(table, j, &families);
         let mut cost = quick.cost;
         cost.collections_tested = tested;
         if massive {
@@ -467,24 +631,6 @@ impl<'t> Analyzer<'t> {
                 cost,
             }
         }
-    }
-
-    /// Characterizes every device with the fast path (Algorithm 3).
-    pub fn classify_all(&self) -> Vec<(DeviceId, Characterization)> {
-        self.table
-            .ids()
-            .iter()
-            .map(|&j| (j, self.characterize(j)))
-            .collect()
-    }
-
-    /// Characterizes every device exactly (with the Theorem 7 NSC).
-    pub fn classify_all_full(&self) -> Vec<(DeviceId, Characterization)> {
-        self.table
-            .ids()
-            .iter()
-            .map(|&j| (j, self.characterize_full(j)))
-            .collect()
     }
 
     /// Theorem 7 search: returns `(j ∈ M_k, collections tested)`.
@@ -511,7 +657,12 @@ impl<'t> Analyzer<'t> {
     /// the search. When the pool or the collection count exceeds the
     /// budget, the verdict degrades conservatively to "not provably
     /// massive" (unresolved).
-    fn nsc_massive(&self, j: DeviceId, families: &Families) -> (bool, u64) {
+    fn nsc_massive(
+        &self,
+        table: &TrajectoryTable,
+        j: DeviceId,
+        families: &Families,
+    ) -> (bool, u64) {
         // Deduplicated base motions: maximal dense motions of the escape
         // devices, avoiding j.
         let mut bases: Vec<DeviceSet> = Vec::new();
@@ -546,7 +697,7 @@ impl<'t> Analyzer<'t> {
                 if candidate.is_disjoint(&families.l_set) {
                     continue;
                 }
-                if extends_consistently(self.table, &candidate, j, window) {
+                if extends_consistently(table, &candidate, j, window) {
                     continue;
                 }
                 pool.insert(candidate);
@@ -559,7 +710,8 @@ impl<'t> Analyzer<'t> {
         let pool: Vec<DeviceSet> = pool.into_iter().collect();
         let mut tested = 0u64;
         let mut chosen: Vec<usize> = Vec::new();
-        let outcome = self.search_collections(j, families, &pool, 0, &mut chosen, &mut tested);
+        let outcome =
+            self.search_collections(table, j, families, &pool, 0, &mut chosen, &mut tested);
         // Budget/size overflow means the violation search was incomplete:
         // conservatively not provably massive.
         let massive = outcome == SearchOutcome::Exhausted && !overflow;
@@ -567,8 +719,10 @@ impl<'t> Analyzer<'t> {
     }
 
     /// Depth-first enumeration of disjoint collections.
+    #[allow(clippy::too_many_arguments)]
     fn search_collections(
         &self,
+        table: &TrajectoryTable,
         j: DeviceId,
         families: &Families,
         pool: &[DeviceSet],
@@ -580,13 +734,13 @@ impl<'t> Analyzer<'t> {
         if *tested > self.collection_budget {
             return SearchOutcome::BudgetSpent;
         }
-        if self.collection_violates(j, families, pool, chosen) {
+        if self.collection_violates(table, j, families, pool, chosen) {
             return SearchOutcome::Violated;
         }
         for i in start..pool.len() {
             if chosen.iter().all(|&c| pool[c].is_disjoint(&pool[i])) {
                 chosen.push(i);
-                let sub = self.search_collections(j, families, pool, i + 1, chosen, tested);
+                let sub = self.search_collections(table, j, families, pool, i + 1, chosen, tested);
                 chosen.pop();
                 if sub != SearchOutcome::Exhausted {
                     return sub;
@@ -599,6 +753,7 @@ impl<'t> Analyzer<'t> {
     /// True when the collection satisfies **neither** relation (4) nor (5).
     fn collection_violates(
         &self,
+        table: &TrajectoryTable,
         j: DeviceId,
         families: &Families,
         pool: &[DeviceSet],
@@ -608,7 +763,7 @@ impl<'t> Analyzer<'t> {
         let tau = self.params.tau();
         // Relation (5): some chosen dense motion absorbs j consistently.
         for &c in chosen {
-            if extends_consistently(self.table, &pool[c], j, window) {
+            if extends_consistently(table, &pool[c], j, window) {
                 return false;
             }
         }

@@ -74,7 +74,7 @@ mod table;
 mod figures;
 
 pub use characterize::{
-    Analyzer, AnomalyClass, Characterization, Cost, DevicePrecompute, Rule,
+    Analyzer, AnalyzerCore, AnomalyClass, Characterization, Cost, DevicePrecompute, Rule,
     DEFAULT_COLLECTION_BUDGET, DEFAULT_ENUMERATION_BUDGET,
 };
 pub use families::Families;

@@ -234,6 +234,72 @@ impl GridIndex {
         self.cell_side
     }
 
+    /// Expands a set of dirty cells by `rings` rings of neighbouring cells
+    /// (Chebyshev distance on the grid, clamped at the domain border).
+    ///
+    /// This is the locality query behind incremental re-characterization:
+    /// a device's verdict depends on trajectories and flags within `4r` of
+    /// it (its own `2r`-neighbourhood per Definition 1, plus those
+    /// neighbours' `2r`-neighbourhoods for the Section V families). With
+    /// cells of side `2r`, two positions at most `4r` apart differ by at
+    /// most two cell indices per axis — so `rings = 2` around every cell a
+    /// change touched covers every device whose verdict that change could
+    /// possibly reach.
+    ///
+    /// The result contains the input cells themselves (`rings = 0` is the
+    /// identity). Out-of-range input cells are ignored.
+    pub fn expand_cells(
+        &self,
+        cells: &std::collections::BTreeSet<usize>,
+        rings: usize,
+    ) -> std::collections::BTreeSet<usize> {
+        let mut out = std::collections::BTreeSet::new();
+        let n = self.cells_per_axis;
+        let total = n.checked_pow(self.dim as u32).unwrap_or(usize::MAX);
+        let mut lo = vec![0usize; self.dim];
+        let mut hi = vec![0usize; self.dim];
+        let mut cur = vec![0usize; self.dim];
+        for &cell in cells {
+            if cell >= total {
+                continue;
+            }
+            // Decode the flattened index back into per-axis coordinates
+            // (row-major, mirroring `flatten`).
+            let mut rest = cell;
+            for axis in (0..self.dim).rev() {
+                let c = rest % n;
+                rest /= n;
+                lo[axis] = c.saturating_sub(rings);
+                hi[axis] = (c + rings).min(n - 1);
+            }
+            // Odometer over the clamped hyper-box around the cell.
+            cur.copy_from_slice(&lo);
+            loop {
+                let mut idx = 0usize;
+                for &c in &cur {
+                    idx = idx * n + c;
+                }
+                out.insert(idx);
+                let mut axis = self.dim;
+                loop {
+                    if axis == 0 {
+                        break;
+                    }
+                    axis -= 1;
+                    if cur[axis] < hi[axis] {
+                        cur[axis] += 1;
+                        break;
+                    }
+                    cur[axis] = lo[axis];
+                }
+                if cur == lo {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Exact vicinity query: devices other than `j` within uniform distance
     /// `radius` of `j` at **both** times `k-1` and `k`.
     ///
@@ -362,6 +428,67 @@ mod tests {
             let mut expected = pair.neighbors_both(j, 0.06);
             expected.sort_unstable();
             assert_eq!(index.neighbors_both(&pair, j, 0.06), expected);
+        }
+    }
+
+    #[test]
+    fn expand_cells_covers_the_chebyshev_ring() {
+        let pair = pair_from(
+            vec![vec![0.5, 0.5], vec![0.1, 0.1]],
+            vec![vec![0.5, 0.5], vec![0.1, 0.1]],
+        );
+        let index = GridIndex::build(&pair, 0.1); // 10 cells per axis
+        let n = index.cells_per_axis();
+        assert_eq!(n, 10);
+        let center = index.cell_index(&[0.55, 0.55]); // cell (5, 5)
+        let dirty: std::collections::BTreeSet<usize> = [center].into_iter().collect();
+
+        // rings = 0 is the identity.
+        assert_eq!(index.expand_cells(&dirty, 0), dirty);
+
+        // rings = 2 is the full 5x5 Chebyshev box around (5, 5).
+        let expanded = index.expand_cells(&dirty, 2);
+        let mut expected = std::collections::BTreeSet::new();
+        for x in 3..=7usize {
+            for y in 3..=7usize {
+                expected.insert(x * n + y);
+            }
+        }
+        assert_eq!(expanded, expected);
+    }
+
+    #[test]
+    fn expand_cells_clamps_at_the_domain_border() {
+        let pair = pair_from(vec![vec![0.05, 0.05]], vec![vec![0.05, 0.05]]);
+        let index = GridIndex::build(&pair, 0.1);
+        let n = index.cells_per_axis();
+        let corner = index.cell_index(&[0.0, 0.0]); // cell (0, 0)
+        let dirty: std::collections::BTreeSet<usize> = [corner].into_iter().collect();
+        let expanded = index.expand_cells(&dirty, 2);
+        let mut expected = std::collections::BTreeSet::new();
+        for x in 0..=2usize {
+            for y in 0..=2usize {
+                expected.insert(x * n + y);
+            }
+        }
+        assert_eq!(expanded, expected);
+        // Out-of-range cells are ignored rather than decoded nonsensically.
+        let bogus: std::collections::BTreeSet<usize> = [n * n + 7].into_iter().collect();
+        assert!(index.expand_cells(&bogus, 2).is_empty());
+    }
+
+    #[test]
+    fn expand_cells_merges_overlapping_neighbourhoods() {
+        let pair = pair_from(vec![vec![0.5, 0.5]], vec![vec![0.5, 0.5]]);
+        let index = GridIndex::build(&pair, 0.1);
+        let a = index.cell_index(&[0.45, 0.45]);
+        let b = index.cell_index(&[0.55, 0.45]); // adjacent along axis 0
+        let dirty: std::collections::BTreeSet<usize> = [a, b].into_iter().collect();
+        let expanded = index.expand_cells(&dirty, 1);
+        // Two adjacent 3x3 boxes overlap into a 4x3 box: 12 distinct cells.
+        assert_eq!(expanded.len(), 12);
+        for &cell in &dirty {
+            assert!(expanded.contains(&cell));
         }
     }
 

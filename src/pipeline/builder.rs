@@ -41,6 +41,7 @@ pub struct MonitorBuilder {
     epoch_start: u64,
     history: usize,
     debounce: u64,
+    characterization_cache: bool,
     initial: Vec<DeviceKey>,
 }
 
@@ -60,6 +61,7 @@ impl std::fmt::Debug for MonitorBuilder {
             .field("epoch_start", &self.epoch_start)
             .field("history", &self.history)
             .field("debounce", &self.debounce)
+            .field("characterization_cache", &self.characterization_cache)
             .field("initial_devices", &self.initial.len())
             .finish()
     }
@@ -89,8 +91,23 @@ impl MonitorBuilder {
             epoch_start: 0,
             history: 16,
             debounce: 0,
+            characterization_cache: true,
             initial: Vec::new(),
         }
+    }
+
+    /// Whether [`Monitor::seal`](Monitor::seal) may reuse per-device
+    /// characterization results across epochs for flagged devices whose
+    /// `4r`-neighbourhood provably did not change (on by default).
+    ///
+    /// Reports are byte-identical either way — the cache is invalidated by
+    /// the locality bound of Definition 1, not heuristically — so the only
+    /// reason to disable it is differential testing of the cache itself.
+    /// The cache is only ever active under
+    /// [`GridMaintenance::Incremental`]; `FullRebuild` forfeits it.
+    pub fn characterization_cache(mut self, enabled: bool) -> Self {
+        self.characterization_cache = enabled;
+        self
     }
 
     /// Capacity of the monitor's bounded history rings: the last `window`
@@ -283,6 +300,7 @@ impl MonitorBuilder {
             self.epoch_start,
             self.history,
             self.debounce,
+            self.characterization_cache,
         );
         for key in self.initial {
             monitor.join(key)?;

@@ -27,10 +27,14 @@ pub enum Engine {
     /// Single-threaded characterization on the calling thread (default).
     #[default]
     Sequential,
-    /// Characterization fanned out over `workers` scoped OS threads
-    /// (`std::thread::scope`; no runtime, no extra dependencies). Shards
-    /// are grid-locality aware ([`anomaly_core::ShardPlan`]): each worker
-    /// gets a balanced, spatially-coherent slice of the flagged set.
+    /// Characterization fanned out over a persistent pool of `workers` OS
+    /// threads (plain `std::thread` + channels; no runtime, no extra
+    /// dependencies). The pool is spawned lazily on the first epoch that
+    /// needs it and its threads stay parked between epochs, so the
+    /// per-seal cost is two channel round-trips per shard rather than two
+    /// `thread::scope` spawn/join rounds. Shards are grid-locality aware
+    /// ([`anomaly_core::ShardPlan`]): each worker gets a balanced,
+    /// spatially-coherent slice of the flagged set.
     ///
     /// `workers == 0` and `workers == 1` behave like [`Engine::Sequential`]
     /// (no threads are spawned), and the worker count is capped at the

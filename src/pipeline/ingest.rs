@@ -33,8 +33,8 @@
 
 use super::error::MonitorError;
 use super::key::DeviceKey;
-use super::monitor::Monitor;
-use super::report::Report;
+use super::monitor::{Monitor, SealDelta};
+use super::report::{Report, Stragglers};
 use anomaly_qos::{DeviceId, Point, Snapshot};
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -42,6 +42,23 @@ use std::fmt;
 
 /// How [`Monitor::seal`] resolves devices that did not report during the
 /// epoch being sealed.
+///
+/// # Detector state of bridged devices
+///
+/// A device whose row is synthesized by the policy (carried forward or
+/// defaulted) does **not** feed its error-detection function that epoch:
+/// the detector's internal state and its last verdict are *frozen* until
+/// the device reports again. The alternative — re-feeding the synthesized
+/// row — would let the bridging fabricate observations the device never
+/// made: a delta-sensitive detector (e.g.
+/// [`ThresholdDetector`](anomaly_detectors::ThresholdDetector)) would see
+/// a zero jump and *clear* a legitimate alarm simply because the device
+/// went quiet, and an averaging detector would converge on the synthetic
+/// value. Freezing keeps the last evidence-based verdict in force — a
+/// flagged device that falls silent stays in the abnormal set `A_k` until
+/// real data clears it — and makes per-epoch detection cost proportional
+/// to the devices that actually reported. Pinned by
+/// `tests/staleness_policies.rs`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum StalenessPolicy {
     /// Sealing fails with [`IngestError::MissingDevices`] naming every
@@ -134,9 +151,23 @@ pub(super) struct EpochState {
     pending: Vec<Option<Point>>,
     /// `Some` entries in `pending`.
     updated: usize,
-    /// Consecutive already-sealed epochs each slot has missed (0 = the
-    /// device reported in the most recently sealed epoch, or just joined).
-    age: Vec<u64>,
+    /// Slots with a pending update, in arrival order (no duplicates —
+    /// last-write-wins keeps the first entry). Lets sealing enumerate the
+    /// changed devices without scanning every slot; cleared when the epoch
+    /// is settled or discarded.
+    updated_slots: Vec<u32>,
+    /// Number of epochs sealed so far. Ages are stored lazily as
+    /// `sealed - last_reported[slot]`, so settling an epoch is O(reporting
+    /// devices) instead of O(population).
+    sealed: u64,
+    /// Value of `sealed` as of the last epoch each slot reported in (or
+    /// when it joined).
+    last_reported: Vec<u64>,
+    /// Lower bound on every entry of `last_reported`: when
+    /// `sealed - stale_floor` is still below the carry-forward bound, no
+    /// device can be stale and the per-slot age checks can be skipped.
+    /// Raised whenever every device reports in the same epoch.
+    stale_floor: u64,
 }
 
 impl EpochState {
@@ -144,22 +175,33 @@ impl EpochState {
         EpochState {
             pending: Vec::with_capacity(capacity),
             updated: 0,
-            age: Vec::with_capacity(capacity),
+            updated_slots: Vec::new(),
+            sealed: 0,
+            last_reported: Vec::with_capacity(capacity),
+            stale_floor: 0,
         }
     }
 
-    /// A device joined: appends its (empty) slot.
+    /// A device joined: appends its (empty) slot with age 0.
     pub(super) fn push_slot(&mut self) {
         self.pending.push(None);
-        self.age.push(0);
+        self.last_reported.push(self.sealed);
     }
 
     /// A device left: swap-removes its slot, mirroring the key vector.
     pub(super) fn remove_slot(&mut self, slot: usize) {
+        let last = self.pending.len().saturating_sub(1) as u32;
         if self.pending.swap_remove(slot).is_some() {
             self.updated -= 1;
         }
-        self.age.swap_remove(slot);
+        let slot32 = slot as u32;
+        // The swap-remove moved the last slot into the vacated one: drop
+        // both old entries from the update list and re-key the survivor.
+        self.updated_slots.retain(|&s| s != slot32 && s != last);
+        if slot32 != last && self.pending.get(slot).is_some_and(Option::is_some) {
+            self.updated_slots.push(slot32);
+        }
+        self.last_reported.swap_remove(slot);
     }
 
     /// Stages an update for a slot (last write wins).
@@ -167,11 +209,17 @@ impl EpochState {
         // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
         if self.pending[slot].replace(point).is_none() {
             self.updated += 1;
+            self.updated_slots.push(slot as u32);
         }
     }
 
     pub(super) fn updated(&self) -> usize {
         self.updated
+    }
+
+    /// Slots with a pending update, in arrival order.
+    pub(super) fn updated_slots(&self) -> &[u32] {
+        &self.updated_slots
     }
 
     pub(super) fn has_update(&self, slot: usize) -> bool {
@@ -190,27 +238,52 @@ impl EpochState {
 
     pub(super) fn age(&self, slot: usize) -> u64 {
         // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
-        self.age[slot]
+        self.sealed - self.last_reported[slot]
     }
 
-    /// Records the outcome of a sealed epoch for one slot.
-    pub(super) fn settle(&mut self, slot: usize, reported: bool) {
-        // conformance: allow(C1, reason = "slot vectors are index-aligned with the dense key order; every slot comes from the key index")
-        self.age[slot] = if reported { 0 } else { self.age[slot] + 1 };
+    /// True when no slot can possibly have reached `max_age` consecutive
+    /// misses: the lower bound on every slot's last-reported epoch is
+    /// recent enough. Lets carry-forward sealing skip the per-slot age
+    /// checks entirely.
+    pub(super) fn none_stale(&self, max_age: u64) -> bool {
+        self.sealed - self.stale_floor < max_age
+    }
+
+    /// Records the outcome of a sealed epoch: every slot in `fed`
+    /// reported (age resets to 0), every other slot's age grows by one —
+    /// implicitly, via the lazy `sealed - last_reported` representation,
+    /// so the cost is O(`fed`), not O(population).
+    pub(super) fn settle_epoch(&mut self, fed: &[u32], population: usize) {
+        self.sealed += 1;
+        for &slot in fed {
+            if let Some(e) = self.last_reported.get_mut(slot as usize) {
+                *e = self.sealed;
+            }
+        }
+        if fed.len() == population {
+            self.stale_floor = self.sealed;
+        }
+        // The epoch's pending updates were consumed by snapshot assembly.
+        self.updated_slots.clear();
+        self.updated = 0;
     }
 
     /// Drops every pending update (ages are untouched).
     pub(super) fn discard(&mut self) {
-        for p in &mut self.pending {
-            *p = None;
+        for &slot in &self.updated_slots {
+            if let Some(p) = self.pending.get_mut(slot as usize) {
+                *p = None;
+            }
         }
+        self.updated_slots.clear();
         self.updated = 0;
     }
 
     /// Forgets the staleness history too (used by [`Monitor::reset`]).
     pub(super) fn reset(&mut self) {
         self.discard();
-        self.age.fill(0);
+        self.last_reported.fill(self.sealed);
+        self.stale_floor = self.sealed;
     }
 }
 
@@ -360,9 +433,165 @@ impl Monitor {
     /// ```
     pub fn seal(&mut self) -> Result<Report, MonitorError> {
         let n = self.keys().len();
+        // The devices that reported this epoch, in dense-slot order — the
+        // seal's working set. Everything below is O(`fed` + silent-device
+        // bookkeeping), never a per-slot re-derivation of this set.
+        let mut fed: Vec<u32> = self.epoch.updated_slots().to_vec();
+        fed.sort_unstable();
+        let steady = self.previous_snapshot().is_some()
+            && self.previous_key_order().is_none()
+            && self
+                .previous_snapshot()
+                .is_some_and(|p| p.len() == n && p.dim() == self.services());
 
-        // Phase 1 — resolve silent devices (read-only: a policy failure
-        // must leave the epoch open and every internal structure intact).
+        // Phases 1 & 2 — resolve silent devices, then assemble the
+        // epoch's snapshot. Phase 1 is read-only: a policy failure must
+        // leave the epoch open and every internal structure intact.
+        let default_point: Option<Point> = match &self.staleness {
+            StalenessPolicy::Default(row) => Some(Point::new_unchecked(row.clone())),
+            _ => None,
+        };
+        let (current, changed, moves, stragglers) = if steady {
+            let stragglers = self.resolve_silent_steady(n, &fed)?;
+            let (current, changed, moves) = self.assemble_delta(&fed, default_point.as_ref())?;
+            (current, changed, moves, stragglers)
+        } else {
+            let (plan, stragglers) = self.resolve_silent_general(n)?;
+            let current = self.assemble_fresh(&plan, default_point.as_ref())?;
+            (
+                current,
+                Vec::new(),
+                Vec::new(),
+                Stragglers::Eager(stragglers),
+            )
+        };
+
+        // Phase 3 — settle ages and run the shared pipeline. Only slots
+        // with a real update feed their detector (frozen semantics for
+        // bridged rows — see `StalenessPolicy`); the changed-row cells are
+        // computed here, while the previous snapshot is still intact, so
+        // characterization can invalidate exactly the neighbourhoods they
+        // touch.
+        let changed_cells = self.changed_cells_of(&changed, &current);
+        self.epoch.settle_epoch(&fed, n);
+        let report = self.advance(current, stragglers, SealDelta { fed, changed_cells })?;
+
+        // Phase 4 — record the delta for the next epoch: the recycled
+        // buffer lags the new previous snapshot by exactly `changed`, and
+        // the vicinity grid owes those cell moves at its next update.
+        self.record_epoch_delta(changed, moves, steady);
+        Ok(report)
+    }
+
+    /// Phase 1 for the steady-membership seal: every silent device has a
+    /// previous position at its own slot, so the policy resolves over the
+    /// *runs* of silent slots between consecutive fed slots — bulk slice
+    /// copies when no per-device age check is needed.
+    ///
+    /// A carried device's detector is NOT fed the carried row: state and
+    /// verdict stay frozen until real data arrives (only `fed` slots reach
+    /// the detectors). Re-feeding would manufacture a zero-delta
+    /// observation and could clear a real alarm — see the
+    /// [`StalenessPolicy`] docs for the full rationale.
+    fn resolve_silent_steady(&self, n: usize, fed: &[u32]) -> Result<Stragglers, MonitorError> {
+        enum Resolution {
+            Reject,
+            /// Default or carry-forward with the stale bound provably
+            /// unreachable: every silent device is a straggler, so the
+            /// silent runs are recorded as-is (no per-device work at all).
+            AllRuns,
+            /// Carry-forward with per-slot age checks.
+            CarryCheck {
+                max_age: u64,
+            },
+        }
+        let resolution = match &self.staleness {
+            StalenessPolicy::Reject => Resolution::Reject,
+            StalenessPolicy::Default(_) => Resolution::AllRuns,
+            StalenessPolicy::CarryForward { max_age } => {
+                if self.epoch.none_stale(*max_age) {
+                    Resolution::AllRuns
+                } else {
+                    Resolution::CarryCheck { max_age: *max_age }
+                }
+            }
+        };
+        let keys = self.keys();
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut eager: Vec<DeviceKey> = Vec::new();
+        let mut missing: Vec<DeviceKey> = Vec::new();
+        let mut stale: Vec<DeviceKey> = Vec::new();
+        let mut lo = 0usize;
+        for hi in fed.iter().map(|&s| s as usize).chain(std::iter::once(n)) {
+            if hi > lo {
+                match resolution {
+                    Resolution::AllRuns => runs.push((lo as u32, hi as u32)),
+                    Resolution::Reject => missing.extend_from_slice(
+                        keys.get(lo..hi)
+                            .ok_or(MonitorError::internal("fed slot out of key range"))?,
+                    ),
+                    Resolution::CarryCheck { max_age } => {
+                        // `age` counts the *previously sealed* consecutive
+                        // misses, so this epoch is consecutive miss number
+                        // `age + 1`; carrying while `age < max_age` bridges
+                        // a device for exactly `max_age` consecutive epochs
+                        // (inclusive bound — see the policy's doc).
+                        let run = keys
+                            .get(lo..hi)
+                            .ok_or(MonitorError::internal("fed slot out of key range"))?;
+                        for (off, &key) in run.iter().enumerate() {
+                            if self.epoch.age(lo + off) < max_age {
+                                eager.push(key);
+                            } else {
+                                stale.push(key);
+                            }
+                        }
+                    }
+                }
+            }
+            lo = hi + 1;
+        }
+        if !missing.is_empty() {
+            return Err(MonitorError::Ingest(IngestError::MissingDevices {
+                keys: missing,
+            }));
+        }
+        if !stale.is_empty() {
+            let max_age = match &self.staleness {
+                StalenessPolicy::CarryForward { max_age } => *max_age,
+                // Only the carry-forward arm ever pushes into `stale`;
+                // reaching this is a bug, reported as a typed error
+                // rather than a panic (conformance C1).
+                _ => {
+                    return Err(MonitorError::internal(
+                        "only carry-forward produces stale devices",
+                    ))
+                }
+            };
+            return Err(MonitorError::Ingest(IngestError::StaleDevices {
+                keys: stale,
+                max_age,
+            }));
+        }
+        Ok(match resolution {
+            Resolution::AllRuns => Stragglers::Lazy {
+                runs,
+                keys: self.key_order_handle(),
+                cache: std::sync::OnceLock::new(),
+            },
+            _ => Stragglers::Eager(eager),
+        })
+    }
+
+    /// Phase 1 for the first epoch and for epochs following membership
+    /// churn: silent devices are matched against the previous key order
+    /// (they may have moved slots, or have no previous position at all),
+    /// and a per-slot fill plan is produced for [`Self::assemble_fresh`].
+    #[allow(clippy::type_complexity)]
+    fn resolve_silent_general(
+        &self,
+        n: usize,
+    ) -> Result<(Vec<Fill>, Vec<DeviceKey>), MonitorError> {
         let prev_by_key: Option<BTreeMap<DeviceKey, u32>> =
             match (self.previous_snapshot(), self.previous_key_order()) {
                 (Some(_), Some(prev_keys)) => Some(
@@ -398,11 +627,8 @@ impl Monitor {
                 (_, None) => missing.push(key),
                 (StalenessPolicy::Reject, Some(_)) => missing.push(key),
                 (StalenessPolicy::CarryForward { max_age }, Some(p)) => {
-                    // `age` counts the *previously sealed* consecutive
-                    // misses, so this epoch is consecutive miss number
-                    // `age + 1`; carrying while `age < max_age` bridges a
-                    // device for exactly `max_age` consecutive epochs
-                    // (inclusive bound — see the policy's doc).
+                    // Same inclusive `max_age` bound and frozen-detector
+                    // semantics as the steady path above.
                     if self.epoch.age(slot) < *max_age {
                         stragglers.push(key);
                         plan.push(Fill::Carry(p));
@@ -420,9 +646,6 @@ impl Monitor {
         if !stale.is_empty() {
             let max_age = match &self.staleness {
                 StalenessPolicy::CarryForward { max_age } => *max_age,
-                // Only the carry-forward arm ever pushes into `stale`;
-                // reaching this is a bug, reported as a typed error
-                // rather than a panic (conformance C1).
                 _ => {
                     return Err(MonitorError::internal(
                         "only carry-forward produces stale devices",
@@ -434,82 +657,70 @@ impl Monitor {
                 max_age,
             }));
         }
-
-        // Phase 2 — assemble the epoch's snapshot and its delta against
-        // the previous one. The epoch is consumed from here on; no
-        // fallible step remains except internal invariants.
-        let default_point: Option<Point> = match &self.staleness {
-            StalenessPolicy::Default(row) => Some(Point::new_unchecked(row.clone())),
-            _ => None,
-        };
-        let steady = self.previous_snapshot().is_some()
-            && self.previous_key_order().is_none()
-            && self
-                .previous_snapshot()
-                .is_some_and(|p| p.len() == n && p.dim() == self.services());
-        let (current, changed, moves) = if steady {
-            self.assemble_delta(&plan, default_point.as_ref())?
-        } else {
-            (
-                self.assemble_fresh(&plan, default_point.as_ref())?,
-                Vec::new(),
-                Vec::new(),
-            )
-        };
-
-        // Phase 3 — settle ages and run the shared pipeline.
-        for (slot, fill) in plan.iter().enumerate() {
-            self.epoch.settle(slot, matches!(fill, Fill::Update));
-        }
-        let report = self.advance(current, stragglers)?;
-
-        // Phase 4 — record the delta for the next epoch: the recycled
-        // buffer lags the new previous snapshot by exactly `changed`, and
-        // the vicinity grid owes those cell moves at its next update.
-        self.record_epoch_delta(changed, moves, steady);
-        Ok(report)
+        Ok((plan, stragglers))
     }
 
     /// Steady-state assembly: recycle the spare buffer (or clone once when
     /// no spare exists yet), patch only the rows that actually changed,
     /// and report the change-set plus the grid move candidates.
+    ///
+    /// Walks the `fed` slots only — silent rows keep their previous value
+    /// (carry-forward) and cost nothing — except under the `Default`
+    /// policy, where every silent row must be compared against the default
+    /// point too.
     #[allow(clippy::type_complexity)]
     fn assemble_delta(
         &mut self,
-        plan: &[Fill],
+        fed: &[u32],
         default_point: Option<&Point>,
     ) -> Result<(Snapshot, Vec<DeviceId>, Vec<(DeviceId, Point, Point)>), MonitorError> {
-        let n = plan.len();
+        let n = self.keys().len();
         // Collect the rows that differ from the previous snapshot.
         let mut patches: Vec<(DeviceId, Point)> = Vec::new();
         let mut moves: Vec<(DeviceId, Point, Point)> = Vec::new();
-        for (slot, fill) in plan.iter().enumerate() {
-            let new_point: Option<Point> = match fill {
-                Fill::Update => Some(
-                    self.epoch
-                        .take(slot)
-                        .ok_or(MonitorError::internal("plan said an update is pending"))?,
-                ),
-                Fill::Default => Some(
-                    default_point
-                        .ok_or(MonitorError::internal("plan said default fills"))?
-                        .clone(),
-                ),
-                Fill::Carry(_) => None, // row keeps its previous value
-            };
-            let Some(p) = new_point else { continue };
+        let mut stage_row = |this: &mut Self, slot: usize, p: Point| -> Result<(), MonitorError> {
             let id = DeviceId(slot as u32);
-            let prev = self.previous_snapshot().ok_or(MonitorError::internal(
+            let prev = this.previous_snapshot().ok_or(MonitorError::internal(
                 "delta assembly requires a previous snapshot",
             ))?;
             if p != *prev.position(id) {
                 // Move candidates are only worth cloning when incremental
                 // grid maintenance will actually replay them (and only
                 // cell-crossing ones ever need re-bucketing).
-                if self.wants_grid_move(prev.position(id), &p) {
+                if this.wants_grid_move(prev.position(id), &p) {
                     moves.push((id, prev.position(id).clone(), p.clone()));
                 }
                 patches.push((id, p));
+            }
+            Ok(())
+        };
+        match default_point {
+            None => {
+                // Reject / carry-forward: only fed rows can differ.
+                for &slot32 in fed {
+                    let slot = slot32 as usize;
+                    let p = self
+                        .epoch
+                        .take(slot)
+                        .ok_or(MonitorError::internal("fed slot has no pending update"))?;
+                    stage_row(self, slot, p)?;
+                }
+            }
+            Some(default) => {
+                // Default policy: silent rows become the default point, so
+                // every slot is either a fresh update or a default fill.
+                let mut next_fed = fed.iter().copied().peekable();
+                for slot in 0..n {
+                    let p = if next_fed.peek() == Some(&(slot as u32)) {
+                        next_fed.next();
+                        self.epoch
+                            .take(slot)
+                            .ok_or(MonitorError::internal("fed slot has no pending update"))?
+                    } else {
+                        default.clone()
+                    };
+                    stage_row(self, slot, p)?;
+                }
             }
         }
         let changed: Vec<DeviceId> = patches.iter().map(|&(id, _)| id).collect();

@@ -74,6 +74,7 @@ mod events;
 mod ingest;
 mod key;
 mod monitor;
+mod pool;
 mod replay;
 mod report;
 mod timings;

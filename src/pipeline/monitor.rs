@@ -3,10 +3,11 @@ use super::error::MonitorError;
 use super::events::EventTracker;
 use super::ingest::{EpochState, StalenessPolicy};
 use super::key::DeviceKey;
-use super::report::{DeviceVerdict, Report, ReportSummary};
+use super::pool::{Job, JobOutput, WorkerPool};
+use super::report::{DeviceVerdict, Report, ReportSummary, Stragglers};
 use super::timings::Stopwatch;
 use anomaly_core::{
-    Analyzer, Characterization, DevicePrecompute, Params, ShardPlan, TrajectoryTable,
+    AnalyzerCore, Characterization, DevicePrecompute, Params, ShardPlan, TrajectoryTable,
     DEFAULT_ENUMERATION_BUDGET,
 };
 use anomaly_detectors::DeviceDetector;
@@ -14,8 +15,19 @@ use anomaly_qos::{
     DeviceId, GridIndex, GridUpdate, Norm, NormKind, Point, QosSpace, Snapshot, StatePair,
 };
 // conformance: allow(C2, reason = "HashMap backs only the lookup-only key index; it is never iterated, so hash order cannot reach a report")
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Chebyshev cell rings the dirty-cell set is expanded by before cache
+/// invalidation. A device's verdict is a function of trajectories and
+/// flagged-set membership within `4r` of it (its own motions involve
+/// devices within the `2r` window, and the Theorem 7 search inspects
+/// those neighbours' motions, reaching a further `2r` out). Cells are
+/// `2r` wide, so two positions at most `4r` apart differ by at most two
+/// cell indices per axis — expanding every dirty cell by two rings
+/// therefore covers every device whose verdict the change could touch.
+const INVALIDATION_RINGS: usize = 2;
 
 /// Produces the error-detection function of a joining device from its
 /// stable key.
@@ -90,7 +102,11 @@ pub struct Monitor {
     space: QosSpace,
     max_population: u64,
     /// Dense order: index `i` is the device with id `DeviceId(i)` now.
-    keys: Vec<DeviceKey>,
+    /// Arc'd so a sealed [`Report`] can reference the epoch's key order
+    /// (for its lazily materialized straggler list) without copying it;
+    /// membership changes go through [`Arc::make_mut`], which clones only
+    /// if such a report is still alive.
+    keys: Arc<Vec<DeviceKey>>,
     /// Key → dense-slot map. Lookup-only: every read is a point query
     /// (`get`/`contains_key`) on the per-update hot path, never an
     /// iteration, so its hash order is unobservable in any report.
@@ -101,12 +117,44 @@ pub struct Monitor {
     previous: Option<Snapshot>,
     /// Dense key order of `previous` — populated lazily, only when
     /// membership has churned since `previous` was taken (`None` means the
-    /// current `keys` still describe it).
-    previous_keys: Option<Vec<DeviceKey>>,
-    /// Vicinity index, reused (allocations and all) across instants.
-    grid: Option<GridIndex>,
+    /// current `keys` still describe it). An O(1) handle on the pre-churn
+    /// `keys` Arc.
+    previous_keys: Option<Arc<Vec<DeviceKey>>>,
+    /// Vicinity index, reused (allocations and all) across instants. Arc'd
+    /// so the worker pool can share it during a parallel phase; between
+    /// epochs the monitor holds the only reference and mutates in place
+    /// through [`Arc::make_mut`].
+    grid: Option<Arc<GridIndex>>,
     /// Execution strategy for the characterization phase.
     engine: Engine,
+    /// Persistent characterization workers, spawned lazily at the first
+    /// epoch whose flagged set warrants more than one shard and parked on
+    /// channel receives between epochs.
+    pool: Option<WorkerPool>,
+    /// Last detector verdict per dense slot: `(is_anomalous, score)`.
+    /// Slot-aligned with `keys`; slots whose detector is not fed this
+    /// epoch (carried or defaulted rows) keep — "freeze" — their last
+    /// verdict, which is what makes detection O(fed) instead of O(n).
+    flag_state: Vec<(bool, f64)>,
+    /// The slots currently flagged (`flag_state[i].0 == true`), maintained
+    /// incrementally at every verdict flip so assembling `A_k` is
+    /// O(|A_k|), not an O(population) scan. Kept aligned with `flag_state`
+    /// through the same swap-remove discipline on churn.
+    flagged_slots: BTreeSet<u32>,
+    /// Per-device characterization cache, keyed by dense id. Valid only
+    /// while the fleet stays steady (no churn: dense ids are the cohort
+    /// ids) under incremental grid maintenance; entries are invalidated
+    /// when their cell falls inside the [`INVALIDATION_RINGS`]-expanded
+    /// dirty-cell neighbourhood.
+    char_cache: BTreeMap<u32, CacheEntry>,
+    /// Grid cells touched since the last characterized instant: cells of
+    /// rows whose value changed, plus cells of devices whose detector flag
+    /// flipped. Consumed (and re-seeded with the sealing epoch's own
+    /// changed cells) at every characterized instant.
+    dirty_pending: BTreeSet<usize>,
+    /// Builder knob: `false` forces a full recompute every instant (the
+    /// reference path the cache is byte-compared against).
+    cache_enabled: bool,
     /// Grid update policy across instants.
     grid_maintenance: GridMaintenance,
     /// Reusable vicinity-query buffer for the sequential path.
@@ -147,6 +195,43 @@ struct VerdictRow {
     vicinity: usize,
 }
 
+/// Cached characterization state of one flagged device.
+///
+/// An entry is valid as long as nothing inside the device's
+/// `4r`-neighbourhood changed since it was computed: neither a trajectory
+/// (a row value change — including the computing epoch's own movers, whose
+/// trajectories turn stationary one epoch later, hence the dirty-set echo)
+/// nor the flagged set (a detector flag flip). Both are tracked as grid
+/// cells in `dirty_pending` and tested against `cell` after ring
+/// expansion.
+struct CacheEntry {
+    /// Grid cell of the device's `after` position when the entry was
+    /// computed — the anchor the dirty-neighbourhood invalidation tests.
+    cell: usize,
+    /// The device's precompute slice, re-merged into the interval's
+    /// analyzer whenever other devices need fresh computation.
+    precompute: DevicePrecompute,
+    /// The cached verdict.
+    characterization: Characterization,
+    /// The cached vicinity count.
+    vicinity: usize,
+}
+
+/// The per-epoch change summary [`Monitor::seal`] hands to
+/// [`Monitor::advance`]: which detectors receive a fresh observation and
+/// which vicinity-grid cells were touched by rows whose value actually
+/// changed. This is what makes the back half of `seal` scale with the
+/// churn instead of the population.
+pub(super) struct SealDelta {
+    /// Dense slots with a fresh update this epoch (`Fill::Update`); the
+    /// detectors of every other slot stay frozen.
+    pub(super) fed: Vec<u32>,
+    /// Old and new grid cell of every row whose value changed this epoch.
+    /// Empty when no grid exists yet, the epoch was not steady, or the
+    /// characterization cache is off — the cases where nobody consumes it.
+    pub(super) changed_cells: Vec<usize>,
+}
+
 impl std::fmt::Debug for Monitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Monitor")
@@ -177,6 +262,7 @@ impl Monitor {
         epoch_start: u64,
         history: usize,
         debounce: u64,
+        cache_enabled: bool,
     ) -> Self {
         Monitor {
             params,
@@ -185,7 +271,7 @@ impl Monitor {
             factory,
             space,
             max_population,
-            keys: Vec::with_capacity(capacity),
+            keys: Arc::new(Vec::with_capacity(capacity)),
             // conformance: allow(C2, reason = "lookup-only key index on the per-update hot path; never iterated")
             index: HashMap::with_capacity(capacity),
             detectors: Vec::with_capacity(capacity),
@@ -193,6 +279,12 @@ impl Monitor {
             previous_keys: None,
             grid: None,
             engine,
+            pool: None,
+            flag_state: Vec::with_capacity(capacity),
+            flagged_slots: BTreeSet::new(),
+            char_cache: BTreeMap::new(),
+            dirty_pending: BTreeSet::new(),
+            cache_enabled,
             grid_maintenance,
             neighbor_buf: Vec::new(),
             instant: epoch_start,
@@ -329,7 +421,13 @@ impl Monitor {
     /// The dense key order of the previous snapshot when membership has
     /// churned since it was sealed (`None` = current keys describe it).
     pub(super) fn previous_key_order(&self) -> Option<&[DeviceKey]> {
-        self.previous_keys.as_deref()
+        self.previous_keys.as_deref().map(Vec::as_slice)
+    }
+
+    /// Shared handle on the current dense key order, for reports that
+    /// reference it lazily (O(1); see the `keys` field).
+    pub(super) fn key_order_handle(&self) -> Arc<Vec<DeviceKey>> {
+        Arc::clone(&self.keys)
     }
 
     /// Takes the recycled snapshot buffer when it matches the required
@@ -393,6 +491,60 @@ impl Monitor {
         }
     }
 
+    /// Whether the per-device characterization cache is enabled (the
+    /// [`MonitorBuilder::characterization_cache`](super::MonitorBuilder::characterization_cache)
+    /// knob). Reports are byte-identical either way; only seal latency
+    /// differs.
+    pub fn characterization_cache(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Old and new vicinity-grid cell of every row that changed value this
+    /// epoch — the seed of the characterization cache's dirty set. Pure
+    /// cell geometry: indices depend only on the space dimension and the
+    /// window, both fixed for the monitor's lifetime, so they stay
+    /// comparable across grid rebuilds. Empty when no grid exists yet or
+    /// nothing would consume the result (cache off, or full-rebuild
+    /// maintenance, which forfeits incrementality).
+    pub(super) fn changed_cells_of(&self, changed: &[DeviceId], current: &Snapshot) -> Vec<usize> {
+        if changed.is_empty()
+            || !self.cache_enabled
+            || self.grid_maintenance != GridMaintenance::Incremental
+        {
+            return Vec::new();
+        }
+        let (Some(grid), Some(prev)) = (self.grid.as_ref(), self.previous.as_ref()) else {
+            return Vec::new();
+        };
+        let mut cells = Vec::with_capacity(changed.len() * 2);
+        for &id in changed {
+            cells.push(grid.cell_index(prev.position(id).coords()));
+            cells.push(grid.cell_index(current.position(id).coords()));
+        }
+        cells
+    }
+
+    /// Assembles the interval's characterization engine from the freshly
+    /// computed precompute slices plus — when the cache is live — the
+    /// stored slices of every cache-served device. Together the parts
+    /// cover the abnormal set exactly, whatever mix produced them.
+    fn merged_core(
+        &self,
+        table: &TrajectoryTable,
+        params: Params,
+        caching: bool,
+        mut parts: Vec<(DeviceId, DevicePrecompute)>,
+    ) -> AnalyzerCore {
+        if caching {
+            for &j in table.ids() {
+                if let Some(entry) = self.char_cache.get(&j.0) {
+                    parts.push((j, entry.precompute.clone()));
+                }
+            }
+        }
+        AnalyzerCore::from_parts(table, params, parts)
+    }
+
     /// Enrolls a device, building its detector with the configured factory.
     /// Returns the device's dense id at the next observation.
     ///
@@ -445,8 +597,9 @@ impl Monitor {
         }
         self.note_churn();
         let id = self.keys.len() as u32;
-        self.keys.push(key);
+        Arc::make_mut(&mut self.keys).push(key);
         self.detectors.push(detector);
+        self.flag_state.push((false, 0.0));
         self.epoch.push_slot();
         self.index.insert(key, id);
         Ok(DeviceId(id))
@@ -472,9 +625,18 @@ impl Monitor {
         };
         self.note_churn();
         let slot = slot as usize;
+        // Mirror the swap-remove in the flagged-slot set: the departing
+        // slot's entry goes, and the last slot (about to move into the
+        // vacated position) is re-keyed.
+        let last = self.keys.len().saturating_sub(1) as u32;
+        self.flagged_slots.remove(&(slot as u32));
+        if slot as u32 != last && self.flagged_slots.remove(&last) {
+            self.flagged_slots.insert(slot as u32);
+        }
         self.index.remove(&key);
-        self.keys.swap_remove(slot);
+        Arc::make_mut(&mut self.keys).swap_remove(slot);
         let detector = self.detectors.swap_remove(slot);
+        self.flag_state.swap_remove(slot);
         self.epoch.remove_slot(slot);
         if let Some(&moved) = self.keys.get(slot) {
             self.index.insert(moved, slot as u32);
@@ -485,12 +647,16 @@ impl Monitor {
     /// Remembers the previous snapshot's key order before the first
     /// membership change since it was taken, and invalidates every
     /// structure keyed by the old dense order (recycled buffer, staged
-    /// grid moves).
+    /// grid moves, characterization cache).
     fn note_churn(&mut self) {
         if self.previous.is_some() && self.previous_keys.is_none() {
             self.previous_keys = Some(self.keys.clone());
         }
         self.invalidate_spare();
+        // Dense ids shift under churn (swap-remove), so both the
+        // id-keyed cache and its cell-level dirty tracking are void.
+        self.char_cache.clear();
+        self.dirty_pending.clear();
     }
 
     /// Resets every detector, forgets the previous snapshot, and discards
@@ -500,6 +666,10 @@ impl Monitor {
         for det in &mut self.detectors {
             det.reset();
         }
+        self.flag_state.fill((false, 0.0));
+        self.flagged_slots.clear();
+        self.char_cache.clear();
+        self.dirty_pending.clear();
         self.previous = None;
         self.previous_keys = None;
         self.epoch.reset();
@@ -569,24 +739,69 @@ impl Monitor {
         self.seal()
     }
 
-    /// Shared back half of [`Monitor::seal`]: feeds the detectors, runs
-    /// the characterization over `[k−1, k]`, and rotates the snapshot
-    /// buffers (`previous` ← sealed snapshot, `spare` ← old previous,
-    /// when shapes allow).
+    /// Shared back half of [`Monitor::seal`]: feeds the detectors of the
+    /// slots that actually received an update, runs the characterization
+    /// over `[k−1, k]`, and rotates the snapshot buffers (`previous` ←
+    /// sealed snapshot, `spare` ← old previous, when shapes allow).
+    ///
+    /// Detection is O(`delta.fed`), not O(population): a slot whose row
+    /// was carried forward or defaulted keeps its **frozen** detector
+    /// state and last verdict (see the [`StalenessPolicy`] docs for why
+    /// freezing, not re-feeding, is the pinned semantics). Flag flips and
+    /// the epoch's changed cells feed the characterization cache's dirty
+    /// set.
     pub(super) fn advance(
         &mut self,
         current: Snapshot,
-        stragglers: Vec<DeviceKey>,
+        stragglers: Stragglers,
+        delta: SealDelta,
     ) -> Result<Report, MonitorError> {
-        // Detection: feed every device's error-detection function, collect
-        // A_k as (current dense index, detector score).
         let detection_start = Stopwatch::start();
-        let mut flagged: Vec<(u32, f64)> = Vec::new();
-        for (i, det) in self.detectors.iter_mut().enumerate() {
-            let verdict = det.observe_vector(current.position(DeviceId(i as u32)).coords());
-            if verdict.is_anomalous() {
-                flagged.push((i as u32, verdict.score()));
+        for &slot in &delta.fed {
+            let i = slot as usize;
+            let point = current.try_position(DeviceId(slot))?;
+            let verdict = self
+                .detectors
+                .get_mut(i)
+                .ok_or(MonitorError::internal("fed slot out of detector range"))?
+                .observe_vector(point.coords());
+            let flagged_now = verdict.is_anomalous();
+            let was_flagged = self
+                .flag_state
+                .get(i)
+                .map(|s| s.0)
+                .ok_or(MonitorError::internal("fed slot out of flag-state range"))?;
+            if flagged_now != was_flagged {
+                if flagged_now {
+                    self.flagged_slots.insert(slot);
+                } else {
+                    self.flagged_slots.remove(&slot);
+                }
+                // A_k membership changed at this device's position: every
+                // cached verdict in its neighbourhood is suspect.
+                if let Some(grid) = &self.grid {
+                    self.dirty_pending.insert(grid.cell_index(point.coords()));
+                }
             }
+            if let Some(state) = self.flag_state.get_mut(i) {
+                *state = (flagged_now, verdict.score());
+            }
+        }
+        self.dirty_pending
+            .extend(delta.changed_cells.iter().copied());
+        // A_k: every slot whose (possibly frozen) verdict is anomalous,
+        // with its score — read off the incrementally maintained flagged
+        // set (ascending, so the order matches a dense scan), O(|A_k|).
+        let mut flagged: Vec<(u32, f64)> = Vec::with_capacity(self.flagged_slots.len());
+        for &i in &self.flagged_slots {
+            let score =
+                self.flag_state
+                    .get(i as usize)
+                    .map(|s| s.1)
+                    .ok_or(MonitorError::internal(
+                        "flagged slot out of flag-state range",
+                    ))?;
+            flagged.push((i, score));
         }
         let detection = detection_start.elapsed();
 
@@ -604,6 +819,7 @@ impl Monitor {
                     previous,
                     current,
                     &flagged,
+                    &delta.changed_cells,
                     &mut verdicts,
                     &mut warming,
                 )?;
@@ -646,16 +862,23 @@ impl Monitor {
     }
 
     /// Builds the surviving-cohort state pair, runs the local
-    /// characterization on the flagged survivors, and enriches verdicts
-    /// with displacement and vicinity context. Returns the rotated
-    /// snapshot buffers: `(new previous, recyclable spare)` — in the
-    /// steady (no-churn) case both full snapshots come back without a
-    /// single clone.
+    /// characterization on the flagged survivors — serving devices whose
+    /// `4r`-neighbourhood is untouched straight from the cache — and
+    /// enriches verdicts with displacement and vicinity context. Returns
+    /// the rotated snapshot buffers: `(new previous, recyclable spare)` —
+    /// in the steady (no-churn) case both full snapshots come back without
+    /// a single clone.
+    ///
+    /// `echo_cells` are the sealing epoch's own changed cells; they re-seed
+    /// the dirty set after it is consumed, because this epoch's movers have
+    /// a different (stationary) trajectory at the next instant even if they
+    /// stay silent from here on.
     fn characterize_interval(
         &mut self,
         previous: Snapshot,
         current: Snapshot,
         flagged: &[(u32, f64)],
+        echo_cells: &[usize],
         verdicts: &mut Vec<DeviceVerdict>,
         warming: &mut Vec<DeviceKey>,
     ) -> Result<(Snapshot, Option<Snapshot>), MonitorError> {
@@ -728,8 +951,6 @@ impl Monitor {
             }
         };
 
-        let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
-
         // Vicinity index over the whole cohort (not only A_k), kept across
         // instants. At a steady full-fleet instant the staged cell moves
         // accumulated by the sealing path are replayed incrementally
@@ -739,108 +960,235 @@ impl Monitor {
         let cell_side = window.max(1e-6);
         self.last_grid_update = Some(match (&mut self.grid, self.grid_maintenance) {
             (Some(grid), GridMaintenance::Incremental) if steady && self.grid_full_synced => {
-                grid.apply_moves(&pair, cell_side, &self.grid_staged)
+                Arc::make_mut(grid).apply_moves(&pair, cell_side, &self.grid_staged)
             }
             (Some(grid), _) => {
-                grid.rebuild(&pair, cell_side);
+                Arc::make_mut(grid).rebuild(&pair, cell_side);
                 GridUpdate::Rebuilt
             }
             (grid @ None, _) => {
-                *grid = Some(GridIndex::build(&pair, cell_side));
+                *grid = Some(Arc::new(GridIndex::build(&pair, cell_side)));
                 GridUpdate::Rebuilt
             }
         });
         self.grid_staged.clear();
         self.grid_full_synced = steady;
-        let grid = self
-            .grid
-            .as_ref()
-            .ok_or(MonitorError::internal("vicinity grid missing after update"))?;
 
-        // Characterization in two per-device phases (both embarrassingly
-        // parallel, per Definition 1's locality): precompute each device's
-        // motion families, merge into one Analyzer, then decide verdicts
-        // and vicinities. The merge is deterministic — rows are keyed by
-        // dense id — so the report is identical for every engine.
-        let params = self.params;
-        let shard_count = self.engine.shard_count(table.len());
-        let mut rows: Vec<VerdictRow> = Vec::with_capacity(table.len());
-        if shard_count <= 1 {
-            let analyzer = Analyzer::new(&table, params);
-            let buf = &mut self.neighbor_buf;
-            for &j in table.ids() {
-                grid.neighbors_both_into(&pair, j, window, buf);
-                rows.push(VerdictRow {
-                    j,
-                    characterization: analyzer.characterize_full(j),
-                    vicinity: buf.len(),
-                });
+        // Cache triage. Consume the dirty cells accumulated since the last
+        // characterized instant, expand them to the 4r (= 2 cell rings)
+        // dependency neighbourhood of Definition 1's locality bound, and
+        // drop every cached verdict anchored inside it; what remains is
+        // provably unaffected and served without recomputation. Only a
+        // steady interval can be served — under churn the cohort ids the
+        // cache is keyed by no longer exist (`note_churn` already cleared
+        // it) — and only under incremental grid maintenance, which is the
+        // mode that tracks deltas at all.
+        let caching =
+            steady && self.cache_enabled && self.grid_maintenance == GridMaintenance::Incremental;
+        let mut rows: Vec<VerdictRow> = Vec::with_capacity(abnormal.len());
+        let mut fresh: Vec<DeviceId> = Vec::new();
+        if caching {
+            let dirty = std::mem::take(&mut self.dirty_pending);
+            if !dirty.is_empty() {
+                let grid = self
+                    .grid
+                    .as_ref()
+                    .ok_or(MonitorError::internal("vicinity grid missing after update"))?;
+                let doomed = grid.expand_cells(&dirty, INVALIDATION_RINGS);
+                self.char_cache
+                    .retain(|_, entry| !doomed.contains(&entry.cell));
+            }
+            // Echo: rows that changed this epoch change trajectory again
+            // next epoch (moving → stationary), so their cells go straight
+            // back into the dirty set for the next invalidation round.
+            self.dirty_pending.extend(echo_cells.iter().copied());
+            for &j in &abnormal {
+                match self.char_cache.get(&j.0) {
+                    Some(entry) => rows.push(VerdictRow {
+                        j,
+                        characterization: entry.characterization,
+                        vicinity: entry.vicinity,
+                    }),
+                    None => fresh.push(j),
+                }
             }
         } else {
-            let plan = ShardPlan::build(&table, window, shard_count);
-            let table_ref = &table;
-            let pair_ref = &pair;
-            // Phase 1: per-device precompute, one scoped worker per shard.
-            let parts: Vec<Vec<(DeviceId, DevicePrecompute)>> = std::thread::scope(|s| {
-                let handles: Vec<_> = plan
-                    .shards()
-                    .iter()
-                    .map(|shard| {
-                        s.spawn(move || {
-                            shard
-                                .iter()
-                                .map(|&j| {
-                                    (
-                                        j,
-                                        Analyzer::precompute_device(
-                                            table_ref,
-                                            &params,
-                                            j,
-                                            DEFAULT_ENUMERATION_BUDGET,
-                                        ),
-                                    )
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                    .collect()
-            });
-            let analyzer = Analyzer::from_parts(&table, params, parts.into_iter().flatten());
-            // Phase 2: verdicts and vicinities over the same shards; each
-            // worker reuses one neighbour buffer for all its queries.
-            let analyzer_ref = &analyzer;
-            let shard_rows: Vec<Vec<VerdictRow>> = std::thread::scope(|s| {
-                let handles: Vec<_> = plan
-                    .shards()
-                    .iter()
-                    .map(|shard| {
-                        s.spawn(move || {
-                            let mut buf: Vec<DeviceId> = Vec::new();
-                            shard
-                                .iter()
-                                .map(|&j| {
-                                    grid.neighbors_both_into(pair_ref, j, window, &mut buf);
-                                    VerdictRow {
-                                        j,
-                                        characterization: analyzer_ref.characterize_full(j),
-                                        vicinity: buf.len(),
-                                    }
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                    .collect()
-            });
-            rows.extend(shard_rows.into_iter().flatten());
+            self.char_cache.clear();
+            self.dirty_pending.clear();
+            fresh.extend(abnormal.iter().copied());
         }
+
+        // Fresh characterization in two per-device phases (both
+        // embarrassingly parallel, per Definition 1's locality): per-device
+        // motion precompute, merged with the cached slices into one
+        // engine, then verdicts and vicinities for the fresh devices only.
+        // The merge is deterministic — parts are keyed by dense id — so
+        // the report is identical for every engine, worker count, and for
+        // the cache-off reference path.
+        let params = self.params;
+        let mut fresh_rows: Vec<(DeviceId, Characterization, usize)> =
+            Vec::with_capacity(fresh.len());
+        let mut fresh_pre: BTreeMap<u32, DevicePrecompute> = BTreeMap::new();
+        let pair = if fresh.is_empty() {
+            // Full cache hit: no trajectory table, no analyzer, no shard
+            // plan. The characterization cost of the epoch is the grid
+            // update plus one map lookup per flagged device.
+            pair
+        } else {
+            let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
+            let shard_count = self.engine.shard_count(fresh.len());
+            if shard_count <= 1 {
+                let mut fresh_parts: Vec<(DeviceId, DevicePrecompute)> =
+                    Vec::with_capacity(fresh.len());
+                for &j in &fresh {
+                    let pre = AnalyzerCore::precompute_device(
+                        &table,
+                        &params,
+                        j,
+                        DEFAULT_ENUMERATION_BUDGET,
+                    );
+                    if caching {
+                        fresh_pre.insert(j.0, pre.clone());
+                    }
+                    fresh_parts.push((j, pre));
+                }
+                let core = self.merged_core(&table, params, caching, fresh_parts);
+                let grid = self
+                    .grid
+                    .as_ref()
+                    .ok_or(MonitorError::internal("vicinity grid missing after update"))?;
+                let buf = &mut self.neighbor_buf;
+                for &j in &fresh {
+                    grid.neighbors_both_into(&pair, j, window, buf);
+                    fresh_rows.push((j, core.characterize_full(&table, j), buf.len()));
+                }
+                pair
+            } else {
+                // Threaded: ship both phases to the persistent worker
+                // pool. Shards come from the grid-locality-aware plan over
+                // the whole abnormal set, restricted to the fresh devices.
+                let workers = match self.engine {
+                    Engine::Threaded { workers } => workers,
+                    Engine::Sequential => 1,
+                };
+                let plan = ShardPlan::build(&table, window, shard_count);
+                let fresh_set: BTreeSet<DeviceId> = fresh.iter().copied().collect();
+                let shards: Vec<Vec<DeviceId>> = plan
+                    .shards()
+                    .iter()
+                    .map(|shard| {
+                        shard
+                            .iter()
+                            .copied()
+                            .filter(|j| fresh_set.contains(j))
+                            .collect::<Vec<DeviceId>>()
+                    })
+                    .filter(|shard| !shard.is_empty())
+                    .collect();
+                let mut pool = match self.pool.take() {
+                    Some(pool) if pool.workers() == workers => pool,
+                    _ => WorkerPool::spawn(workers),
+                };
+                let table = Arc::new(table);
+                let jobs: Vec<Job> = shards
+                    .iter()
+                    .map(|shard| Job::Precompute {
+                        table: Arc::clone(&table),
+                        params,
+                        shard: shard.clone(),
+                    })
+                    .collect();
+                // A pool failure propagates as a typed internal error; the
+                // poisoned pool was already taken out of `self` and is
+                // dropped (joining its workers) on the way out.
+                let outputs = pool.run(jobs)?;
+                let mut fresh_parts: Vec<(DeviceId, DevicePrecompute)> =
+                    Vec::with_capacity(fresh.len());
+                for output in outputs {
+                    match output {
+                        JobOutput::Parts(parts) => fresh_parts.extend(parts),
+                        JobOutput::Verdicts(_) => {
+                            return Err(MonitorError::internal(
+                                "precompute phase returned verdict output",
+                            ))
+                        }
+                    }
+                }
+                if caching {
+                    for (j, pre) in &fresh_parts {
+                        fresh_pre.insert(j.0, pre.clone());
+                    }
+                }
+                let core = Arc::new(self.merged_core(&table, params, caching, fresh_parts));
+                let grid = Arc::clone(
+                    self.grid
+                        .as_ref()
+                        .ok_or(MonitorError::internal("vicinity grid missing after update"))?,
+                );
+                let pair = Arc::new(pair);
+                let jobs: Vec<Job> = shards
+                    .iter()
+                    .map(|shard| Job::Verdicts {
+                        core: Arc::clone(&core),
+                        table: Arc::clone(&table),
+                        pair: Arc::clone(&pair),
+                        grid: Arc::clone(&grid),
+                        window,
+                        shard: shard.clone(),
+                    })
+                    .collect();
+                let outputs = pool.run(jobs)?;
+                self.pool = Some(pool);
+                for output in outputs {
+                    match output {
+                        JobOutput::Verdicts(rows) => fresh_rows.extend(rows),
+                        JobOutput::Parts(_) => {
+                            return Err(MonitorError::internal(
+                                "verdict phase returned precompute output",
+                            ))
+                        }
+                    }
+                }
+                // Every job consumed its Arc clones before reporting its
+                // result, so after collecting all of them this is the only
+                // reference again (the clone arm is unreachable
+                // belt-and-braces).
+                Arc::try_unwrap(pair).unwrap_or_else(|arc| (*arc).clone())
+            }
+        };
+
+        // Freshly decided devices enter the cache (with their precompute
+        // slice, for future merges) before joining the cached rows.
+        if caching && !fresh_rows.is_empty() {
+            let grid = self
+                .grid
+                .as_ref()
+                .ok_or(MonitorError::internal("vicinity grid missing after update"))?;
+            for &(j, characterization, vicinity) in &fresh_rows {
+                let precompute = fresh_pre.remove(&j.0).ok_or(MonitorError::internal(
+                    "fresh device missing its precompute slice",
+                ))?;
+                let cell = grid.cell_index(pair.after().position(j).coords());
+                self.char_cache.insert(
+                    j.0,
+                    CacheEntry {
+                        cell,
+                        precompute,
+                        characterization,
+                        vicinity,
+                    },
+                );
+            }
+        }
+        rows.extend(
+            fresh_rows
+                .into_iter()
+                .map(|(j, characterization, vicinity)| VerdictRow {
+                    j,
+                    characterization,
+                    vicinity,
+                }),
+        );
 
         // Deterministic merge: cohort ids map monotonically to current
         // dense ids, so id order here is exactly the report's verdict order

@@ -3,7 +3,69 @@ use super::key::DeviceKey;
 use anomaly_core::{AnomalyClass, Characterization};
 use anomaly_qos::DeviceId;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Backing store of [`Report::stragglers`].
+///
+/// The steady-state carry-forward seal bridges every silent device, which
+/// in a large, mostly-quiet fleet is nearly the whole population — eagerly
+/// copying those keys into the report would be the seal's only remaining
+/// O(population) step. Instead the seal records the *runs* of consecutive
+/// silent dense slots plus a shared handle on the epoch's key order
+/// (O(silent runs), i.e. O(reporting devices + 1)), and the key list is
+/// materialized once, lazily, if a consumer actually asks for it.
+#[derive(Debug, Clone)]
+pub(super) enum Stragglers {
+    /// Explicit key list (general seal path, and policies that resolve
+    /// silent devices one at a time).
+    Eager(Vec<DeviceKey>),
+    /// Run-length form over the epoch's dense key order.
+    Lazy {
+        /// Half-open `[lo, hi)` dense-slot ranges of silent devices, in
+        /// ascending order.
+        runs: Vec<(u32, u32)>,
+        /// The epoch's dense key order, shared with the monitor (cloned
+        /// copy-on-write only if membership churns while this report is
+        /// still alive).
+        keys: Arc<Vec<DeviceKey>>,
+        /// The materialized key list, built on first access.
+        cache: OnceLock<Vec<DeviceKey>>,
+    },
+}
+
+impl Stragglers {
+    pub(super) fn len(&self) -> usize {
+        match self {
+            Stragglers::Eager(v) => v.len(),
+            Stragglers::Lazy { runs, .. } => runs
+                .iter()
+                .map(|&(lo, hi)| hi.saturating_sub(lo) as usize)
+                .sum(),
+        }
+    }
+
+    pub(super) fn as_slice(&self) -> &[DeviceKey] {
+        match self {
+            Stragglers::Eager(v) => v,
+            Stragglers::Lazy { runs, keys, cache } => cache.get_or_init(|| {
+                let mut out: Vec<DeviceKey> = Vec::with_capacity(self.len());
+                for &(lo, hi) in runs {
+                    if let Some(run) = keys.get(lo as usize..hi as usize) {
+                        out.extend_from_slice(run);
+                    }
+                }
+                out
+            }),
+        }
+    }
+}
+
+impl PartialEq for Stragglers {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
 
 /// One flagged device's verdict within a [`Report`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,7 +118,7 @@ pub struct Report {
     pub(super) warming: Vec<DeviceKey>,
     /// Devices whose row this epoch was synthesized by the staleness
     /// policy instead of a fresh measurement.
-    pub(super) stragglers: Vec<DeviceKey>,
+    pub(super) stragglers: Stragglers,
     pub(super) detection: Duration,
     pub(super) characterization: Duration,
     /// What the event tracker did with this epoch's verdicts.
@@ -92,8 +154,19 @@ impl Report {
     /// (carried forward from the previous snapshot, or filled with the
     /// default row), in dense-id order. Always empty on the batch
     /// [`observe`](super::Monitor::observe) path, which supplies every row.
+    ///
+    /// The key list is materialized lazily on first access: sealing only
+    /// records the silent dense-slot runs, so a consumer that never reads
+    /// this list (or only needs [`Report::straggler_count`]) never pays
+    /// for building it.
     pub fn stragglers(&self) -> &[DeviceKey] {
-        &self.stragglers
+        self.stragglers.as_slice()
+    }
+
+    /// Number of devices bridged by the staleness policy this epoch,
+    /// without materializing the key list.
+    pub fn straggler_count(&self) -> usize {
+        self.stragglers.len()
     }
 
     /// True when nothing was flagged and nothing is warming.

@@ -66,9 +66,14 @@ fn assert_reports_identical(a: &Report, b: &Report, context: &str) {
 /// Replays the monitor_v2 churn scenario under `engine`/`grid`, returning
 /// every report produced.
 fn churn_scenario(engine: Engine, grid: GridMaintenance) -> Vec<Report> {
+    churn_scenario_cached(engine, grid, true)
+}
+
+fn churn_scenario_cached(engine: Engine, grid: GridMaintenance, cache: bool) -> Vec<Report> {
     let mut m = MonitorBuilder::new()
         .engine(engine)
         .grid_maintenance(grid)
+        .characterization_cache(cache)
         .fleet(8)
         .build()
         .unwrap();
@@ -108,6 +113,22 @@ fn threaded_1_to_8_workers_match_sequential_on_the_churn_trace() {
         assert_eq!(baseline.len(), threaded.len());
         for (a, b) in baseline.iter().zip(&threaded) {
             assert_reports_identical(a, b, &format!("workers={workers} k={}", a.instant()));
+        }
+    }
+}
+
+/// The characterization cache must be unobservable next to full
+/// recomputation, under every engine: disabling it changes no byte of any
+/// report on the churn trace.
+#[test]
+fn characterization_cache_is_unobservable_on_the_churn_trace() {
+    let baseline = churn_scenario_cached(Engine::Sequential, GridMaintenance::Incremental, true);
+    assert!(baseline.iter().any(|r| !r.verdicts().is_empty()));
+    for engine in [Engine::Sequential, Engine::Threaded { workers: 4 }] {
+        let uncached = churn_scenario_cached(engine, GridMaintenance::Incremental, false);
+        assert_eq!(baseline.len(), uncached.len());
+        for (a, b) in baseline.iter().zip(&uncached) {
+            assert_reports_identical(a, b, &format!("{engine:?} cache off, k={}", a.instant()));
         }
     }
 }
@@ -356,6 +377,13 @@ fn builder_exposes_the_engine_and_grid_knobs() {
     let d = MonitorBuilder::new().build().unwrap();
     assert_eq!(d.engine(), Engine::Sequential);
     assert_eq!(d.grid_maintenance(), GridMaintenance::Incremental);
+    // The characterization cache defaults on; the knob turns it off.
+    assert!(d.characterization_cache());
+    let off = MonitorBuilder::new()
+        .characterization_cache(false)
+        .build()
+        .unwrap();
+    assert!(!off.characterization_cache());
     // threaded_auto never yields a zero worker count.
     match Engine::threaded_auto() {
         Engine::Threaded { workers } => assert!(workers > 1),

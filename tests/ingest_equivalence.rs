@@ -96,6 +96,150 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The characterization cache must be unobservable: shuffled-silence
+    /// ingest sequences with mid-run churn, under every staleness policy,
+    /// both engines and both grid-maintenance modes, produce byte-identical
+    /// reports and final snapshots whether per-device verdicts are cached
+    /// or recomputed from scratch every epoch.
+    #[test]
+    fn characterization_cache_is_unobservable_under_churn(
+        levels in proptest::collection::vec(
+            proptest::collection::vec(0.0..=1.0f64, 6), 6),
+        silence in proptest::collection::vec(
+            proptest::collection::vec(0usize..3, 6), 6),
+        churn_at in 1usize..5,
+    ) {
+        let n = 6usize;
+        let policies = [
+            StalenessPolicy::Reject,
+            StalenessPolicy::CarryForward { max_age: 1_000 },
+            StalenessPolicy::Default(vec![0.5]),
+        ];
+        for policy in &policies {
+            for engine in [Engine::Sequential, Engine::Threaded { workers: 3 }] {
+                for grid in [GridMaintenance::Incremental, GridMaintenance::FullRebuild] {
+                    let run = |cache: bool| {
+                        let mut m = MonitorBuilder::new()
+                            .engine(engine)
+                            .grid_maintenance(grid)
+                            .staleness(policy.clone())
+                            .characterization_cache(cache)
+                            .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.08)))
+                            .fleet(n)
+                            .build()
+                            .unwrap();
+                        let mut prints = Vec::new();
+                        for (e, epoch) in levels.iter().enumerate() {
+                            if e == churn_at {
+                                m.leave(0u64).unwrap();
+                                m.join(1_000u64).unwrap();
+                            }
+                            let keys = m.keys().to_vec();
+                            for (i, &key) in keys.iter().enumerate() {
+                                // Epoch 0 and the fresh joiner always
+                                // report; under Reject everyone does.
+                                let may_skip = e > 0
+                                    && !matches!(policy, StalenessPolicy::Reject)
+                                    && (key.0 as usize) < n
+                                    && silence[e][key.0 as usize] == 0;
+                                if may_skip {
+                                    continue;
+                                }
+                                m.ingest(key, vec![epoch[i % epoch.len()]]).unwrap();
+                            }
+                            prints.push(fingerprint(&m.seal().unwrap()));
+                        }
+                        (prints, m.last_snapshot().cloned())
+                    };
+                    prop_assert_eq!(
+                        run(true),
+                        run(false),
+                        "{:?} under {:?}/{:?} diverged",
+                        policy, engine, grid
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A long steady run designed to hit every cache path: a flagged cluster
+/// frozen by silence (full cache hits, epoch after epoch), far-away calm
+/// movers (> 4r from the cluster — cached verdicts must be served
+/// untouched), then a mover *inside* the cluster's neighbourhood (partial
+/// invalidation, mixed cached/fresh characterization). Every epoch must
+/// match a cache-disabled monitor byte for byte.
+#[test]
+fn characterization_cache_matches_full_recompute_on_a_frozen_cluster() {
+    const N: usize = 60;
+    let build = |cache: bool| {
+        MonitorBuilder::new()
+            .staleness(StalenessPolicy::CarryForward { max_age: 10_000 })
+            .characterization_cache(cache)
+            .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.1)))
+            .fleet(N)
+            .build()
+            .unwrap()
+    };
+    let mut cached = build(true);
+    let mut full = build(false);
+    assert!(cached.characterization_cache());
+    assert!(!full.characterization_cache());
+
+    let base_row = |k: u64| vec![0.55 + 0.3 * ((k % 37) as f64 / 37.0)];
+    let step = |cached: &mut Monitor, full: &mut Monitor, rows: Vec<(u64, Vec<f64>)>| {
+        cached.ingest_many(rows.clone()).unwrap();
+        full.ingest_many(rows).unwrap();
+        let a = cached.seal().unwrap();
+        let b = full.seal().unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "k={}", a.instant());
+        a
+    };
+    // Warm-up: two full epochs.
+    for _ in 0..2 {
+        step(
+            &mut cached,
+            &mut full,
+            (0..N as u64).map(|k| (k, base_row(k))).collect(),
+        );
+    }
+    // The cluster 0..6 jumps into an anomalous corner and then goes
+    // silent: frozen flags keep it abnormal for every following epoch.
+    let mut rows: Vec<(u64, Vec<f64>)> = (0..N as u64).map(|k| (k, base_row(k))).collect();
+    for k in 0..6u64 {
+        rows[k as usize] = (k, vec![0.10 + k as f64 * 0.005]);
+    }
+    let r = step(&mut cached, &mut full, rows);
+    assert_eq!(r.verdicts().len(), 6);
+    // Far-away churn only: two calm devices wiggle within their cells,
+    // > 4r away from the cluster, so the cached cluster verdicts are
+    // reused wholesale — and must still equal a fresh recompute.
+    for round in 0..4 {
+        let wiggle = if round % 2 == 0 { 0.004 } else { -0.004 };
+        let rows = vec![
+            (40u64, vec![base_row(40)[0] + wiggle]),
+            (41u64, vec![base_row(41)[0] + wiggle]),
+        ];
+        let r = step(&mut cached, &mut full, rows);
+        assert_eq!(r.verdicts().len(), 6, "the frozen cluster stays abnormal");
+    }
+    // A device drops into the cluster's 4r neighbourhood: the dirty-cell
+    // expansion must invalidate the affected entries, flag the newcomer,
+    // and the mixed cached/fresh path must still be byte-identical.
+    let r = step(&mut cached, &mut full, vec![(30u64, vec![0.16])]);
+    assert_eq!(r.verdicts().len(), 7, "the near mover flags too");
+    // And the re-cached neighbourhood serves the next quiet epoch.
+    let r = step(
+        &mut cached,
+        &mut full,
+        vec![(40u64, vec![base_row(40)[0] + 0.004])],
+    );
+    assert_eq!(r.verdicts().len(), 7);
+}
+
 /// The acceptance bar for delta-style sealing: an epoch where ≤ 1% of the
 /// fleet reports a change re-buckets only those devices in the vicinity
 /// grid — no full rebuild (and, structurally, no full snapshot clone:

@@ -258,6 +258,95 @@ fn leave_mid_epoch_drops_only_the_departing_devices_update() {
     assert_eq!(m.last_snapshot().unwrap().position(slot0).coords(), &[0.10]);
 }
 
+/// Bridged rows do not feed detectors (the pinned *frozen* semantics —
+/// see the `StalenessPolicy` docs): a device flagged by real data that
+/// then goes silent keeps its frozen verdict — it stays in `A_k` every
+/// bridged epoch — until a real report clears it. `ThresholdDetector`
+/// makes the distinction observable: re-feeding the carried row would see
+/// a zero jump and clear a legitimate alarm just because the device went
+/// quiet.
+#[test]
+fn carried_rows_freeze_the_detector_and_its_verdict() {
+    let mut m = MonitorBuilder::new()
+        .staleness(StalenessPolicy::CarryForward { max_age: 10 })
+        .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.15)))
+        .fleet(8)
+        .build()
+        .unwrap();
+    for _ in 0..2 {
+        m.ingest_many((0..8u64).map(|k| (k, vec![0.9]))).unwrap();
+        assert!(m.seal().unwrap().verdicts().is_empty());
+    }
+    // Device 0 jumps: flagged on real data.
+    m.ingest(0u64, vec![0.2]).unwrap();
+    m.ingest_many((1..8u64).map(|k| (k, vec![0.9]))).unwrap();
+    let r = m.seal().unwrap();
+    assert!(r.class_of(DeviceKey(0)).is_some(), "the jump must flag");
+    assert_eq!(r.verdicts().len(), 1);
+    // Three bridged epochs: the frozen verdict keeps device 0 abnormal.
+    for miss in 1..=3 {
+        m.ingest_many((1..8u64).map(|k| (k, vec![0.9]))).unwrap();
+        let r = m.seal().unwrap();
+        assert_eq!(r.stragglers(), &[DeviceKey(0)], "miss {miss}");
+        assert!(
+            r.class_of(DeviceKey(0)).is_some(),
+            "miss {miss}: the frozen flag must keep the silent device in A_k"
+        );
+    }
+    // The device reports its row again — REAL data this time, zero jump:
+    // the detector finally observes it and the alarm clears. Had the
+    // bridged epochs re-fed the carried row, the alarm would have cleared
+    // three epochs ago on synthetic data.
+    m.ingest(0u64, vec![0.2]).unwrap();
+    m.ingest_many((1..8u64).map(|k| (k, vec![0.9]))).unwrap();
+    let r = m.seal().unwrap();
+    assert!(r.stragglers().is_empty());
+    assert!(
+        r.verdicts().is_empty(),
+        "a real zero-jump report clears the threshold alarm"
+    );
+}
+
+/// `Default` fills freeze detectors too: a silent device whose row is
+/// defaulted far away from its last report stays calm — the synthetic row
+/// is never observed. The very same row reported as real data flags
+/// immediately, proving the detector state stayed at the last *observed*
+/// value through the defaulted epoch.
+#[test]
+fn default_fills_do_not_feed_detectors() {
+    let mut m = MonitorBuilder::new()
+        .staleness(StalenessPolicy::Default(vec![0.5]))
+        .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.15)))
+        .fleet(4)
+        .build()
+        .unwrap();
+    for _ in 0..2 {
+        m.ingest_many((0..4u64).map(|k| (k, vec![0.9]))).unwrap();
+        assert!(m.seal().unwrap().verdicts().is_empty());
+    }
+    // Devices 2 and 3 go silent: their rows default to 0.5 — a 0.4 jump,
+    // had it been fed. Frozen detectors keep the fleet calm.
+    m.ingest(0u64, vec![0.9]).unwrap();
+    m.ingest(1u64, vec![0.9]).unwrap();
+    let r = m.seal().unwrap();
+    assert_eq!(r.stragglers(), &[DeviceKey(2), DeviceKey(3)]);
+    assert!(
+        r.verdicts().is_empty(),
+        "synthetic default rows must not flag anybody"
+    );
+    // Device 2 now reports 0.5 for real. Its detector last observed 0.9 —
+    // not the defaulted 0.5 — so the 0.4 jump flags it.
+    m.ingest(0u64, vec![0.9]).unwrap();
+    m.ingest(1u64, vec![0.9]).unwrap();
+    m.ingest(2u64, vec![0.5]).unwrap();
+    m.ingest(3u64, vec![0.9]).unwrap();
+    let r = m.seal().unwrap();
+    assert!(
+        r.class_of(DeviceKey(2)).is_some(),
+        "the same row as real data flags: the detector state was frozen at 0.9"
+    );
+}
+
 #[test]
 fn reject_names_every_missing_gateway() {
     let (spec, run) = scenario();
