@@ -16,7 +16,11 @@
 //! statistics (`seal_micros_min`/`median`/`max` cover steady epochs only).
 //! A fleet-size sweep at fixed churn records how flat the steady-state
 //! seal stays as the population grows; `sweep_flat_ratio` is the largest
-//! sweep median over the smallest.
+//! sweep median over the smallest. Each sweep point runs
+//! `INGEST_BENCH_REPS` independent repetitions and reports the **minimum
+//! of the per-repetition medians** — the noise-robust lower envelope — so
+//! one slow repetition (scheduler jitter, a page-cache miss) cannot make
+//! the sweep look non-monotone.
 //!
 //! For the headline ratio the same workload shape is also driven through
 //! the batch `observe` path with full snapshots (the cluster re-jumps
@@ -30,6 +34,8 @@
 //!   the fleet (default 10 = 1%)
 //! * `INGEST_BENCH_SWEEP` — comma-separated fleet sizes swept at a fixed
 //!   500-device churn (default `10000,50000,100000`; empty disables)
+//! * `INGEST_BENCH_REPS` — repetitions per sweep point; the reported
+//!   median is the minimum per-repetition median (default 3)
 //! * `INGEST_BENCH_OUT` — output path (default `BENCH_ingest.json`)
 
 use anomaly_characterization::pipeline::{
@@ -108,8 +114,6 @@ struct EpochStats {
 }
 
 struct RunStats {
-    devices: usize,
-    changed: usize,
     /// The cold, first characterized epoch: grid build + full
     /// characterization of the cluster. Reported apart from the steady
     /// epochs so it cannot pollute their statistics.
@@ -220,8 +224,6 @@ fn run_streaming(devices: usize, steps: usize, changed: usize) -> RunStats {
         });
     }
     RunStats {
-        devices,
-        changed,
         warmup_seal_micros,
         epochs,
     }
@@ -280,6 +282,7 @@ fn main() {
     let steps = env_usize("INGEST_BENCH_STEPS", 12).max(1);
     let permille = env_usize("INGEST_BENCH_CHANGED_PERMILLE", 10);
     let changed = ((devices * permille) / 1000).max(1);
+    let reps = env_usize("INGEST_BENCH_REPS", 3).max(1);
     let sweep_sizes: Vec<usize> = std::env::var("INGEST_BENCH_SWEEP")
         .unwrap_or_else(|_| "10000,50000,100000".to_string())
         .split(',')
@@ -305,35 +308,49 @@ fn main() {
         min(&observe_micros),
     );
 
-    // --- Fleet-size sweep at fixed churn: the flatness evidence.
-    let mut sweep: Vec<RunStats> = Vec::new();
-    for &size in &sweep_sizes {
-        if size == devices && changed == SWEEP_CHANGED {
-            continue; // the headline run already covers this point
-        }
-        eprintln!("sweep: {size} devices at {SWEEP_CHANGED} changed/epoch");
-        sweep.push(run_streaming(size, steps, SWEEP_CHANGED));
+    // --- Fleet-size sweep at fixed churn: the flatness evidence. Every
+    // point runs `reps` independent repetitions; the reported median is
+    // the minimum per-repetition median, so a single noisy repetition
+    // cannot fake a slope (or hide one — the envelope is per-point).
+    struct SweepPoint {
+        devices: usize,
+        changed: usize,
+        warmup_seal_micros: u64,
+        steady_min: u64,
+        steady_median: u64,
+        steady_max: u64,
     }
-    let mut sweep_points: Vec<&RunStats> = sweep.iter().collect();
-    if changed == SWEEP_CHANGED && sweep_sizes.contains(&devices) {
-        sweep_points.push(&headline);
+    let mut sweep_points: Vec<SweepPoint> = Vec::new();
+    for &size in &sweep_sizes {
+        eprintln!("sweep: {size} devices at {SWEEP_CHANGED} changed/epoch, {reps} reps");
+        let runs: Vec<RunStats> = (0..reps)
+            .map(|_| run_streaming(size, steps, SWEEP_CHANGED))
+            .collect();
+        let medians: Vec<u64> = runs.iter().map(|r| median(&r.steady_seals())).collect();
+        let all_seals: Vec<u64> = runs.iter().flat_map(|r| r.steady_seals()).collect();
+        sweep_points.push(SweepPoint {
+            devices: size,
+            changed: SWEEP_CHANGED,
+            warmup_seal_micros: min(&runs
+                .iter()
+                .map(|r| r.warmup_seal_micros)
+                .collect::<Vec<_>>()),
+            steady_min: min(&all_seals),
+            steady_median: min(&medians),
+            steady_max: max(&all_seals),
+        });
     }
     sweep_points.sort_by_key(|r| r.devices);
     let sweep_flat_ratio = match (sweep_points.first(), sweep_points.last()) {
         (Some(small), Some(large)) if small.devices < large.devices => {
-            let lo = median(&small.steady_seals()).max(1);
-            let hi = median(&large.steady_seals());
-            hi as f64 / lo as f64
+            large.steady_median as f64 / small.steady_median.max(1) as f64
         }
         _ => 1.0,
     };
     for r in &sweep_points {
-        let seals = r.steady_seals();
         eprintln!(
-            "sweep {} devices: warm-up {} µs, steady median {} µs",
-            r.devices,
-            r.warmup_seal_micros,
-            median(&seals)
+            "sweep {} devices: warm-up {} µs, steady median {} µs (min of {reps} medians)",
+            r.devices, r.warmup_seal_micros, r.steady_median
         );
     }
     eprintln!("sweep flat ratio (largest/smallest steady median): {sweep_flat_ratio:.2}");
@@ -351,7 +368,6 @@ fn main() {
     let sweep_json: Vec<String> = sweep_points
         .iter()
         .map(|r| {
-            let seals = r.steady_seals();
             format!(
                 concat!(
                     "{{\"devices\":{},\"changed\":{},\"warmup_seal_micros\":{},",
@@ -361,9 +377,9 @@ fn main() {
                 r.devices,
                 r.changed,
                 r.warmup_seal_micros,
-                min(&seals),
-                median(&seals),
-                max(&seals),
+                r.steady_min,
+                r.steady_median,
+                r.steady_max,
             )
         })
         .collect();
@@ -375,7 +391,7 @@ fn main() {
             "\"seal_micros_min\":{},\"seal_micros_median\":{},\"seal_micros_max\":{},",
             "\"ingest_micros_min\":{},",
             "\"observe_full_micros_min\":{},",
-            "\"sweep\":[{}],\"sweep_flat_ratio\":{:.3},",
+            "\"sweep_reps\":{},\"sweep\":[{}],\"sweep_flat_ratio\":{:.3},",
             "\"epochs\":[{}]}}\n"
         ),
         devices,
@@ -393,6 +409,7 @@ fn main() {
             .map(|e| e.ingest_micros)
             .collect::<Vec<_>>()),
         min(&observe_micros),
+        reps,
         sweep_json.join(","),
         sweep_flat_ratio,
         epochs_json.join(","),

@@ -14,8 +14,8 @@
 //! * `EVAL_BENCH_OUT` — output path (default `BENCH_eval.json`)
 //! * `EVAL_BENCH_BASELINE` — path to a previously committed
 //!   `BENCH_eval.json`; when set, every (scenario, method) cell present in
-//!   both runs must not regress in macro F1 or event-level F1 (tolerance
-//!   1e-6) or the run aborts. When unset the gate is skipped for local
+//!   both runs must not regress in macro F1, event-level F1, or alert
+//!   page F1 (tolerance 1e-6) or the run aborts. When unset the gate is skipped for local
 //!   exploratory runs — unless `CI` is set, in which case the run fails
 //!   loudly instead of letting the gate go silently vacuous
 //! * `EVAL_BENCH_WORKERS` — threaded worker count (default 4)
@@ -27,9 +27,10 @@ use anomaly_baselines::{Classifier, KMeansClassifier, TessellationClassifier};
 use anomaly_characterization::pipeline::Engine;
 use anomaly_core::Params;
 use anomaly_eval::{
-    evaluate_classifier_on, evaluate_monitor_on, evaluate_monitor_streaming_on, AdversaryScenario,
-    ChurnScenario, FleetScenario, NetworkFaultScenario, PersistentAnomalyScenario,
-    RecordedScenario, Scenario, ScenarioScore, SimScenario,
+    evaluate_classifier_on, evaluate_monitor_alerts_on, evaluate_monitor_on,
+    evaluate_monitor_streaming_on, AdversaryScenario, ChurnScenario, FleetScenario,
+    NetworkFaultScenario, PersistentAnomalyScenario, RecordedScenario, Scenario, ScenarioScore,
+    SimScenario,
 };
 use anomaly_simulator::trace::Trace;
 use anomaly_simulator::{DestinationModel, FleetSpec, ScenarioConfig};
@@ -40,6 +41,9 @@ struct Entry {
     scenario: Box<dyn Scenario>,
     kmeans_k: usize,
     tess_cells: usize,
+    /// ISP-tree shape for alert-quality scoring; `Some` only on the
+    /// network scenarios, whose dense device ids are gateway indices.
+    alert_shape: Option<(usize, usize, usize, usize)>,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -57,6 +61,7 @@ fn scenarios() -> Vec<Entry> {
         scenario: Box::new(SimScenario::paper("sim-paper", 42, 6)),
         kmeans_k: 20,
         tess_cells: 16,
+        alert_shape: None,
     });
 
     // Isolated-heavy variant: the regime where false massives hurt most.
@@ -71,25 +76,30 @@ fn scenarios() -> Vec<Entry> {
         }),
         kmeans_k: 20,
         tess_cells: 16,
+        alert_shape: None,
     });
 
     // ISP tree, network-level outages only.
     let mut dslam_only = NetworkFaultScenario::small_mixed("network-dslam-outages", 7, 6);
     dslam_only.dslam_faults_per_step = 2;
     dslam_only.cpe_faults_per_step = 0;
+    let dslam_shape = dslam_only.config.shape;
     entries.push(Entry {
         scenario: Box::new(dslam_only),
         kmeans_k: 2,
         tess_cells: 16,
+        alert_shape: Some(dslam_shape),
     });
 
     // ISP tree, mixed network and CPE faults.
     let mut mixed = NetworkFaultScenario::small_mixed("network-mixed-faults", 8, 6);
     mixed.cpe_faults_per_step = 2;
+    let mixed_shape = mixed.config.shape;
     entries.push(Entry {
         scenario: Box::new(mixed),
         kmeans_k: 3,
         tess_cells: 16,
+        alert_shape: Some(mixed_shape),
     });
 
     // Collusion: a τ-strong coalition shadows isolated victims.
@@ -110,6 +120,7 @@ fn scenarios() -> Vec<Entry> {
         }),
         kmeans_k: 7,
         tess_cells: 16,
+        alert_shape: None,
     });
 
     // Large fleet: cluster/loner mix over a calm jittering population.
@@ -136,6 +147,7 @@ fn scenarios() -> Vec<Entry> {
         }),
         kmeans_k: fleet_events,
         tess_cells: 16,
+        alert_shape: None,
     });
 
     // Membership churn over a mid-size fleet.
@@ -164,6 +176,7 @@ fn scenarios() -> Vec<Entry> {
         }),
         kmeans_k: 13,
         tess_cells: 16,
+        alert_shape: None,
     });
 
     // Long-lived anomalies + flapping devices: the event-tracker workload.
@@ -176,6 +189,7 @@ fn scenarios() -> Vec<Entry> {
         )),
         kmeans_k: 12,
         tess_cells: 16,
+        alert_shape: None,
     });
 
     // Recorded trace: a Section VII-A scenario through the text format.
@@ -197,6 +211,7 @@ fn scenarios() -> Vec<Entry> {
         ),
         kmeans_k: 20,
         tess_cells: 16,
+        alert_shape: None,
     });
 
     entries
@@ -246,16 +261,45 @@ fn main() {
         // One generation per scenario: all four methods score the same run.
         let run = scenario.generate().expect("the scenario generates");
 
-        let paper = evaluate_monitor_on(&spec, &run, Engine::Sequential)
-            .expect("sequential evaluation succeeds");
-        let threaded = evaluate_monitor_on(&spec, &run, Engine::Threaded { workers })
-            .expect("threaded evaluation succeeds");
+        // Network scenarios additionally score the serve crate's alert
+        // pipeline (page precision/recall against the truth spans); the
+        // engine byte-equality assertion below then covers the alert fold.
+        let (paper, threaded) = match entry.alert_shape {
+            Some(shape) => (
+                evaluate_monitor_alerts_on(&spec, &run, Engine::Sequential, shape)
+                    .expect("sequential evaluation succeeds"),
+                evaluate_monitor_alerts_on(&spec, &run, Engine::Threaded { workers }, shape)
+                    .expect("threaded evaluation succeeds"),
+            ),
+            None => (
+                evaluate_monitor_on(&spec, &run, Engine::Sequential)
+                    .expect("sequential evaluation succeeds"),
+                evaluate_monitor_on(&spec, &run, Engine::Threaded { workers })
+                    .expect("threaded evaluation succeeds"),
+            ),
+        };
         assert_eq!(
             paper.metrics_json(),
             threaded.metrics_json(),
             "engines disagree on {}",
             spec.name
         );
+        if let Some(quality) = &paper.alerts {
+            eprintln!(
+                "{:>22}: alerts {} / truth {} (page F1 {:.3}, {} recurrences, {} signatures)",
+                spec.name,
+                quality.alerts,
+                quality.truth_events,
+                quality.page_f1(),
+                quality.recurrences,
+                quality.distinct_signatures,
+            );
+            assert!(
+                quality.page_f1() > 0.0,
+                "{}: the alert pipeline paged nothing real: {quality:?}",
+                spec.name
+            );
+        }
 
         let kmeans = KMeansClassifier::new(entry.kmeans_k, tau, 1);
         let tess = TessellationClassifier::new(entry.tess_cells, tau);
@@ -361,7 +405,7 @@ fn main() {
         Ok(baseline_path) => {
             let committed =
                 std::fs::read_to_string(&baseline_path).expect("read the committed baseline file");
-            for key in ["macro_f1", "event_f1"] {
+            for key in ["macro_f1", "event_f1", "page_f1"] {
                 let old = parse_metric(&committed, key);
                 let new = parse_metric(&json, key);
                 if key == "macro_f1" {

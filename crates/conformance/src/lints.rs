@@ -31,7 +31,13 @@ use crate::lexer::{lex, Token, TokenKind};
 
 /// Bumped whenever a lint's definition, scope, or the pragma grammar
 /// changes; committed into `CONFORMANCE.json` so drift is visible.
-pub const LINT_SET_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial C1–C5 set over `src/` and the report/scoring crates.
+/// * 2 — alerting daemon in scope: C1 and C2 also cover
+///   `crates/serve/src/` (the alert fold is on the determinism-critical
+///   path and must stay panic-free).
+pub const LINT_SET_VERSION: u32 = 2;
 
 /// Static description of one lint, for reports and docs.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +105,7 @@ const C2_SCOPE: &[&str] = &[
     "crates/core/src/characterize.rs",
     "crates/core/src/table.rs",
     "crates/network/src/report.rs",
+    "crates/serve/src/",
 ];
 
 /// The only places allowed to read the wall clock.
@@ -159,7 +166,7 @@ struct Scope {
 fn scope_of(path: &str) -> Scope {
     let shim = path.starts_with("shims/");
     Scope {
-        c1: path.starts_with("src/"),
+        c1: path.starts_with("src/") || path.starts_with("crates/serve/src/"),
         c2: !shim && C2_SCOPE.iter().any(|p| path.starts_with(p)),
         c3: !shim && !C3_ALLOWED.iter().any(|p| path.starts_with(p)),
         c4: path.ends_with("lib.rs"),
@@ -585,8 +592,22 @@ mod tests {
     fn scope_gates_by_path() {
         let src = "fn f(v: &Vec<u32>) -> u32 { v.first().copied().unwrap() }";
         assert_eq!(lints_fired("src/pipeline/monitor.rs", src), vec![("C1", 1)]);
+        // The alerting daemon folds reports on the hot path: C1 applies.
+        assert_eq!(
+            lints_fired("crates/serve/src/sink.rs", src),
+            vec![("C1", 1)]
+        );
         // Outside the pipeline, C1 does not apply.
         assert_eq!(lints_fired("crates/core/src/observer.rs", src), vec![]);
+    }
+
+    #[test]
+    fn serve_is_in_the_c2_scope() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            lints_fired("crates/serve/src/alerts.rs", src),
+            vec![("C2", 1)]
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@ use anomaly_characterization::pipeline::{
 };
 use anomaly_core::{AnomalyClass, DeviceSet};
 use anomaly_detectors::{ThresholdDetector, VectorDetector};
+use anomaly_network::Topology;
 use anomaly_qos::DeviceId;
+use anomaly_serve::{AlertActionKind, AlertConfig, AlertSink, KeyMap};
 use anomaly_simulator::score::{self, Confusion, EventConfusion, EventSpan};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -61,6 +63,87 @@ impl InstantScore {
     }
 }
 
+/// Alert-pipeline quality on one scenario: the serve crate's deduplicated
+/// notification stream scored against the ground-truth event spans.
+///
+/// Pages and recurrences are matched to truth spans by step window (a
+/// notification at step `s` matches a span covering `s`, with a small
+/// slack for debounce/repair lag). The offline sink is configured with an
+/// effectively unlimited token bucket, so the numbers measure detection
+/// and deduplication, not throttling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertQuality {
+    /// Ground-truth event spans in the run.
+    pub truth_events: u64,
+    /// Deduplicated alerts the sink created.
+    pub alerts: u64,
+    /// Page notifications (new alerts) emitted.
+    pub pages: u64,
+    /// Recurrences folded into existing alerts.
+    pub recurrences: u64,
+    /// Alerts resolved by the end of the run.
+    pub resolved: u64,
+    /// Distinct canonical root-cause signatures observed.
+    pub distinct_signatures: u64,
+    /// Page/recurrence notifications that land inside a truth span.
+    pub matched_notifications: u64,
+    /// Total page/recurrence notifications.
+    pub notifications: u64,
+    /// Truth spans covered by at least one notification.
+    pub paged_events: u64,
+}
+
+impl AlertQuality {
+    /// Fraction of notifications that correspond to a real event.
+    pub fn page_precision(&self) -> f64 {
+        if self.notifications == 0 {
+            return if self.truth_events == 0 { 1.0 } else { 0.0 };
+        }
+        self.matched_notifications as f64 / self.notifications as f64
+    }
+
+    /// Fraction of real events that produced at least one notification.
+    pub fn page_recall(&self) -> f64 {
+        if self.truth_events == 0 {
+            return 1.0;
+        }
+        self.paged_events as f64 / self.truth_events as f64
+    }
+
+    /// Harmonic mean of page precision and recall.
+    pub fn page_f1(&self) -> f64 {
+        let (p, r) = (self.page_precision(), self.page_recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Stable JSON rendering (fixed key order, `{:.6}` floats).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"truth_events\":{},\"alerts\":{},\"pages\":{},",
+                "\"recurrences\":{},\"resolved\":{},\"distinct_signatures\":{},",
+                "\"matched_notifications\":{},\"notifications\":{},\"paged_events\":{},",
+                "\"page_precision\":{:.6},\"page_recall\":{:.6},\"page_f1\":{:.6}}}"
+            ),
+            self.truth_events,
+            self.alerts,
+            self.pages,
+            self.recurrences,
+            self.resolved,
+            self.distinct_signatures,
+            self.matched_notifications,
+            self.notifications,
+            self.paged_events,
+            self.page_precision(),
+            self.page_recall(),
+            self.page_f1(),
+        )
+    }
+}
+
 /// One method's score on one scenario: the aggregate confusion matrix and
 /// the per-instant breakdown.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +163,9 @@ pub struct ScenarioScore {
     pub events: EventConfusion,
     /// Per-step breakdown.
     pub instants: Vec<InstantScore>,
+    /// Alert-pipeline quality, when the method was scored through the
+    /// serve crate's alert sink ([`evaluate_monitor_alerts_on`]).
+    pub alerts: Option<AlertQuality>,
 }
 
 impl ScenarioScore {
@@ -106,7 +192,11 @@ impl ScenarioScore {
             }
             out.push_str(&instant.to_json());
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(alerts) = &self.alerts {
+            let _ = write!(out, ",\"alerts\":{}", alerts.to_json());
+        }
+        out.push('}');
         out
     }
 
@@ -161,6 +251,7 @@ fn aggregate(
         confusion: total,
         events,
         instants,
+        alerts: None,
     }
 }
 
@@ -284,8 +375,22 @@ pub fn evaluate_monitor_on(
     run: &ScenarioRun,
     engine: Engine,
 ) -> Result<ScenarioScore, EvalError> {
-    let mut monitor = build_monitor(spec, engine, StalenessPolicy::Reject)?;
+    let reports = drive_monitor(spec, run, engine)?;
+    let method = match engine {
+        Engine::Sequential => "paper-sequential".to_string(),
+        Engine::Threaded { workers } => format!("paper-threaded-{workers}"),
+    };
+    Ok(score_reports(spec, run, method, &reports))
+}
 
+/// Drives the standard evaluation monitor over a run (applying churn
+/// between segments) and returns the per-step reports.
+fn drive_monitor(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    engine: Engine,
+) -> Result<Vec<Report>, EvalError> {
+    let mut monitor = build_monitor(spec, engine, StalenessPolicy::Reject)?;
     let mut reports: Vec<Report> = Vec::with_capacity(run.steps.len());
     let mut next = 0usize;
     for churn in &run.churn {
@@ -304,12 +409,158 @@ pub fn evaluate_monitor_on(
     if next < run.steps.len() {
         reports.extend(monitor.run_scenario(&run.steps[next..])?);
     }
+    Ok(reports)
+}
+
+/// [`evaluate_monitor_on`] plus alert-pipeline quality: every sealed
+/// report — the per-step ones *and* the bridging observations
+/// `run_scenario` discards — is folded through an [`AlertSink`] over the
+/// scenario's ISP tree (`shape` = cores, aggregations per core, DSLAMs
+/// per aggregation, gateways per DSLAM — the scenario population must
+/// equal the resulting gateway count), exactly the epoch stream a live
+/// serve loop would see, and the resulting notification stream is scored
+/// against the ground-truth event spans.
+///
+/// The metrics stay engine-independent: the sink consumes only report
+/// deltas, which are byte-identical across engines.
+///
+/// # Errors
+///
+/// Propagates monitor failures.
+pub fn evaluate_monitor_alerts_on(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    engine: Engine,
+    shape: (usize, usize, usize, usize),
+) -> Result<ScenarioScore, EvalError> {
+    let (cores, aggs, dslams, gateways) = shape;
+    // Offline scoring never throttles: the bucket refills a full
+    // notification's worth of tokens per epoch and holds a deep reserve,
+    // so the numbers measure detection and dedup, not the rate limiter.
+    let config = AlertConfig {
+        dedup_window: 16,
+        bucket_capacity: 1024,
+        refill_millitokens: 1_000_000,
+    };
+    let mut sink = AlertSink::new(
+        Topology::tree(cores, aggs, dslams, gateways),
+        KeyMap::GatewayIndex,
+        config,
+    );
+    let mut monitor = build_monitor(spec, engine, StalenessPolicy::Reject)?;
+    let mut reports: Vec<Report> = Vec::with_capacity(run.steps.len());
+    // Step coordinate of every page/recurrence notification. Bridging
+    // observations carry the upcoming step's coordinate — their closes
+    // and recoveries belong to the span that just ended, which the
+    // matching slack below absorbs.
+    let mut notify_steps: Vec<usize> = Vec::new();
+
+    fn feed_steps(
+        monitor: &mut Monitor,
+        sink: &mut AlertSink,
+        reports: &mut Vec<Report>,
+        notify_steps: &mut Vec<usize>,
+        steps: &[anomaly_simulator::trace::TraceStep],
+        base: usize,
+    ) -> Result<(), EvalError> {
+        for (offset, step) in steps.iter().enumerate() {
+            if monitor.last_snapshot() != Some(step.pair.before()) {
+                let bridging = monitor.observe(step.pair.before().clone())?;
+                note_pages(sink.observe(&bridging), base + offset, notify_steps);
+            }
+            let report = monitor.observe(step.pair.after().clone())?;
+            note_pages(sink.observe(&report), base + offset, notify_steps);
+            reports.push(report);
+        }
+        Ok(())
+    }
+
+    let mut next = 0usize;
+    for churn in &run.churn {
+        let end = (churn.after_step + 1).clamp(next, run.steps.len());
+        if next < end {
+            feed_steps(
+                &mut monitor,
+                &mut sink,
+                &mut reports,
+                &mut notify_steps,
+                &run.steps[next..end],
+                next,
+            )?;
+            next = end;
+        }
+        for &key in &churn.leaves {
+            monitor.leave(key)?;
+        }
+        for &key in &churn.joins {
+            monitor.join(key)?;
+        }
+    }
+    if next < run.steps.len() {
+        feed_steps(
+            &mut monitor,
+            &mut sink,
+            &mut reports,
+            &mut notify_steps,
+            &run.steps[next..],
+            next,
+        )?;
+    }
 
     let method = match engine {
         Engine::Sequential => "paper-sequential".to_string(),
         Engine::Threaded { workers } => format!("paper-threaded-{workers}"),
     };
-    Ok(score_reports(spec, run, method, &reports))
+    let mut score = score_reports(spec, run, method, &reports);
+    score.alerts = Some(alert_quality(spec, run, &sink, &notify_steps));
+    Ok(score)
+}
+
+/// Records the step coordinate of each page/recurrence in `actions`.
+fn note_pages(actions: Vec<anomaly_serve::AlertAction>, step: usize, out: &mut Vec<usize>) {
+    for action in actions {
+        if matches!(action.kind, AlertActionKind::Page | AlertActionKind::Recur) {
+            out.push(step);
+        }
+    }
+}
+
+/// Steps of slack when matching a notification to a truth span: repairs
+/// and debounced closes notify one to two steps after the span ends.
+const PAGE_MATCH_SLACK: usize = 2;
+
+/// Scores a sink's page/recurrence stream against the run's ground-truth
+/// spans by step-window matching.
+fn alert_quality(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    sink: &AlertSink,
+    notify_steps: &[usize],
+) -> AlertQuality {
+    let truth = truth_spans(spec, run);
+    let mut matched_notifications = 0u64;
+    let mut paged = vec![false; truth.len()];
+    for &step in notify_steps {
+        let mut hit = false;
+        for (i, span) in truth.iter().enumerate() {
+            if span.onset <= step && step <= span.last + PAGE_MATCH_SLACK {
+                paged[i] = true;
+                hit = true;
+            }
+        }
+        matched_notifications += u64::from(hit);
+    }
+    AlertQuality {
+        truth_events: truth.len() as u64,
+        alerts: sink.alerts_created(),
+        pages: sink.pages_emitted(),
+        recurrences: sink.recurrences(),
+        resolved: sink.resolved(),
+        distinct_signatures: sink.distinct_signatures() as u64,
+        matched_notifications,
+        notifications: notify_steps.len() as u64,
+        paged_events: paged.iter().filter(|&&p| p).count() as u64,
+    }
 }
 
 /// Builds the standard evaluation monitor for a scenario spec.
@@ -754,6 +1005,43 @@ mod tests {
             score.events
         );
         assert!(score.events.predicted_events > scenario.flappers as u64);
+    }
+
+    #[test]
+    fn alert_quality_scores_the_network_scenario() {
+        let scenario = NetworkFaultScenario::small_mixed("net-alerts", 3, 4);
+        let shape = scenario.config.shape;
+        let run = scenario.generate().unwrap();
+        let spec = scenario.spec();
+        let plain = evaluate_monitor_on(&spec, &run, Engine::Sequential).unwrap();
+        let scored = evaluate_monitor_alerts_on(&spec, &run, Engine::Sequential, shape).unwrap();
+        // The alert fold rides along without disturbing the base metrics.
+        assert_eq!(plain.confusion, scored.confusion);
+        assert!(plain.alerts.is_none());
+        let quality = scored.alerts.expect("alert quality attached");
+        assert!(quality.truth_events > 0);
+        assert!(quality.alerts > 0, "{quality:?}");
+        // The scenario faults every step, so consecutive outages roll
+        // into continuing incidents: recall is bounded by dedup, not
+        // detection — half the truth spans fold into ongoing alerts.
+        assert!(
+            quality.page_recall() >= 0.5,
+            "onsets must page: {quality:?}"
+        );
+        assert!(quality.resolved >= 1, "{quality:?}");
+        assert!(quality.distinct_signatures >= 1, "{quality:?}");
+        assert!(
+            quality.page_precision() > 0.5,
+            "pages should land inside truth spans: {quality:?}"
+        );
+        let json = scored.metrics_json();
+        assert!(json.contains("\"alerts\":{\"truth_events\""), "{json}");
+        assert!(json.contains("\"page_f1\""), "{json}");
+        // Engine independence extends to the alert fold.
+        let threaded =
+            evaluate_monitor_alerts_on(&spec, &run, Engine::Threaded { workers: 3 }, shape)
+                .unwrap();
+        assert_eq!(scored.metrics_json(), threaded.metrics_json());
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Operator-facing alert state: severity ladder, acknowledgement
+//! lifecycle, notification actions, and the token-bucket rate limiter.
+//!
+//! An [`Alert`] is the deduplicated, operator-visible unit: one alert per
+//! inferred root cause, folding every recurrence of the same failure in.
+//! [`AlertAction`]s are the notification stream the daemon emits — pages,
+//! escalations, recurrences, resolutions, and the suppressions recorded
+//! when the rate limiter is dry.
+//!
+//! Everything is logical-time: ticks are sealed-epoch instants, never wall
+//! clock, so the whole layer replays deterministically.
+
+use crate::signature::Signature;
+use anomaly_core::AnomalyClass;
+use anomaly_network::NodeId;
+
+/// Stable identity of one deduplicated alert, assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AlertId(pub u64);
+
+impl std::fmt::Display for AlertId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Operator-facing severity, derived from class × affected-device count ×
+/// duration bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Single-device or indefinite impact; ticket-grade.
+    Minor,
+    /// Collective or sustained impact.
+    Major,
+    /// Collective *and* wide or sustained: page-grade.
+    Critical,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Minor => "minor",
+            Severity::Major => "major",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// Derives the severity of an alert from its class, cumulative
+/// affected-device count, and observed duration in epochs.
+///
+/// The ladder is additive: massive class contributes 2 points and
+/// isolated 1; nine or more devices add 1, as does a duration of four
+/// or more epochs. `0–1` points → [`Severity::Minor`], `2` →
+/// [`Severity::Major`], `3+` → [`Severity::Critical`].
+pub fn severity(class: AnomalyClass, affected: usize, duration_epochs: u64) -> Severity {
+    let mut score = match class {
+        AnomalyClass::Massive => 2u32,
+        AnomalyClass::Isolated => 1,
+        AnomalyClass::Unresolved => 0,
+    };
+    if affected >= 9 {
+        score += 1;
+    }
+    if duration_epochs >= 4 {
+        score += 1;
+    }
+    match score {
+        0 | 1 => Severity::Minor,
+        2 => Severity::Major,
+        _ => Severity::Critical,
+    }
+}
+
+/// Acknowledgement lifecycle of an alert.
+///
+/// ```text
+///   Open ──ack──▶ Acknowledged
+///    │ ▲              │
+///    │ └─recurrence─┐ │ all events closed
+///    ▼              │ ▼
+///   Resolved ───────┘
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertPhase {
+    /// Firing, not yet acknowledged by an operator.
+    Open,
+    /// An operator has taken ownership; recurrences still fold in.
+    Acknowledged,
+    /// Every event behind the alert has closed. A recurrence within the
+    /// dedup window re-opens the same alert.
+    Resolved,
+}
+
+impl AlertPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            AlertPhase::Open => "open",
+            AlertPhase::Acknowledged => "acknowledged",
+            AlertPhase::Resolved => "resolved",
+        }
+    }
+}
+
+/// One deduplicated, operator-facing alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The alert's id (creation order).
+    pub id: AlertId,
+    /// Inferred root-cause element (narrowest covering node), when the
+    /// affected devices map into the topology.
+    pub root: Option<NodeId>,
+    /// Peak class over every folded-in event lifecycle.
+    pub class: AnomalyClass,
+    /// Current severity (monotone non-decreasing while open).
+    pub severity: Severity,
+    /// Acknowledgement phase.
+    pub phase: AlertPhase,
+    /// Epoch the alert first fired.
+    pub opened_at: u64,
+    /// Most recent epoch with activity on any folded-in event.
+    pub last_seen: u64,
+    /// Epoch the last open event behind the alert closed, while resolved.
+    pub resolved_at: Option<u64>,
+    /// Event lifecycles folded into this alert (1 = never recurred).
+    pub occurrences: u64,
+    /// Notifications suppressed by the rate limiter.
+    pub suppressed: u64,
+    /// Largest cumulative affected-device count over occurrences.
+    pub devices: usize,
+    /// Canonical root-cause signature of the most recently closed
+    /// lifecycle — `None` until the first close.
+    pub signature: Option<Signature>,
+}
+
+impl Alert {
+    /// Renders the alert as one stable-key-order JSON object.
+    pub fn to_json(&self) -> String {
+        let root = match self.root {
+            Some(node) => node.0.to_string(),
+            None => "null".to_string(),
+        };
+        let resolved = match self.resolved_at {
+            Some(epoch) => epoch.to_string(),
+            None => "null".to_string(),
+        };
+        let signature = match self.signature {
+            Some(sig) => format!("\"{sig}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"id\":{},\"root\":{root},\"class\":\"{}\",\"severity\":\"{}\",\
+             \"phase\":\"{}\",\"opened_at\":{},\"last_seen\":{},\"resolved_at\":{resolved},\
+             \"occurrences\":{},\"suppressed\":{},\"devices\":{},\"signature\":{signature}}}",
+            self.id.0,
+            self.class,
+            self.severity.as_str(),
+            self.phase.as_str(),
+            self.opened_at,
+            self.last_seen,
+            self.occurrences,
+            self.suppressed,
+            self.devices,
+        )
+    }
+}
+
+/// What kind of notification an [`AlertAction`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertActionKind {
+    /// A new root cause fired for the first time.
+    Page,
+    /// An open alert's severity rose.
+    Escalate,
+    /// A known root cause fired again and was folded in (dedup).
+    Recur,
+    /// Every event behind the alert closed.
+    Resolve,
+    /// A page/escalate/recur notification was dropped: the token bucket
+    /// was dry. The alert state still advanced.
+    Suppress,
+}
+
+impl AlertActionKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            AlertActionKind::Page => "page",
+            AlertActionKind::Escalate => "escalate",
+            AlertActionKind::Recur => "recur",
+            AlertActionKind::Resolve => "resolve",
+            AlertActionKind::Suppress => "suppress",
+        }
+    }
+}
+
+/// One emitted notification — the serve loop's output stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertAction {
+    /// Sealed-epoch instant the action fired at.
+    pub epoch: u64,
+    /// The alert it concerns.
+    pub alert: AlertId,
+    /// Notification kind.
+    pub kind: AlertActionKind,
+    /// Alert severity at emission time.
+    pub severity: Severity,
+    /// Alert class at emission time.
+    pub class: AnomalyClass,
+    /// Inferred root-cause element, when mapped.
+    pub root: Option<NodeId>,
+    /// Canonical signature, once the lifecycle has closed
+    /// ([`AlertActionKind::Resolve`] actions carry it).
+    pub signature: Option<Signature>,
+}
+
+impl AlertAction {
+    /// Renders the action as one stable-key-order JSON object.
+    pub fn to_json(&self) -> String {
+        let root = match self.root {
+            Some(node) => node.0.to_string(),
+            None => "null".to_string(),
+        };
+        let signature = match self.signature {
+            Some(sig) => format!("\"{sig}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"epoch\":{},\"alert\":{},\"kind\":\"{}\",\"severity\":\"{}\",\
+             \"class\":\"{}\",\"root\":{root},\"signature\":{signature}}}",
+            self.epoch,
+            self.alert.0,
+            self.kind.as_str(),
+            self.severity.as_str(),
+            self.class,
+        )
+    }
+}
+
+/// Renders a slice of actions as a JSON array — the byte-comparable form
+/// the determinism tests pin.
+pub fn actions_to_json(actions: &[AlertAction]) -> String {
+    let mut out = String::from("[");
+    for (i, action) in actions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&action.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Deterministic token-bucket rate limiter over logical ticks.
+///
+/// Tokens are integer milli-tokens: the bucket refills by a fixed amount
+/// per sealed epoch and every notification costs 1000. No wall clock, no
+/// floats — refill and spend replay identically everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity_millis: u64,
+    refill_millis: u64,
+    level_millis: u64,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `capacity` tokens, starting full,
+    /// refilling `refill_millitokens` (thousandths of a token) per tick.
+    pub fn new(capacity: u32, refill_millitokens: u32) -> Self {
+        let capacity_millis = u64::from(capacity) * 1000;
+        TokenBucket {
+            capacity_millis,
+            refill_millis: u64::from(refill_millitokens),
+            level_millis: capacity_millis,
+        }
+    }
+
+    /// Advances one logical tick: adds the refill, clamped to capacity.
+    pub fn tick(&mut self) {
+        self.level_millis = (self.level_millis + self.refill_millis).min(self.capacity_millis);
+    }
+
+    /// Spends one token if available.
+    pub fn try_take(&mut self) -> bool {
+        if self.level_millis >= 1000 {
+            self.level_millis -= 1000;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current level in milli-tokens.
+    pub fn level_millitokens(&self) -> u64 {
+        self.level_millis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ladder() {
+        assert_eq!(severity(AnomalyClass::Unresolved, 1, 1), Severity::Minor);
+        assert_eq!(severity(AnomalyClass::Isolated, 1, 1), Severity::Minor);
+        assert_eq!(severity(AnomalyClass::Isolated, 9, 1), Severity::Major);
+        assert_eq!(severity(AnomalyClass::Massive, 2, 1), Severity::Major);
+        assert_eq!(severity(AnomalyClass::Massive, 16, 1), Severity::Critical);
+        assert_eq!(severity(AnomalyClass::Massive, 16, 4), Severity::Critical);
+        assert_eq!(severity(AnomalyClass::Massive, 2, 4), Severity::Critical);
+    }
+
+    #[test]
+    fn token_bucket_refills_and_clamps() {
+        let mut bucket = TokenBucket::new(2, 500);
+        assert!(bucket.try_take());
+        assert!(bucket.try_take());
+        assert!(!bucket.try_take(), "empty after capacity spends");
+        bucket.tick();
+        assert!(!bucket.try_take(), "500 millitokens is not a full token");
+        bucket.tick();
+        assert!(bucket.try_take(), "two ticks refill one token");
+        for _ in 0..100 {
+            bucket.tick();
+        }
+        assert_eq!(bucket.level_millitokens(), 2000, "clamped at capacity");
+    }
+
+    #[test]
+    fn json_is_stable() {
+        let action = AlertAction {
+            epoch: 5,
+            alert: AlertId(0),
+            kind: AlertActionKind::Page,
+            severity: Severity::Critical,
+            class: AnomalyClass::Massive,
+            root: Some(NodeId(3)),
+            signature: None,
+        };
+        assert_eq!(
+            action.to_json(),
+            "{\"epoch\":5,\"alert\":0,\"kind\":\"page\",\"severity\":\"critical\",\
+             \"class\":\"massive\",\"root\":3,\"signature\":null}"
+        );
+        assert_eq!(actions_to_json(&[]), "[]");
+    }
+}

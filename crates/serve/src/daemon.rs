@@ -1,0 +1,98 @@
+//! The serve loop: a long-running monitor + alert-sink pair driven by
+//! per-gateway measurement updates, sealing on a configurable tick.
+//!
+//! ```text
+//!   MeasurementUpdate ──ingest──▶ Monitor ──seal every N rounds──▶ Report
+//!                                                                   │
+//!                         AlertAction stream ◀──fold── AlertSink ◀──┘
+//! ```
+//!
+//! Time is logical: one "round" is one full collection sweep of the
+//! fleet, and the loop seals every `seal_every` rounds. Nothing reads a
+//! wall clock, so a run replays byte-identically from the same inputs —
+//! a checkpointless restart reproduces the same alert stream and the
+//! same canonical signature IDs.
+
+use crate::alerts::AlertAction;
+use crate::sink::AlertSink;
+use anomaly_characterization::pipeline::{Monitor, MonitorError, Report};
+
+/// A monitor and an alert sink behind one ingest/tick surface.
+#[derive(Debug)]
+pub struct ServeLoop {
+    monitor: Monitor,
+    sink: AlertSink,
+    seal_every: u32,
+    rounds: u32,
+    last_epoch: u64,
+}
+
+impl ServeLoop {
+    /// Wires a monitor to a sink, sealing every `seal_every` collection
+    /// rounds (clamped to at least 1).
+    pub fn new(monitor: Monitor, sink: AlertSink, seal_every: u32) -> Self {
+        ServeLoop {
+            monitor,
+            sink,
+            seal_every: seal_every.max(1),
+            rounds: 0,
+            last_epoch: 0,
+        }
+    }
+
+    /// Feeds one device's measurement into the open epoch.
+    ///
+    /// # Errors
+    ///
+    /// Everything `Monitor::ingest` returns (unknown key, bad row).
+    pub fn ingest(&mut self, key: u64, qos: Vec<f64>) -> Result<(), MonitorError> {
+        self.monitor.ingest(key, qos)
+    }
+
+    /// Marks one collection round complete. When `seal_every` rounds have
+    /// accumulated, seals the epoch, folds the report into the sink, and
+    /// returns the report plus the triggered notifications.
+    ///
+    /// # Errors
+    ///
+    /// Everything `Monitor::seal` returns (e.g. staleness rejections).
+    pub fn round(&mut self) -> Result<Option<(Report, Vec<AlertAction>)>, MonitorError> {
+        self.rounds += 1;
+        if self.rounds < self.seal_every {
+            return Ok(None);
+        }
+        self.rounds = 0;
+        let report = self.monitor.seal()?;
+        self.last_epoch = report.instant();
+        let actions = self.sink.observe(&report);
+        Ok(Some((report, actions)))
+    }
+
+    /// Shuts the pipeline down cleanly: resets the monitor and feeds the
+    /// synthetic close deltas through the sink, so every open alert
+    /// resolves instead of leaking. Returns the final notifications.
+    pub fn shutdown(&mut self) -> Vec<AlertAction> {
+        let deltas = self.monitor.reset();
+        self.sink.fold_deltas(self.last_epoch + 1, &deltas, &[])
+    }
+
+    /// The underlying monitor.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The underlying monitor, mutably (joins/leaves under churn).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// The alert sink.
+    pub fn sink(&self) -> &AlertSink {
+        &self.sink
+    }
+
+    /// The alert sink, mutably (acknowledgements).
+    pub fn sink_mut(&mut self) -> &mut AlertSink {
+        &mut self.sink
+    }
+}

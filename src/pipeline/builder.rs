@@ -124,6 +124,13 @@ impl MonitorBuilder {
     /// device flapping in and out of its anomaly within `debounce` epochs
     /// stays one event instead of fragmenting. Defaults to `0` (an event
     /// closes at the first epoch none of its devices is flagged).
+    ///
+    /// The bound is **inclusive**: an open event survives a gap of up to
+    /// exactly `debounce` consecutive quiet epochs, and the closing
+    /// decision lands on quiet epoch `debounce + 1` — so `debounce = 1`
+    /// absorbs a one-epoch gap and closes after a two-epoch gap.
+    /// [`AnomalyEvent::end`](super::AnomalyEvent::end) always records
+    /// `last_active + 1`, independent of when the decision lands.
     pub fn debounce(mut self, epochs: u64) -> Self {
         self.debounce = epochs;
         self

@@ -34,9 +34,12 @@
 //!   they are absorbed, exactly like the paper's per-instant abstention.
 //! * **End** — an event with no verdicts for more than
 //!   [`debounce`](super::MonitorBuilder::debounce) consecutive epochs
-//!   closes; [`AnomalyEvent::end`] is the first epoch it was no longer
-//!   observed (so `end - onset` spans the observed lifetime even when the
-//!   closing decision lands later).
+//!   closes. The bound is **inclusive**: the event absorbs gaps of up to
+//!   exactly `debounce` quiet epochs and the closing decision lands on
+//!   quiet epoch `debounce + 1` (so `debounce = 0` closes at the first
+//!   quiet epoch). [`AnomalyEvent::end`] is the first epoch the event was
+//!   no longer observed — always `last_active + 1`, regardless of when
+//!   the closing decision lands.
 //!
 //! Two epoch-coincident massive onsets are indistinguishable without the
 //! report carrying pairwise adjacency, so they open as one event; onsets in
@@ -237,11 +240,34 @@ impl EventTracker {
             .or_else(|| self.closed.iter().find(|e| e.id == id))
     }
 
-    pub(super) fn reset(&mut self) {
+    /// Clears all tracker state, closing every still-open event first and
+    /// returning the synthetic [`EventDeltaKind::Closed`] deltas in
+    /// ascending id order — a delta-feed consumer must see every opened
+    /// event close, or it leaks open alerts forever.
+    ///
+    /// The synthetic closes look exactly like debounce closes: `end` is
+    /// `last_active + 1`, `active` is 0, and `total` is the cumulative
+    /// affected-device count. Totals and ids survive a reset: event ids
+    /// are never reused.
+    pub(super) fn reset(&mut self) -> Vec<EventDelta> {
+        let deltas: Vec<EventDelta> = self
+            .open
+            .iter()
+            .map(|event| EventDelta {
+                id: event.id,
+                kind: EventDeltaKind::Closed,
+                class: event.class,
+                transition: None,
+                active: 0,
+                joined: Vec::new(),
+                total: event.devices.len(),
+            })
+            .collect();
+        self.closed_total += self.open.len() as u64;
         self.open.clear();
         self.closed.clear();
         self.history.clear();
-        // Totals and ids survive a reset: event ids must never be reused.
+        deltas
     }
 
     pub(super) fn push_history(&mut self, summary: ReportSummary) {
@@ -727,6 +753,77 @@ mod tests {
         }
         assert!(m.events().recently_closed().count() <= 3);
         assert!(m.events().closed_total() >= 4);
+    }
+
+    /// Pins the inclusive debounce boundary: an event absorbs gaps of up
+    /// to exactly `debounce` quiet epochs and closes on quiet epoch
+    /// `debounce + 1`, with `end` recording `last_active + 1`.
+    #[test]
+    fn debounce_boundary_is_inclusive() {
+        use anomaly_core::AnomalyClass;
+        for debounce in [0u64, 1, 3] {
+            let mut tracker = EventTracker::new(8, debounce);
+            fold(&mut tracker, 0, &[(0, AnomalyClass::Isolated)], &[]);
+            for k in 1..=debounce {
+                let d = fold(&mut tracker, k, &[], &[]);
+                assert!(
+                    d.is_empty(),
+                    "debounce {debounce}: quiet epoch {k} must be absorbed"
+                );
+                assert_eq!(tracker.open().len(), 1);
+            }
+            let d = fold(&mut tracker, debounce + 1, &[], &[]);
+            assert_eq!(
+                d.len(),
+                1,
+                "debounce {debounce}: closes on epoch {}",
+                debounce + 1
+            );
+            assert_eq!(d[0].kind, EventDeltaKind::Closed);
+            assert!(tracker.open().is_empty());
+            let closed = tracker.get(EventId(0)).unwrap();
+            assert_eq!(
+                closed.end,
+                Some(1),
+                "end is last_active + 1, not the close epoch"
+            );
+            // A verdict on the last absorbable quiet epoch keeps the next
+            // event alive through the same-width gap.
+            let mut tracker = EventTracker::new(8, debounce);
+            fold(&mut tracker, 0, &[(0, AnomalyClass::Isolated)], &[]);
+            let d = fold(&mut tracker, debounce, &[(0, AnomalyClass::Isolated)], &[]);
+            assert!(
+                d.iter().all(|delta| delta.kind != EventDeltaKind::Closed),
+                "debounce {debounce}: gap of {debounce} epochs must not close"
+            );
+        }
+    }
+
+    /// Regression: a reset must close every open event with a synthetic
+    /// delta — silently dropping them leaks open alerts in any delta-feed
+    /// consumer.
+    #[test]
+    fn reset_emits_synthetic_close_deltas() {
+        let mut m = warmed(8, 3);
+        let mut rows = vec![vec![0.45]; 6];
+        rows.push(vec![0.9]);
+        rows.push(vec![0.1]);
+        m.observe_rows(rows).unwrap();
+        assert_eq!(m.events().open().len(), 2);
+        let deltas = m.reset();
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.windows(2).all(|w| w[0].id < w[1].id));
+        for d in &deltas {
+            assert_eq!(d.kind, EventDeltaKind::Closed);
+            assert_eq!(d.active, 0);
+            assert!(d.joined.is_empty());
+        }
+        assert_eq!(deltas[0].total, 6, "cumulative device count survives");
+        assert_eq!(deltas[1].total, 1);
+        assert!(m.events().open().is_empty());
+        assert_eq!(m.events().closed_total(), 2, "totals survive the reset");
+        // A second reset has nothing left to close.
+        assert!(m.reset().is_empty());
     }
 
     #[test]

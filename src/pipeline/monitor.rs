@@ -1,6 +1,6 @@
 use super::engine::{Engine, GridMaintenance};
 use super::error::MonitorError;
-use super::events::EventTracker;
+use super::events::{EventDelta, EventTracker};
 use super::ingest::{EpochState, StalenessPolicy};
 use super::key::DeviceKey;
 use super::pool::{Job, JobOutput, WorkerPool};
@@ -662,7 +662,14 @@ impl Monitor {
     /// Resets every detector, forgets the previous snapshot, and discards
     /// the open epoch together with its staleness history (e.g. after a
     /// maintenance window where QoS levels legitimately changed).
-    pub fn reset(&mut self) {
+    ///
+    /// Still-open anomaly events are closed with synthetic
+    /// [`EventDeltaKind::Closed`](super::EventDeltaKind::Closed) deltas,
+    /// returned in ascending id order — feed them to any consumer of
+    /// [`Report::event_deltas`](super::Report::event_deltas) so it does
+    /// not leak open alerts across the reset. Event ids and lifetime
+    /// totals survive; ids are never reused.
+    pub fn reset(&mut self) -> Vec<EventDelta> {
         for det in &mut self.detectors {
             det.reset();
         }
@@ -675,7 +682,7 @@ impl Monitor {
         self.epoch.reset();
         self.invalidate_spare();
         self.last_grid_update = None;
-        self.tracker.reset();
+        self.tracker.reset()
     }
 
     /// Convenience form of [`Monitor::observe`]: validates raw coordinate

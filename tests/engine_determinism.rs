@@ -364,6 +364,152 @@ proptest::proptest! {
     }
 }
 
+/// The serve crate's alert stream inherits the full engine invariance:
+/// the same measurement stream produces a byte-identical action stream —
+/// pages, recurrences, resolutions, signatures — across
+/// `Sequential`/`Threaded{1..=8}` × both grid-maintenance modes, and
+/// replaying the run from a cold start (checkpointless restart)
+/// reproduces it exactly.
+#[test]
+fn serve_alert_stream_is_byte_identical_across_engines_and_grid_modes() {
+    use anomaly_characterization::network::Topology;
+    use anomaly_serve::{actions_to_json, AlertConfig, AlertSink, KeyMap};
+
+    fn run(engine: Engine, grid: GridMaintenance) -> String {
+        let mut m = MonitorBuilder::new()
+            .engine(engine)
+            .grid_maintenance(grid)
+            .debounce(1)
+            .fleet(64)
+            .build()
+            .unwrap();
+        let mut sink = AlertSink::new(
+            Topology::tree(1, 2, 2, 16),
+            KeyMap::GatewayIndex,
+            AlertConfig::default(),
+        );
+        let mut actions = Vec::new();
+        let mut last_epoch = 0;
+        let healthy = vec![vec![BASELINE]; 64];
+        for _ in 0..40 {
+            let report = m.observe_rows(healthy.clone()).unwrap();
+            last_epoch = report.instant();
+            actions.extend(sink.observe(&report));
+        }
+        // DSLAM 0's subtree (gateways 0..16) goes out, recovers, and
+        // re-faults within the dedup window; a lone CPE (gateway 40)
+        // dips in between.
+        let mut outage = healthy.clone();
+        for row in outage.iter_mut().take(16) {
+            *row = vec![0.2];
+        }
+        let mut cpe = healthy.clone();
+        cpe[40] = vec![0.3];
+        let script = [
+            outage.clone(),
+            healthy.clone(),
+            healthy.clone(),
+            healthy.clone(),
+            cpe,
+            healthy.clone(),
+            healthy.clone(),
+            outage,
+            healthy.clone(),
+            healthy.clone(),
+            healthy.clone(),
+        ];
+        for rows in script {
+            let report = m.observe_rows(rows).unwrap();
+            last_epoch = report.instant();
+            actions.extend(sink.observe(&report));
+        }
+        // Clean shutdown: synthetic closes drain the still-open alerts.
+        let deltas = m.reset();
+        actions.extend(sink.fold_deltas(last_epoch + 1, &deltas, &[]));
+        actions_to_json(&actions)
+    }
+
+    let baseline = run(Engine::Sequential, GridMaintenance::FullRebuild);
+    assert!(
+        baseline.contains("\"kind\":\"page\""),
+        "the scenario must page: {baseline}"
+    );
+    assert!(
+        baseline.contains("\"kind\":\"resolve\""),
+        "the scenario must resolve: {baseline}"
+    );
+    // Checkpointless restart: a byte-identical rerun.
+    assert_eq!(
+        baseline,
+        run(Engine::Sequential, GridMaintenance::FullRebuild)
+    );
+    for workers in 1..=8 {
+        for grid in [GridMaintenance::Incremental, GridMaintenance::FullRebuild] {
+            assert_eq!(
+                baseline,
+                run(Engine::Threaded { workers }, grid),
+                "alert stream diverged: workers={workers} {grid:?}"
+            );
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+    /// Event ids ascend within every report's delta feed, a given id is
+    /// opened at most once over a monitor's lifetime — close and
+    /// [`Monitor::reset`] never recycle ids — and every reset delta is a
+    /// synthetic close for a previously opened event.
+    #[test]
+    fn event_delta_ids_ascend_and_never_recur(
+        levels in proptest::collection::vec(
+            proptest::collection::vec(0.05..=0.95f64, 6), 4..10),
+        reset_at in 0usize..16,
+    ) {
+        use anomaly_characterization::detectors::ThresholdDetector;
+        use anomaly_characterization::pipeline::{EventDeltaKind, EventId};
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        let mut m = MonitorBuilder::new()
+            .detector_factory(|_| Box::new(ThresholdDetector::with_delta(0.1)))
+            .debounce(1)
+            .fleet(6)
+            .build()
+            .unwrap();
+        let mut opened: BTreeSet<EventId> = BTreeSet::new();
+        let mut max_opened: Option<EventId> = None;
+        let reset_at = reset_at % (levels.len() + 1);
+        for (i, rows) in levels.iter().enumerate() {
+            if i == reset_at {
+                for delta in m.reset() {
+                    prop_assert_eq!(delta.kind, EventDeltaKind::Closed);
+                    prop_assert!(
+                        opened.contains(&delta.id),
+                        "reset closed an event that never opened"
+                    );
+                }
+            }
+            let report = m.observe_rows(rows.iter().map(|&v| vec![v]).collect()).unwrap();
+            let mut last: Option<EventId> = None;
+            for delta in report.event_deltas() {
+                if let Some(prev) = last {
+                    prop_assert!(delta.id >= prev, "delta feed out of order");
+                }
+                last = Some(delta.id);
+                if delta.kind == EventDeltaKind::Opened {
+                    prop_assert!(opened.insert(delta.id), "event id reused");
+                    if let Some(max) = max_opened {
+                        prop_assert!(delta.id > max, "event ids must ascend");
+                    }
+                    max_opened = Some(delta.id);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn builder_exposes_the_engine_and_grid_knobs() {
     let m: Monitor = MonitorBuilder::new()
