@@ -37,7 +37,11 @@ use crate::lexer::{lex, Token, TokenKind};
 /// * 2 — alerting daemon in scope: C1 and C2 also cover
 ///   `crates/serve/src/` (the alert fold is on the determinism-critical
 ///   path and must stay panic-free).
-pub const LINT_SET_VERSION: u32 = 2;
+/// * 3 — persistence layer in scope: C1 and C2 also cover
+///   `crates/store/src/` (corrupt checkpoints and logs must surface as
+///   typed errors, never panics, and record iteration must be
+///   deterministic). C4 covered it already via its `lib.rs`.
+pub const LINT_SET_VERSION: u32 = 3;
 
 /// Static description of one lint, for reports and docs.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +110,7 @@ const C2_SCOPE: &[&str] = &[
     "crates/core/src/table.rs",
     "crates/network/src/report.rs",
     "crates/serve/src/",
+    "crates/store/src/",
 ];
 
 /// The only places allowed to read the wall clock.
@@ -166,7 +171,9 @@ struct Scope {
 fn scope_of(path: &str) -> Scope {
     let shim = path.starts_with("shims/");
     Scope {
-        c1: path.starts_with("src/") || path.starts_with("crates/serve/src/"),
+        c1: path.starts_with("src/")
+            || path.starts_with("crates/serve/src/")
+            || path.starts_with("crates/store/src/"),
         c2: !shim && C2_SCOPE.iter().any(|p| path.starts_with(p)),
         c3: !shim && !C3_ALLOWED.iter().any(|p| path.starts_with(p)),
         c4: path.ends_with("lib.rs"),
@@ -597,8 +604,19 @@ mod tests {
             lints_fired("crates/serve/src/sink.rs", src),
             vec![("C1", 1)]
         );
+        // The persistence layer decodes untrusted bytes: C1 applies.
+        assert_eq!(
+            lints_fired("crates/store/src/codec.rs", src),
+            vec![("C1", 1)]
+        );
         // Outside the pipeline, C1 does not apply.
         assert_eq!(lints_fired("crates/core/src/observer.rs", src), vec![]);
+    }
+
+    #[test]
+    fn store_is_in_the_c2_scope() {
+        let src = "use std::collections::HashSet;\n";
+        assert_eq!(lints_fired("crates/store/src/log.rs", src), vec![("C2", 1)]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Two-sided CUSUM change detector (Page, *Continuous Inspection Schemes*,
 /// Biometrika 1954 — ref \[10\] of the paper).
@@ -85,6 +85,25 @@ impl Detector for CusumDetector {
 
     fn name(&self) -> &'static str {
         "cusum"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.f64(self.kappa);
+        out.f64(self.h);
+        out.f64(self.mean);
+        out.f64(self.pos);
+        out.f64(self.neg);
+        out.u64(self.seen);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_f64("cusum.kappa", self.kappa)?;
+        state.expect_f64("cusum.h", self.h)?;
+        self.mean = state.f64("cusum.mean")?;
+        self.pos = state.f64("cusum.pos")?;
+        self.neg = state.f64("cusum.neg")?;
+        self.seen = state.u64("cusum.seen")?;
+        Ok(())
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Object-safe, device-level error-detection function — the `a_k(j)` of the
 /// paper over the whole QoS vector of one device.
@@ -50,6 +50,21 @@ pub trait DeviceDetector {
 
     /// Human-readable description (for reports and debugging).
     fn description(&self) -> String;
+
+    /// Serializes the device's learned state — the checkpoint plug-point
+    /// `Monitor::checkpoint` calls once per device. Stateless by default;
+    /// see [`Detector::save`] for the parameter-first convention.
+    fn save(&self, out: &mut StateWriter) {
+        let _ = out;
+    }
+
+    /// Restores state written by [`DeviceDetector::save`], verifying the
+    /// saved configuration against this instance's. Typed errors, never a
+    /// panic.
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for dyn DeviceDetector + '_ {
@@ -78,6 +93,14 @@ impl<D: Detector> DeviceDetector for D {
 
     fn description(&self) -> String {
         self.name().to_string()
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        Detector::save(self, out);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        Detector::load(self, state)
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Majority-vote ensemble of heterogeneous detectors over one series.
 ///
@@ -109,6 +109,23 @@ impl Detector for EnsembleDetector {
 
     fn name(&self) -> &'static str {
         "ensemble"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.usize(self.members.len());
+        out.usize(self.quorum);
+        for member in &self.members {
+            member.save(out);
+        }
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_usize("ensemble.members", self.members.len())?;
+        state.expect_usize("ensemble.quorum", self.quorum)?;
+        for member in &mut self.members {
+            member.load(state)?;
+        }
+        Ok(())
     }
 }
 

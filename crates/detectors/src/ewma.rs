@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Exponentially weighted moving average detector with a residual σ-band.
 ///
@@ -84,6 +84,23 @@ impl Detector for EwmaDetector {
 
     fn name(&self) -> &'static str {
         "ewma"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.f64(self.alpha);
+        out.f64(self.k_sigma);
+        out.f64(self.level);
+        out.f64(self.variance);
+        out.u64(self.seen);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_f64("ewma.alpha", self.alpha)?;
+        state.expect_f64("ewma.k_sigma", self.k_sigma)?;
+        self.level = state.f64("ewma.level")?;
+        self.variance = state.f64("ewma.variance")?;
+        self.seen = state.u64("ewma.seen")?;
+        Ok(())
     }
 }
 

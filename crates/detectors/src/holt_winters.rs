@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Holt's double exponential smoothing with a forecast-error gate.
 ///
@@ -93,6 +93,27 @@ impl Detector for HoltWintersDetector {
 
     fn name(&self) -> &'static str {
         "holt-winters"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.f64(self.alpha);
+        out.f64(self.beta);
+        out.f64(self.k_sigma);
+        out.f64(self.level);
+        out.f64(self.trend);
+        out.f64(self.err_var);
+        out.u64(self.seen);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_f64("holt-winters.alpha", self.alpha)?;
+        state.expect_f64("holt-winters.beta", self.beta)?;
+        state.expect_f64("holt-winters.k_sigma", self.k_sigma)?;
+        self.level = state.f64("holt-winters.level")?;
+        self.trend = state.f64("holt-winters.trend")?;
+        self.err_var = state.f64("holt-winters.err_var")?;
+        self.seen = state.u64("holt-winters.seen")?;
+        Ok(())
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Scalar constant-velocity Kalman filter with an innovation gate
 /// (Kalman 1960 — ref \[7\]; the filter the related work \[15\] installs at both
@@ -107,6 +107,31 @@ impl Detector for KalmanDetector {
 
     fn name(&self) -> &'static str {
         "kalman"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.f64(self.q);
+        out.f64(self.r);
+        out.f64(self.k_sigma);
+        out.f64(self.level);
+        out.f64(self.slope);
+        out.f64(self.p00);
+        out.f64(self.p01);
+        out.f64(self.p11);
+        out.u64(self.seen);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_f64("kalman.q", self.q)?;
+        state.expect_f64("kalman.r", self.r)?;
+        state.expect_f64("kalman.k_sigma", self.k_sigma)?;
+        self.level = state.f64("kalman.level")?;
+        self.slope = state.f64("kalman.slope")?;
+        self.p00 = state.f64("kalman.p00")?;
+        self.p01 = state.f64("kalman.p01")?;
+        self.p11 = state.f64("kalman.p11")?;
+        self.seen = state.u64("kalman.seen")?;
+        Ok(())
     }
 }
 

@@ -49,6 +49,7 @@ mod holt_winters;
 mod kalman;
 mod page_hinkley;
 mod seasonal;
+mod state;
 mod threshold;
 mod vector;
 
@@ -60,6 +61,7 @@ pub use holt_winters::HoltWintersDetector;
 pub use kalman::KalmanDetector;
 pub use page_hinkley::PageHinkleyDetector;
 pub use seasonal::SeasonalHoltWintersDetector;
+pub use state::{StateError, StateReader, StateWriter};
 pub use threshold::ThresholdDetector;
 pub use vector::VectorDetector;
 
@@ -118,6 +120,25 @@ pub trait Detector {
 
     /// Human-readable detector name (for reports and benches).
     fn name(&self) -> &'static str;
+
+    /// Serializes the detector — immutable parameters first, mutable
+    /// state second — into `out` (see [`StateWriter`]). The default is
+    /// for stateless detectors: nothing to save.
+    ///
+    /// A detector that learns **must** override `save`/[`Detector::load`]
+    /// as a pair, or a checkpointed monitor silently restores it cold.
+    fn save(&self, out: &mut StateWriter) {
+        let _ = out;
+    }
+
+    /// Restores state written by [`Detector::save`], verifying the saved
+    /// parameters against this instance's. Fails with a typed
+    /// [`StateError`] — naming the parameter on a configuration mismatch
+    /// — and never panics on malformed input.
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

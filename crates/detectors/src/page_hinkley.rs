@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Page-Hinkley test for streaming change detection.
 ///
@@ -84,6 +84,29 @@ impl Detector for PageHinkleyDetector {
 
     fn name(&self) -> &'static str {
         "page-hinkley"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.f64(self.delta);
+        out.f64(self.lambda);
+        out.f64(self.running_mean);
+        out.f64(self.cum_down);
+        out.f64(self.max_cum_down);
+        out.f64(self.cum_up);
+        out.f64(self.min_cum_up);
+        out.u64(self.seen);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_f64("page-hinkley.delta", self.delta)?;
+        state.expect_f64("page-hinkley.lambda", self.lambda)?;
+        self.running_mean = state.f64("page-hinkley.running_mean")?;
+        self.cum_down = state.f64("page-hinkley.cum_down")?;
+        self.max_cum_down = state.f64("page-hinkley.max_cum_down")?;
+        self.cum_up = state.f64("page-hinkley.cum_up")?;
+        self.min_cum_up = state.f64("page-hinkley.min_cum_up")?;
+        self.seen = state.u64("page-hinkley.seen")?;
+        Ok(())
     }
 }
 

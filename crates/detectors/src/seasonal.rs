@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// Holt-Winters **seasonal** forecasting detector (additive variant —
 /// Winters, *Management Science* 1960, ref \[12\] of the paper).
@@ -113,6 +113,37 @@ impl Detector for SeasonalHoltWintersDetector {
 
     fn name(&self) -> &'static str {
         "seasonal-holt-winters"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.f64(self.alpha);
+        out.f64(self.beta);
+        out.f64(self.gamma);
+        out.f64(self.k_sigma);
+        out.usize(self.period);
+        out.f64(self.level);
+        out.f64(self.trend);
+        for &s in &self.season {
+            out.f64(s);
+        }
+        out.f64(self.err_var);
+        out.u64(self.seen);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_f64("seasonal.alpha", self.alpha)?;
+        state.expect_f64("seasonal.beta", self.beta)?;
+        state.expect_f64("seasonal.gamma", self.gamma)?;
+        state.expect_f64("seasonal.k_sigma", self.k_sigma)?;
+        state.expect_usize("seasonal.period", self.period)?;
+        self.level = state.f64("seasonal.level")?;
+        self.trend = state.f64("seasonal.trend")?;
+        for slot in &mut self.season {
+            *slot = state.f64("seasonal.season")?;
+        }
+        self.err_var = state.f64("seasonal.err_var")?;
+        self.seen = state.u64("seasonal.seen")?;
+        Ok(())
     }
 }
 

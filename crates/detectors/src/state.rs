@@ -1,0 +1,257 @@
+//! Detector state save/restore: the word-level serialization plug-point
+//! behind `Monitor::checkpoint`.
+//!
+//! Detector state is a handful of floats and counters, so the wire unit
+//! is one `u64` word: integers travel natively, floats as IEEE-754 bit
+//! patterns (`f64::to_bits`) for exact round-trips — a restored detector
+//! continues the *same* trajectory, bit for bit. Each detector writes its
+//! immutable parameters first and its mutable state second; `load`
+//! verifies the parameters against the live instance and fails with a
+//! typed [`StateError::ParamMismatch`] naming the field when a checkpoint
+//! was taken under a different configuration. That check is what turns a
+//! "restored with the wrong detector factory" mistake into a clean error
+//! instead of a silently diverging monitor.
+
+use std::fmt;
+
+/// Why detector state could not be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StateError {
+    /// The saved state ended before `field` could be read — state from a
+    /// different detector shape, or a truncated checkpoint.
+    Truncated {
+        /// The field being read when the words ran out.
+        field: &'static str,
+    },
+    /// A saved immutable parameter disagrees with the live detector's —
+    /// the checkpoint was taken under a different configuration.
+    ParamMismatch {
+        /// The disagreeing parameter, e.g. `"ewma.alpha"`.
+        field: &'static str,
+    },
+    /// A saved value is structurally impossible (e.g. a boolean word
+    /// that is neither 0 nor 1).
+    Malformed {
+        /// The field holding the impossible value.
+        field: &'static str,
+    },
+    /// Words were left over after the detector finished loading — state
+    /// from a wider detector shape.
+    TrailingWords {
+        /// How many words went unread.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Truncated { field } => {
+                write!(f, "saved detector state ended while reading {field}")
+            }
+            StateError::ParamMismatch { field } => write!(
+                f,
+                "saved detector parameter {field} disagrees with the configured detector"
+            ),
+            StateError::Malformed { field } => {
+                write!(
+                    f,
+                    "saved detector state holds an impossible value for {field}"
+                )
+            }
+            StateError::TrailingWords { remaining } => {
+                write!(f, "{remaining} unread words after loading detector state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Accumulates one detector's state as `u64` words.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    words: Vec<u64>,
+}
+
+impl StateWriter {
+    /// An empty state buffer.
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// Appends a raw word.
+    pub fn u64(&mut self, v: u64) {
+        self.words.push(v);
+    }
+
+    /// Appends a `usize` as a word.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as a 0/1 word.
+    pub fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    /// Appends an optional `f64`: presence word, then the bits.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.f64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// The finished word buffer.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+}
+
+/// Consumes one detector's saved words, verifying parameters on the way.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader positioned at the first word.
+    pub fn new(words: &'a [u64]) -> Self {
+        StateReader { words, pos: 0 }
+    }
+
+    /// Words not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.words.len().saturating_sub(self.pos)
+    }
+
+    /// Reads a raw word.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, StateError> {
+        let word = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or(StateError::Truncated { field })?;
+        self.pos += 1;
+        Ok(word)
+    }
+
+    /// Reads a word back as a `usize`.
+    pub fn usize(&mut self, field: &'static str) -> Result<usize, StateError> {
+        usize::try_from(self.u64(field)?).map_err(|_| StateError::Malformed { field })
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self, field: &'static str) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.u64(field)?))
+    }
+
+    /// Reads a `bool`; any word other than 0 or 1 is malformed.
+    pub fn bool(&mut self, field: &'static str) -> Result<bool, StateError> {
+        match self.u64(field)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(StateError::Malformed { field }),
+        }
+    }
+
+    /// Reads an optional `f64` written by [`StateWriter::opt_f64`].
+    pub fn opt_f64(&mut self, field: &'static str) -> Result<Option<f64>, StateError> {
+        if self.bool(field)? {
+            Ok(Some(self.f64(field)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a parameter word and verifies it equals the live value
+    /// bit-for-bit.
+    pub fn expect_f64(&mut self, field: &'static str, live: f64) -> Result<(), StateError> {
+        if self.u64(field)? == live.to_bits() {
+            Ok(())
+        } else {
+            Err(StateError::ParamMismatch { field })
+        }
+    }
+
+    /// Reads a parameter word and verifies it equals the live count.
+    pub fn expect_usize(&mut self, field: &'static str, live: usize) -> Result<(), StateError> {
+        if self.usize(field)? == live {
+            Ok(())
+        } else {
+            Err(StateError::ParamMismatch { field })
+        }
+    }
+
+    /// Asserts every word was consumed.
+    pub fn finish(self) -> Result<(), StateError> {
+        match self.remaining() {
+            0 => Ok(()),
+            remaining => Err(StateError::TrailingWords { remaining }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip() {
+        let mut w = StateWriter::new();
+        w.u64(7);
+        w.f64(-0.0);
+        w.bool(true);
+        w.opt_f64(None);
+        w.opt_f64(Some(1.5));
+        w.usize(42);
+        let words = w.into_words();
+        let mut r = StateReader::new(&words);
+        assert_eq!(r.u64("a").unwrap(), 7);
+        assert_eq!(r.f64("b").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.bool("c").unwrap());
+        assert_eq!(r.opt_f64("d").unwrap(), None);
+        assert_eq!(r.opt_f64("e").unwrap(), Some(1.5));
+        assert_eq!(r.usize("f").unwrap(), 42);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_mismatch_and_trailing_are_typed() {
+        let mut r = StateReader::new(&[]);
+        assert_eq!(
+            r.u64("missing").unwrap_err(),
+            StateError::Truncated { field: "missing" }
+        );
+
+        let words = [0.25f64.to_bits()];
+        let mut r = StateReader::new(&words);
+        assert_eq!(
+            r.expect_f64("alpha", 0.5).unwrap_err(),
+            StateError::ParamMismatch { field: "alpha" }
+        );
+
+        let r = StateReader::new(&[1, 2]);
+        assert_eq!(
+            r.finish().unwrap_err(),
+            StateError::TrailingWords { remaining: 2 }
+        );
+
+        let mut r = StateReader::new(&[9]);
+        assert_eq!(
+            r.bool("flag").unwrap_err(),
+            StateError::Malformed { field: "flag" }
+        );
+    }
+}

@@ -1,4 +1,4 @@
-use crate::{Detector, Verdict};
+use crate::{Detector, StateError, StateReader, StateWriter, Verdict};
 
 /// The simplest error-detection function: absolute bounds on the value and a
 /// bound on the step-to-step variation.
@@ -73,6 +73,21 @@ impl Detector for ThresholdDetector {
 
     fn name(&self) -> &'static str {
         "threshold"
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.f64(self.min_value);
+        out.f64(self.max_value);
+        out.f64(self.max_delta);
+        out.opt_f64(self.previous);
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_f64("threshold.min_value", self.min_value)?;
+        state.expect_f64("threshold.max_value", self.max_value)?;
+        state.expect_f64("threshold.max_delta", self.max_delta)?;
+        self.previous = state.opt_f64("threshold.previous")?;
+        Ok(())
     }
 }
 

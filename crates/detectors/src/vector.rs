@@ -1,4 +1,4 @@
-use crate::{Detector, DeviceDetector, Verdict};
+use crate::{Detector, DeviceDetector, StateError, StateReader, StateWriter, Verdict};
 
 /// Device-level error-detection function over `d` services.
 ///
@@ -141,6 +141,21 @@ impl DeviceDetector for VectorDetector {
     fn description(&self) -> String {
         let names: Vec<&str> = self.detectors.iter().map(|d| d.name()).collect();
         format!("vector[{}]", names.join(","))
+    }
+
+    fn save(&self, out: &mut StateWriter) {
+        out.usize(self.detectors.len());
+        for det in &self.detectors {
+            det.save(out);
+        }
+    }
+
+    fn load(&mut self, state: &mut StateReader<'_>) -> Result<(), StateError> {
+        state.expect_usize("vector.services", self.detectors.len())?;
+        for det in &mut self.detectors {
+            det.load(state)?;
+        }
+        Ok(())
     }
 }
 

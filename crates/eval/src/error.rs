@@ -20,6 +20,12 @@ pub enum EvalError {
         /// What was wrong.
         reason: String,
     },
+    /// A persisted log could not be read or is not an evaluation capture
+    /// (missing step-map record, unreadable file).
+    Log {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -29,6 +35,7 @@ impl fmt::Display for EvalError {
             EvalError::Network(e) => write!(f, "network error: {e}"),
             EvalError::Monitor(e) => write!(f, "monitor error: {e}"),
             EvalError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            EvalError::Log { reason } => write!(f, "log replay failed: {reason}"),
         }
     }
 }
@@ -40,6 +47,7 @@ impl Error for EvalError {
             EvalError::Network(e) => Some(e),
             EvalError::Monitor(e) => Some(e),
             EvalError::InvalidScenario { .. } => None,
+            EvalError::Log { .. } => None,
         }
     }
 }

@@ -51,9 +51,9 @@ mod workloads;
 
 pub use error::EvalError;
 pub use runner::{
-    evaluate_classifier, evaluate_classifier_on, evaluate_monitor, evaluate_monitor_alerts_on,
-    evaluate_monitor_on, evaluate_monitor_streaming, evaluate_monitor_streaming_on, AlertQuality,
-    InstantScore, ScenarioScore,
+    evaluate_classifier, evaluate_classifier_on, evaluate_log, evaluate_log_on, evaluate_monitor,
+    evaluate_monitor_alerts_on, evaluate_monitor_on, evaluate_monitor_streaming,
+    evaluate_monitor_streaming_on, record_monitor_log, AlertQuality, InstantScore, ScenarioScore,
 };
 pub use scenario::{ChurnEvent, Scenario, ScenarioRun, ScenarioSpec};
 pub use workloads::{

@@ -6,8 +6,9 @@ use crate::scenario::{Scenario, ScenarioRun, ScenarioSpec};
 use crate::workloads::StreamingScenario;
 use anomaly_baselines::Classifier;
 use anomaly_characterization::pipeline::{
-    Engine, EventDeltaKind, Monitor, MonitorBuilder, Report, StalenessPolicy,
+    read_log, Engine, EventDeltaKind, EventLog, Monitor, MonitorBuilder, Report, StalenessPolicy,
 };
+use anomaly_characterization::store::{Dec, Enc};
 use anomaly_core::{AnomalyClass, DeviceSet};
 use anomaly_detectors::{ThresholdDetector, VectorDetector};
 use anomaly_network::Topology;
@@ -410,6 +411,191 @@ fn drive_monitor(
         reports.extend(monitor.run_scenario(&run.steps[next..])?);
     }
     Ok(reports)
+}
+
+/// `Aux` record tag of an evaluation capture: the payload maps each
+/// scenario step to the sealed-epoch instant its report carried, which is
+/// what lets [`evaluate_log_on`] translate the log's epoch-coordinate
+/// events back into the step coordinates the ground truth speaks.
+const EVAL_AUX_TAG: &[u8; 4] = b"EVL1";
+
+/// [`evaluate_monitor_on`] that additionally persists the run into an
+/// [`EventLog`] on `sink`: one summary record per sealed epoch (bridging
+/// epochs included — exactly the stream a live daemon writes), every
+/// closed event as it closes, a step-map `Aux` record, and the still-open
+/// events at the end. Returns the live score together with the finished
+/// writer; [`evaluate_log_on`] replays the log offline and reproduces the
+/// score's event cell.
+///
+/// # Errors
+///
+/// Propagates monitor failures and log I/O failures.
+pub fn record_monitor_log<W: std::io::Write>(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    engine: Engine,
+    sink: W,
+) -> Result<(ScenarioScore, W), EvalError> {
+    let mut monitor = build_monitor(spec, engine, StalenessPolicy::Reject)?;
+    let mut log = EventLog::create(sink)?;
+    let mut reports: Vec<Report> = Vec::with_capacity(run.steps.len());
+    let mut step_epochs: Vec<u64> = Vec::with_capacity(run.steps.len());
+
+    fn feed_logged<W: std::io::Write>(
+        monitor: &mut Monitor,
+        log: &mut EventLog<W>,
+        reports: &mut Vec<Report>,
+        step_epochs: &mut Vec<u64>,
+        steps: &[anomaly_simulator::trace::TraceStep],
+    ) -> Result<(), EvalError> {
+        for step in steps {
+            if monitor.last_snapshot() != Some(step.pair.before()) {
+                let bridging = monitor.observe(step.pair.before().clone())?;
+                log.record_seal(monitor, &bridging)?;
+            }
+            let report = monitor.observe(step.pair.after().clone())?;
+            log.record_seal(monitor, &report)?;
+            step_epochs.push(report.instant());
+            reports.push(report);
+        }
+        Ok(())
+    }
+
+    let mut next = 0usize;
+    for churn in &run.churn {
+        let end = (churn.after_step + 1).clamp(next, run.steps.len());
+        if next < end {
+            feed_logged(
+                &mut monitor,
+                &mut log,
+                &mut reports,
+                &mut step_epochs,
+                &run.steps[next..end],
+            )?;
+            next = end;
+        }
+        for &key in &churn.leaves {
+            monitor.leave(key)?;
+        }
+        for &key in &churn.joins {
+            monitor.join(key)?;
+        }
+    }
+    if next < run.steps.len() {
+        feed_logged(
+            &mut monitor,
+            &mut log,
+            &mut reports,
+            &mut step_epochs,
+            &run.steps[next..],
+        )?;
+    }
+
+    let mut aux = Enc::new();
+    aux.bytes(EVAL_AUX_TAG);
+    aux.u64s(&step_epochs);
+    log.append_aux(&aux.into_bytes())?;
+    let writer = log.finish(&monitor)?;
+
+    let method = match engine {
+        Engine::Sequential => "paper-sequential".to_string(),
+        Engine::Threaded { workers } => format!("paper-threaded-{workers}"),
+    };
+    Ok((score_reports(spec, run, method, &reports), writer))
+}
+
+/// Replays a persisted event/summary log through the event-scoring
+/// machinery: the log's event records are translated from sealed-epoch
+/// coordinates into step coordinates via the capture's step-map `Aux`
+/// record and scored against the run's ground-truth spans, reproducing
+/// the `events` cell a live [`evaluate_monitor_on`] run commits to
+/// `BENCH_eval.json`.
+///
+/// Device keys are assumed dense and stable (`DeviceKey(k)` ↔ the dense
+/// `DeviceId(k)` the ground truth speaks), which holds for every
+/// workbench scenario; under membership churn the key→slot mapping
+/// shifts and event cells are not comparable.
+///
+/// # Errors
+///
+/// [`EvalError::Log`] when the log is not an evaluation capture (no
+/// step-map record); monitor-level errors when the log is corrupt or
+/// truncated.
+pub fn evaluate_log_on<R: std::io::Read>(
+    spec: &ScenarioSpec,
+    run: &ScenarioRun,
+    source: R,
+) -> Result<EventConfusion, EvalError> {
+    let persisted = read_log(source)?;
+    let step_epochs = persisted
+        .aux
+        .iter()
+        .rev()
+        .find_map(|payload| {
+            let mut dec = Dec::new(payload);
+            let tag = dec.bytes("aux.tag").ok()?;
+            if tag != EVAL_AUX_TAG {
+                return None;
+            }
+            dec.u64s("aux.step_epochs").ok()
+        })
+        .ok_or_else(|| EvalError::Log {
+            reason: "log holds no evaluation step-map record \
+                     (was it captured by record_monitor_log?)"
+                .to_string(),
+        })?;
+    let mut spans: Vec<EventSpan> = Vec::new();
+    for event in &persisted.events {
+        // First step at or after the event's onset epoch, last step at or
+        // before its last active epoch: bridging-epoch activity collapses
+        // onto the neighbouring step, exactly like the live report feed.
+        let Some(onset) = step_epochs.iter().position(|&e| e >= event.onset) else {
+            continue;
+        };
+        let Some(last) = step_epochs.iter().rposition(|&e| e <= event.last_active) else {
+            continue;
+        };
+        if last < onset {
+            continue;
+        }
+        let devices: DeviceSet = event
+            .devices
+            .iter()
+            .map(|key| DeviceId(key.0 as u32))
+            .collect();
+        let massive = event.class == AnomalyClass::Massive
+            || event
+                .transitions
+                .iter()
+                .any(|t| t.from == AnomalyClass::Massive || t.to == AnomalyClass::Massive);
+        spans.push(EventSpan {
+            onset,
+            last,
+            devices,
+            massive,
+        });
+    }
+    Ok(score::score_events(&truth_spans(spec, run), &spans))
+}
+
+/// Reads a log written by [`record_monitor_log`] from `path`, regenerates
+/// the scenario, and scores the log's events against the ground truth —
+/// the offline counterpart of a live evaluation's `events` cell.
+///
+/// # Errors
+///
+/// [`EvalError::Log`] on an unreadable file or a log without a step-map
+/// record; generator and monitor errors otherwise.
+pub fn evaluate_log(
+    path: impl AsRef<std::path::Path>,
+    scenario: &dyn Scenario,
+) -> Result<EventConfusion, EvalError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| EvalError::Log {
+        reason: format!("cannot open {}: {e}", path.display()),
+    })?;
+    let run = scenario.generate()?;
+    evaluate_log_on(&scenario.spec(), &run, std::io::BufReader::new(file))
 }
 
 /// [`evaluate_monitor_on`] plus alert-pipeline quality: every sealed

@@ -293,6 +293,12 @@ impl TokenBucket {
     pub fn level_millitokens(&self) -> u64 {
         self.level_millis
     }
+
+    /// Overwrites the level from a checkpoint, clamped to capacity so a
+    /// payload from a larger-bucket configuration cannot mint tokens.
+    pub(crate) fn set_level_millitokens(&mut self, level: u64) {
+        self.level_millis = level.min(self.capacity_millis);
+    }
 }
 
 #[cfg(test)]

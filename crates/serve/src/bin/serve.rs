@@ -6,9 +6,13 @@
 //! streams), re-faults the first DSLAM (a recurrence that must dedup
 //! into the existing alert), adds CPE faults, and ends with a fault
 //! burst sized to drain the token bucket (at least one suppressed
-//! notification). The whole run is replayed a second time from scratch
-//! and the two action streams must be byte-identical — the
-//! checkpointless-restart guarantee.
+//! notification). The run is then repeated with a kill/restore in the
+//! middle: halfway through, the daemon checkpoints to a binary store
+//! log, is torn down, and a fresh loop is rebuilt from the log via the
+//! real `ServeLoop::restore` path. The restarted run's action stream
+//! must be byte-identical to the uninterrupted one — the durable-restart
+//! guarantee, measured (checkpoint write / restore latency, log size)
+//! and reported in the output JSON.
 //!
 //! Environment knobs:
 //!
@@ -134,8 +138,47 @@ fn schedule(net: &NetworkSimulation) -> IncidentSchedule {
     IncidentSchedule::new(incidents)
 }
 
-/// One full daemon run from a cold start. Called twice: identical inputs
-/// must produce identical outputs.
+/// The monitor configuration every run (and every restore) uses. Initial
+/// devices are added by the caller — a restoring builder must leave the
+/// fleet to the checkpoint.
+fn builder_for(services: usize) -> Result<MonitorBuilder, Box<dyn Error>> {
+    Ok(MonitorBuilder::new()
+        .params(Params::new(0.02, 3)?)
+        .services(services)
+        .debounce(1)
+        .history(64)
+        .detector_factory(move |_| {
+            Box::new(VectorDetector::homogeneous(services, || {
+                ThresholdDetector::with_delta(0.1)
+            }))
+        }))
+}
+
+/// The sink tuning of the smoke run: a small bucket with a slow refill,
+/// so the closing burst exercises the rate limiter.
+fn sink_config() -> AlertConfig {
+    AlertConfig {
+        dedup_window: 16,
+        bucket_capacity: 2,
+        refill_millitokens: 250,
+    }
+}
+
+fn summarize(serve: &ServeLoop, actions: Vec<AlertAction>) -> RunSummary {
+    let sink = serve.sink();
+    RunSummary {
+        alerts_created: sink.alerts_created(),
+        pages_emitted: sink.pages_emitted(),
+        recurrences: sink.recurrences(),
+        suppressed: sink.suppressed(),
+        resolved: sink.resolved(),
+        distinct_signatures: sink.distinct_signatures(),
+        alerts_json: sink.alerts_json(),
+        actions,
+    }
+}
+
+/// One full daemon run from a cold start: the reference stream.
 fn run(seed: u64, ticks: u64, seal_every: u32) -> Result<RunSummary, Box<dyn Error>> {
     let mut net = NetworkSimulation::new(NetworkConfig::small(seed))?;
     let mut timeline = schedule(&net);
@@ -146,27 +189,8 @@ fn run(seed: u64, ticks: u64, seal_every: u32) -> Result<RunSummary, Box<dyn Err
         .iter()
         .map(|g| u64::from(g.0))
         .collect();
-    let monitor = MonitorBuilder::new()
-        .params(Params::new(0.02, 3)?)
-        .services(services)
-        .debounce(1)
-        .history(64)
-        .detector_factory(move |_| {
-            Box::new(VectorDetector::homogeneous(services, || {
-                ThresholdDetector::with_delta(0.1)
-            }))
-        })
-        .devices(keys)
-        .build()?;
-    let sink = AlertSink::new(
-        net.topology().clone(),
-        KeyMap::NodeIds,
-        AlertConfig {
-            dedup_window: 16,
-            bucket_capacity: 2,
-            refill_millitokens: 250,
-        },
-    );
+    let monitor = builder_for(services)?.devices(keys).build()?;
+    let sink = AlertSink::new(net.topology().clone(), KeyMap::NodeIds, sink_config());
     let mut serve = ServeLoop::new(monitor, sink, seal_every);
     let mut actions = Vec::new();
     for _ in 0..ticks {
@@ -180,17 +204,83 @@ fn run(seed: u64, ticks: u64, seal_every: u32) -> Result<RunSummary, Box<dyn Err
     }
     // Clean shutdown: drain still-open events into resolutions.
     actions.extend(serve.shutdown());
-    let sink = serve.sink();
-    Ok(RunSummary {
-        alerts_created: sink.alerts_created(),
-        pages_emitted: sink.pages_emitted(),
-        recurrences: sink.recurrences(),
-        suppressed: sink.suppressed(),
-        resolved: sink.resolved(),
-        distinct_signatures: sink.distinct_signatures(),
-        alerts_json: sink.alerts_json(),
-        actions,
-    })
+    Ok(summarize(&serve, actions))
+}
+
+/// What the kill/restore cycle measured.
+struct RestartMetrics {
+    checkpoint_write_micros: u128,
+    restore_micros: u128,
+    log_bytes: u64,
+}
+
+/// The same run with a mid-flight daemon restart: halfway through, the
+/// loop checkpoints to a binary store log and is dropped; a fresh loop
+/// is restored from the log and drives the rest of the timeline. The
+/// network keeps running across the restart — only the daemon dies.
+fn run_restarted(
+    seed: u64,
+    ticks: u64,
+    seal_every: u32,
+) -> Result<(RunSummary, RestartMetrics), Box<dyn Error>> {
+    let mut net = NetworkSimulation::new(NetworkConfig::small(seed))?;
+    let mut timeline = schedule(&net);
+    let services = net.services().len();
+    let keys: Vec<u64> = net
+        .topology()
+        .gateways()
+        .iter()
+        .map(|g| u64::from(g.0))
+        .collect();
+    let monitor = builder_for(services)?.devices(keys).build()?;
+    let sink = AlertSink::new(net.topology().clone(), KeyMap::NodeIds, sink_config());
+    let mut serve = ServeLoop::new(monitor, sink, seal_every);
+    let mut actions = Vec::new();
+    let cut = ticks / 2;
+    for _ in 0..cut {
+        timeline.advance(&mut net);
+        for update in net.measure_stream() {
+            serve.ingest(update.key, update.qos)?;
+        }
+        if let Some((_report, mut fired)) = serve.round()? {
+            actions.append(&mut fired);
+        }
+    }
+    // Kill: persist everything, drop the loop.
+    let mut log = Vec::new();
+    // conformance: allow(C3, reason = "bench-only latency metric; never feeds pipeline decisions")
+    let write_started = std::time::Instant::now();
+    let log_bytes = serve.checkpoint(&mut log)?;
+    let checkpoint_write_micros = write_started.elapsed().as_micros();
+    drop(serve);
+    // Restore: a fresh loop from nothing but the log and the static
+    // constructor arguments.
+    // conformance: allow(C3, reason = "bench-only latency metric; never feeds pipeline decisions")
+    let restore_started = std::time::Instant::now();
+    let mut serve = ServeLoop::restore(
+        &log,
+        builder_for(services)?,
+        net.topology().clone(),
+        KeyMap::NodeIds,
+        sink_config(),
+    )?;
+    let restore_micros = restore_started.elapsed().as_micros();
+    for _ in cut..ticks {
+        timeline.advance(&mut net);
+        for update in net.measure_stream() {
+            serve.ingest(update.key, update.qos)?;
+        }
+        if let Some((_report, mut fired)) = serve.round()? {
+            actions.append(&mut fired);
+        }
+    }
+    actions.extend(serve.shutdown());
+    let metrics = RestartMetrics {
+        checkpoint_write_micros,
+        restore_micros,
+        log_bytes,
+    };
+    Ok((summarize(&serve, actions), metrics))
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -200,23 +290,29 @@ fn main() -> Result<(), Box<dyn Error>> {
     let out = std::env::var("SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
 
     let first = run(seed, ticks, seal_every)?;
-    let second = run(seed, ticks, seal_every)?;
+    let (restarted, metrics) = run_restarted(seed, ticks, seal_every)?;
     let stream = actions_to_json(&first.actions);
     assert_eq!(
         stream,
-        actions_to_json(&second.actions),
-        "a checkpointless restart must reproduce the alert stream byte-for-byte"
+        actions_to_json(&restarted.actions),
+        "a checkpoint/kill/restore cycle must reproduce the alert stream byte-for-byte"
+    );
+    assert_eq!(
+        first.alerts_json, restarted.alerts_json,
+        "the restored sink must end with the identical alert table"
     );
 
     println!(
         "serve: ticks={ticks} seed={seed} alerts={} pages={} recurrences={} \
-         suppressed={} resolved={} distinct_signatures={}",
+         suppressed={} resolved={} distinct_signatures={} restart_identical=true \
+         log_bytes={}",
         first.alerts_created,
         first.pages_emitted,
         first.recurrences,
         first.suppressed,
         first.resolved,
         first.distinct_signatures,
+        metrics.log_bytes,
     );
 
     // The timeline is scripted, the pipeline deterministic: the alert
@@ -245,13 +341,18 @@ fn main() -> Result<(), Box<dyn Error>> {
         "{{\n  \"bench\": \"serve\",\n  \"ticks\": {ticks},\n  \"seed\": {seed},\n  \
          \"seal_every\": {seal_every},\n  \"alerts\": {},\n  \"pages\": {},\n  \
          \"recurrences\": {},\n  \"suppressed\": {},\n  \"resolved\": {},\n  \
-         \"distinct_signatures\": {},\n  \"alerts_detail\": {},\n  \"actions\": {}\n}}\n",
+         \"distinct_signatures\": {},\n  \"restart_identical\": true,\n  \
+         \"checkpoint_write_micros\": {},\n  \"restore_micros\": {},\n  \
+         \"log_bytes\": {},\n  \"alerts_detail\": {},\n  \"actions\": {}\n}}\n",
         first.alerts_created,
         first.pages_emitted,
         first.recurrences,
         first.suppressed,
         first.resolved,
         first.distinct_signatures,
+        metrics.checkpoint_write_micros,
+        metrics.restore_micros,
+        metrics.log_bytes,
         first.alerts_json,
         stream,
     );

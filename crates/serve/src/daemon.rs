@@ -14,8 +14,18 @@
 //! same canonical signature IDs.
 
 use crate::alerts::AlertAction;
-use crate::sink::AlertSink;
-use anomaly_characterization::pipeline::{Monitor, MonitorError, Report};
+use crate::sink::{AlertConfig, AlertSink, KeyMap};
+use anomaly_characterization::pipeline::{
+    read_log, EventLog, Monitor, MonitorBuilder, MonitorError, Report,
+};
+use anomaly_network::Topology;
+use anomaly_store::{Dec, Enc};
+use std::io::Write;
+
+/// `Aux` record tag identifying the serve loop's side state inside a
+/// persisted log (first four payload bytes, per the [`EventLog`]
+/// convention).
+const SERVE_AUX_TAG: &[u8; 4] = b"SRV1";
 
 /// A monitor and an alert sink behind one ingest/tick surface.
 #[derive(Debug)]
@@ -74,6 +84,81 @@ impl ServeLoop {
     pub fn shutdown(&mut self) -> Vec<AlertAction> {
         let deltas = self.monitor.reset();
         self.sink.fold_deltas(self.last_epoch + 1, &deltas, &[])
+    }
+
+    /// Writes the loop's full resumable state to `sink` as one store log:
+    /// a monitor checkpoint record plus an `SRV1` aux record holding the
+    /// round phase, the last sealed epoch, the seal cadence, and the
+    /// alert sink's state. Returns the bytes written.
+    ///
+    /// A loop rebuilt from it via [`ServeLoop::restore`] continues the
+    /// alert action stream byte-identically to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Persist`] on I/O failure.
+    pub fn checkpoint<W: Write>(&self, sink: W) -> Result<u64, MonitorError> {
+        let mut log = EventLog::create(sink)?;
+        log.checkpoint(&self.monitor)?;
+        let mut enc = Enc::new();
+        enc.bytes(SERVE_AUX_TAG);
+        enc.u32(self.seal_every);
+        enc.u32(self.rounds);
+        enc.u64(self.last_epoch);
+        enc.bytes(&self.sink.save());
+        log.append_aux(&enc.into_bytes())?;
+        let bytes = log.bytes_written();
+        log.into_inner()?;
+        Ok(bytes)
+    }
+
+    /// Rebuilds a serve loop from a [`ServeLoop::checkpoint`] log.
+    ///
+    /// `builder` must describe the monitor configuration the checkpoint
+    /// was written under (see [`Monitor::restore`]); `topology`, `keymap`,
+    /// and `config` are the sink's constructor arguments and are
+    /// reconciled against the saved state (see [`AlertSink::load`]). The
+    /// seal cadence and mid-tick round phase come from the log itself.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::CheckpointMismatch`] on any disagreeing knob,
+    /// [`MonitorError::Persist`] on corrupt or incomplete logs.
+    pub fn restore(
+        log: &[u8],
+        builder: MonitorBuilder,
+        topology: Topology,
+        keymap: KeyMap,
+        config: AlertConfig,
+    ) -> Result<ServeLoop, MonitorError> {
+        let monitor = Monitor::restore(log, builder)?;
+        let persisted = read_log(log)?;
+        let aux = persisted
+            .aux
+            .iter()
+            .rev()
+            .find(|payload| {
+                let mut dec = Dec::new(payload);
+                dec.bytes("aux.tag").is_ok_and(|tag| tag == SERVE_AUX_TAG)
+            })
+            .ok_or_else(|| MonitorError::Persist {
+                detail: "log holds no serve-loop aux record".to_string(),
+            })?;
+        let mut dec = Dec::new(aux);
+        let _tag = dec.bytes("aux.tag")?;
+        let seal_every = dec.u32("serve.seal_every")?;
+        let rounds = dec.u32("serve.rounds")?;
+        let last_epoch = dec.u64("serve.last_epoch")?;
+        let sink_bytes = dec.bytes("serve.sink")?;
+        let sink = AlertSink::load(topology, keymap, config, sink_bytes)?;
+        dec.finish("serve-aux")?;
+        Ok(ServeLoop {
+            monitor,
+            sink,
+            seal_every: seal_every.max(1),
+            rounds,
+            last_epoch,
+        })
     }
 
     /// The underlying monitor.

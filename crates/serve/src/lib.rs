@@ -42,4 +42,4 @@ pub use daemon::ServeLoop;
 pub use signature::{
     affected_bucket, duration_bucket, Signature, SignatureAtoms, TopologySpread, SIGNATURE_VERSION,
 };
-pub use sink::{AlertConfig, AlertSink, KeyMap};
+pub use sink::{AlertConfig, AlertSink, KeyMap, SINK_STATE_VERSION};

@@ -15,12 +15,15 @@
 //! across engines, worker counts, and grid-maintenance modes.
 
 use crate::alerts::{
-    severity, Alert, AlertAction, AlertActionKind, AlertId, AlertPhase, TokenBucket,
+    severity, Alert, AlertAction, AlertActionKind, AlertId, AlertPhase, Severity, TokenBucket,
 };
 use crate::signature::{class_rank, Signature, SignatureAtoms, TopologySpread};
-use anomaly_characterization::pipeline::{DeviceKey, EventDelta, EventDeltaKind, EventId, Report};
+use anomaly_characterization::pipeline::{
+    DeviceKey, EventDelta, EventDeltaKind, EventId, MonitorError, Report,
+};
 use anomaly_core::AnomalyClass;
 use anomaly_network::{NodeId, NodeKind, Topology};
+use anomaly_store::{Dec, DecodeError, Enc};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How pipeline [`DeviceKey`]s translate back to topology gateways.
@@ -84,6 +87,7 @@ struct EventLife {
 #[derive(Debug, Clone)]
 pub struct AlertSink {
     topology: Topology,
+    keymap: KeyMap,
     config: AlertConfig,
     bucket: TokenBucket,
     /// DeviceKey raw value → gateway node, per the [`KeyMap`].
@@ -120,6 +124,7 @@ impl AlertSink {
         let bucket = TokenBucket::new(config.bucket_capacity, config.refill_millitokens);
         AlertSink {
             topology,
+            keymap,
             config,
             bucket,
             gateway_of,
@@ -520,5 +525,291 @@ impl AlertSink {
         }
         out.push(']');
         out
+    }
+}
+
+/// Version of the sink's checkpoint payload layout. Bump on any change to
+/// [`AlertSink::save`]'s field order or widths — old payloads must fail
+/// typed, never misparse.
+pub const SINK_STATE_VERSION: u32 = 1;
+
+fn class_code(class: AnomalyClass) -> u8 {
+    match class {
+        AnomalyClass::Isolated => 0,
+        AnomalyClass::Massive => 1,
+        AnomalyClass::Unresolved => 2,
+    }
+}
+
+fn decode_sink_class(dec: &mut Dec<'_>, field: &'static str) -> Result<AnomalyClass, DecodeError> {
+    Ok(match dec.tag(field, 3)? {
+        0 => AnomalyClass::Isolated,
+        1 => AnomalyClass::Massive,
+        _ => AnomalyClass::Unresolved,
+    })
+}
+
+fn severity_code(sev: Severity) -> u8 {
+    match sev {
+        Severity::Minor => 0,
+        Severity::Major => 1,
+        Severity::Critical => 2,
+    }
+}
+
+fn decode_severity(dec: &mut Dec<'_>) -> Result<Severity, DecodeError> {
+    Ok(match dec.tag("alert.severity", 3)? {
+        0 => Severity::Minor,
+        1 => Severity::Major,
+        _ => Severity::Critical,
+    })
+}
+
+fn phase_code(phase: AlertPhase) -> u8 {
+    match phase {
+        AlertPhase::Open => 0,
+        AlertPhase::Acknowledged => 1,
+        AlertPhase::Resolved => 2,
+    }
+}
+
+fn decode_phase(dec: &mut Dec<'_>) -> Result<AlertPhase, DecodeError> {
+    Ok(match dec.tag("alert.phase", 3)? {
+        0 => AlertPhase::Open,
+        1 => AlertPhase::Acknowledged,
+        _ => AlertPhase::Resolved,
+    })
+}
+
+fn keymap_code(keymap: KeyMap) -> u8 {
+    match keymap {
+        KeyMap::NodeIds => 0,
+        KeyMap::GatewayIndex => 1,
+    }
+}
+
+fn decode_node(dec: &mut Dec<'_>, field: &'static str) -> Result<Option<NodeId>, MonitorError> {
+    match dec.opt_u64(field)? {
+        None => Ok(None),
+        Some(raw) => {
+            let id = u32::try_from(raw).map_err(|_| MonitorError::Persist {
+                detail: format!("checkpointed node id {raw} does not fit a topology id"),
+            })?;
+            Ok(Some(NodeId(id)))
+        }
+    }
+}
+
+impl AlertSink {
+    /// Serializes the sink's resumable state — everything except the
+    /// topology, key map, and [`AlertConfig`], which the restoring side
+    /// supplies to [`AlertSink::load`] and which the payload records only
+    /// to reconcile against.
+    pub fn save(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.u32(SINK_STATE_VERSION);
+        // Configuration echo, reconciled on load (deny-by-default).
+        enc.u64(self.config.dedup_window);
+        enc.u32(self.config.bucket_capacity);
+        enc.u32(self.config.refill_millitokens);
+        enc.u8(keymap_code(self.keymap));
+        enc.usize(self.gateway_of.len());
+        // Resumable state proper.
+        enc.u64(self.bucket.level_millitokens());
+        enc.u64(self.next_alert);
+        enc.usize(self.lives.len());
+        for (id, life) in &self.lives {
+            enc.u64(id.0);
+            enc.u64(life.onset);
+            enc.u64(life.last);
+            enc.u8(class_code(life.onset_class));
+            enc.u8(class_code(life.peak));
+            let devices: Vec<u64> = life.devices.iter().map(|k| k.0).collect();
+            enc.u64s(&devices);
+            enc.bool(life.straggler_overlap);
+            enc.opt_u64(life.alert.map(|a| a.0));
+        }
+        enc.usize(self.alerts.len());
+        for alert in self.alerts.values() {
+            enc.u64(alert.id.0);
+            enc.opt_u64(alert.root.map(|n| u64::from(n.0)));
+            enc.u8(class_code(alert.class));
+            enc.u8(severity_code(alert.severity));
+            enc.u8(phase_code(alert.phase));
+            enc.u64(alert.opened_at);
+            enc.u64(alert.last_seen);
+            enc.opt_u64(alert.resolved_at);
+            enc.u64(alert.occurrences);
+            enc.u64(alert.suppressed);
+            enc.usize(alert.devices);
+            enc.opt_u64(alert.signature.map(|s| s.0));
+        }
+        enc.usize(self.open_counts.len());
+        for (aid, count) in &self.open_counts {
+            enc.u64(aid.0);
+            enc.u64(*count);
+        }
+        enc.usize(self.by_root.len());
+        for (root, aid) in &self.by_root {
+            enc.u32(*root);
+            enc.u64(aid.0);
+        }
+        enc.usize(self.seen.len());
+        for (sig, count) in &self.seen {
+            enc.u64(sig.0);
+            enc.u64(*count);
+        }
+        enc.u64(self.alerts_created);
+        enc.u64(self.pages_emitted);
+        enc.u64(self.recurrences);
+        enc.u64(self.suppressed_total);
+        enc.u64(self.resolved_total);
+        enc.into_bytes()
+    }
+
+    /// Rebuilds a sink from a [`AlertSink::save`] payload plus the
+    /// constructor arguments of the original.
+    ///
+    /// Restore is deny-by-default: a `config`, `keymap`, or topology
+    /// gateway count that disagrees with what the payload was saved under
+    /// fails with [`MonitorError::CheckpointMismatch`] naming the knob —
+    /// resuming dedup windows or rate limits under different tuning would
+    /// silently diverge from the run that saved the state.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::CheckpointMismatch`] on a disagreeing constructor
+    /// argument; [`MonitorError::Persist`] on a payload that is corrupt,
+    /// truncated, from another [`SINK_STATE_VERSION`], or that holds an
+    /// impossible value.
+    pub fn load(
+        topology: Topology,
+        keymap: KeyMap,
+        config: AlertConfig,
+        payload: &[u8],
+    ) -> Result<AlertSink, MonitorError> {
+        let mut dec = Dec::new(payload);
+        let version = dec.u32("alert.version")?;
+        if version != SINK_STATE_VERSION {
+            return Err(MonitorError::Persist {
+                detail: format!(
+                    "alert sink state version {version} is not supported \
+                     (this build reads version {SINK_STATE_VERSION})"
+                ),
+            });
+        }
+        if dec.u64("alert.dedup_window")? != config.dedup_window {
+            return Err(MonitorError::CheckpointMismatch {
+                field: "alert.dedup_window",
+            });
+        }
+        if dec.u32("alert.bucket_capacity")? != config.bucket_capacity {
+            return Err(MonitorError::CheckpointMismatch {
+                field: "alert.bucket_capacity",
+            });
+        }
+        if dec.u32("alert.refill_millitokens")? != config.refill_millitokens {
+            return Err(MonitorError::CheckpointMismatch {
+                field: "alert.refill_millitokens",
+            });
+        }
+        if dec.tag("alert.keymap", 2)? != keymap_code(keymap) {
+            return Err(MonitorError::CheckpointMismatch {
+                field: "alert.keymap",
+            });
+        }
+        let mut sink = AlertSink::new(topology, keymap, config);
+        if dec.usize("alert.gateways")? != sink.gateway_of.len() {
+            return Err(MonitorError::CheckpointMismatch {
+                field: "alert.topology",
+            });
+        }
+        let level = dec.u64("alert.bucket_level")?;
+        sink.bucket.set_level_millitokens(level);
+        sink.next_alert = dec.u64("alert.next_alert")?;
+        let lives_n = dec.seq_len("alert.lives")?;
+        for _ in 0..lives_n {
+            let id = EventId(dec.u64("alert.lives")?);
+            let onset = dec.u64("alert.lives")?;
+            let last = dec.u64("alert.lives")?;
+            let onset_class = decode_sink_class(&mut dec, "alert.lives")?;
+            let peak = decode_sink_class(&mut dec, "alert.lives")?;
+            let devices: BTreeSet<DeviceKey> = dec
+                .u64s("alert.lives")?
+                .into_iter()
+                .map(DeviceKey)
+                .collect();
+            let straggler_overlap = dec.bool("alert.lives")?;
+            let alert = dec.opt_u64("alert.lives")?.map(AlertId);
+            sink.lives.insert(
+                id,
+                EventLife {
+                    onset,
+                    last,
+                    onset_class,
+                    peak,
+                    devices,
+                    straggler_overlap,
+                    alert,
+                },
+            );
+        }
+        let alerts_n = dec.seq_len("alert.alerts")?;
+        for _ in 0..alerts_n {
+            let id = AlertId(dec.u64("alert.id")?);
+            let root = decode_node(&mut dec, "alert.root")?;
+            let class = decode_sink_class(&mut dec, "alert.class")?;
+            let severity = decode_severity(&mut dec)?;
+            let phase = decode_phase(&mut dec)?;
+            let opened_at = dec.u64("alert.opened_at")?;
+            let last_seen = dec.u64("alert.last_seen")?;
+            let resolved_at = dec.opt_u64("alert.resolved_at")?;
+            let occurrences = dec.u64("alert.occurrences")?;
+            let suppressed = dec.u64("alert.suppressed")?;
+            let devices = dec.usize("alert.devices")?;
+            let signature = dec.opt_u64("alert.signature")?.map(Signature);
+            sink.alerts.insert(
+                id,
+                Alert {
+                    id,
+                    root,
+                    class,
+                    severity,
+                    phase,
+                    opened_at,
+                    last_seen,
+                    resolved_at,
+                    occurrences,
+                    suppressed,
+                    devices,
+                    signature,
+                },
+            );
+        }
+        let open_n = dec.seq_len("alert.open_counts")?;
+        for _ in 0..open_n {
+            let aid = AlertId(dec.u64("alert.open_counts")?);
+            let count = dec.u64("alert.open_counts")?;
+            sink.open_counts.insert(aid, count);
+        }
+        let roots_n = dec.seq_len("alert.by_root")?;
+        for _ in 0..roots_n {
+            let root = dec.u32("alert.by_root")?;
+            let aid = AlertId(dec.u64("alert.by_root")?);
+            sink.by_root.insert(root, aid);
+        }
+        let seen_n = dec.seq_len("alert.seen")?;
+        for _ in 0..seen_n {
+            let sig = Signature(dec.u64("alert.seen")?);
+            let count = dec.u64("alert.seen")?;
+            sink.seen.insert(sig, count);
+        }
+        sink.alerts_created = dec.u64("alert.alerts_created")?;
+        sink.pages_emitted = dec.u64("alert.pages_emitted")?;
+        sink.recurrences = dec.u64("alert.recurrences")?;
+        sink.suppressed_total = dec.u64("alert.suppressed_total")?;
+        sink.resolved_total = dec.u64("alert.resolved_total")?;
+        dec.finish("alert-sink")?;
+        Ok(sink)
     }
 }

@@ -1,0 +1,78 @@
+//! Typed failures of the log layer.
+//!
+//! Every way a log can disappoint a reader has its own variant — restore
+//! paths must be able to tell "this is not a log" ([`StoreError::BadMagic`])
+//! from "written by a newer build" ([`StoreError::UnsupportedVersion`]),
+//! "bit rot" ([`StoreError::Corrupt`]) and "the process died mid-append"
+//! ([`StoreError::TruncatedTail`]) apart, because the right reactions
+//! (refuse, upgrade, restore from an older checkpoint, truncate and
+//! continue) differ. Nothing in this crate panics on malformed input; the
+//! conformance suite's C1 lint covers these sources.
+
+use std::fmt;
+
+/// Why a log could not be written or read.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The file does not start with the log magic — not a store log.
+    BadMagic,
+    /// The log was written by a format this reader does not speak.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// A record failed validation: checksum mismatch, unknown record
+    /// kind, or an implausible length prefix.
+    Corrupt {
+        /// Byte offset of the offending record's frame header.
+        offset: u64,
+        /// What failed.
+        reason: &'static str,
+    },
+    /// The log ends mid-record — the classic torn final append. Unlike
+    /// [`StoreError::Corrupt`], every complete record before the tear is
+    /// trustworthy.
+    TruncatedTail {
+        /// Byte offset of the incomplete record's frame header.
+        offset: u64,
+    },
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a store log (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "log format version {found} is newer than supported version {supported}"
+            ),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "corrupt record at offset {offset}: {reason}")
+            }
+            StoreError::TruncatedTail { offset } => {
+                write!(f, "log truncated mid-record at offset {offset}")
+            }
+            StoreError::Io(err) => write!(f, "log I/O failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}

@@ -1,0 +1,53 @@
+//! Versioned append-only log format for durable monitor state.
+//!
+//! `anomaly-store` is the persistence substrate of the pipeline: a
+//! dependency-free binary log that a [`Monitor`] checkpoints into and a
+//! restarted process restores from, and that accumulates closed anomaly
+//! events and per-epoch report summaries for offline replay and scoring.
+//! The crate itself knows nothing about monitors — it frames, checksums,
+//! and versions opaque payloads; the typed encode/decode of pipeline
+//! state lives next to the pipeline (`anomaly_characterization::
+//! pipeline::persist`), which is what keeps the dependency arrow pointing
+//! one way.
+//!
+//! # Format
+//!
+//! ```text
+//!   ┌──────────────────────────────── file header ─────────────────────┐
+//!   │ magic "ANOMLOG\0" (8 bytes) │ FORMAT_VERSION (u32 LE)            │
+//!   ├──────────────────────────────── record 0 ────────────────────────┤
+//!   │ kind (u8) │ len (u32 LE) │ fnv1a-64(payload) (u64 LE) │ payload  │
+//!   ├──────────────────────────────── record 1 ────────────────────────┤
+//!   │ ...                                                              │
+//!   └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * Records are appended, never rewritten; a log stays valid under
+//!   `O_APPEND` semantics and a reader tolerates a torn final record
+//!   (reported as [`StoreError::TruncatedTail`], distinct from
+//!   corruption).
+//! * Every payload carries its own FNV-1a 64 checksum; a flipped byte
+//!   surfaces as [`StoreError::Corrupt`] with the record's file offset.
+//! * [`FORMAT_VERSION`] follows the same bump rules as the serve crate's
+//!   `SIGNATURE_VERSION`: any change to the framing or to a record
+//!   payload's meaning bumps it, and readers refuse newer versions with
+//!   [`StoreError::UnsupportedVersion`] instead of guessing.
+//!
+//! Payload byte-building lives in [`codec`] ([`Enc`]/[`Dec`]): fixed-width
+//! little-endian integers, `f64` as IEEE-754 bits (exact round-trip, no
+//! formatting), length-prefixed byte strings. Framing lives in [`log`]
+//! ([`LogWriter`]/[`LogReader`]).
+//!
+//! [`Monitor`]: ../anomaly_characterization/pipeline/struct.Monitor.html
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod log;
+
+pub use codec::{Dec, DecodeError, Enc};
+pub use error::StoreError;
+pub use log::{checksum, LogReader, LogWriter, Record, RecordKind, FORMAT_VERSION, MAGIC};

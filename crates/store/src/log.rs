@@ -1,0 +1,411 @@
+//! Record framing: the length-prefixed, checksummed append-only log.
+//!
+//! A log is a fixed header (magic + [`FORMAT_VERSION`]) followed by zero
+//! or more records. Each record frame is
+//! `kind (u8) · len (u32 LE) · fnv1a64(payload) (u64 LE) · payload`.
+//! Writers only ever append; readers validate every frame and classify
+//! failures precisely (see [`StoreError`]). A reader hitting end-of-file
+//! exactly on a frame boundary reports a clean end; anything else is a
+//! [`StoreError::TruncatedTail`].
+
+use crate::error::StoreError;
+use std::io::{Read, Write};
+
+/// First eight bytes of every log file.
+pub const MAGIC: [u8; 8] = *b"ANOMLOG\0";
+
+/// Current log format version.
+///
+/// Bump rules mirror the serve crate's `SIGNATURE_VERSION`: any change to
+/// the frame layout **or** to the meaning of a record payload (field
+/// added, reordered, re-encoded) increments this constant, and the
+/// version history below gains a line. Readers refuse newer versions
+/// ([`StoreError::UnsupportedVersion`]) rather than misinterpret bytes.
+///
+/// * **v1** — initial format: checkpoint / event / summary / aux records,
+///   FNV-1a 64 payload checksums.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Longest payload a reader will allocate for. A corrupt length prefix
+/// must surface as [`StoreError::Corrupt`], not an out-of-memory abort.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// FNV-1a 64-bit checksum — dependency-free, deterministic, and plenty
+/// for catching torn writes and bit rot in a local log (this is an
+/// integrity check, not a cryptographic seal).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The record families a log holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A full serialized monitor state — the restore anchor. A log may
+    /// hold many; restore uses the last complete one.
+    Checkpoint,
+    /// One closed (or final-flushed open) anomaly event.
+    Event,
+    /// One sealed epoch's report summary.
+    Summary,
+    /// Application-defined side state (e.g. the serve daemon's alert-sink
+    /// fold), tagged by the first four payload bytes by convention.
+    Aux,
+}
+
+impl RecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            RecordKind::Checkpoint => 1,
+            RecordKind::Event => 2,
+            RecordKind::Summary => 3,
+            RecordKind::Aux => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<RecordKind> {
+        match b {
+            1 => Some(RecordKind::Checkpoint),
+            2 => Some(RecordKind::Event),
+            3 => Some(RecordKind::Summary),
+            4 => Some(RecordKind::Aux),
+            _ => None,
+        }
+    }
+}
+
+/// One validated record read back from a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The record family.
+    pub kind: RecordKind,
+    /// The checksum-verified payload.
+    pub payload: Vec<u8>,
+    /// Byte offset of the record's frame header in the log.
+    pub offset: u64,
+}
+
+/// Appends framed records to an underlying writer.
+#[derive(Debug)]
+pub struct LogWriter<W: Write> {
+    inner: W,
+    bytes_written: u64,
+}
+
+impl<W: Write> LogWriter<W> {
+    /// Starts a fresh log on `inner`: writes the header, ready to append.
+    pub fn create(mut inner: W) -> Result<Self, StoreError> {
+        inner.write_all(&MAGIC)?;
+        inner.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        Ok(LogWriter {
+            inner,
+            bytes_written: (MAGIC.len() + 4) as u64,
+        })
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, kind: RecordKind, payload: &[u8]) -> Result<(), StoreError> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&n| n <= MAX_RECORD_LEN)
+            .ok_or(StoreError::Corrupt {
+                offset: self.bytes_written,
+                reason: "record payload exceeds the maximum record length",
+            })?;
+        self.inner.write_all(&[kind.to_byte()])?;
+        self.inner.write_all(&len.to_le_bytes())?;
+        self.inner.write_all(&checksum(payload).to_le_bytes())?;
+        self.inner.write_all(payload)?;
+        self.bytes_written += 1 + 4 + 8 + u64::from(len);
+        Ok(())
+    }
+
+    /// Total bytes written so far, header included — the log-size metric
+    /// benches report.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> Result<W, StoreError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads and validates framed records from an underlying reader.
+#[derive(Debug)]
+pub struct LogReader<R: Read> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> LogReader<R> {
+    /// Opens a log on `inner`: reads and verifies the header.
+    pub fn open(mut inner: R) -> Result<Self, StoreError> {
+        let mut magic = [0u8; 8];
+        if fill(&mut inner, &mut magic)? != magic.len() {
+            return Err(StoreError::BadMagic);
+        }
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut version = [0u8; 4];
+        if fill(&mut inner, &mut version)? != version.len() {
+            return Err(StoreError::TruncatedTail { offset: 8 });
+        }
+        let found = u32::from_le_bytes(version);
+        if found > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found,
+                supported: FORMAT_VERSION,
+            });
+        }
+        Ok(LogReader {
+            inner,
+            offset: (MAGIC.len() + 4) as u64,
+        })
+    }
+
+    /// Reads the next record; `Ok(None)` at a clean end of log.
+    pub fn next_record(&mut self) -> Result<Option<Record>, StoreError> {
+        let frame_start = self.offset;
+        let mut kind_byte = [0u8; 1];
+        match fill(&mut self.inner, &mut kind_byte)? {
+            0 => return Ok(None), // clean boundary
+            n if n < kind_byte.len() => {
+                return Err(StoreError::TruncatedTail {
+                    offset: frame_start,
+                })
+            }
+            _ => {}
+        }
+        let kind = kind_byte
+            .first()
+            .copied()
+            .and_then(RecordKind::from_byte)
+            .ok_or(StoreError::Corrupt {
+                offset: frame_start,
+                reason: "unknown record kind",
+            })?;
+
+        let mut len_bytes = [0u8; 4];
+        if fill(&mut self.inner, &mut len_bytes)? != len_bytes.len() {
+            return Err(StoreError::TruncatedTail {
+                offset: frame_start,
+            });
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_RECORD_LEN {
+            return Err(StoreError::Corrupt {
+                offset: frame_start,
+                reason: "record length prefix exceeds the maximum record length",
+            });
+        }
+
+        let mut sum_bytes = [0u8; 8];
+        if fill(&mut self.inner, &mut sum_bytes)? != sum_bytes.len() {
+            return Err(StoreError::TruncatedTail {
+                offset: frame_start,
+            });
+        }
+        let expected = u64::from_le_bytes(sum_bytes);
+
+        let mut payload = vec![0u8; len as usize];
+        if fill(&mut self.inner, &mut payload)? != payload.len() {
+            return Err(StoreError::TruncatedTail {
+                offset: frame_start,
+            });
+        }
+        if checksum(&payload) != expected {
+            return Err(StoreError::Corrupt {
+                offset: frame_start,
+                reason: "payload checksum mismatch",
+            });
+        }
+
+        self.offset += 1 + 4 + 8 + u64::from(len);
+        Ok(Some(Record {
+            kind,
+            payload,
+            offset: frame_start,
+        }))
+    }
+
+    /// Reads every remaining record into memory.
+    pub fn read_to_end(&mut self) -> Result<Vec<Record>, StoreError> {
+        let mut records = Vec::new();
+        while let Some(record) = self.next_record()? {
+            records.push(record);
+        }
+        Ok(records)
+    }
+}
+
+/// Reads until `buf` is full or the stream ends; returns the bytes read.
+/// `Read::read_exact` conflates a torn tail with an I/O error — the log
+/// layer needs to tell them apart.
+fn fill<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<usize, StoreError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let slice = buf.get_mut(filled..).unwrap_or(&mut []);
+        match reader.read(slice) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(StoreError::Io(err)),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> Vec<u8> {
+        let mut writer = LogWriter::create(Vec::new()).unwrap();
+        writer.append(RecordKind::Summary, b"epoch-0").unwrap();
+        writer.append(RecordKind::Event, b"event-7").unwrap();
+        writer.append(RecordKind::Checkpoint, b"state").unwrap();
+        writer.append(RecordKind::Aux, b"SINKdata").unwrap();
+        writer.into_inner().unwrap()
+    }
+
+    #[test]
+    fn records_round_trip_in_order() {
+        let bytes = sample_log();
+        let mut reader = LogReader::open(bytes.as_slice()).unwrap();
+        let records = reader.read_to_end().unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].kind, RecordKind::Summary);
+        assert_eq!(records[0].payload, b"epoch-0");
+        assert_eq!(records[1].kind, RecordKind::Event);
+        assert_eq!(records[2].kind, RecordKind::Checkpoint);
+        assert_eq!(records[3].kind, RecordKind::Aux);
+        assert!(records.windows(2).all(|w| w[0].offset < w[1].offset));
+    }
+
+    #[test]
+    fn bytes_written_matches_the_file_size() {
+        let mut writer = LogWriter::create(Vec::new()).unwrap();
+        writer.append(RecordKind::Summary, b"abc").unwrap();
+        let reported = writer.bytes_written();
+        let bytes = writer.into_inner().unwrap();
+        assert_eq!(reported, bytes.len() as u64);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let err = LogReader::open(&b"NOTALOG\0\x01\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic));
+        // Shorter than the magic itself is also BadMagic, not a panic.
+        let err = LogReader::open(&b"AN"[..]).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic));
+    }
+
+    #[test]
+    fn newer_version_is_refused() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let err = LogReader::open(bytes.as_slice()).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::UnsupportedVersion { found, supported }
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn every_flipped_payload_byte_is_caught() {
+        let clean = sample_log();
+        let header = MAGIC.len() + 4;
+        for i in header..clean.len() {
+            let mut torn = clean.clone();
+            torn[i] ^= 0xFF;
+            let mut reader = match LogReader::open(torn.as_slice()) {
+                Ok(reader) => reader,
+                Err(_) => continue, // header flips caught at open
+            };
+            let outcome = reader.read_to_end();
+            assert!(
+                outcome.is_err(),
+                "flipping byte {i} must not yield a clean read"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_distinguished_from_corruption() {
+        let clean = sample_log();
+        let header = MAGIC.len() + 4;
+        // Every strict prefix that ends inside a record frame must report
+        // TruncatedTail; prefixes on frame boundaries read cleanly.
+        let mut clean_boundaries = 0;
+        for end in header..clean.len() {
+            let mut reader = LogReader::open(&clean[..end]).unwrap();
+            match reader.read_to_end() {
+                Ok(_) => clean_boundaries += 1,
+                Err(StoreError::TruncatedTail { .. }) => {}
+                Err(other) => panic!("prefix {end}: expected TruncatedTail, got {other}"),
+            }
+        }
+        assert_eq!(
+            clean_boundaries, 4,
+            "the empty log plus three interior frame boundaries"
+        );
+    }
+
+    #[test]
+    fn unknown_record_kind_is_corrupt() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.push(99); // no such kind
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&checksum(b"").to_le_bytes());
+        let mut reader = LogReader::open(bytes.as_slice()).unwrap();
+        let err = reader.next_record().unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Corrupt {
+                reason: "unknown record kind",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn implausible_length_prefix_is_corrupt() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let mut reader = LogReader::open(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            reader.next_record().unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_log_reads_cleanly() {
+        let writer = LogWriter::create(Vec::new()).unwrap();
+        let bytes = writer.into_inner().unwrap();
+        let mut reader = LogReader::open(bytes.as_slice()).unwrap();
+        assert!(reader.next_record().unwrap().is_none());
+    }
+}

@@ -16,3 +16,4 @@ pub use anomaly_detectors as detectors;
 pub use anomaly_network as network;
 pub use anomaly_qos as qos;
 pub use anomaly_simulator as simulator;
+pub use anomaly_store as store;

@@ -38,7 +38,7 @@ pub struct MonitorBuilder {
     engine: Engine,
     grid_maintenance: GridMaintenance,
     staleness: StalenessPolicy,
-    epoch_start: u64,
+    epoch_start: Option<u64>,
     history: usize,
     debounce: u64,
     characterization_cache: bool,
@@ -88,7 +88,7 @@ impl MonitorBuilder {
             engine: Engine::Sequential,
             grid_maintenance: GridMaintenance::Incremental,
             staleness: StalenessPolicy::Reject,
-            epoch_start: 0,
+            epoch_start: None,
             history: 16,
             debounce: 0,
             characterization_cache: true,
@@ -152,9 +152,20 @@ impl MonitorBuilder {
     /// monitor resumed from a checkpoint (or aligned with an external
     /// collection clock) keep a continuous instant sequence. Defaults to
     /// `0`.
+    ///
+    /// Under [`Monitor::restore`](Monitor::restore) an explicit start must
+    /// equal the checkpoint's instant ([`MonitorError::CheckpointMismatch`]
+    /// otherwise); left unset, the restore adopts the checkpoint's clock.
     pub fn epoch(mut self, start: u64) -> Self {
-        self.epoch_start = start;
+        self.epoch_start = Some(start);
         self
+    }
+
+    /// The explicitly requested starting epoch, if any — read by
+    /// [`Monitor::restore`](Monitor::restore) to reconcile the builder's
+    /// clock against the checkpoint's.
+    pub(super) fn epoch_start(&self) -> Option<u64> {
+        self.epoch_start
     }
 
     /// Execution strategy for the per-instant characterization:
@@ -304,7 +315,7 @@ impl MonitorBuilder {
             self.engine,
             self.grid_maintenance,
             self.staleness,
-            self.epoch_start,
+            self.epoch_start.unwrap_or(0),
             self.history,
             self.debounce,
             self.characterization_cache,

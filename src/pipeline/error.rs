@@ -70,6 +70,23 @@ pub enum MonitorError {
         /// The invariant that did not hold.
         context: &'static str,
     },
+    /// [`Monitor::restore`](super::Monitor::restore) found a checkpoint
+    /// taken under a different configuration than the builder's: the named
+    /// knob (e.g. `"radius"`, `"debounce"`, `"staleness"`, or a detector
+    /// parameter like `"ewma.alpha"`) disagrees. Restoring anyway would
+    /// silently diverge from the uninterrupted run, so the mismatch is a
+    /// hard, named error.
+    CheckpointMismatch {
+        /// The disagreeing configuration knob.
+        field: &'static str,
+    },
+    /// A checkpoint or event log could not be written or read back: an
+    /// I/O failure, a corrupt or truncated record, or a payload that does
+    /// not decode. The detail string carries the underlying store error.
+    Persist {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl MonitorError {
@@ -112,6 +129,13 @@ impl fmt::Display for MonitorError {
                 "internal invariant violated ({context}) — this is a bug in \
                  anomaly-characterization, please report it"
             ),
+            MonitorError::CheckpointMismatch { field } => write!(
+                f,
+                "checkpoint was taken under a different configuration: {field} disagrees"
+            ),
+            MonitorError::Persist { detail } => {
+                write!(f, "checkpoint log operation failed: {detail}")
+            }
         }
     }
 }
@@ -136,6 +160,22 @@ impl From<ParamsError> for MonitorError {
 impl From<QosError> for MonitorError {
     fn from(e: QosError) -> Self {
         MonitorError::Qos(e)
+    }
+}
+
+impl From<anomaly_store::StoreError> for MonitorError {
+    fn from(e: anomaly_store::StoreError) -> Self {
+        MonitorError::Persist {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<anomaly_store::DecodeError> for MonitorError {
+    fn from(e: anomaly_store::DecodeError) -> Self {
+        MonitorError::Persist {
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -170,6 +210,10 @@ mod tests {
                 keys: vec![DeviceKey(4)],
                 max_age: 2,
             }),
+            MonitorError::CheckpointMismatch { field: "radius" },
+            MonitorError::Persist {
+                detail: "payload checksum mismatch".to_string(),
+            },
         ];
         for e in errors {
             let s = e.to_string();

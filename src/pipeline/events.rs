@@ -193,6 +193,46 @@ impl EventTracker {
         }
     }
 
+    /// Rebuilds a tracker from checkpointed parts. The rings are
+    /// re-bounded to `window` (a checkpoint written under a larger window
+    /// keeps only its newest entries).
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn from_state(
+        window: usize,
+        debounce: u64,
+        next_id: u64,
+        open: Vec<AnomalyEvent>,
+        closed: Vec<AnomalyEvent>,
+        history: Vec<ReportSummary>,
+        opened_total: u64,
+        closed_total: u64,
+    ) -> Self {
+        let mut closed: VecDeque<AnomalyEvent> = closed.into();
+        while closed.len() > window {
+            closed.pop_front();
+        }
+        let mut history: VecDeque<ReportSummary> = history.into();
+        while history.len() > window {
+            history.pop_front();
+        }
+        EventTracker {
+            window,
+            debounce,
+            next_id,
+            open,
+            closed,
+            history,
+            opened_total,
+            closed_total,
+        }
+    }
+
+    /// The next event id to be assigned (checkpoint export — ids are never
+    /// reused across a restore).
+    pub(super) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// The history window (ring capacity), as configured by
     /// [`MonitorBuilder::history`](super::MonitorBuilder::history).
     pub fn window(&self) -> usize {

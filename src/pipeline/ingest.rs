@@ -285,6 +285,47 @@ impl EpochState {
         self.last_reported.fill(self.sealed);
         self.stale_floor = self.sealed;
     }
+
+    /// Pending update per dense slot (checkpoint export).
+    pub(super) fn pending(&self) -> &[Option<Point>] {
+        &self.pending
+    }
+
+    /// Number of epochs sealed so far (checkpoint export).
+    pub(super) fn sealed(&self) -> u64 {
+        self.sealed
+    }
+
+    /// Per-slot last-reported epoch numbers (checkpoint export).
+    pub(super) fn last_reported(&self) -> &[u64] {
+        &self.last_reported
+    }
+
+    /// Lower bound on `last_reported` (checkpoint export).
+    pub(super) fn stale_floor(&self) -> u64 {
+        self.stale_floor
+    }
+
+    /// Rebuilds the open epoch from checkpointed parts; `updated` is
+    /// recomputed from `pending` so the count can never drift from the
+    /// slots it describes.
+    pub(super) fn from_state(
+        pending: Vec<Option<Point>>,
+        updated_slots: Vec<u32>,
+        sealed: u64,
+        last_reported: Vec<u64>,
+        stale_floor: u64,
+    ) -> Self {
+        let updated = pending.iter().filter(|p| p.is_some()).count();
+        EpochState {
+            pending,
+            updated,
+            updated_slots,
+            sealed,
+            last_reported,
+            stale_floor,
+        }
+    }
 }
 
 /// How each dense slot's row of the sealed snapshot is sourced.

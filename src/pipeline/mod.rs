@@ -74,6 +74,7 @@ mod events;
 mod ingest;
 mod key;
 mod monitor;
+mod persist;
 mod pool;
 mod replay;
 mod report;
@@ -88,4 +89,5 @@ pub use events::{
 pub use ingest::{IngestError, StalenessPolicy};
 pub use key::DeviceKey;
 pub use monitor::{DetectorFactory, Monitor};
+pub use persist::{read_log, EventLog, PersistedLog};
 pub use report::{DeviceVerdict, Report, ReportSummary};

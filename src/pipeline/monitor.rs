@@ -1,8 +1,9 @@
 use super::engine::{Engine, GridMaintenance};
 use super::error::MonitorError;
-use super::events::{EventDelta, EventTracker};
+use super::events::{AnomalyEvent, EventDelta, EventTracker};
 use super::ingest::{EpochState, StalenessPolicy};
 use super::key::DeviceKey;
+use super::persist;
 use super::pool::{Job, JobOutput, WorkerPool};
 use super::report::{DeviceVerdict, Report, ReportSummary, Stragglers};
 use super::timings::Stopwatch;
@@ -10,10 +11,11 @@ use anomaly_core::{
     AnalyzerCore, Characterization, DevicePrecompute, Params, ShardPlan, TrajectoryTable,
     DEFAULT_ENUMERATION_BUDGET,
 };
-use anomaly_detectors::DeviceDetector;
+use anomaly_detectors::{DeviceDetector, StateReader, StateWriter};
 use anomaly_qos::{
     DeviceId, GridIndex, GridUpdate, Norm, NormKind, Point, QosSpace, Snapshot, StatePair,
 };
+use anomaly_store::{Dec, Enc};
 // conformance: allow(C2, reason = "HashMap backs only the lookup-only key index; it is never iterated, so hash order cannot reach a report")
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -1236,6 +1238,261 @@ impl Monitor {
             }
             Some(current) => Ok((current, None)),
         }
+    }
+}
+
+/// Checkpoint body codec: the resumable state behind the configuration
+/// header `persist` writes. Lives on `Monitor` because only this module
+/// sees the private fields; the framing, header reconciliation, and the
+/// public [`Monitor::checkpoint`]/[`Monitor::restore`] entry points live
+/// in [`super::persist`].
+impl Monitor {
+    /// Serializes everything a fresh monitor built from the same
+    /// configuration needs to continue the report stream byte-identically:
+    /// fleet keys, per-device detector state, frozen verdicts, the last
+    /// sealed snapshot (and its key order, if membership churned since),
+    /// the open epoch with its staleness ages, the event tracker, and the
+    /// clock. Derived structures — vicinity grid, worker pool,
+    /// characterization cache, recycled snapshot buffers — are
+    /// deliberately absent: they are rebuilt lazily, and the determinism
+    /// suites prove reports are identical with or without them.
+    pub(super) fn encode_state(&self, enc: &mut Enc) {
+        let keys: Vec<u64> = self.keys.iter().map(|k| k.0).collect();
+        enc.u64s(&keys);
+        for det in &self.detectors {
+            let mut writer = StateWriter::new();
+            det.save(&mut writer);
+            enc.u64s(&writer.into_words());
+        }
+        enc.usize(self.flag_state.len());
+        for &(flagged, score) in &self.flag_state {
+            enc.bool(flagged);
+            enc.f64(score);
+        }
+        match &self.previous {
+            Some(prev) => {
+                enc.bool(true);
+                enc.usize(prev.len());
+                for i in 0..prev.len() {
+                    enc.f64s(prev.position(DeviceId(i as u32)).coords());
+                }
+            }
+            None => enc.bool(false),
+        }
+        match &self.previous_keys {
+            Some(prev_keys) => {
+                enc.bool(true);
+                let raw: Vec<u64> = prev_keys.iter().map(|k| k.0).collect();
+                enc.u64s(&raw);
+            }
+            None => enc.bool(false),
+        }
+        enc.usize(self.epoch.pending().len());
+        for slot in self.epoch.pending() {
+            match slot {
+                Some(point) => {
+                    enc.bool(true);
+                    enc.f64s(point.coords());
+                }
+                None => enc.bool(false),
+            }
+        }
+        let slots: Vec<u64> = self
+            .epoch
+            .updated_slots()
+            .iter()
+            .map(|&s| u64::from(s))
+            .collect();
+        enc.u64s(&slots);
+        enc.u64(self.epoch.sealed());
+        enc.u64s(self.epoch.last_reported());
+        enc.u64(self.epoch.stale_floor());
+        enc.u64(self.tracker.next_id());
+        enc.u64(self.tracker.opened_total());
+        enc.u64(self.tracker.closed_total());
+        enc.usize(self.tracker.open().len());
+        for event in self.tracker.open() {
+            persist::encode_event(enc, event);
+        }
+        let closed: Vec<&AnomalyEvent> = self.tracker.recently_closed().collect();
+        enc.usize(closed.len());
+        for event in closed {
+            persist::encode_event(enc, event);
+        }
+        let history: Vec<&ReportSummary> = self.tracker.history().collect();
+        enc.usize(history.len());
+        for summary in history {
+            persist::encode_summary(enc, summary);
+        }
+        enc.u64(self.instant);
+    }
+
+    /// Rebuilds the state written by [`Monitor::encode_state`] into this
+    /// (empty, identically configured) monitor. Devices re-join through
+    /// the regular path — the factory recreates each detector's shape,
+    /// then its learned state is overlaid — so every internal structure is
+    /// maintained by the same code paths a live monitor uses.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::CheckpointMismatch`] when a detector's saved
+    /// parameters disagree with what the factory built (named field);
+    /// [`MonitorError::Persist`] for payloads that decode but are
+    /// internally inconsistent (wrong table sizes, out-of-range slots,
+    /// invalid coordinates).
+    pub(super) fn import_state(&mut self, dec: &mut Dec<'_>) -> Result<(), MonitorError> {
+        for key in dec.u64s("state.keys")? {
+            self.join(DeviceKey(key))?;
+        }
+        let n = self.keys.len();
+        for det in &mut self.detectors {
+            let words = dec.u64s("state.detector")?;
+            let mut reader = StateReader::new(&words);
+            det.load(&mut reader).map_err(persist::state_error)?;
+            reader.finish().map_err(persist::state_error)?;
+        }
+        let flags = dec.usize("state.flags")?;
+        if flags != n {
+            return Err(persist::shape_error("flag table", flags, n));
+        }
+        self.flag_state.clear();
+        self.flagged_slots.clear();
+        for slot in 0..n {
+            let flagged = dec.bool("state.flags")?;
+            let score = dec.f64("state.flags")?;
+            self.flag_state.push((flagged, score));
+            if flagged {
+                self.flagged_slots.insert(slot as u32);
+            }
+        }
+        self.previous = if dec.bool("state.previous")? {
+            let rows_n = dec.usize("state.previous")?;
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(rows_n.min(1 << 16));
+            for _ in 0..rows_n {
+                rows.push(dec.f64s("state.previous")?);
+            }
+            let snapshot =
+                Snapshot::from_rows(&self.space, rows).map_err(|e| MonitorError::Persist {
+                    detail: format!("checkpointed snapshot is invalid: {e}"),
+                })?;
+            Some(snapshot)
+        } else {
+            None
+        };
+        self.previous_keys = if dec.bool("state.previous_keys")? {
+            let raw = dec.u64s("state.previous_keys")?;
+            Some(Arc::new(raw.into_iter().map(DeviceKey).collect()))
+        } else {
+            None
+        };
+        match (&self.previous, &self.previous_keys) {
+            (Some(prev), Some(prev_keys)) if prev.len() != prev_keys.len() => {
+                return Err(persist::shape_error(
+                    "previous key order",
+                    prev_keys.len(),
+                    prev.len(),
+                ));
+            }
+            (Some(prev), None) if prev.len() != n => {
+                return Err(persist::shape_error("previous snapshot", prev.len(), n));
+            }
+            (None, Some(_)) => {
+                return Err(MonitorError::Persist {
+                    detail: "checkpoint has a previous key order but no previous snapshot"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+        let pending_n = dec.usize("state.epoch.pending")?;
+        if pending_n != n {
+            return Err(persist::shape_error("pending table", pending_n, n));
+        }
+        let mut pending: Vec<Option<Point>> = Vec::with_capacity(pending_n.min(1 << 16));
+        for _ in 0..pending_n {
+            pending.push(if dec.bool("state.epoch.pending")? {
+                let row = dec.f64s("state.epoch.pending")?;
+                Some(self.space.point(row).map_err(|e| MonitorError::Persist {
+                    detail: format!("checkpointed pending update is invalid: {e}"),
+                })?)
+            } else {
+                None
+            });
+        }
+        let mut updated_slots: Vec<u32> = Vec::new();
+        let mut seen = vec![false; n];
+        for raw in dec.u64s("state.epoch.updated_slots")? {
+            let slot = u32::try_from(raw).ok().map(|s| s as usize);
+            let fresh = slot.is_some_and(|i| {
+                pending.get(i).is_some_and(Option::is_some) && seen.get(i).is_some_and(|b| !*b)
+            });
+            let Some(slot) = slot.filter(|_| fresh) else {
+                return Err(MonitorError::Persist {
+                    detail: "checkpointed update list disagrees with the pending table".to_string(),
+                });
+            };
+            if let Some(b) = seen.get_mut(slot) {
+                *b = true;
+            }
+            updated_slots.push(slot as u32);
+        }
+        if updated_slots.len() != pending.iter().filter(|p| p.is_some()).count() {
+            return Err(MonitorError::Persist {
+                detail: "checkpointed update list disagrees with the pending table".to_string(),
+            });
+        }
+        let sealed = dec.u64("state.epoch.sealed")?;
+        let last_reported = dec.u64s("state.epoch.last_reported")?;
+        if last_reported.len() != n {
+            return Err(persist::shape_error(
+                "staleness table",
+                last_reported.len(),
+                n,
+            ));
+        }
+        let stale_floor = dec.u64("state.epoch.stale_floor")?;
+        if stale_floor > sealed || last_reported.iter().any(|&r| r > sealed || r < stale_floor) {
+            return Err(MonitorError::Persist {
+                detail: "checkpointed staleness ages are inconsistent".to_string(),
+            });
+        }
+        self.epoch =
+            EpochState::from_state(pending, updated_slots, sealed, last_reported, stale_floor);
+        let next_id = dec.u64("state.events.next_id")?;
+        let opened_total = dec.u64("state.events.opened_total")?;
+        let closed_total = dec.u64("state.events.closed_total")?;
+        let open_n = dec.usize("state.events.open")?;
+        let mut open: Vec<AnomalyEvent> = Vec::with_capacity(open_n.min(1 << 16));
+        for _ in 0..open_n {
+            open.push(persist::decode_event(dec)?);
+        }
+        let closed_n = dec.usize("state.events.closed")?;
+        let mut closed: Vec<AnomalyEvent> = Vec::with_capacity(closed_n.min(1 << 16));
+        for _ in 0..closed_n {
+            closed.push(persist::decode_event(dec)?);
+        }
+        let history_n = dec.usize("state.events.history")?;
+        let mut history: Vec<ReportSummary> = Vec::with_capacity(history_n.min(1 << 16));
+        for _ in 0..history_n {
+            history.push(persist::decode_summary(dec)?);
+        }
+        if open.iter().chain(closed.iter()).any(|e| e.id.0 >= next_id) {
+            return Err(MonitorError::Persist {
+                detail: "checkpointed event ids exceed the id counter".to_string(),
+            });
+        }
+        self.tracker = EventTracker::from_state(
+            self.tracker.window(),
+            self.tracker.debounce(),
+            next_id,
+            open,
+            closed,
+            history,
+            opened_total,
+            closed_total,
+        );
+        self.instant = dec.u64("state.instant")?;
+        Ok(())
     }
 }
 
