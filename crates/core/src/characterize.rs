@@ -172,6 +172,129 @@ impl DevicePrecompute {
     pub fn overflowed(&self) -> bool {
         self.overflowed
     }
+
+    /// `W̄_k(j)` as precomputed: the maximal τ-dense motions containing the
+    /// device. Callers that cache slices across instants feed these into
+    /// [`ComponentPartition::from_dense_sets`] to recover the epoch's
+    /// spatial partition without rebuilding an engine.
+    pub fn dense(&self) -> &[DeviceSet] {
+        &self.dense
+    }
+}
+
+/// The spatial identity of an epoch's massive verdicts: connected
+/// components of overlapping maximal τ-dense motions.
+///
+/// Two devices share a component iff some chain of τ-dense motions links
+/// them (each consecutive pair of motions sharing at least one device).
+/// A massive verdict always carries a component — Theorems 6/7 both
+/// require a dense motion through the device — while an isolated device
+/// (Theorem 5: `W̄_k(j) = ∅`) never does. Components are the unit of
+/// "one outage": two simultaneous anomalies whose dense motions never
+/// touch land in different components even when both are massive.
+///
+/// Numbering is deterministic and order-free: components are sorted by
+/// their smallest member device id and numbered `0..count`, so any
+/// permutation of the input parts — sequential loops, shard workers,
+/// cached slices — yields byte-identical ids. The ids are **epoch-local**:
+/// they are ranks within one instant's partition and must not be compared
+/// or cached across instants (a component vanishing elsewhere shifts every
+/// later rank).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComponentPartition {
+    /// Device → component rank, for every device in at least one dense set.
+    component: BTreeMap<DeviceId, u32>,
+    /// Number of distinct components.
+    count: usize,
+}
+
+impl ComponentPartition {
+    /// Builds the partition from per-device dense-motion slices, in any
+    /// order. Every member of every set is assigned to a component; the
+    /// slices may be freshly computed, cached, or a mixture, exactly as
+    /// with [`AnalyzerCore::from_parts`]. Duplicate device entries are
+    /// harmless (their sets just union again).
+    pub fn from_dense_sets<'a>(
+        parts: impl IntoIterator<Item = (DeviceId, &'a [DeviceSet])>,
+    ) -> Self {
+        // Union-find over device ids, path-halving on lookup.
+        let mut parent: BTreeMap<DeviceId, DeviceId> = BTreeMap::new();
+        fn find(parent: &mut BTreeMap<DeviceId, DeviceId>, mut x: DeviceId) -> DeviceId {
+            loop {
+                let p = parent[&x];
+                if p == x {
+                    return x;
+                }
+                let gp = parent[&p];
+                parent.insert(x, gp);
+                x = gp;
+            }
+        }
+        for (j, sets) in parts {
+            for set in sets {
+                // j belongs to each of its dense motions by construction,
+                // but anchor on the set's own members so slices merged for
+                // a device absent from its set still partition correctly.
+                let mut anchor: Option<DeviceId> = None;
+                for member in set.iter().chain(std::iter::once(j)) {
+                    parent.entry(member).or_insert(member);
+                    match anchor {
+                        None => anchor = Some(member),
+                        Some(a) => {
+                            let ra = find(&mut parent, a);
+                            let rb = find(&mut parent, member);
+                            if ra != rb {
+                                // Root toward the smaller id: keeps the
+                                // forest independent of union order.
+                                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                                parent.insert(hi, lo);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Number components by smallest member id: iterate devices in
+        // ascending order and hand each unseen root the next rank.
+        let devices: Vec<DeviceId> = parent.keys().copied().collect();
+        let mut rank_of_root: BTreeMap<DeviceId, u32> = BTreeMap::new();
+        let mut component = BTreeMap::new();
+        let mut count = 0u32;
+        for j in devices {
+            let root = find(&mut parent, j);
+            let rank = *rank_of_root.entry(root).or_insert_with(|| {
+                let r = count;
+                count += 1;
+                r
+            });
+            component.insert(j, rank);
+        }
+        ComponentPartition {
+            component,
+            count: count as usize,
+        }
+    }
+
+    /// The component of `j`, or `None` when `j` is in no dense motion
+    /// (every isolated device; massive devices always resolve to `Some`).
+    pub fn component_of(&self, j: DeviceId) -> Option<u32> {
+        self.component.get(&j).copied()
+    }
+
+    /// Number of distinct components this epoch.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True when no device belongs to any dense motion.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Every (device, component) assignment in ascending device order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, u32)> + '_ {
+        self.component.iter().map(|(&j, &c)| (j, c))
+    }
 }
 
 /// The owned data half of an [`Analyzer`]: every per-device precompute
@@ -353,6 +476,11 @@ impl<'t> Analyzer<'t> {
         self.core.wbar_of(j)
     }
 
+    /// The epoch's spatial [`ComponentPartition`] over all dense motions.
+    pub fn component_partition(&self) -> ComponentPartition {
+        self.core.component_partition()
+    }
+
     /// The Section V families of `j`.
     ///
     /// # Panics
@@ -515,6 +643,14 @@ impl AnalyzerCore {
     /// Panics if no part was merged for `j`.
     pub fn wbar_of(&self, j: DeviceId) -> &[DeviceSet] {
         &self.wbar[&j]
+    }
+
+    /// The epoch's [`ComponentPartition`]: connected components of the
+    /// merged `W̄_k` dense motions, numbered by smallest member id. The
+    /// result is a pure function of the merged parts, so Sequential and
+    /// any Threaded merge agree byte-for-byte.
+    pub fn component_partition(&self) -> ComponentPartition {
+        ComponentPartition::from_dense_sets(self.wbar.iter().map(|(&j, v)| (j, v.as_slice())))
     }
 
     /// The Section V families of `j`.
@@ -960,6 +1096,88 @@ mod tests {
         let t = simple_table();
         let part = Analyzer::precompute_device(&t, &params(3), DeviceId(0), 1);
         assert!(part.overflowed());
+    }
+
+    /// Two spatially disjoint co-moving groups and a loner.
+    fn two_group_table() -> TrajectoryTable {
+        TrajectoryTable::from_pairs_1d(&[
+            (0, 0.10, 0.50),
+            (1, 0.11, 0.51),
+            (2, 0.12, 0.52),
+            (3, 0.13, 0.53),
+            (10, 0.70, 0.10),
+            (11, 0.71, 0.11),
+            (12, 0.72, 0.12),
+            (13, 0.73, 0.13),
+            (20, 0.40, 0.90),
+        ])
+    }
+
+    #[test]
+    fn disjoint_groups_get_distinct_components_numbered_by_smallest_id() {
+        let t = two_group_table();
+        let a = Analyzer::new(&t, params(3));
+        let p = a.component_partition();
+        assert_eq!(p.count(), 2);
+        for id in [0, 1, 2, 3] {
+            assert_eq!(p.component_of(DeviceId(id)), Some(0), "device {id}");
+        }
+        for id in [10, 11, 12, 13] {
+            assert_eq!(p.component_of(DeviceId(id)), Some(1), "device {id}");
+        }
+        // The loner has no dense motion, hence no component.
+        assert_eq!(p.component_of(DeviceId(20)), None);
+        assert_eq!(p.iter().count(), 8);
+    }
+
+    #[test]
+    fn overlapping_dense_motions_merge_into_one_component() {
+        // Figure-3 shape: {1,2,3,4} and {2,3,4,5} overlap, so all five
+        // devices share one component.
+        let t = TrajectoryTable::from_pairs_1d(&[
+            (1, 0.10, 0.10),
+            (2, 0.14, 0.14),
+            (3, 0.16, 0.16),
+            (4, 0.18, 0.18),
+            (5, 0.22, 0.22),
+        ]);
+        let a = Analyzer::new(&t, params(3));
+        let p = a.component_partition();
+        assert_eq!(p.count(), 1);
+        for id in 1..=5 {
+            assert_eq!(p.component_of(DeviceId(id)), Some(0), "device {id}");
+        }
+    }
+
+    #[test]
+    fn component_partition_is_independent_of_part_order() {
+        let t = two_group_table();
+        let sequential = Analyzer::new(&t, params(3)).component_partition();
+        let mut parts: Vec<(DeviceId, DevicePrecompute)> = t
+            .ids()
+            .iter()
+            .map(|&j| {
+                (
+                    j,
+                    Analyzer::precompute_device(&t, &params(3), j, DEFAULT_ENUMERATION_BUDGET),
+                )
+            })
+            .collect();
+        parts.reverse();
+        let dense_slices: Vec<(DeviceId, &[DeviceSet])> =
+            parts.iter().map(|(j, part)| (*j, part.dense())).collect();
+        let from_slices = ComponentPartition::from_dense_sets(dense_slices);
+        assert_eq!(sequential, from_slices);
+        let merged = Analyzer::from_parts(&t, params(3), parts).component_partition();
+        assert_eq!(sequential, merged);
+    }
+
+    #[test]
+    fn empty_partition_reports_empty() {
+        let p = ComponentPartition::from_dense_sets(std::iter::empty());
+        assert!(p.is_empty());
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.component_of(DeviceId(0)), None);
     }
 
     #[test]

@@ -267,6 +267,13 @@ fn truth_spans(spec: &ScenarioSpec, run: &ScenarioRun) -> Vec<EventSpan> {
 /// ids the ground truth speaks), and its peak class. Deltas emitted during
 /// discarded bridging epochs never extend a span, which is exactly the
 /// step-aligned view the ground truth has.
+///
+/// The feed is component-aware end to end: the tracker opens one event per
+/// spatial component, so two coincident spatially-disjoint outages arrive
+/// here as two event ids and score as two predicted spans — the event-id
+/// keying inherits the split without re-deriving it. (Baselines, which
+/// have no component structure, go through
+/// [`spans_from_step_classes`] and the component-blind linker instead.)
 fn spans_from_reports(reports: &[Report]) -> Vec<EventSpan> {
     use std::collections::BTreeMap;
     struct Partial {
@@ -1031,6 +1038,7 @@ pub fn evaluate_classifier_on(
 mod tests {
     use super::*;
     use crate::workloads::{ChurnScenario, FleetScenario, NetworkFaultScenario};
+
     use anomaly_baselines::TessellationClassifier;
     use anomaly_core::Params;
     use anomaly_simulator::FleetSpec;

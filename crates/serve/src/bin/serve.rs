@@ -7,12 +7,14 @@
 //! into the existing alert), adds CPE faults, and ends with a fault
 //! burst sized to drain the token bucket (at least one suppressed
 //! notification). The run is then repeated with a kill/restore in the
-//! middle: halfway through, the daemon checkpoints to a binary store
-//! log, is torn down, and a fresh loop is rebuilt from the log via the
-//! real `ServeLoop::restore` path. The restarted run's action stream
-//! must be byte-identical to the uninterrupted one — the durable-restart
-//! guarantee, measured (checkpoint write / restore latency, log size)
-//! and reported in the output JSON.
+//! middle: the daemon appends every sealed epoch to a binary store log,
+//! checkpoints into it halfway through, and is torn down; the log is
+//! compacted (pre-checkpoint epoch records pruned) and a fresh loop is
+//! rebuilt from the compacted image via the real `ServeLoop::restore`
+//! path. The restarted run's action stream must be byte-identical to
+//! the uninterrupted one — the durable-restart guarantee, measured
+//! (checkpoint write / restore latency, raw and compacted log size) and
+//! reported in the output JSON.
 //!
 //! Environment knobs:
 //!
@@ -24,11 +26,12 @@
 #![forbid(unsafe_code)]
 #![deny(warnings)]
 
-use anomaly_characterization::pipeline::MonitorBuilder;
+use anomaly_characterization::pipeline::{EventLog, MonitorBuilder};
 use anomaly_core::Params;
 use anomaly_detectors::{ThresholdDetector, VectorDetector};
 use anomaly_network::{FaultTarget, Incident, IncidentSchedule, NetworkConfig, NetworkSimulation};
 use anomaly_serve::{actions_to_json, AlertAction, AlertConfig, AlertSink, KeyMap, ServeLoop};
+use anomaly_store::LogWriter;
 use std::error::Error;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -212,12 +215,16 @@ struct RestartMetrics {
     checkpoint_write_micros: u128,
     restore_micros: u128,
     log_bytes: u64,
+    compacted_log_bytes: u64,
 }
 
-/// The same run with a mid-flight daemon restart: halfway through, the
-/// loop checkpoints to a binary store log and is dropped; a fresh loop
-/// is restored from the log and drives the rest of the timeline. The
-/// network keeps running across the restart — only the daemon dies.
+/// The same run with a mid-flight daemon restart: the daemon keeps a
+/// running epoch log (one summary record per seal, one event record per
+/// close); halfway through, the loop appends its checkpoint to that log
+/// and is dropped. The log is then **compacted** — every epoch record
+/// before the checkpoint is pruned — and a fresh loop is restored from
+/// the compacted image and drives the rest of the timeline. The network
+/// keeps running across the restart — only the daemon dies.
 fn run_restarted(
     seed: u64,
     ticks: u64,
@@ -235,6 +242,7 @@ fn run_restarted(
     let monitor = builder_for(services)?.devices(keys).build()?;
     let sink = AlertSink::new(net.topology().clone(), KeyMap::NodeIds, sink_config());
     let mut serve = ServeLoop::new(monitor, sink, seal_every);
+    let mut log = EventLog::create(Vec::new())?;
     let mut actions = Vec::new();
     let cut = ticks / 2;
     for _ in 0..cut {
@@ -242,23 +250,34 @@ fn run_restarted(
         for update in net.measure_stream() {
             serve.ingest(update.key, update.qos)?;
         }
-        if let Some((_report, mut fired)) = serve.round()? {
+        if let Some((report, mut fired)) = serve.round()? {
+            log.record_seal(serve.monitor(), &report)?;
             actions.append(&mut fired);
         }
     }
-    // Kill: persist everything, drop the loop.
-    let mut log = Vec::new();
+    // Kill: append the checkpoint to the running epoch log, drop the
+    // loop, and compact — every epoch record before the checkpoint is
+    // subsumed by it for restore purposes and gets pruned.
     // conformance: allow(C3, reason = "bench-only latency metric; never feeds pipeline decisions")
     let write_started = std::time::Instant::now();
-    let log_bytes = serve.checkpoint(&mut log)?;
+    serve.checkpoint_into(&mut log)?;
     let checkpoint_write_micros = write_started.elapsed().as_micros();
     drop(serve);
-    // Restore: a fresh loop from nothing but the log and the static
-    // constructor arguments.
+    let full = log.into_inner()?;
+    let log_bytes = full.len() as u64;
+    let compacted = LogWriter::compact(&full).map_err(|err| format!("compact: {err}"))?;
+    let compacted_log_bytes = compacted.len() as u64;
+    assert!(
+        compacted_log_bytes < log_bytes,
+        "compaction must prune the pre-checkpoint epoch records \
+         ({compacted_log_bytes} vs {log_bytes})"
+    );
+    // Restore: a fresh loop from nothing but the *compacted* log and the
+    // static constructor arguments.
     // conformance: allow(C3, reason = "bench-only latency metric; never feeds pipeline decisions")
     let restore_started = std::time::Instant::now();
     let mut serve = ServeLoop::restore(
-        &log,
+        &compacted,
         builder_for(services)?,
         net.topology().clone(),
         KeyMap::NodeIds,
@@ -279,6 +298,7 @@ fn run_restarted(
         checkpoint_write_micros,
         restore_micros,
         log_bytes,
+        compacted_log_bytes,
     };
     Ok((summarize(&serve, actions), metrics))
 }
@@ -305,7 +325,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!(
         "serve: ticks={ticks} seed={seed} alerts={} pages={} recurrences={} \
          suppressed={} resolved={} distinct_signatures={} restart_identical=true \
-         log_bytes={}",
+         log_bytes={} compacted_log_bytes={}",
         first.alerts_created,
         first.pages_emitted,
         first.recurrences,
@@ -313,6 +333,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         first.resolved,
         first.distinct_signatures,
         metrics.log_bytes,
+        metrics.compacted_log_bytes,
     );
 
     // The timeline is scripted, the pipeline deterministic: the alert
@@ -343,7 +364,8 @@ fn main() -> Result<(), Box<dyn Error>> {
          \"recurrences\": {},\n  \"suppressed\": {},\n  \"resolved\": {},\n  \
          \"distinct_signatures\": {},\n  \"restart_identical\": true,\n  \
          \"checkpoint_write_micros\": {},\n  \"restore_micros\": {},\n  \
-         \"log_bytes\": {},\n  \"alerts_detail\": {},\n  \"actions\": {}\n}}\n",
+         \"log_bytes\": {},\n  \"compacted_log_bytes\": {},\n  \
+         \"alerts_detail\": {},\n  \"actions\": {}\n}}\n",
         first.alerts_created,
         first.pages_emitted,
         first.recurrences,
@@ -353,6 +375,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         metrics.checkpoint_write_micros,
         metrics.restore_micros,
         metrics.log_bytes,
+        metrics.compacted_log_bytes,
         first.alerts_json,
         stream,
     );

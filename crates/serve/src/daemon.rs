@@ -99,6 +99,24 @@ impl ServeLoop {
     /// [`MonitorError::Persist`] on I/O failure.
     pub fn checkpoint<W: Write>(&self, sink: W) -> Result<u64, MonitorError> {
         let mut log = EventLog::create(sink)?;
+        self.checkpoint_into(&mut log)?;
+        let bytes = log.bytes_written();
+        log.into_inner()?;
+        Ok(bytes)
+    }
+
+    /// Appends the loop's resumable state — the monitor checkpoint record
+    /// plus the `SRV1` aux record — to an already-open [`EventLog`], e.g.
+    /// a running epoch log the daemon has been
+    /// [`record_seal`](EventLog::record_seal)ing into. Everything before
+    /// the appended checkpoint becomes prunable history:
+    /// `LogWriter::compact` drops it while [`ServeLoop::restore`] keeps
+    /// producing the byte-identical loop.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::Persist`] on I/O failure.
+    pub fn checkpoint_into<W: Write>(&self, log: &mut EventLog<W>) -> Result<(), MonitorError> {
         log.checkpoint(&self.monitor)?;
         let mut enc = Enc::new();
         enc.bytes(SERVE_AUX_TAG);
@@ -106,10 +124,7 @@ impl ServeLoop {
         enc.u32(self.rounds);
         enc.u64(self.last_epoch);
         enc.bytes(&self.sink.save());
-        log.append_aux(&enc.into_bytes())?;
-        let bytes = log.bytes_written();
-        log.into_inner()?;
-        Ok(bytes)
+        log.append_aux(&enc.into_bytes())
     }
 
     /// Rebuilds a serve loop from a [`ServeLoop::checkpoint`] log.

@@ -34,13 +34,24 @@
 //!
 //! Bump [`SIGNATURE_VERSION`] whenever the schema, the rules, or the
 //! packing change: old and new IDs must never collide silently.
+//!
+//! # Version history
+//!
+//! * **v1** — class/spread/duration/affected/straggler word only.
+//! * **v2** — adds the component-scoped [`SignatureAtoms::component_root`]
+//!   atom: the topology node id of the *lifecycle's own* blast-radius
+//!   root, mixed into the ID as a second hashed lane. Two simultaneous
+//!   spatially-disjoint outages of the same shape (e.g. two DSLAMs dark
+//!   for the same number of epochs) now reduce to two distinct
+//!   signatures, one per faulty subtree, instead of colliding on the
+//!   shape word alone.
 
 use anomaly_core::AnomalyClass;
 
 /// Version of the atom schema, rewrite rules, and packing. Mixed into
 /// every [`Signature`], so IDs from different schema generations never
 /// compare equal.
-pub const SIGNATURE_VERSION: u32 = 1;
+pub const SIGNATURE_VERSION: u32 = 2;
 
 /// The narrowest ISP-tree layer whose single element covers every device
 /// an event affected — the blast radius of the inferred root cause.
@@ -114,6 +125,12 @@ pub struct SignatureAtoms {
     /// Whether the lifecycle overlapped staleness-bridged (straggler)
     /// epochs — detection quality was degraded by silent devices.
     pub straggler_overlap: bool,
+    /// Topology node id of the narrowest node covering the lifecycle's
+    /// *own* devices — its spatial component's blast-radius root, not the
+    /// merged root of whatever alert it folded into. `None` when no
+    /// device maps into the topology. Node ids are deterministic per
+    /// topology shape, so the atom is stable across runs and engines.
+    pub component_root: Option<u32>,
 }
 
 impl SignatureAtoms {
@@ -143,6 +160,11 @@ impl SignatureAtoms {
     /// Reduces the atoms to their canonical [`Signature`]: normal form,
     /// then a fixed-layout packing of the canonical word, mixed with
     /// [`SIGNATURE_VERSION`]. Same lifecycle in, same ID out — always.
+    ///
+    /// The component root rides in a second hashed lane XORed onto the
+    /// shape word's mix: lifecycles with identical shapes but disjoint
+    /// spatial roots get distinct IDs, while a rootless lifecycle
+    /// (`component_root == None`) reduces exactly like a pure shape word.
     pub fn reduce(self) -> Signature {
         let n = self.normal_form();
         // R2: the transition atom is derived after R1.
@@ -154,7 +176,13 @@ impl SignatureAtoms {
             | affected_bucket(n.affected_devices) << 7
             | (n.straggler_overlap as u64) << 9
             | (SIGNATURE_VERSION as u64) << 32;
-        Signature(mix(word))
+        // The spatial lane: `root + 1` so node id 0 is distinct from the
+        // absent root, mixed independently so the two lanes never cancel.
+        let spatial = match n.component_root {
+            None => 0,
+            Some(root) => mix(u64::from(root) + 1),
+        };
+        Signature(mix(word) ^ spatial)
     }
 }
 
@@ -194,6 +222,7 @@ mod tests {
             duration_epochs: 5,
             affected_devices: 16,
             straggler_overlap: false,
+            component_root: Some(7),
         }
     }
 
@@ -255,12 +284,34 @@ mod tests {
         assert_ne!(longer.reduce(), wider.reduce());
     }
 
-    /// Golden value: pins the version-1 schema, rules, and packing. If
+    /// Two same-shape lifecycles rooted at disjoint subtrees must page as
+    /// two distinct root causes — the point of the v2 spatial lane.
+    #[test]
+    fn disjoint_component_roots_get_distinct_ids() {
+        let mut other = atoms();
+        other.component_root = Some(8);
+        assert_ne!(atoms().reduce(), other.reduce());
+        let mut rootless = atoms();
+        rootless.component_root = None;
+        assert_ne!(atoms().reduce(), rootless.reduce());
+    }
+
+    /// Node id 0 is a real root, not the absent-root sentinel.
+    #[test]
+    fn root_zero_is_distinct_from_no_root() {
+        let mut zero = atoms();
+        zero.component_root = Some(0);
+        let mut none = atoms();
+        none.component_root = None;
+        assert_ne!(zero.reduce(), none.reduce());
+    }
+
+    /// Golden value: pins the version-2 schema, rules, and packing. If
     /// this changes, the schema changed — bump [`SIGNATURE_VERSION`].
     #[test]
-    fn version_1_signature_is_pinned() {
+    fn version_2_signature_is_pinned() {
         let got = atoms().reduce();
-        assert_eq!(got, Signature(0x0ded_ba80_e614_56be));
-        assert_eq!(format!("{got}"), "0dedba80e61456be");
+        assert_eq!(got, Signature(0x4f79_1c94_eab4_8c71));
+        assert_eq!(format!("{got}"), "4f791c94eab48c71");
     }
 }

@@ -333,7 +333,12 @@ impl AlertSink {
         let Some(aid) = life.alert else {
             return;
         };
-        let root = self.alerts.get(&aid).and_then(|alert| alert.root);
+        // Component-scoped: the signature describes the lifecycle's own
+        // spatial component — root and spread come from *its* device set,
+        // not from the (possibly wider) alert it folded into, so two
+        // coincident outages under one alert still close with two
+        // distinct root-cause signatures.
+        let root = self.root_of(&life.devices);
         let spread = match root {
             Some(node) => self.spread_of(node),
             None => TopologySpread::Core,
@@ -345,6 +350,7 @@ impl AlertSink {
             duration_epochs: life.last - life.onset + 1,
             affected_devices: life.devices.len(),
             straggler_overlap: life.straggler_overlap,
+            component_root: root.map(|node| node.0),
         };
         let sig = atoms.reduce();
         *self.seen.entry(sig).or_insert(0) += 1;

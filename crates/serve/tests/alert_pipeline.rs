@@ -127,6 +127,113 @@ fn distinct_faults_distinct_alerts_and_refault_dedups() {
     );
 }
 
+/// The spatial-split acceptance case: two DSLAMs fault on the *same*
+/// epoch. The dense motions are spatially disjoint, so characterization
+/// partitions them into two components, the tracker opens two
+/// `AnomalyEvent`s with distinct component ids, and the sink pages two
+/// alerts whose canonical signatures differ — two outages, two pages,
+/// never one merged blur.
+#[test]
+fn simultaneous_disjoint_outages_split_events_and_signatures() {
+    let mut net = NetworkSimulation::new(NetworkConfig::small(7)).expect("small topology is valid");
+    let dslams = net.topology().dslams().to_vec();
+    // Distinct severities: two independent faults degrade by different
+    // amounts, so the subtrees move to different QoS cells. Identical
+    // trajectories would pool into one τ-dense motion (components live in
+    // trajectory space, not topology space).
+    let mut timeline = IncidentSchedule::new(
+        [(dslams[0], 0.4), (dslams[1], 0.8)]
+            .iter()
+            .map(|&(node, severity)| Incident {
+                starts_at: 4,
+                duration: Some(4),
+                fault: FaultTarget::Node { node, severity },
+            })
+            .collect(),
+    );
+    let services = net.services().len();
+    let keys: Vec<u64> = net
+        .topology()
+        .gateways()
+        .iter()
+        .map(|g| u64::from(g.0))
+        .collect();
+    let monitor = MonitorBuilder::new()
+        .params(Params::new(0.02, 3).expect("valid params"))
+        .services(services)
+        .debounce(1)
+        .history(64)
+        .detector_factory(move |_| {
+            Box::new(VectorDetector::homogeneous(services, || {
+                ThresholdDetector::with_delta(0.1)
+            }))
+        })
+        .devices(keys)
+        .build()
+        .expect("monitor builds");
+    let sink = AlertSink::new(
+        net.topology().clone(),
+        KeyMap::NodeIds,
+        AlertConfig::default(),
+    );
+    let mut serve = ServeLoop::new(monitor, sink, 1);
+    // (event id, component) pairs of epochs where two massive events were
+    // simultaneously open.
+    let mut coincident_splits: Vec<Vec<(u64, Option<u32>)>> = Vec::new();
+    for _ in 0..16 {
+        timeline.advance(&mut net);
+        for update in net.measure_stream() {
+            serve.ingest(update.key, update.qos).expect("known key");
+        }
+        serve.round().expect("seal succeeds");
+        let massive_open: Vec<(u64, Option<u32>)> = serve
+            .monitor()
+            .events()
+            .open()
+            .iter()
+            .filter(|e| e.class == AnomalyClass::Massive)
+            .map(|e| (e.id.0, e.component))
+            .collect();
+        if massive_open.len() >= 2 {
+            coincident_splits.push(massive_open);
+        }
+    }
+    serve.shutdown();
+
+    // Two simultaneous spatially-disjoint outages: two events open at
+    // once, each with its own spatial component.
+    assert!(
+        !coincident_splits.is_empty(),
+        "both outages must be open as events at the same time"
+    );
+    for open in &coincident_splits {
+        assert_eq!(open.len(), 2, "exactly two massive events: {open:?}");
+        assert!(
+            open.iter().all(|&(_, c)| c.is_some()),
+            "both events carry a spatial component: {open:?}"
+        );
+        assert_ne!(
+            open[0].1, open[1].1,
+            "disjoint outages occupy distinct components: {open:?}"
+        );
+    }
+
+    // ...and two alerts with distinct roots and distinct canonical
+    // signatures — the pager sees two incidents, not one.
+    let sink = serve.sink();
+    assert_eq!(sink.alerts_created(), 2, "one alert per outage");
+    let roots: Vec<Option<u32>> = sink.alerts().map(|a| a.root.map(|n| n.0)).collect();
+    assert_eq!(roots.len(), 2);
+    assert_ne!(roots[0], roots[1], "alerts carry distinct roots: {roots:?}");
+    let signatures: Vec<Signature> = sink.alerts().filter_map(|a| a.signature).collect();
+    assert_eq!(signatures.len(), 2, "both lifecycles closed and signed");
+    assert_ne!(
+        signatures[0], signatures[1],
+        "component-scoped signatures keep simultaneous outages distinct"
+    );
+    assert_eq!(sink.distinct_signatures(), 2);
+}
+
 #[test]
 fn checkpointless_restart_reproduces_alert_stream() {
     let first = run_two_fault_scenario(7);
@@ -166,7 +273,10 @@ proptest::proptest! {
         duration in 0u64..1_000,
         devices in 0usize..10_000,
         straggler in 0u64..2,
+        // 0 encodes an absent root; r maps to node id r - 1.
+        root in 0u64..257,
     ) {
+        let root = root.checked_sub(1).map(|r| r as u32);
         let atoms = SignatureAtoms {
             onset_class: class_of(onset),
             peak_class: class_of(peak),
@@ -174,7 +284,9 @@ proptest::proptest! {
             duration_epochs: duration,
             affected_devices: devices,
             straggler_overlap: straggler == 1,
+            component_root: root,
         };
+
         let id = atoms.reduce();
         proptest::prop_assert_eq!(id, atoms.reduce());
         proptest::prop_assert_eq!(id, atoms.normal_form().reduce());

@@ -143,6 +143,41 @@ impl<W: Write> LogWriter<W> {
     }
 }
 
+impl LogWriter<Vec<u8>> {
+    /// Compacts a full log image: every record before the **last complete
+    /// checkpoint** is dropped — the checkpoint subsumes them for restore
+    /// purposes — and the checkpoint plus everything after it is re-framed
+    /// into a fresh image. Restore anchors on the last checkpoint
+    /// (`read_log` keeps that contract), so a compacted log restores to
+    /// the byte-identical state the original would.
+    ///
+    /// Dropped pre-checkpoint `Event`/`Summary` records are gone for
+    /// offline replay — compaction trades replay history for bounded log
+    /// growth; callers that need the full history archive the image
+    /// before compacting. A log without any checkpoint has no anchor to
+    /// drop behind and compacts to itself (modulo re-framing, which is
+    /// byte-identical for valid input).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`LogReader`] reports for a bad image: corrupt or
+    /// truncated frames, a bad header, an unsupported version. Nothing is
+    /// dropped on error.
+    pub fn compact(bytes: &[u8]) -> Result<Vec<u8>, StoreError> {
+        let mut reader = LogReader::open(bytes)?;
+        let records = reader.read_to_end()?;
+        let anchor = records
+            .iter()
+            .rposition(|r| r.kind == RecordKind::Checkpoint)
+            .unwrap_or(0);
+        let mut writer = LogWriter::create(Vec::new())?;
+        for record in records.get(anchor..).unwrap_or(&[]) {
+            writer.append(record.kind, &record.payload)?;
+        }
+        writer.into_inner()
+    }
+}
+
 /// Reads and validates framed records from an underlying reader.
 #[derive(Debug)]
 pub struct LogReader<R: Read> {
@@ -398,6 +433,69 @@ mod tests {
         assert!(matches!(
             reader.next_record().unwrap_err(),
             StoreError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn compact_drops_records_before_the_last_checkpoint() {
+        let bytes = sample_log();
+        let compacted = LogWriter::compact(&bytes).unwrap();
+        assert!(compacted.len() < bytes.len());
+        let mut reader = LogReader::open(compacted.as_slice()).unwrap();
+        let records = reader.read_to_end().unwrap();
+        assert_eq!(records.len(), 2, "checkpoint and everything after it");
+        assert_eq!(records[0].kind, RecordKind::Checkpoint);
+        assert_eq!(records[0].payload, b"state");
+        assert_eq!(records[1].kind, RecordKind::Aux);
+        assert_eq!(records[1].payload, b"SINKdata");
+        // Compacting a compacted log is a fixed point.
+        assert_eq!(LogWriter::compact(&compacted).unwrap(), compacted);
+    }
+
+    #[test]
+    fn compact_anchors_on_the_last_of_many_checkpoints() {
+        let mut writer = LogWriter::create(Vec::new()).unwrap();
+        writer.append(RecordKind::Checkpoint, b"old").unwrap();
+        writer.append(RecordKind::Event, b"stale").unwrap();
+        writer.append(RecordKind::Checkpoint, b"new").unwrap();
+        writer.append(RecordKind::Summary, b"tail").unwrap();
+        let bytes = writer.into_inner().unwrap();
+        let compacted = LogWriter::compact(&bytes).unwrap();
+        let mut reader = LogReader::open(compacted.as_slice()).unwrap();
+        let records = reader.read_to_end().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, RecordKind::Checkpoint);
+        assert_eq!(records[0].payload, b"new", "restore anchors here");
+        assert_eq!(records[1].payload, b"tail");
+    }
+
+    #[test]
+    fn compact_without_a_checkpoint_is_the_identity() {
+        let mut writer = LogWriter::create(Vec::new()).unwrap();
+        writer.append(RecordKind::Summary, b"epoch-0").unwrap();
+        writer.append(RecordKind::Event, b"event-1").unwrap();
+        let bytes = writer.into_inner().unwrap();
+        assert_eq!(LogWriter::compact(&bytes).unwrap(), bytes);
+        // An empty log stays an empty log.
+        let empty = LogWriter::create(Vec::new()).unwrap().into_inner().unwrap();
+        assert_eq!(LogWriter::compact(&empty).unwrap(), empty);
+    }
+
+    #[test]
+    fn compact_refuses_bad_input_instead_of_dropping_records() {
+        let clean = sample_log();
+        // Corrupt payload byte: typed error, no partial output.
+        let mut torn = clean.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 0xFF;
+        assert!(matches!(
+            LogWriter::compact(&torn).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        // Truncated tail: also refused.
+        assert!(matches!(
+            LogWriter::compact(&clean[..clean.len() - 1]).unwrap_err(),
+            StoreError::TruncatedTail { .. }
         ));
     }
 

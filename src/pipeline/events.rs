@@ -19,15 +19,24 @@
 //!
 //! * **Onset** — an event opens at the first epoch one of its devices gets
 //!   a verdict. Unclaimed *massive* verdicts of one epoch open (or join)
-//!   one shared event — a massive anomaly is by definition collective —
-//!   while each unclaimed *isolated* or *unresolved* verdict opens its
-//!   own.
+//!   one shared event **per spatial component** — the connected component
+//!   of overlapping dense motions carried by the verdict
+//!   ([`DeviceVerdict::component`](super::DeviceVerdict::component)) — so
+//!   two simultaneous, spatially disjoint outages open as two events with
+//!   independent lifecycles. An unclaimed *unresolved* verdict whose
+//!   component carries unclaimed massive verdicts this same epoch folds
+//!   in with them — the local test abstained, the shared dense motion
+//!   resolves it spatially. Each unclaimed *isolated* verdict (and
+//!   unresolved verdicts without such massive company) opens its own.
 //! * **Continuation** — an event stays active while any device it has ever
 //!   affected keeps receiving verdicts (or is re-flagged while warming
 //!   after a re-join). Newly flagged massive devices join the oldest
-//!   continuing event that is massive this epoch (by standing class or by
-//!   this epoch's verdicts), so a growing outage stays one event — even
-//!   when it grows out of a fault first seen as isolated.
+//!   continuing event that has a device in the *same spatial component*
+//!   this epoch, so an outage growing within one dense blob stays one
+//!   event — even when it grows out of a fault first seen as isolated —
+//!   while a spatially unrelated onset opens separately. When no component
+//!   information is available (legacy feeds), the pre-spatial rule
+//!   applies: join the oldest continuing event that is massive this epoch.
 //! * **Class transitions** — the event's class follows its *definite*
 //!   verdicts (massive wins over isolated when both are present).
 //!   Unresolved verdicts and warm-up epochs never transition the class:
@@ -41,11 +50,11 @@
 //!   no longer observed — always `last_active + 1`, regardless of when
 //!   the closing decision lands.
 //!
-//! Two epoch-coincident massive onsets are indistinguishable without the
-//! report carrying pairwise adjacency, so they open as one event; onsets in
-//! different epochs (the common case — faults do not land on the exact
-//! same sampling instant) stay separate as long as their device sets are
-//! disjoint.
+//! Epoch-coincident massive onsets are separated by the spatial component
+//! the characterization attaches to every verdict: concurrent outages in
+//! different dense-motion blobs open as distinct events even when they
+//! land on the exact same sampling instant. Onsets in different epochs
+//! stay separate as long as their device sets are disjoint.
 //!
 //! Everything here is deterministic: events are processed in id order,
 //! devices in key order, and the tracker consumes only the (already
@@ -108,6 +117,14 @@ pub struct AnomalyEvent {
     /// Number of epochs with activity (a verdict or absorbed warming on
     /// some device of the event); quiet gap epochs are excluded.
     pub epochs_active: u64,
+    /// Spatial component of the event's active cohort at the most recent
+    /// epoch any active device carried one (the smallest such component,
+    /// for determinism). `None` for events whose devices were never in a
+    /// dense motion (isolated faults) or on legacy feeds without spatial
+    /// information. Component ids are epoch-local ranks: they identify
+    /// which blob the event belongs to *within one epoch's partition* and
+    /// must not be compared across distant epochs.
+    pub component: Option<u32>,
 }
 
 impl AnomalyEvent {
@@ -155,6 +172,9 @@ pub struct EventDelta {
     pub joined: Vec<DeviceKey>,
     /// Cumulative affected-device count after this epoch.
     pub total: usize,
+    /// The event's spatial component after this epoch (see
+    /// [`AnomalyEvent::component`]).
+    pub component: Option<u32>,
 }
 
 /// Folds the per-epoch [`Report`] stream into [`AnomalyEvent`]s and keeps a
@@ -301,6 +321,7 @@ impl EventTracker {
                 active: 0,
                 joined: Vec::new(),
                 total: event.devices.len(),
+                component: event.component,
             })
             .collect();
         self.closed_total += self.open.len() as u64;
@@ -323,33 +344,36 @@ impl EventTracker {
     /// Folds one sealed epoch's report in, returning the per-event deltas
     /// in ascending id order.
     pub(super) fn observe(&mut self, report: &Report) -> Vec<EventDelta> {
-        let definite: Vec<(DeviceKey, AnomalyClass)> = report
+        let definite: Vec<(DeviceKey, AnomalyClass, Option<u32>)> = report
             .verdicts()
             .iter()
-            .map(|v| (v.key, v.class()))
+            .map(|v| (v.key, v.class(), v.component))
             .collect();
         self.fold(report.instant(), definite, report.warming())
     }
 
     /// The correlation core, on bare per-device activity: `definite` lists
-    /// every characterized device's class, `warming` the flagged devices
-    /// without an interval (activity without a class: they can keep an
-    /// event alive after a leave/re-join, never start one).
+    /// every characterized device's class and spatial component, `warming`
+    /// the flagged devices without an interval (activity without a class:
+    /// they can keep an event alive after a leave/re-join, never start
+    /// one).
     fn fold(
         &mut self,
         k: u64,
-        mut definite: Vec<(DeviceKey, AnomalyClass)>,
+        mut definite: Vec<(DeviceKey, AnomalyClass, Option<u32>)>,
         warming: &[DeviceKey],
     ) -> Vec<EventDelta> {
-        definite.sort_unstable_by_key(|&(key, _)| key);
-        let class_of = |key: DeviceKey| -> Option<AnomalyClass> {
+        definite.sort_unstable_by_key(|&(key, _, _)| key);
+        let lookup = |key: DeviceKey| -> Option<(AnomalyClass, Option<u32>)> {
             definite
-                .binary_search_by_key(&key, |&(k, _)| k)
+                .binary_search_by_key(&key, |&(k, _, _)| k)
                 .ok()
                 .and_then(|i| definite.get(i))
-                .map(|&(_, class)| class)
+                .map(|&(_, class, component)| (class, component))
         };
-        let mut active_keys: Vec<DeviceKey> = definite.iter().map(|&(key, _)| key).collect();
+        let class_of = |key: DeviceKey| -> Option<AnomalyClass> { lookup(key).map(|(c, _)| c) };
+        let component_of = |key: DeviceKey| -> Option<u32> { lookup(key).and_then(|(_, c)| c) };
+        let mut active_keys: Vec<DeviceKey> = definite.iter().map(|&(key, _, _)| key).collect();
         for &key in warming {
             if let Err(pos) = active_keys.binary_search(&key) {
                 active_keys.insert(pos, key);
@@ -375,39 +399,92 @@ impl EventTracker {
 
         // Unclaimed definite verdicts open or join events. Warming devices
         // never spawn: a fresh joiner that flags has no interval yet.
-        let mut new_massive: Vec<DeviceKey> = Vec::new();
-        let mut new_single: Vec<(DeviceKey, AnomalyClass)> = Vec::new();
+        // Massive verdicts group by spatial component — one group per
+        // connected dense-motion blob, in order of smallest member key —
+        // so epoch-coincident disjoint outages never share an event.
+        let mut massive_groups: Vec<(Option<u32>, Vec<DeviceKey>)> = Vec::new();
+        let mut new_single: Vec<(DeviceKey, AnomalyClass, Option<u32>)> = Vec::new();
         for (&key, &taken) in active_keys.iter().zip(claimed.iter()) {
             if taken {
                 continue;
             }
-            match class_of(key) {
-                Some(AnomalyClass::Massive) => new_massive.push(key),
-                Some(class) => new_single.push((key, class)),
+            match lookup(key) {
+                Some((AnomalyClass::Massive, component)) => {
+                    match massive_groups.iter_mut().find(|(c, _)| *c == component) {
+                        Some((_, group)) => group.push(key),
+                        None => massive_groups.push((component, vec![key])),
+                    }
+                }
+                Some((class, component)) => new_single.push((key, class, component)),
                 None => {} // warming only
             }
         }
 
-        // A growing massive event absorbs the new devices instead of
-        // fragmenting: unclaimed massive verdicts join the oldest
-        // continuing event that is massive *this epoch* — by its standing
-        // class, or by a massive verdict among its own continuing devices
-        // (an isolated fault swept into a network incident transitions and
-        // grows in the same epoch; checking only the stale class would
-        // split one physical outage into two concurrent events).
-        if !new_massive.is_empty() {
-            let open = &self.open;
-            if let Some((_, overlap)) = continuing.iter_mut().find(|(idx, overlap)| {
-                open.get(*idx)
-                    .is_some_and(|e| e.class == AnomalyClass::Massive)
-                    || overlap
-                        .iter()
-                        .any(|&key| class_of(key) == Some(AnomalyClass::Massive))
-            }) {
-                overlap.append(&mut new_massive);
-                overlap.sort_unstable();
+        // An unresolved verdict inside a component that carries unclaimed
+        // massive evidence this epoch is part of that component's
+        // anomaly: the per-device test abstained (the paper's per-instant
+        // "cannot resolve"), but the shared dense motion ties the device
+        // to the blob's massive verdicts, so it folds into the
+        // component's massive group — and follows it, whether the group
+        // opens a new event or grows a continuing one — instead of
+        // opening a singleton. Isolated verdicts are never folded:
+        // isolated is a definite ruling that the device does not co-move
+        // with the blob. Unresolved verdicts in all-unresolved or
+        // component-free neighbourhoods, or in components whose massive
+        // devices are all quietly continuing their event, keep opening
+        // their own events.
+        new_single.retain(|&(key, class, component)| {
+            if class != AnomalyClass::Unresolved {
+                return true;
             }
+            let group =
+                component.and_then(|c| massive_groups.iter_mut().find(|(gc, _)| *gc == Some(c)));
+            match group {
+                Some((_, group)) => {
+                    group.push(key);
+                    false
+                }
+                None => true,
+            }
+        });
+        for (_, group) in &mut massive_groups {
+            group.sort_unstable();
         }
+
+        // A growing massive event absorbs the new devices instead of
+        // fragmenting — but only within one spatial blob: a group with a
+        // known component joins the oldest continuing event that has an
+        // active device in the *same* component this epoch (an isolated
+        // fault swept into a network incident transitions and grows in the
+        // same epoch; the shared dense motion is what links them). A
+        // spatially unrelated concurrent onset matches no continuing
+        // component and opens its own event below. Groups without spatial
+        // information (legacy feeds) fall back to the pre-spatial rule:
+        // the oldest continuing event that is massive this epoch, by
+        // standing class or by its continuing devices' verdicts.
+        massive_groups.retain_mut(|(component, group)| {
+            let open = &self.open;
+            let absorbed = continuing
+                .iter_mut()
+                .find(|(idx, overlap)| match component {
+                    Some(c) => overlap.iter().any(|&key| component_of(key) == Some(*c)),
+                    None => {
+                        open.get(*idx)
+                            .is_some_and(|e| e.class == AnomalyClass::Massive)
+                            || overlap
+                                .iter()
+                                .any(|&key| class_of(key) == Some(AnomalyClass::Massive))
+                    }
+                });
+            match absorbed {
+                Some((_, overlap)) => {
+                    overlap.append(group);
+                    overlap.sort_unstable();
+                    false
+                }
+                None => true,
+            }
+        });
 
         let mut deltas: Vec<EventDelta> = Vec::new();
 
@@ -430,6 +507,13 @@ impl EventTracker {
             event.epochs_active += 1;
             event.active = overlap.clone();
             event.peak_active = event.peak_active.max(overlap.len());
+            // The event's spatial identity follows its active cohort:
+            // refresh it whenever any active device carries a component
+            // this epoch (smallest wins, for determinism); keep the last
+            // known one through component-free epochs.
+            if let Some(c) = overlap.iter().filter_map(|&key| component_of(key)).min() {
+                event.component = Some(c);
+            }
             let transition = Self::transition(event, overlap, &class_of, k);
             deltas.push(EventDelta {
                 id: event.id,
@@ -439,20 +523,23 @@ impl EventTracker {
                 active: overlap.len(),
                 joined,
                 total: event.devices.len(),
+                component: event.component,
             });
         }
 
-        // Open new events: the shared massive one first (if it was not
-        // absorbed above), then one per isolated/unresolved device in key
-        // order.
-        let mut openings: Vec<(Vec<DeviceKey>, AnomalyClass)> = Vec::new();
-        if !new_massive.is_empty() {
-            openings.push((new_massive, AnomalyClass::Massive));
+        // Open new events: one shared massive event per surviving spatial
+        // group first (in smallest-member-key order), then one per
+        // isolated/unresolved device in key order.
+        let mut openings: Vec<(Vec<DeviceKey>, AnomalyClass, Option<u32>)> = Vec::new();
+        for (component, group) in massive_groups {
+            if !group.is_empty() {
+                openings.push((group, AnomalyClass::Massive, component));
+            }
         }
-        for (key, class) in new_single {
-            openings.push((vec![key], class));
+        for (key, class, component) in new_single {
+            openings.push((vec![key], class, component));
         }
-        for (devices, class) in openings {
+        for (devices, class, component) in openings {
             let id = EventId(self.next_id);
             self.next_id += 1;
             self.opened_total += 1;
@@ -467,6 +554,7 @@ impl EventTracker {
                 active: devices.clone(),
                 peak_active: devices.len(),
                 epochs_active: 1,
+                component,
             };
             deltas.push(EventDelta {
                 id,
@@ -476,6 +564,7 @@ impl EventTracker {
                 active: devices.len(),
                 joined: devices,
                 total: event.devices.len(),
+                component,
             });
             self.open.push(event);
         }
@@ -498,6 +587,7 @@ impl EventTracker {
                     active: 0,
                     joined: Vec::new(),
                     total: event.devices.len(),
+                    component: event.component,
                 });
                 let closed = self.open.remove(idx);
                 self.closed_total += 1;
@@ -659,24 +749,36 @@ mod tests {
         assert_eq!(m.events().recently_closed().count(), 1);
     }
 
+    /// Under spatial splitting, a later-onset cohort that never co-moves
+    /// with the first one is its own dense component — it opens a second
+    /// event instead of being absorbed by class alone.
     #[test]
-    fn growth_joins_the_open_massive_event() {
+    fn spatially_disjoint_growth_opens_its_own_event() {
         let mut m = warmed(8, 0);
         // Devices 0..4 drop first...
         let mut rows = vec![vec![0.45]; 4];
         rows.extend(vec![vec![0.9]; 4]);
         let r = m.observe_rows(rows).unwrap();
         assert_eq!(r.event_deltas().len(), 1);
-        // ...then the outage spreads to 4..8 while 0..4 keep degrading.
+        let first = r.event_deltas()[0].id;
+        assert_eq!(r.event_deltas()[0].component, Some(0));
+        // ...then devices 4..8 fall from 0.9 to 0.2 while 0..4 keep
+        // degrading from 0.45: two separate dense motions this epoch.
         let rows = vec![vec![0.2]; 8];
         let r = m.observe_rows(rows).unwrap();
+        assert_eq!(r.summary().components, 2);
         let deltas = r.event_deltas();
-        assert_eq!(deltas.len(), 1, "growth must not fragment: {deltas:?}");
+        assert_eq!(deltas.len(), 2, "two blobs, two events: {deltas:?}");
+        assert_eq!(deltas[0].id, first);
         assert_eq!(deltas[0].kind, EventDeltaKind::Updated);
-        assert_eq!(deltas[0].joined, keys(&[4, 5, 6, 7]));
-        assert_eq!(deltas[0].total, 8);
-        let event = m.events().get(deltas[0].id).unwrap();
-        assert_eq!(event.devices, keys(&[0, 1, 2, 3, 4, 5, 6, 7]));
+        assert!(deltas[0].joined.is_empty());
+        assert_eq!(deltas[0].component, Some(0));
+        assert_eq!(deltas[1].kind, EventDeltaKind::Opened);
+        assert_eq!(deltas[1].joined, keys(&[4, 5, 6, 7]));
+        assert_eq!(deltas[1].component, Some(1));
+        let second = m.events().get(deltas[1].id).unwrap();
+        assert_eq!(second.devices, keys(&[4, 5, 6, 7]));
+        assert_eq!(second.component, Some(1));
     }
 
     fn fold(
@@ -687,10 +789,142 @@ mod tests {
     ) -> Vec<EventDelta> {
         let definite = verdicts
             .iter()
-            .map(|&(key, class)| (DeviceKey(key), class))
+            .map(|&(key, class)| (DeviceKey(key), class, None))
             .collect();
         let warming: Vec<DeviceKey> = warming.iter().copied().map(DeviceKey).collect();
         tracker.fold(k, definite, &warming)
+    }
+
+    fn fold_spatial(
+        tracker: &mut EventTracker,
+        k: u64,
+        verdicts: &[(u64, AnomalyClass, Option<u32>)],
+    ) -> Vec<EventDelta> {
+        let definite = verdicts
+            .iter()
+            .map(|&(key, class, component)| (DeviceKey(key), class, component))
+            .collect();
+        tracker.fold(k, definite, &[])
+    }
+
+    /// An outage growing within one dense blob stays one event: the new
+    /// devices share the continuing devices' component.
+    #[test]
+    fn growth_within_one_component_joins_the_open_event() {
+        use anomaly_core::AnomalyClass;
+        let mut tracker = EventTracker::new(8, 0);
+        let first: Vec<(u64, AnomalyClass, Option<u32>)> = (0..4)
+            .map(|k| (k, AnomalyClass::Massive, Some(0)))
+            .collect();
+        let d = fold_spatial(&mut tracker, 0, &first);
+        assert_eq!(d.len(), 1);
+        let grown: Vec<(u64, AnomalyClass, Option<u32>)> = (0..8)
+            .map(|k| (k, AnomalyClass::Massive, Some(0)))
+            .collect();
+        let d = fold_spatial(&mut tracker, 1, &grown);
+        assert_eq!(d.len(), 1, "same blob, one event: {d:?}");
+        assert_eq!(d[0].kind, EventDeltaKind::Updated);
+        assert_eq!(d[0].joined, keys(&[4, 5, 6, 7]));
+        assert_eq!(d[0].total, 8);
+        assert_eq!(d[0].component, Some(0));
+    }
+
+    /// Epoch-coincident massive onsets in different components open as
+    /// separate events with independent lifecycles.
+    #[test]
+    fn coincident_disjoint_outages_open_separate_events() {
+        use anomaly_core::AnomalyClass;
+        let mut tracker = EventTracker::new(8, 0);
+        let both: Vec<(u64, AnomalyClass, Option<u32>)> = (0..4)
+            .map(|k| (k, AnomalyClass::Massive, Some(0)))
+            .chain((10..14).map(|k| (k, AnomalyClass::Massive, Some(1))))
+            .collect();
+        let d = fold_spatial(&mut tracker, 0, &both);
+        assert_eq!(d.len(), 2, "two components, two events: {d:?}");
+        assert_eq!(d[0].kind, EventDeltaKind::Opened);
+        assert_eq!(d[0].joined, keys(&[0, 1, 2, 3]));
+        assert_eq!(d[0].component, Some(0));
+        assert_eq!(d[1].kind, EventDeltaKind::Opened);
+        assert_eq!(d[1].joined, keys(&[10, 11, 12, 13]));
+        assert_eq!(d[1].component, Some(1));
+        // The first blob recovers; the second keeps failing. Independent
+        // lifecycles: one closes, the other continues.
+        let second: Vec<(u64, AnomalyClass, Option<u32>)> = (10..14)
+            .map(|k| (k, AnomalyClass::Massive, Some(0)))
+            .collect();
+        let d = fold_spatial(&mut tracker, 1, &second);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].kind, EventDeltaKind::Closed);
+        assert_eq!(d[1].kind, EventDeltaKind::Updated);
+        assert_eq!(tracker.open().len(), 1);
+        // Component ids are epoch-local: the surviving event re-anchors to
+        // this epoch's rank 0.
+        assert_eq!(tracker.open()[0].component, Some(0));
+    }
+
+    /// An unresolved verdict sharing a component with unclaimed massive
+    /// verdicts is part of that anomaly: it folds in with them instead of
+    /// opening a singleton. An abstention whose component-mates are all
+    /// quietly continuing their event keeps its own event, and isolated
+    /// verdicts and unresolved verdicts without massive component-mates
+    /// are never folded.
+    #[test]
+    fn unresolved_in_a_massive_component_folds_into_its_event() {
+        use anomaly_core::AnomalyClass;
+        let mut tracker = EventTracker::new(8, 0);
+        // Epoch 0: component 0 has massive evidence plus one abstention;
+        // component 1 is all-unresolved; device 30 is isolated in the
+        // massive component.
+        let verdicts: Vec<(u64, AnomalyClass, Option<u32>)> = vec![
+            (3, AnomalyClass::Unresolved, Some(0)),
+            (10, AnomalyClass::Massive, Some(0)),
+            (11, AnomalyClass::Massive, Some(0)),
+            (20, AnomalyClass::Unresolved, Some(1)),
+            (30, AnomalyClass::Isolated, Some(0)),
+        ];
+        let d = fold_spatial(&mut tracker, 0, &verdicts);
+        assert_eq!(
+            d.len(),
+            3,
+            "massive+folded, lone unresolved, isolated: {d:?}"
+        );
+        assert_eq!(d[0].kind, EventDeltaKind::Opened);
+        assert_eq!(d[0].class, AnomalyClass::Massive);
+        assert_eq!(d[0].joined, keys(&[3, 10, 11]), "abstention folded in");
+        assert_eq!(d[1].class, AnomalyClass::Unresolved);
+        assert_eq!(d[1].joined, keys(&[20]), "all-unresolved blob stays alone");
+        assert_eq!(d[2].class, AnomalyClass::Isolated);
+        assert_eq!(d[2].joined, keys(&[30]), "isolated is a definite ruling");
+        // Epoch 1: the massive event continues (its devices are claimed by
+        // continuation, so there is no unclaimed massive evidence in the
+        // component) and a *new* device abstains in it. Nothing to fold
+        // into: the abstention opens its own event — it is more likely an
+        // independent fault co-located with the blob's dense region than
+        // part of the established incident.
+        let verdicts: Vec<(u64, AnomalyClass, Option<u32>)> = vec![
+            (4, AnomalyClass::Unresolved, Some(0)),
+            (10, AnomalyClass::Massive, Some(0)),
+            (11, AnomalyClass::Massive, Some(0)),
+        ];
+        let d = fold_spatial(&mut tracker, 1, &verdicts);
+        let updated: Vec<_> = d
+            .iter()
+            .filter(|delta| delta.kind == EventDeltaKind::Updated)
+            .collect();
+        assert_eq!(updated.len(), 1);
+        assert_eq!(updated[0].id, EventId(0));
+        assert!(updated[0].joined.is_empty());
+        let opened: Vec<_> = d
+            .iter()
+            .filter(|delta| delta.kind == EventDeltaKind::Opened)
+            .collect();
+        assert_eq!(
+            opened.len(),
+            1,
+            "late abstention keeps its own event: {d:?}"
+        );
+        assert_eq!(opened[0].joined, keys(&[4]));
+        assert_eq!(opened[0].class, AnomalyClass::Unresolved);
     }
 
     /// Regression: an outage growing out of an *isolated*-classed event

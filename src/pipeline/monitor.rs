@@ -8,8 +8,8 @@ use super::pool::{Job, JobOutput, WorkerPool};
 use super::report::{DeviceVerdict, Report, ReportSummary, Stragglers};
 use super::timings::Stopwatch;
 use anomaly_core::{
-    AnalyzerCore, Characterization, DevicePrecompute, Params, ShardPlan, TrajectoryTable,
-    DEFAULT_ENUMERATION_BUDGET,
+    AnalyzerCore, Characterization, ComponentPartition, DevicePrecompute, Params, ShardPlan,
+    TrajectoryTable, DEFAULT_ENUMERATION_BUDGET,
 };
 use anomaly_detectors::{DeviceDetector, StateReader, StateWriter};
 use anomaly_qos::{
@@ -1038,11 +1038,23 @@ impl Monitor {
         let mut fresh_rows: Vec<(DeviceId, Characterization, usize)> =
             Vec::with_capacity(fresh.len());
         let mut fresh_pre: BTreeMap<u32, DevicePrecompute> = BTreeMap::new();
-        let pair = if fresh.is_empty() {
+        let (pair, partition) = if fresh.is_empty() {
             // Full cache hit: no trajectory table, no analyzer, no shard
             // plan. The characterization cost of the epoch is the grid
-            // update plus one map lookup per flagged device.
-            pair
+            // update plus one map lookup per flagged device. The spatial
+            // partition is recomputed from the cached dense slices —
+            // component ids are epoch-local ranks, so a cached id could go
+            // stale when an unrelated component vanishes, but the dense
+            // sets themselves are exactly as valid as the cached verdicts.
+            let partition = ComponentPartition::from_dense_sets(abnormal.iter().map(|&j| {
+                let dense = self
+                    .char_cache
+                    .get(&j.0)
+                    .map(|entry| entry.precompute.dense())
+                    .unwrap_or(&[]);
+                (j, dense)
+            }));
+            (pair, partition)
         } else {
             let table = TrajectoryTable::from_state_pair(&pair, &abnormal);
             let shard_count = self.engine.shard_count(fresh.len());
@@ -1062,6 +1074,11 @@ impl Monitor {
                     fresh_parts.push((j, pre));
                 }
                 let core = self.merged_core(&table, params, caching, fresh_parts);
+                // The merged core covers the whole abnormal set (fresh
+                // slices plus every cached one), so its partition is the
+                // epoch's global one — byte-identical to the cache-off
+                // reference path.
+                let partition = core.component_partition();
                 let grid = self
                     .grid
                     .as_ref()
@@ -1071,7 +1088,7 @@ impl Monitor {
                     grid.neighbors_both_into(&pair, j, window, buf);
                     fresh_rows.push((j, core.characterize_full(&table, j), buf.len()));
                 }
-                pair
+                (pair, partition)
             } else {
                 // Threaded: ship both phases to the persistent worker
                 // pool. Shards come from the grid-locality-aware plan over
@@ -1129,6 +1146,7 @@ impl Monitor {
                     }
                 }
                 let core = Arc::new(self.merged_core(&table, params, caching, fresh_parts));
+                let partition = core.component_partition();
                 let grid = Arc::clone(
                     self.grid
                         .as_ref()
@@ -1162,7 +1180,10 @@ impl Monitor {
                 // result, so after collecting all of them this is the only
                 // reference again (the clone arm is unreachable
                 // belt-and-braces).
-                Arc::try_unwrap(pair).unwrap_or_else(|arc| (*arc).clone())
+                (
+                    Arc::try_unwrap(pair).unwrap_or_else(|arc| (*arc).clone()),
+                    partition,
+                )
             }
         };
 
@@ -1223,6 +1244,7 @@ impl Monitor {
                 score: scores.get(&j.0).copied().unwrap_or(0.0),
                 displacement,
                 vicinity: row.vicinity,
+                component: partition.component_of(j),
             });
         }
 

@@ -139,6 +139,7 @@ pub(super) fn encode_event(enc: &mut Enc, event: &AnomalyEvent) {
     enc.u64s(&keys_of(&event.active));
     enc.usize(event.peak_active);
     enc.u64(event.epochs_active);
+    enc.opt_u64(event.component.map(u64::from));
 }
 
 /// Reads back one event written by [`encode_event`].
@@ -169,6 +170,13 @@ pub(super) fn decode_event(dec: &mut Dec<'_>) -> Result<AnomalyEvent, DecodeErro
         .collect();
     let peak_active = dec.usize("event.peak_active")?;
     let epochs_active = dec.u64("event.epochs_active")?;
+    let component = match dec.opt_u64("event.component")? {
+        None => None,
+        Some(c) => Some(u32::try_from(c).map_err(|_| DecodeError {
+            offset: 0,
+            field: "event.component",
+        })?),
+    };
     Ok(AnomalyEvent {
         id,
         onset,
@@ -180,6 +188,7 @@ pub(super) fn decode_event(dec: &mut Dec<'_>) -> Result<AnomalyEvent, DecodeErro
         active,
         peak_active,
         epochs_active,
+        component,
     })
 }
 
@@ -193,6 +202,7 @@ pub(super) fn encode_summary(enc: &mut Enc, s: &ReportSummary) {
     enc.usize(s.unresolved);
     enc.usize(s.warming);
     enc.usize(s.stragglers);
+    enc.usize(s.components);
     enc.usize(s.events_open);
     enc.usize(s.events_opened);
     enc.usize(s.events_closed);
@@ -211,6 +221,7 @@ pub(super) fn decode_summary(dec: &mut Dec<'_>) -> Result<ReportSummary, DecodeE
         unresolved: dec.usize("summary.unresolved")?,
         warming: dec.usize("summary.warming")?,
         stragglers: dec.usize("summary.stragglers")?,
+        components: dec.usize("summary.components")?,
         events_open: dec.usize("summary.events_open")?,
         events_opened: dec.usize("summary.events_opened")?,
         events_closed: dec.usize("summary.events_closed")?,
@@ -569,6 +580,7 @@ mod tests {
             active: vec![DeviceKey(4)],
             peak_active: 2,
             epochs_active: 6,
+            component: Some(3),
         }
     }
 

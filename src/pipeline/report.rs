@@ -90,6 +90,13 @@ pub struct DeviceVerdict {
     /// subset; a large vicinity with few flagged members is exactly what
     /// distinguishes a lone fault in a busy region.)
     pub vicinity: usize,
+    /// Spatial component of the verdict: the connected component of
+    /// overlapping maximal τ-dense motions the device belongs to this
+    /// epoch ([`ComponentPartition`](anomaly_core::ComponentPartition)),
+    /// or `None` when the device is in no dense motion (every isolated
+    /// device; massive devices always carry one). Ids are **epoch-local**
+    /// ranks — comparable only between verdicts of the same report.
+    pub component: Option<u32>,
 }
 
 impl DeviceVerdict {
@@ -228,6 +235,20 @@ impl Report {
             .any(|v| v.class() == AnomalyClass::Massive)
     }
 
+    /// Number of distinct spatial components among this epoch's verdicts —
+    /// the count of connected dense-motion blobs, i.e. how many separate
+    /// collective anomalies the epoch shows (0 when every verdict is
+    /// isolated).
+    pub fn components(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &self.verdicts {
+            if let Some(c) = v.component {
+                seen.insert(c);
+            }
+        }
+        seen.len()
+    }
+
     /// What the event tracker did with this epoch's verdicts: events
     /// opened, updated (with any class transition), and closed, in
     /// ascending event-id order. Sufficient to reconstruct every event's
@@ -265,6 +286,7 @@ impl Report {
             unresolved: self.count_of(AnomalyClass::Unresolved),
             warming: self.warming.len(),
             stragglers: self.stragglers.len(),
+            components: self.components(),
             events_open: self.events_open,
             events_opened: self
                 .event_deltas
@@ -307,6 +329,9 @@ pub struct ReportSummary {
     pub warming: usize,
     /// Devices bridged by the staleness policy this epoch.
     pub stragglers: usize,
+    /// Distinct spatial components among the epoch's verdicts (connected
+    /// blobs of overlapping dense motions; 0 when nothing is collective).
+    pub components: usize,
     /// Anomaly events still open after this epoch.
     pub events_open: usize,
     /// Events opened this epoch.
@@ -324,8 +349,9 @@ impl ReportSummary {
     /// whenever a key is added, so metric sinks can dispatch on shape
     /// instead of breaking. Version 2 added `stragglers` (streaming epoch
     /// metadata); version 3 added the event-tracker counters
-    /// (`events_open`, `events_opened`, `events_closed`).
-    pub const JSON_VERSION: u32 = 3;
+    /// (`events_open`, `events_opened`, `events_closed`); version 4 added
+    /// `components` (distinct spatial dense-motion components this epoch).
+    pub const JSON_VERSION: u32 = 4;
 
     /// JSON object rendering (no external dependencies; keys are stable
     /// within one [`ReportSummary::JSON_VERSION`], and new versions only
@@ -335,7 +361,7 @@ impl ReportSummary {
             concat!(
                 "{{\"v\":{},\"instant\":{},\"population\":{},\"abnormal\":{},",
                 "\"isolated\":{},\"massive\":{},\"unresolved\":{},\"warming\":{},",
-                "\"stragglers\":{},",
+                "\"stragglers\":{},\"components\":{},",
                 "\"events_open\":{},\"events_opened\":{},\"events_closed\":{},",
                 "\"detection_micros\":{},\"characterization_micros\":{}}}"
             ),
@@ -348,6 +374,7 @@ impl ReportSummary {
             self.unresolved,
             self.warming,
             self.stragglers,
+            self.components,
             self.events_open,
             self.events_opened,
             self.events_closed,

@@ -31,12 +31,13 @@ fn observable(report: &Report) -> String {
     let s = report.summary();
     format!(
         "epoch {}: verdicts {:?}; warming {:?}; stragglers {:?}; deltas {:?}; \
-         counts {}/{}/{}/{}/{}/{}; events {}/{}/{}\n",
+         components {}; counts {}/{}/{}/{}/{}/{}; events {}/{}/{}\n",
         report.instant(),
         report.verdicts(),
         report.warming(),
         report.stragglers(),
         report.event_deltas(),
+        s.components,
         s.population,
         s.abnormal,
         s.isolated,
@@ -344,6 +345,58 @@ proptest! {
             grids[grid_pick],
             engines[restore_engine_pick],
             grids[restore_grid_pick],
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// The event tracker's standing spatial state survives a checkpoint at
+    /// any cut point: the restored monitor carries exactly the open and
+    /// recently-closed `AnomalyEvent`s of the uninterrupted run —
+    /// including each event's component id — and its next epochs keep the
+    /// component-split delta feed byte-identical (the `observable` surface
+    /// checked via [`assert_resumes_identically`] elsewhere).
+    #[test]
+    fn open_event_components_survive_any_checkpoint_cut(
+        seed in 0u64..1_000,
+        cut_frac in 0.05f64..0.95,
+        workers in 1usize..=8,
+    ) {
+        let (spec, run) = churnful_network_run(seed % 17);
+        let actions = schedule_of(&run, 0);
+        let cut = (((actions.len() as f64) * cut_frac) as usize).min(actions.len());
+        let engine = Engine::Threaded { workers };
+        let grid = GridMaintenance::Incremental;
+
+        let mut sink = String::new();
+        let mut full = builder_for(&spec, Engine::Sequential, grid)
+            .fleet(spec.population)
+            .build()
+            .unwrap();
+        play(&mut full, &actions, &mut sink);
+
+        let mut interrupted = builder_for(&spec, engine, grid)
+            .fleet(spec.population)
+            .build()
+            .unwrap();
+        play(&mut interrupted, &actions[..cut], &mut sink);
+        let mut bytes = Vec::new();
+        interrupted.checkpoint(&mut bytes).unwrap();
+        drop(interrupted);
+        let mut restored =
+            Monitor::restore(bytes.as_slice(), builder_for(&spec, engine, grid)).unwrap();
+        play(&mut restored, &actions[cut..], &mut sink);
+
+        prop_assert_eq!(full.events().open(), restored.events().open());
+        let full_closed: Vec<_> = full.events().recently_closed().collect();
+        let restored_closed: Vec<_> = restored.events().recently_closed().collect();
+        prop_assert_eq!(full_closed, restored_closed);
+        // The run must actually exercise the spatial layer: at least one
+        // event with a component id somewhere along the way.
+        prop_assert!(
+            full.events().opened_total() > 0,
+            "scenario opened no events"
         );
     }
 }
